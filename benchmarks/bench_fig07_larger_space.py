@@ -1,0 +1,17 @@
+"""Figure 7 + Table 2: larger search space, leave-one-application-out
+(reduced: fewer applications / inputs, full Table-2 space)."""
+
+from repro.evaluation.experiments import fig7
+
+
+def test_fig7_larger_search_space(once, capsys):
+    result = once(fig7.run, max_apps=8, num_inputs=3, epochs=20, budget=8)
+    with capsys.disabled():
+        print()
+        print(fig7.format_result(result))
+    summary = result["summary"]
+    assert summary["search_space_size"] == 7 * 3 * 7
+    # MGA achieves a large fraction of the oracle speedup overall
+    assert summary["geomean_mga"] >= 0.7 * summary["geomean_oracle"]
+    # and is within the oracle for at least half of the applications at 0.85
+    assert summary["apps_above_085"] >= summary["num_apps"] // 2

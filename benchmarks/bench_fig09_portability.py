@@ -1,0 +1,17 @@
+"""Figure 9: µ-architecture portability (train Comet Lake, predict Broadwell /
+Sandy Bridge) at reduced size."""
+
+from repro.evaluation.experiments import fig9
+from repro.evaluation.metrics import geometric_mean
+
+
+def test_fig9_microarch_portability(once, capsys):
+    result = once(fig9.run, max_kernels=10, num_inputs=3, epochs=20)
+    with capsys.disabled():
+        print()
+        print(fig9.format_result(result))
+    for arch, data in result["per_arch"].items():
+        pred = geometric_mean(data["predicted"])
+        oracle = geometric_mean(data["oracle"])
+        assert pred > 0.6 * oracle      # portable predictions remain useful
+        assert pred >= 0.75             # and do not regress far below the default

@@ -1,0 +1,15 @@
+"""Table 1: benchmark-suite coverage of the kernel registry."""
+
+from repro.kernels import registry
+
+
+def test_table1_registry(once, capsys):
+    specs = once(registry.all_kernels)
+    with capsys.disabled():
+        print()
+        print("Table 1: benchmarks per suite")
+        for suite, apps in registry.TABLE1.items():
+            print(f"  {suite:<16} {len(apps):3d} applications: "
+                  f"{', '.join(apps[:6])}{' ...' if len(apps) > 6 else ''}")
+        print(f"  total kernels (native models): {len(specs)}")
+    assert len(specs) >= 100

@@ -1,0 +1,36 @@
+"""§6 (Discussion): the networks are shallow and train in seconds per epoch."""
+
+import time
+
+import numpy as np
+
+from repro.core.mga import MGAModel
+from repro.datasets.openmp import OpenMPDatasetBuilder
+from repro.kernels import registry
+from repro.simulator.microarch import SKYLAKE_4114
+from repro.tuners.space import thread_search_space
+
+
+def test_training_epoch_speed(benchmark, capsys):
+    space = thread_search_space(SKYLAKE_4114)
+    builder = OpenMPDatasetBuilder(SKYLAKE_4114, list(space), seed=0)
+    dataset = builder.build(registry.openmp_kernels()[:12],
+                            np.geomspace(1e5, 1e8, 4))
+    graphs = [s.graph for s in dataset.samples]
+    vectors = np.stack([s.vector for s in dataset.samples])
+    extra = dataset.counter_matrix()
+    labels = dataset.labels()
+    model = MGAModel(graphs[0].feature_dim, vectors.shape[1], extra.shape[1],
+                     dataset.num_configs, seed=0)
+    model.dae.fit(vectors, epochs=3)
+    model.extra_scaler.fit(model.prepare_extra(extra))
+
+    def one_epoch():
+        return model.fit(graphs, vectors, extra, labels, epochs=1,
+                         dae_epochs=0)
+
+    result = benchmark.pedantic(one_epoch, iterations=1, rounds=3)
+    with capsys.disabled():
+        print(f"\n  one MGA training epoch over {len(labels)} samples "
+              f"({model.num_parameters()} parameters)")
+    assert result["loss"][-1] > 0

@@ -1,0 +1,18 @@
+"""§4.1.4: tuning-cost comparison (MGA vs search tuners) and §6 training speed."""
+
+import time
+
+from repro.evaluation.experiments import tuning_time
+
+
+def test_tuning_cost_comparison(once, capsys):
+    result = once(tuning_time.run, budget=8, train_kernels=8, train_inputs=3,
+                  epochs=8)
+    with capsys.disabled():
+        print()
+        print(tuning_time.format_result(result))
+    mga = result["MGA"]
+    for name in ("ytopt", "OpenTuner", "BLISS"):
+        assert result[name]["kernel_executions"] > mga["kernel_executions"]
+        assert (result[name]["simulated_tuning_seconds"]
+                >= mga["simulated_tuning_seconds"])

@@ -1,0 +1,18 @@
+"""Benchmark configuration: every experiment runs once (no repetition) since
+each "iteration" is a full (miniature) reproduction of a paper experiment."""
+
+import pytest
+
+
+def pytest_benchmark_update_machine_info(config, machine_info):
+    machine_info["note"] = ("MGA-tuner reproduction benchmarks; timings are "
+                            "harness wall-clock, experiment outputs are printed")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benchmarked callable exactly once and return its result."""
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  iterations=1, rounds=1)
+    return runner

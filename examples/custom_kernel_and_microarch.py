@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Author a custom kernel in the loop-nest DSL and study it end to end.
+
+Shows the full substrate: DSL -> IR -> ProGraML-style graph -> IR2Vec-style
+vector -> simulated execution on two micro-architectures with PAPI-style
+counters, plus a thread sweep to find the best configuration on each machine.
+"""
+
+import numpy as np
+
+from repro.embeddings import IR2VecEncoder
+from repro.frontend import Array, Assign, Dim, For, KernelSpec, LoopVar, Reduce, analyze_spec, lower_to_ir
+from repro.frontend.openmp import OMPConfig
+from repro.graphs import build_programl_graph
+from repro.ir import print_module
+from repro.profiling import PAPIProfiler, SELECTED_COUNTERS
+from repro.simulator import BROADWELL_8C, COMET_LAKE_8C, OpenMPSimulator
+
+
+def build_kernel() -> KernelSpec:
+    """A blocked dot-product-with-update kernel (user-defined)."""
+    N = Dim("N")
+    x = Array("x", (N,))
+    y = Array("y", (N,))
+    out = Array("out", (N,))
+    i, j = LoopVar("i"), LoopVar("j")
+    body = [
+        For(i, N // 64, [
+            Assign(out[i], 0.0),
+            For(j, 64, [Reduce(out[i], x[i * 64 + j] * y[i * 64 + j])]),
+        ], parallel=True)
+    ]
+    return KernelSpec("blocked-dot", suite="custom", arrays=[x, y, out],
+                      body=body, base_sizes={"N": 2_000_000},
+                      domain="user example")
+
+
+def main() -> None:
+    spec = build_kernel()
+
+    module = lower_to_ir(spec)
+    print("=== IR (first 25 lines) ===")
+    print("\n".join(print_module(module).splitlines()[:25]))
+
+    graph = build_programl_graph(module)
+    vector = IR2VecEncoder().encode_module(module)
+    print(f"\nProGraML-style graph: {graph.num_nodes} nodes, "
+          f"{graph.num_edges} edges")
+    print(f"IR2Vec-style vector: dim={vector.shape[0]}, "
+          f"norm={np.linalg.norm(vector):.2f}")
+
+    summary = analyze_spec(spec, scale=1.0)
+    print(f"\nworkload: {summary.flops:.2e} flops, "
+          f"{summary.mem_bytes / 1e6:.1f} MB of accesses, "
+          f"arithmetic intensity {summary.arithmetic_intensity:.3f} flops/byte")
+
+    for arch in (COMET_LAKE_8C, BROADWELL_8C):
+        simulator = OpenMPSimulator(arch, noise=0.0)
+        times = {t: simulator.run(summary, OMPConfig(t)).time_seconds
+                 for t in range(1, arch.max_threads + 1)}
+        best = min(times, key=times.get)
+        profiler = PAPIProfiler(arch, noise=0.0)
+        record = profiler.profile(spec, scale=1.0, events=SELECTED_COUNTERS)
+        print(f"\n{arch.name}: best thread count = {best} "
+              f"({times[best] * 1e3:.2f} ms vs "
+              f"{times[arch.max_threads] * 1e3:.2f} ms at {arch.max_threads} threads)")
+        print("  counters @ default config: "
+              + ", ".join(f"{k.split('_', 1)[1]}={v:.2e}"
+                          for k, v in record.counters.items()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Quickstart: tune the OpenMP runtime configuration of one kernel.
+
+Builds a small training dataset on the simulated Comet Lake machine, trains
+the MGA tuner (heterogeneous GNN + denoising autoencoder + counters), and
+tunes an *unseen* kernel at an unseen input size — comparing the predicted
+configuration against the default and the brute-force oracle.
+"""
+
+import numpy as np
+
+from repro.core import MGATuner
+from repro.datasets import OpenMPDatasetBuilder
+from repro.frontend import analyze_spec
+from repro.frontend.openmp import default_omp_config
+from repro.kernels import registry
+from repro.simulator import COMET_LAKE_8C, OpenMPSimulator
+from repro.tuners import thread_search_space
+
+
+def main() -> None:
+    arch = COMET_LAKE_8C
+    space = thread_search_space(arch)
+
+    # 1. training data: a handful of loops x input sizes (leave atax out)
+    train_specs = [s for s in registry.openmp_kernels()[:16]
+                   if s.uid != "polybench/atax"]
+    builder = OpenMPDatasetBuilder(arch, list(space), seed=0)
+    dataset = builder.build(train_specs, np.geomspace(1e5, 3e8, 5))
+    print(f"training dataset: {len(dataset)} samples, "
+          f"{dataset.num_configs} configurations")
+
+    # 2. train the MGA tuner
+    tuner = MGATuner(arch, list(space), seed=0)
+    history = tuner.fit(dataset, epochs=30)
+    print(f"final training loss: {history['loss'][-1]:.4f}")
+
+    # 3. tune an unseen kernel at an unseen input size
+    target = registry.get_kernel("polybench/atax")
+    scale = target.scale_for_bytes(32e6)
+    config, counters = tuner.tune(target, scale=scale)
+    print(f"\npredicted configuration for {target.uid}: {config.label()}")
+
+    # 4. compare against default and oracle on the simulator
+    simulator = OpenMPSimulator(arch, noise=0.0)
+    summary = analyze_spec(target, scale)
+    default_time = simulator.run(summary, default_omp_config(arch.cores)).time_seconds
+    predicted_time = simulator.run(summary, config).time_seconds
+    times = [(c, simulator.run(summary, c).time_seconds) for c in space]
+    oracle_config, oracle_time = min(times, key=lambda kv: kv[1])
+    print(f"default ({default_omp_config(arch.cores).label()}): "
+          f"{default_time * 1e3:.3f} ms")
+    print(f"MGA prediction ({config.label()}): {predicted_time * 1e3:.3f} ms "
+          f"-> speedup {default_time / predicted_time:.2f}x")
+    print(f"oracle ({oracle_config.label()}): {oracle_time * 1e3:.3f} ms "
+          f"-> speedup {default_time / oracle_time:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept so that ``pip install -e . --no-build-isolation --no-use-pep517`` works
+on offline machines that lack the ``wheel`` package (PEP 660 editable builds
+need it); all project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""repro: full reproduction of the MGA tuner (HPDC 2023).
+
+Multimodal Graph neural network and Autoencoder (MGA) tuner for parallel code
+regions, together with every substrate it depends on: a miniature LLVM-like
+IR, a loop-nest frontend, benchmark kernel library, ProGraML-style graph
+construction, IR2Vec-style embeddings, a multicore/accelerator performance
+simulator with PAPI-like counters, a numpy autograd deep-learning stack
+(dense / GNN / DAE), classical ML models, baseline auto-tuners, dataset
+builders and an evaluation harness regenerating every table and figure of the
+paper.
+
+Typical entry points
+--------------------
+>>> from repro import kernels
+>>> spec = kernels.polybench.gemm()
+>>> from repro.core import MGATuner
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ir",
+    "frontend",
+    "kernels",
+    "graphs",
+    "embeddings",
+    "simulator",
+    "profiling",
+    "nn",
+    "gnn",
+    "dae",
+    "ml",
+    "core",
+    "tuners",
+    "datasets",
+    "evaluation",
+]

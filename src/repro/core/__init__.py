@@ -1,0 +1,21 @@
+"""The MGA tuner: multimodal (GNN + DAE) performance model and tuning API.
+
+This is the paper's primary contribution.  :class:`MGAModel` fuses the
+ProGraML-graph modality (heterogeneous GNN), the IR2Vec-vector modality
+(denoising autoencoder) and the experiment-specific dynamic features
+(performance counters for OpenMP, transfer/workgroup size for OpenCL) through
+late fusion into a one-hidden-layer MLP classifier.  :class:`MGATuner` and
+:class:`DeviceMapper` wrap it into end-to-end tuners.
+"""
+
+from repro.core.features import StaticFeatureExtractor
+from repro.core.mga import MGAModel, ModalityConfig
+from repro.core.tuner import DeviceMapper, MGATuner
+
+__all__ = [
+    "StaticFeatureExtractor",
+    "ModalityConfig",
+    "MGAModel",
+    "MGATuner",
+    "DeviceMapper",
+]

@@ -1,0 +1,68 @@
+"""Static feature extraction shared by datasets and tuners.
+
+One kernel spec is turned into its two static modalities exactly once and
+cached: the ProGraML-style heterogeneous graph and the IR2Vec-style program
+vector (Figure 3 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.embeddings import IR2VecEncoder, SeedEmbeddingVocabulary, harvest_triplets
+from repro.frontend import lower_to_ir
+from repro.frontend.spec import KernelSpec
+from repro.graphs import GraphVocabulary, HeteroGraphData, build_programl_graph, to_hetero_graph
+
+
+class StaticFeatureExtractor:
+    """Lower, graph-ify and vectorise kernel specs (with caching)."""
+
+    def __init__(self, vector_dim: int = 48,
+                 graph_vocab: Optional[GraphVocabulary] = None,
+                 train_seed_embeddings: bool = False,
+                 seed: int = 0):
+        self.graph_vocab = graph_vocab or GraphVocabulary()
+        self.seed_vocab = SeedEmbeddingVocabulary(dim=vector_dim)
+        self.encoder = IR2VecEncoder(self.seed_vocab)
+        self.train_seed_embeddings = train_seed_embeddings
+        self.seed = seed
+        self._cache: Dict[str, Tuple[HeteroGraphData, np.ndarray]] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def graph_feature_dim(self) -> int:
+        return self.graph_vocab.feature_dim
+
+    @property
+    def vector_dim(self) -> int:
+        return self.encoder.dim
+
+    # ------------------------------------------------------------------
+    def fit_seed_embeddings(self, specs: Sequence[KernelSpec],
+                            epochs: int = 10) -> None:
+        """Optionally train the IR2Vec seed vocabulary on a kernel corpus."""
+        modules = [lower_to_ir(spec) for spec in specs]
+        triplets = harvest_triplets(modules)
+        self.seed_vocab.train(triplets, epochs=epochs, seed=self.seed)
+
+    def extract(self, spec: KernelSpec) -> Tuple[HeteroGraphData, np.ndarray]:
+        """Return (hetero graph, program vector) for one kernel."""
+        key = f"{spec.uid}:{spec.model.value}"
+        if key not in self._cache:
+            module = lower_to_ir(spec)
+            graph = to_hetero_graph(build_programl_graph(module), self.graph_vocab)
+            vector = self.encoder.encode_module(module)
+            self._cache[key] = (graph, vector)
+        return self._cache[key]
+
+    def extract_many(self, specs: Sequence[KernelSpec]
+                     ) -> Tuple[List[HeteroGraphData], np.ndarray]:
+        graphs, vectors = [], []
+        for spec in specs:
+            g, v = self.extract(spec)
+            graphs.append(g)
+            vectors.append(v)
+        return graphs, np.stack(vectors)

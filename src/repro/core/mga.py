@@ -1,0 +1,212 @@
+"""The multimodal GNN + Autoencoder (MGA) performance model.
+
+Late fusion (§3.2 "Fully Connected Tuning"): the graph embedding produced by
+the heterogeneous GNN and the compressed code vector produced by the
+denoising autoencoder are concatenated with the (normalised) experiment
+specific features — performance counters for OpenMP, transfer/workgroup sizes
+for OpenCL — and classified by a one-hidden-layer MLP into the best runtime
+configuration.
+
+Ablation switches (:class:`ModalityConfig`) turn the same class into the
+paper's unimodal baselines: PROGRAML-only (graph + dynamic), IR2Vec-only
+(vector + dynamic), static-only variants and the dynamic-only model of
+Figure 5.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.dae import DenoisingAutoencoder
+from repro.gnn import GNNEncoder, HomogeneousGNNEncoder
+from repro.graphs import HeteroGraphData, batch_graphs
+from repro.nn import (
+    AdamW,
+    MinMaxScaler,
+    MLP,
+    Tensor,
+    concat,
+    cross_entropy,
+    iterate_minibatches,
+)
+from repro.nn.layers import Module
+
+
+@dataclasses.dataclass(frozen=True)
+class ModalityConfig:
+    """Which modalities take part in the fused feature vector."""
+
+    use_graph: bool = True
+    use_vector: bool = True
+    use_extra: bool = True
+
+    def __post_init__(self) -> None:
+        if not (self.use_graph or self.use_vector or self.use_extra):
+            raise ValueError("at least one modality must be enabled")
+
+    @classmethod
+    def mga(cls) -> "ModalityConfig":
+        return cls(True, True, True)
+
+    @classmethod
+    def mga_static(cls) -> "ModalityConfig":
+        return cls(True, True, False)
+
+    @classmethod
+    def programl(cls) -> "ModalityConfig":
+        return cls(True, False, True)
+
+    @classmethod
+    def programl_static(cls) -> "ModalityConfig":
+        return cls(True, False, False)
+
+    @classmethod
+    def ir2vec(cls) -> "ModalityConfig":
+        return cls(False, True, True)
+
+    @classmethod
+    def ir2vec_static(cls) -> "ModalityConfig":
+        return cls(False, True, False)
+
+    @classmethod
+    def dynamic_only(cls) -> "ModalityConfig":
+        return cls(False, False, True)
+
+
+class MGAModel(Module):
+    """Multimodal classifier over (graph, code vector, extra features)."""
+
+    def __init__(self, graph_feature_dim: int, vector_dim: int, extra_dim: int,
+                 num_classes: int,
+                 modalities: ModalityConfig = ModalityConfig.mga(),
+                 gnn_hidden: int = 24, gnn_out: int = 24, gnn_layers: int = 2,
+                 conv_type: str = "ggnn", hetero: bool = True,
+                 dae_hidden: int = 48, dae_code: int = 16,
+                 mlp_hidden: int = 32, dropout: float = 0.05,
+                 seed: int = 0):
+        super().__init__()
+        self.modalities = modalities
+        self.num_classes = int(num_classes)
+        self.extra_dim = int(extra_dim)
+        rng = np.random.default_rng(seed)
+        self.seed = seed
+
+        fused_dim = 0
+        self.gnn: Optional[Module] = None
+        if modalities.use_graph:
+            encoder_cls = GNNEncoder if hetero else HomogeneousGNNEncoder
+            self.gnn = encoder_cls(graph_feature_dim, hidden_dim=gnn_hidden,
+                                   out_dim=gnn_out, num_layers=gnn_layers,
+                                   conv_type=conv_type, rng=rng)
+            fused_dim += gnn_out
+        self.dae: Optional[DenoisingAutoencoder] = None
+        if modalities.use_vector:
+            self.dae = DenoisingAutoencoder(vector_dim, hidden_dim=dae_hidden,
+                                            code_dim=dae_code, seed=seed)
+            fused_dim += dae_code
+        self.extra_scaler = MinMaxScaler()
+        if modalities.use_extra:
+            fused_dim += extra_dim
+
+        # "Our fully connected network consists of only one hidden layer."
+        self.head = MLP(fused_dim, [mlp_hidden], num_classes, activation="relu",
+                        dropout=dropout, rng=rng)
+        self.fused_dim = fused_dim
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    # feature assembly
+    # ------------------------------------------------------------------
+    @staticmethod
+    def prepare_extra(extra: np.ndarray) -> np.ndarray:
+        """Counters / sizes span decades: compress with log1p before scaling."""
+        return np.log1p(np.maximum(np.asarray(extra, dtype=np.float64), 0.0))
+
+    def _fuse(self, graphs: Sequence[HeteroGraphData], vectors: np.ndarray,
+              extra: np.ndarray) -> Tensor:
+        parts: List[Tensor] = []
+        if self.modalities.use_graph:
+            batch = batch_graphs(list(graphs))
+            parts.append(self.gnn(batch))
+        if self.modalities.use_vector:
+            parts.append(Tensor(self.dae.encode(vectors)))
+        if self.modalities.use_extra:
+            scaled = self.extra_scaler.transform(self.prepare_extra(extra))
+            parts.append(Tensor(scaled))
+        if len(parts) == 1:
+            return parts[0]
+        return concat(parts, axis=1)
+
+    # ------------------------------------------------------------------
+    def fit(self, graphs: Sequence[HeteroGraphData], vectors: np.ndarray,
+            extra: np.ndarray, labels: np.ndarray, epochs: int = 40,
+            lr: float = 1e-2, weight_decay: float = 1e-3, batch_size: int = 32,
+            dae_epochs: int = 30, class_balance: bool = True,
+            verbose: bool = False) -> Dict[str, List[float]]:
+        """Train the model; returns the loss history."""
+        labels = np.asarray(labels, dtype=np.int64)
+        vectors = np.asarray(vectors, dtype=np.float64)
+        extra = np.asarray(extra, dtype=np.float64)
+        n = len(labels)
+        if len(graphs) != n or vectors.shape[0] != n or extra.shape[0] != n:
+            raise ValueError("modalities disagree on the number of samples")
+
+        if self.modalities.use_vector:
+            self.dae.fit(vectors, epochs=dae_epochs)
+        if self.modalities.use_extra:
+            self.extra_scaler.fit(self.prepare_extra(extra))
+
+        class_weights = None
+        if class_balance:
+            counts = np.bincount(labels, minlength=self.num_classes).astype(float)
+            weights = np.where(counts > 0, counts.sum() / np.maximum(counts, 1.0),
+                               0.0)
+            class_weights = weights / max(weights.max(), 1e-12)
+
+        params = self.head.parameters()
+        if self.modalities.use_graph:
+            params = params + self.gnn.parameters()
+        optimizer = AdamW(params, lr=lr, weight_decay=weight_decay)
+        rng = np.random.default_rng(self.seed + 17)
+        history: Dict[str, List[float]] = {"loss": []}
+        graphs = list(graphs)
+        for epoch in range(epochs):
+            epoch_loss, batches = 0.0, 0
+            for idx in iterate_minibatches(n, batch_size, rng=rng):
+                fused = self._fuse([graphs[i] for i in idx], vectors[idx],
+                                   extra[idx])
+                logits = self.head(fused)
+                loss = cross_entropy(logits, labels[idx],
+                                     class_weights=class_weights)
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                epoch_loss += loss.item()
+                batches += 1
+            history["loss"].append(epoch_loss / max(1, batches))
+            if verbose:
+                print(f"epoch {epoch + 1}/{epochs}: loss="
+                      f"{history['loss'][-1]:.4f}")
+        self._fitted = True
+        return history
+
+    # ------------------------------------------------------------------
+    def predict_proba(self, graphs: Sequence[HeteroGraphData],
+                      vectors: np.ndarray, extra: np.ndarray) -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError("MGAModel.predict called before fit")
+        self.eval()
+        fused = self._fuse(list(graphs), np.asarray(vectors, dtype=np.float64),
+                           np.asarray(extra, dtype=np.float64))
+        logits = self.head(fused).data
+        logits = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(logits)
+        self.train()
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def predict(self, graphs: Sequence[HeteroGraphData], vectors: np.ndarray,
+                extra: np.ndarray) -> np.ndarray:
+        return self.predict_proba(graphs, vectors, extra).argmax(axis=1)

@@ -1,0 +1,14 @@
+"""Denoising autoencoder modality (IR2Vec code vectors → compressed features).
+
+Implements the paper's §3.2 "Modeling code vectors using Denoising
+Autoencoders": Gaussian-rank scaling of the tabular code-vector dataset,
+swap-noise corruption, a sigmoid-activated encoder / code / decoder stack
+trained self-supervised to reconstruct the uncorrupted inputs, and an
+``encode`` method that yields the compressed representation used by the
+multimodal fusion.
+"""
+
+from repro.dae.noise import swap_noise
+from repro.dae.model import DenoisingAutoencoder
+
+__all__ = ["swap_noise", "DenoisingAutoencoder"]

@@ -1,0 +1,92 @@
+"""Denoising autoencoder over Gaussian-rank-scaled code vectors."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.dae.noise import swap_noise
+from repro.nn.autograd import Tensor
+from repro.nn.functional import mse_loss
+from repro.nn.layers import Linear, Module, Sequential, Sigmoid
+from repro.nn.optim import AdamW
+from repro.nn.scalers import GaussRankScaler
+from repro.nn.training import iterate_minibatches
+
+
+class DenoisingAutoencoder(Module):
+    """Encoder–code–decoder stack with swap-noise self-supervision.
+
+    The paper keeps the DAE shallow (three hidden layers in total) with
+    sigmoid activations; the ``code`` layer output is the compressed feature
+    vector used as the second modality of the MGA model.
+    """
+
+    def __init__(self, in_dim: int, hidden_dim: int = 48, code_dim: int = 24,
+                 swap_rate: float = 0.10, seed: int = 0):
+        super().__init__()
+        if in_dim < 1:
+            raise ValueError("in_dim must be positive")
+        rng = np.random.default_rng(seed)
+        self.in_dim = in_dim
+        self.code_dim = code_dim
+        self.swap_rate = float(swap_rate)
+        self._rng = rng
+        self.scaler = GaussRankScaler()
+        self.encoder = Sequential(Linear(in_dim, hidden_dim, rng=rng), Sigmoid(),
+                                  Linear(hidden_dim, code_dim, rng=rng), Sigmoid())
+        self.decoder = Sequential(Linear(code_dim, hidden_dim, rng=rng), Sigmoid(),
+                                  Linear(hidden_dim, in_dim, rng=rng))
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    def forward(self, x: Tensor) -> Tensor:
+        return self.decoder(self.encoder(x))
+
+    # ------------------------------------------------------------------
+    def fit(self, vectors: np.ndarray, epochs: int = 40, lr: float = 1e-2,
+            batch_size: int = 64, weight_decay: float = 1e-4) -> List[float]:
+        """Self-supervised training; returns the per-epoch reconstruction loss."""
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2 or vectors.shape[1] != self.in_dim:
+            raise ValueError(f"expected [n, {self.in_dim}] training matrix")
+        scaled = self.scaler.fit_transform(vectors)
+        optimizer = AdamW(self.parameters(), lr=lr, weight_decay=weight_decay)
+        losses: List[float] = []
+        for _ in range(epochs):
+            epoch_loss = 0.0
+            batches = 0
+            for batch_idx in iterate_minibatches(scaled.shape[0], batch_size,
+                                                 rng=self._rng):
+                clean = scaled[batch_idx]
+                noisy = swap_noise(clean, self.swap_rate, self._rng)
+                recon = self.forward(Tensor(noisy))
+                loss = mse_loss(recon, clean)
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                epoch_loss += loss.item()
+                batches += 1
+            losses.append(epoch_loss / max(1, batches))
+        self._fitted = True
+        return losses
+
+    # ------------------------------------------------------------------
+    def encode(self, vectors: np.ndarray) -> np.ndarray:
+        """Compressed representation of (possibly unseen) code vectors."""
+        if not self._fitted:
+            raise RuntimeError("DenoisingAutoencoder.encode called before fit")
+        scaled = self.scaler.transform(np.asarray(vectors, dtype=np.float64))
+        return self.encoder(Tensor(scaled)).data
+
+    def encode_tensor(self, vectors: np.ndarray) -> Tensor:
+        """Differentiable encoding (used when fine-tuning end-to-end)."""
+        scaled = self.scaler.transform(np.asarray(vectors, dtype=np.float64))
+        return self.encoder(Tensor(scaled))
+
+    def reconstruction_error(self, vectors: np.ndarray) -> float:
+        """Mean squared reconstruction error on clean inputs."""
+        scaled = self.scaler.transform(np.asarray(vectors, dtype=np.float64))
+        recon = self.forward(Tensor(scaled))
+        return float(np.mean((recon.data - scaled) ** 2))

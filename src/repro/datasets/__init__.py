@@ -1,0 +1,26 @@
+"""Dataset builders for the two tuning tasks of the paper.
+
+* :mod:`openmp` — the OpenMP runtime-parameter tuning dataset (§4.1): loops ×
+  input sizes × configurations with execution times and PAPI counters.
+* :mod:`devmap` — the OpenCL heterogeneous device-mapping dataset (§4.2):
+  kernels × (transfer size, workgroup size) points labelled CPU or GPU,
+  mirroring the Ben-Nun et al. dataset's schema.
+"""
+
+from repro.datasets.openmp import (
+    OpenMPDatasetBuilder,
+    OpenMPSample,
+    OpenMPTuningDataset,
+    default_input_targets,
+)
+from repro.datasets.devmap import DevMapDatasetBuilder, DevMapSample, DevMapDataset
+
+__all__ = [
+    "OpenMPSample",
+    "OpenMPTuningDataset",
+    "OpenMPDatasetBuilder",
+    "default_input_targets",
+    "DevMapSample",
+    "DevMapDataset",
+    "DevMapDatasetBuilder",
+]

@@ -1,0 +1,148 @@
+"""OpenCL heterogeneous device-mapping dataset (§4.2.1).
+
+Mirrors the Ben-Nun et al. dataset the paper uses: 256 unique OpenCL kernels
+from seven benchmark suites, each executed with several (data size, workgroup
+size) combinations to yield ~670 labelled CPU/GPU points per GPU device.  Our
+kernels come from :func:`repro.kernels.opencl_kernels`, expanded with
+per-kernel size variants, and the label is produced by the OpenCL device
+simulator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.features import StaticFeatureExtractor
+from repro.frontend.analysis import analyze_spec
+from repro.frontend.spec import KernelSpec
+from repro.graphs import HeteroGraphData
+from repro.simulator.microarch import CORE_I7_3820, GPUDevice
+from repro.simulator.opencl import OpenCLSimulator
+
+#: label values
+CPU_LABEL = 0
+GPU_LABEL = 1
+
+
+@dataclasses.dataclass
+class DevMapSample:
+    """One labelled (kernel, transfer size, workgroup size) point."""
+
+    kernel_uid: str
+    suite: str
+    scale: float
+    transfer_bytes: float
+    wgsize: int
+    graph: HeteroGraphData
+    vector: np.ndarray
+    cpu_time: float
+    gpu_time: float
+    label: int
+
+    @property
+    def oracle_time(self) -> float:
+        return min(self.cpu_time, self.gpu_time)
+
+    def time_of(self, label: int) -> float:
+        return self.cpu_time if label == CPU_LABEL else self.gpu_time
+
+
+class DevMapDataset:
+    """Collection of device-mapping samples for one GPU device."""
+
+    def __init__(self, samples: Sequence[DevMapSample], gpu_name: str):
+        self.samples: List[DevMapSample] = list(samples)
+        self.gpu_name = gpu_name
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def labels(self, samples: Optional[Sequence[DevMapSample]] = None) -> np.ndarray:
+        samples = self.samples if samples is None else samples
+        return np.array([s.label for s in samples], dtype=np.int64)
+
+    def extra_features(self, samples: Optional[Sequence[DevMapSample]] = None
+                       ) -> np.ndarray:
+        """Transfer and workgroup size (log-scaled), the paper's §4.2 extras."""
+        samples = self.samples if samples is None else samples
+        return np.array([[np.log1p(s.transfer_bytes), np.log1p(s.wgsize)]
+                         for s in samples], dtype=np.float64)
+
+    def subset(self, indices: Sequence[int]) -> List[DevMapSample]:
+        return [self.samples[i] for i in indices]
+
+    def stratified_kfold(self, k: int = 10, seed: int = 0
+                         ) -> List[Tuple[List[int], List[int]]]:
+        """Stratified k-fold over the CPU/GPU label (as in the paper)."""
+        rng = np.random.default_rng(seed)
+        labels = self.labels()
+        folds: List[List[int]] = [[] for _ in range(k)]
+        for cls in np.unique(labels):
+            idx = np.flatnonzero(labels == cls)
+            rng.shuffle(idx)
+            for pos, i in enumerate(idx):
+                folds[pos % k].append(int(i))
+        splits = []
+        for f in range(k):
+            val = sorted(folds[f])
+            train = sorted(i for g in range(k) if g != f for i in folds[g])
+            if val and train:
+                splits.append((train, val))
+        return splits
+
+    def static_mapping_label(self) -> int:
+        """The single best static mapping (majority oracle device)."""
+        labels = self.labels()
+        return int(np.bincount(labels).argmax())
+
+
+class DevMapDatasetBuilder:
+    """Generate labelled device-mapping points with the OpenCL simulator."""
+
+    def __init__(self, gpu: GPUDevice, cpu: GPUDevice = CORE_I7_3820,
+                 extractor: Optional[StaticFeatureExtractor] = None,
+                 noise: float = 0.02, seed: int = 0):
+        self.gpu = gpu
+        self.cpu = cpu
+        self.extractor = extractor or StaticFeatureExtractor()
+        self.cpu_sim = OpenCLSimulator(cpu, noise=noise, seed=seed)
+        self.gpu_sim = OpenCLSimulator(gpu, noise=noise, seed=seed + 1)
+        self.seed = seed
+
+    def build(self, specs: Sequence[KernelSpec],
+              points_per_kernel: int = 3,
+              wgsizes: Sequence[int] = (32, 64, 128, 256),
+              size_targets: Sequence[float] = (1e6, 8e6, 64e6, 256e6, 512e6),
+              ) -> DevMapDataset:
+        """Build ~``len(specs) * points_per_kernel`` labelled points."""
+        rng = np.random.default_rng(self.seed)
+        samples: List[DevMapSample] = []
+        for spec in specs:
+            graph, vector = self.extractor.extract(spec)
+            targets = rng.choice(size_targets, size=points_per_kernel,
+                                 replace=points_per_kernel > len(size_targets))
+            for target in targets:
+                scale = spec.scale_for_bytes(float(target))
+                summary = analyze_spec(spec, scale)
+                wgsize = int(rng.choice(wgsizes))
+                transfer_bytes = 0.7 * summary.working_set_bytes
+                cpu_time = self.cpu_sim.run(summary, transfer_bytes,
+                                            wgsize).time_seconds
+                gpu_time = self.gpu_sim.run(summary, transfer_bytes,
+                                            wgsize).time_seconds
+                samples.append(DevMapSample(
+                    kernel_uid=spec.uid,
+                    suite=spec.suite,
+                    scale=scale,
+                    transfer_bytes=transfer_bytes,
+                    wgsize=wgsize,
+                    graph=graph,
+                    vector=vector,
+                    cpu_time=cpu_time,
+                    gpu_time=gpu_time,
+                    label=CPU_LABEL if cpu_time <= gpu_time else GPU_LABEL,
+                ))
+        return DevMapDataset(samples, gpu_name=self.gpu.name)

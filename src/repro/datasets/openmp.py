@@ -1,0 +1,218 @@
+"""OpenMP runtime-parameter tuning dataset (§4.1.1).
+
+For every (loop, input size) pair the builder simulates every configuration
+of the search space to obtain execution times (the label is the fastest
+configuration — the paper's "oracle" obtained by brute force during dataset
+creation), and profiles the loop once under the default configuration to
+collect the performance counters used as dynamic features.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.features import StaticFeatureExtractor
+from repro.frontend.analysis import analyze_spec
+from repro.frontend.openmp import OMPConfig, default_omp_config
+from repro.frontend.spec import KernelSpec
+from repro.graphs import HeteroGraphData
+from repro.profiling import PAPI_PRESET_COUNTERS, SELECTED_COUNTERS
+from repro.simulator.microarch import MicroArch
+from repro.simulator.openmp import OpenMPSimulator
+
+
+def default_input_targets(num: int = 30, min_bytes: float = 3.5e3,
+                          max_bytes: float = 0.5e9) -> np.ndarray:
+    """The paper's 30 input sizes from 3.5 KB to 0.5 GB (log-spaced)."""
+    return np.geomspace(min_bytes, max_bytes, num)
+
+
+@dataclasses.dataclass
+class OpenMPSample:
+    """One (loop, input size) data point."""
+
+    kernel_uid: str
+    suite: str
+    scale: float
+    target_bytes: float                     # requested input size (shared id)
+    working_set_bytes: float
+    graph: HeteroGraphData
+    vector: np.ndarray
+    counters: Dict[str, float]              # measured at the default config
+    times: np.ndarray                       # seconds, aligned with the config list
+    default_time: float
+    label: int                              # index of the fastest configuration
+
+    @property
+    def oracle_time(self) -> float:
+        return float(self.times[self.label])
+
+    def speedup_of(self, config_index: int) -> float:
+        """Speedup of a configuration relative to the default configuration."""
+        return self.default_time / float(self.times[config_index])
+
+    @property
+    def oracle_speedup(self) -> float:
+        return self.speedup_of(self.label)
+
+
+class OpenMPTuningDataset:
+    """A collection of :class:`OpenMPSample` plus the configuration list."""
+
+    def __init__(self, samples: Sequence[OpenMPSample],
+                 configs: Sequence[OMPConfig], arch: MicroArch,
+                 counter_names: Sequence[str] = tuple(SELECTED_COUNTERS)):
+        self.samples: List[OpenMPSample] = list(samples)
+        self.configs: List[OMPConfig] = list(configs)
+        self.arch = arch
+        self.counter_names = list(counter_names)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def num_configs(self) -> int:
+        return len(self.configs)
+
+    @property
+    def kernel_uids(self) -> List[str]:
+        return sorted({s.kernel_uid for s in self.samples})
+
+    @property
+    def scales(self) -> List[float]:
+        return sorted({s.scale for s in self.samples})
+
+    @property
+    def input_sizes(self) -> List[float]:
+        """The distinct requested input sizes (shared across kernels)."""
+        return sorted({s.target_bytes for s in self.samples})
+
+    def counter_matrix(self, samples: Optional[Sequence[OpenMPSample]] = None
+                       ) -> np.ndarray:
+        samples = self.samples if samples is None else samples
+        return np.array([[s.counters[name] for name in self.counter_names]
+                         for s in samples], dtype=np.float64)
+
+    def labels(self, samples: Optional[Sequence[OpenMPSample]] = None) -> np.ndarray:
+        samples = self.samples if samples is None else samples
+        return np.array([s.label for s in samples], dtype=np.int64)
+
+    def subset(self, indices: Sequence[int]) -> List[OpenMPSample]:
+        return [self.samples[i] for i in indices]
+
+    # ------------------------------------------------------------------
+    # splits
+    # ------------------------------------------------------------------
+    def kfold_by_kernel(self, k: int = 5, seed: int = 0
+                        ) -> List[Tuple[List[int], List[int]]]:
+        """K folds where validation loops never appear in the training set."""
+        rng = np.random.default_rng(seed)
+        kernels = self.kernel_uids
+        order = rng.permutation(len(kernels))
+        folds = [[] for _ in range(k)]
+        for pos, kernel_idx in enumerate(order):
+            folds[pos % k].append(kernels[kernel_idx])
+        splits = []
+        for fold_kernels in folds:
+            fold_set = set(fold_kernels)
+            val = [i for i, s in enumerate(self.samples) if s.kernel_uid in fold_set]
+            train = [i for i, s in enumerate(self.samples)
+                     if s.kernel_uid not in fold_set]
+            splits.append((train, val))
+        return splits
+
+    def leave_one_application_out(self) -> List[Tuple[str, List[int], List[int]]]:
+        """One split per kernel/application (validation = all its samples)."""
+        splits = []
+        for kernel in self.kernel_uids:
+            val = [i for i, s in enumerate(self.samples) if s.kernel_uid == kernel]
+            train = [i for i, s in enumerate(self.samples)
+                     if s.kernel_uid != kernel]
+            splits.append((kernel, train, val))
+        return splits
+
+    def split_unseen_inputs(self, k: int = 5, holdout_fraction: float = 0.2,
+                            seed: int = 1) -> List[Tuple[List[int], List[int]]]:
+        """§4.1.3 "Varying Input Sizes": hold out 20% of the input sizes *and*
+        the validation-fold loops; training sees neither."""
+        rng = np.random.default_rng(seed)
+        sizes = self.input_sizes
+        n_holdout = max(1, int(round(len(sizes) * holdout_fraction)))
+        holdout_sizes = set(rng.choice(sizes, size=n_holdout, replace=False))
+        base_splits = self.kfold_by_kernel(k=k, seed=seed + 100)
+        splits = []
+        for train, val in base_splits:
+            train2 = [i for i in train
+                      if self.samples[i].target_bytes not in holdout_sizes]
+            val2 = [i for i in val
+                    if self.samples[i].target_bytes in holdout_sizes]
+            if not val2:   # tiny datasets: fall back to unseen loops only
+                val2 = val
+            splits.append((train2, val2))
+        return splits
+
+
+class OpenMPDatasetBuilder:
+    """Simulate the (loop × input × configuration) grid and assemble samples."""
+
+    def __init__(self, arch: MicroArch, configs: Sequence[OMPConfig],
+                 extractor: Optional[StaticFeatureExtractor] = None,
+                 counter_names: Sequence[str] = tuple(SELECTED_COUNTERS),
+                 noise: float = 0.015, seed: int = 0):
+        self.arch = arch
+        self.configs = list(configs)
+        if not self.configs:
+            raise ValueError("need at least one configuration")
+        self.extractor = extractor or StaticFeatureExtractor()
+        self.counter_names = list(counter_names)
+        self.simulator = OpenMPSimulator(arch, noise=noise, seed=seed)
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def build(self, specs: Sequence[KernelSpec],
+              input_targets: Sequence[float],
+              profile_config: Optional[OMPConfig] = None) -> OpenMPTuningDataset:
+        """Build the dataset for ``specs`` at the given working-set targets."""
+        profile_config = profile_config or default_omp_config(self.arch.cores)
+        samples: List[OpenMPSample] = []
+        default_index = self._default_config_index(profile_config)
+        for spec in specs:
+            graph, vector = self.extractor.extract(spec)
+            for target_bytes in input_targets:
+                scale = spec.scale_for_bytes(float(target_bytes))
+                summary = analyze_spec(spec, scale)
+                times = np.array([
+                    self.simulator.run(summary, config).time_seconds
+                    for config in self.configs
+                ])
+                profile = self.simulator.run(summary, profile_config)
+                counters = {name: profile.counters[name]
+                            for name in self.counter_names}
+                default_time = (float(times[default_index])
+                                if default_index is not None
+                                else profile.time_seconds)
+                samples.append(OpenMPSample(
+                    kernel_uid=spec.uid,
+                    suite=spec.suite,
+                    scale=scale,
+                    target_bytes=float(target_bytes),
+                    working_set_bytes=float(spec.working_set_bytes(scale)),
+                    graph=graph,
+                    vector=vector,
+                    counters=counters,
+                    times=times,
+                    default_time=default_time,
+                    label=int(np.argmin(times)),
+                ))
+        return OpenMPTuningDataset(samples, self.configs, self.arch,
+                                   self.counter_names)
+
+    def _default_config_index(self, default: OMPConfig) -> Optional[int]:
+        for i, config in enumerate(self.configs):
+            if config == default:
+                return i
+        return None

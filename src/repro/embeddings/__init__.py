@@ -1,0 +1,21 @@
+"""IR2Vec-style distributed program embeddings (modality #2 of the MGA tuner).
+
+The pipeline mirrors VenkataKeerthy et al. (TACO 2020): a **seed embedding
+vocabulary** over IR entities (opcodes, types, operand kinds) is learned with
+a TransE-style translational objective on (head, relation, tail) triplets
+harvested from IR modules; per-instruction vectors are then composed from the
+seed vectors and propagated along use-def (flow) chains to produce
+flow-aware function- and program-level vectors.
+"""
+
+from repro.embeddings.triplets import Triplet, harvest_triplets
+from repro.embeddings.seed import SeedEmbeddingVocabulary
+from repro.embeddings.encoder import IR2VecEncoder, encode_modules
+
+__all__ = [
+    "Triplet",
+    "harvest_triplets",
+    "SeedEmbeddingVocabulary",
+    "IR2VecEncoder",
+    "encode_modules",
+]

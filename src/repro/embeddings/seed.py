@@ -1,0 +1,140 @@
+"""Seed embedding vocabulary learned with a TransE-style objective.
+
+TransE models a fact (h, r, t) as ``E[h] + R[r] ≈ E[t]``; training minimises
+a margin ranking loss between true triplets and corrupted ones (random tail).
+The resulting entity vectors are the IR2Vec "seed embeddings" from which
+instruction vectors are composed.  A deterministic hash-seeded initialisation
+is also provided so the pipeline works without a training corpus.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.embeddings.triplets import Triplet, entities_and_relations
+from repro.ir.instructions import Opcode
+from repro.ir.types import DataType
+
+
+def _hash_vector(token: str, dim: int) -> np.ndarray:
+    """Deterministic pseudo-random unit vector derived from the token text."""
+    digest = hashlib.sha256(token.encode("utf-8")).digest()
+    seed = int.from_bytes(digest[:8], "little")
+    rng = np.random.default_rng(seed)
+    vec = rng.standard_normal(dim)
+    return vec / (np.linalg.norm(vec) + 1e-12)
+
+
+class SeedEmbeddingVocabulary:
+    """Entity/relation embedding table over IR entities."""
+
+    UNK = "<unk>"
+
+    def __init__(self, dim: int = 64):
+        if dim < 2:
+            raise ValueError("embedding dimension must be >= 2")
+        self.dim = dim
+        self.entity_vectors: Dict[str, np.ndarray] = {}
+        self.relation_vectors: Dict[str, np.ndarray] = {}
+        self._init_default_entities()
+
+    # ------------------------------------------------------------------
+    def _init_default_entities(self) -> None:
+        """Hash-seeded vectors for every known opcode / type / operand kind."""
+        tokens: List[str] = [self.UNK, "global", "value"]
+        tokens.extend(op.value for op in Opcode)
+        tokens.extend(dt.value for dt in DataType)
+        tokens.extend(f"const:{dt.value}" for dt in DataType)
+        tokens.extend(f"arg:{dt.value}" for dt in DataType)
+        for token in tokens:
+            self.entity_vectors[token] = _hash_vector(token, self.dim)
+        for relation in ("type_of", "next_inst", "arg"):
+            self.relation_vectors[relation] = _hash_vector("rel:" + relation,
+                                                           self.dim)
+
+    # ------------------------------------------------------------------
+    def vector(self, entity: str) -> np.ndarray:
+        return self.entity_vectors.get(entity, self.entity_vectors[self.UNK])
+
+    def relation(self, relation: str) -> np.ndarray:
+        if relation not in self.relation_vectors:
+            self.relation_vectors[relation] = _hash_vector("rel:" + relation,
+                                                           self.dim)
+        return self.relation_vectors[relation]
+
+    @property
+    def entities(self) -> List[str]:
+        return list(self.entity_vectors)
+
+    # ------------------------------------------------------------------
+    def train(self, triplets: Sequence[Triplet], epochs: int = 30,
+              lr: float = 0.05, margin: float = 1.0, batch_size: int = 512,
+              seed: int = 0, max_triplets: int = 50_000) -> List[float]:
+        """Fit the vocabulary with TransE margin-ranking updates.
+
+        Returns the per-epoch mean loss (useful for convergence tests).
+        """
+        if not triplets:
+            return []
+        rng = np.random.default_rng(seed)
+        if len(triplets) > max_triplets:
+            idx = rng.choice(len(triplets), size=max_triplets, replace=False)
+            triplets = [triplets[i] for i in idx]
+
+        entities, relations = entities_and_relations(triplets)
+        for e in entities:
+            self.entity_vectors.setdefault(e, _hash_vector(e, self.dim))
+        for r in relations:
+            self.relation(r)
+
+        ent_index = {e: i for i, e in enumerate(self.entity_vectors)}
+        rel_index = {r: i for i, r in enumerate(self.relation_vectors)}
+        E = np.stack([self.entity_vectors[e] for e in ent_index])
+        R = np.stack([self.relation_vectors[r] for r in rel_index])
+
+        heads = np.array([ent_index[t.head] for t in triplets])
+        rels = np.array([rel_index[t.relation] for t in triplets])
+        tails = np.array([ent_index[t.tail] for t in triplets])
+        n = len(triplets)
+        losses: List[float] = []
+
+        for _ in range(epochs):
+            perm = rng.permutation(n)
+            epoch_loss = 0.0
+            for start in range(0, n, batch_size):
+                batch = perm[start:start + batch_size]
+                h, r, t = heads[batch], rels[batch], tails[batch]
+                t_neg = rng.integers(0, E.shape[0], size=len(batch))
+                pos_diff = E[h] + R[r] - E[t]
+                neg_diff = E[h] + R[r] - E[t_neg]
+                pos_dist = np.linalg.norm(pos_diff, axis=1)
+                neg_dist = np.linalg.norm(neg_diff, axis=1)
+                viol = (margin + pos_dist - neg_dist) > 0
+                epoch_loss += float(np.sum(np.maximum(0.0,
+                                                      margin + pos_dist - neg_dist)))
+                if not np.any(viol):
+                    continue
+                hv, rv, tv, tnv = h[viol], r[viol], t[viol], t_neg[viol]
+                pos_g = pos_diff[viol] / (pos_dist[viol][:, None] + 1e-12)
+                neg_g = neg_diff[viol] / (neg_dist[viol][:, None] + 1e-12)
+                np.add.at(E, hv, -lr * (pos_g - neg_g))
+                np.add.at(E, tv, lr * pos_g)
+                np.add.at(E, tnv, -lr * neg_g)
+                np.add.at(R, rv, -lr * (pos_g - neg_g))
+                # keep entity vectors on the unit sphere (TransE constraint)
+                norms = np.linalg.norm(E, axis=1, keepdims=True)
+                np.divide(E, np.maximum(norms, 1.0), out=E)
+            losses.append(epoch_loss / n)
+
+        for e, i in ent_index.items():
+            self.entity_vectors[e] = E[i]
+        for r, i in rel_index.items():
+            self.relation_vectors[r] = R[i]
+        return losses
+
+    # ------------------------------------------------------------------
+    def as_matrix(self) -> np.ndarray:
+        return np.stack([self.entity_vectors[e] for e in self.entity_vectors])

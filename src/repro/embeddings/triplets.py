@@ -1,0 +1,67 @@
+"""Harvesting of knowledge-graph triplets from IR modules.
+
+IR2Vec learns its seed embeddings from relations between IR entities.  We use
+three relation kinds:
+
+* ``type_of``:   opcode  → result data type,
+* ``next_inst``: opcode  → opcode of the next instruction in the block,
+* ``arg``:       opcode  → operand kind (opcode of the defining instruction,
+  or ``arg:<dtype>`` / ``const:<dtype>`` / ``global`` for leaf operands).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, List, Sequence
+
+from repro.ir.instructions import Instruction
+from repro.ir.module import Module
+from repro.ir.values import Argument, Constant, GlobalVariable
+
+
+@dataclasses.dataclass(frozen=True)
+class Triplet:
+    """One (head entity, relation, tail entity) fact."""
+
+    head: str
+    relation: str
+    tail: str
+
+
+def operand_entity(operand) -> str:
+    """Entity name of an instruction operand."""
+    if isinstance(operand, Instruction):
+        return operand.opcode.value
+    if isinstance(operand, Constant):
+        return f"const:{operand.dtype.value}"
+    if isinstance(operand, Argument):
+        return f"arg:{operand.dtype.value}"
+    if isinstance(operand, GlobalVariable):
+        return "global"
+    return "value"
+
+
+def harvest_triplets(modules: Iterable[Module]) -> List[Triplet]:
+    """Collect triplets from a corpus of IR modules."""
+    triplets: List[Triplet] = []
+    for module in modules:
+        for function in module.functions:
+            for block in function.blocks:
+                insts = block.instructions
+                for inst, nxt in zip(insts, insts[1:]):
+                    triplets.append(Triplet(inst.opcode.value, "next_inst",
+                                            nxt.opcode.value))
+                for inst in insts:
+                    triplets.append(Triplet(inst.opcode.value, "type_of",
+                                            inst.dtype.value))
+                    for operand in inst.operands:
+                        triplets.append(Triplet(inst.opcode.value, "arg",
+                                                operand_entity(operand)))
+    return triplets
+
+
+def entities_and_relations(triplets: Sequence[Triplet]):
+    """Sorted unique entity and relation vocabularies of a triplet corpus."""
+    entities = sorted({t.head for t in triplets} | {t.tail for t in triplets})
+    relations = sorted({t.relation for t in triplets})
+    return entities, relations

@@ -1,0 +1,15 @@
+"""Evaluation harness: metrics and the per-figure/table experiment runners."""
+
+from repro.evaluation.metrics import (
+    geometric_mean,
+    geomean_speedup,
+    normalized_speedup,
+    speedups_from_times,
+)
+
+__all__ = [
+    "geometric_mean",
+    "geomean_speedup",
+    "normalized_speedup",
+    "speedups_from_times",
+]

@@ -1,0 +1,12 @@
+"""Experiment runners regenerating every table and figure of the paper.
+
+Each module exposes a ``run(...)`` function whose keyword arguments control
+the problem size (number of kernels, input sizes, training epochs, tuner
+budgets) so the same code serves both quick benchmark runs and full
+reproductions, and a ``format_result(...)`` helper that prints the rows /
+series the paper reports.
+"""
+
+from repro.evaluation.experiments import common
+
+__all__ = ["common"]

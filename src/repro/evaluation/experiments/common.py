@@ -1,0 +1,199 @@
+"""Shared machinery of the experiment runners.
+
+The OpenMP experiments all follow the same pattern: build a dataset on a
+micro-architecture, split it, train DL tuners (MGA + unimodal baselines) on
+the training part, let the search/Bayesian tuners explore the configuration
+space of each validation sample within an evaluation budget, and report
+geometric-mean speedups over the default configuration, normalised by the
+oracle speedup.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.features import StaticFeatureExtractor
+from repro.core.mga import ModalityConfig
+from repro.core.tuner import MGATuner
+from repro.datasets.openmp import (
+    OpenMPDatasetBuilder,
+    OpenMPTuningDataset,
+    default_input_targets,
+)
+from repro.evaluation.metrics import geometric_mean
+from repro.frontend.spec import KernelSpec
+from repro.kernels import registry
+from repro.simulator.microarch import MicroArch
+from repro.tuners import (
+    BLISSTuner,
+    BlackBoxTuner,
+    OpenTunerLike,
+    SearchSpace,
+    YtoptTuner,
+)
+
+#: canonical approach names used across figures
+DL_APPROACHES: Dict[str, ModalityConfig] = {
+    "MGA": ModalityConfig.mga(),
+    "IR2Vec": ModalityConfig.ir2vec(),
+    "PROGRAML": ModalityConfig.programl(),
+}
+
+DL_STATIC_APPROACHES: Dict[str, ModalityConfig] = {
+    "MGA-Static": ModalityConfig.mga_static(),
+    "IR2Vec-Static": ModalityConfig.ir2vec_static(),
+    "PROGRAML-Static": ModalityConfig.programl_static(),
+    "Dynamic Only": ModalityConfig.dynamic_only(),
+}
+
+
+def select_openmp_kernels(max_kernels: Optional[int] = None,
+                          suites: Optional[Sequence[str]] = None
+                          ) -> List[KernelSpec]:
+    """Kernel selection used by the §4.1 experiments (45 loops in the paper)."""
+    specs = registry.openmp_kernels(list(suites) if suites else None)
+    if max_kernels is not None:
+        specs = specs[:max_kernels]
+    return specs
+
+
+def build_openmp_dataset(arch: MicroArch, space: SearchSpace,
+                         specs: Sequence[KernelSpec],
+                         num_inputs: int = 10,
+                         extractor: Optional[StaticFeatureExtractor] = None,
+                         seed: int = 0) -> OpenMPTuningDataset:
+    """Build the (loop × input × configuration) dataset for one experiment."""
+    builder = OpenMPDatasetBuilder(arch, list(space), extractor=extractor,
+                                   seed=seed)
+    targets = default_input_targets(num=num_inputs)
+    return builder.build(list(specs), targets)
+
+
+# ----------------------------------------------------------------------
+# per-sample speedups of the different approaches
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class ApproachResult:
+    """Geomean speedup over the default config, plus per-sample speedups."""
+
+    name: str
+    speedups: np.ndarray
+
+    @property
+    def geomean(self) -> float:
+        return geometric_mean(self.speedups)
+
+
+def dl_tuner_speedups(dataset: OpenMPTuningDataset, train_idx: Sequence[int],
+                      val_idx: Sequence[int], modalities: ModalityConfig,
+                      epochs: int = 40, seed: int = 0,
+                      **model_kwargs) -> np.ndarray:
+    """Train one DL tuner and return its per-sample speedups on ``val_idx``."""
+    tuner = MGATuner(dataset.arch, dataset.configs, modalities=modalities,
+                     seed=seed, **model_kwargs)
+    tuner.fit(dataset, train_indices=train_idx, epochs=epochs)
+    predictions = tuner.predict_indices(dataset, val_idx)
+    return np.array([dataset.samples[i].speedup_of(int(p))
+                     for i, p in zip(val_idx, predictions)])
+
+
+def search_tuner_speedups(dataset: OpenMPTuningDataset, val_idx: Sequence[int],
+                          tuner_factory, budget: int = 10,
+                          seed: int = 0) -> np.ndarray:
+    """Run a black-box tuner per validation *loop* (lookup objective).
+
+    Search tuners explore the space by actually executing the loop, so (as in
+    the paper) they tune each loop once — on a reference input — and the
+    configuration they settle on is then used for every input size of that
+    loop.  The per-input DL tuners predict a configuration per (loop, input).
+    """
+    space = SearchSpace(dataset.configs)
+    per_kernel: Dict[str, List[int]] = {}
+    for i in val_idx:
+        per_kernel.setdefault(dataset.samples[i].kernel_uid, []).append(i)
+
+    speedups = np.zeros(len(val_idx))
+    position = {i: pos for pos, i in enumerate(val_idx)}
+    for j, (kernel, indices) in enumerate(sorted(per_kernel.items())):
+        # the tuner optimises the loop's overall runtime across representative
+        # input sizes (small / median / large), as a user-driven tuning session
+        # would; the resulting single configuration is then applied everywhere
+        indices_sorted = sorted(indices, key=lambda i: dataset.samples[i].scale)
+        ref_ids = sorted({indices_sorted[0], indices_sorted[len(indices_sorted) // 2],
+                          indices_sorted[-1]})
+        ref_times = np.stack([dataset.samples[i].times for i in ref_ids])
+
+        def objective(config, _times=ref_times, _space=space):
+            column = _times[:, _space.index_of(config)]
+            return float(np.exp(np.mean(np.log(np.maximum(column, 1e-15)))))
+
+        tuner: BlackBoxTuner = tuner_factory(budget=budget, seed=seed + j)
+        result = tuner.tune(objective, space)
+        chosen = space.index_of(result.best_config)
+        for i in indices:
+            sample = dataset.samples[i]
+            speedups[position[i]] = sample.speedup_of(chosen)
+    return speedups
+
+
+def oracle_speedups(dataset: OpenMPTuningDataset,
+                    val_idx: Sequence[int]) -> np.ndarray:
+    return np.array([dataset.samples[i].oracle_speedup for i in val_idx])
+
+
+def default_speedups(val_idx: Sequence[int]) -> np.ndarray:
+    return np.ones(len(val_idx))
+
+
+def evaluate_fold(dataset: OpenMPTuningDataset, train_idx: Sequence[int],
+                  val_idx: Sequence[int],
+                  include_search: bool = True,
+                  include_dl: Sequence[str] = ("MGA", "IR2Vec", "PROGRAML"),
+                  epochs: int = 40, budget: int = 10,
+                  seed: int = 0) -> Dict[str, ApproachResult]:
+    """Evaluate every approach on one train/validation split."""
+    results: Dict[str, ApproachResult] = {}
+    results["Default"] = ApproachResult("Default", default_speedups(val_idx))
+    if include_search:
+        for name, factory in (("ytopt", YtoptTuner), ("OpenTuner", OpenTunerLike),
+                              ("BLISS", BLISSTuner)):
+            sp = search_tuner_speedups(dataset, val_idx, factory, budget=budget,
+                                       seed=seed)
+            results[name] = ApproachResult(name, sp)
+    for name in include_dl:
+        modalities = {**DL_APPROACHES, **DL_STATIC_APPROACHES}[name]
+        sp = dl_tuner_speedups(dataset, train_idx, val_idx, modalities,
+                               epochs=epochs, seed=seed)
+        results[name] = ApproachResult(name, sp)
+    results["Oracle"] = ApproachResult("Oracle", oracle_speedups(dataset, val_idx))
+    return results
+
+
+def normalized_table(fold_results: Sequence[Dict[str, ApproachResult]]
+                     ) -> Dict[str, List[float]]:
+    """Per-fold normalised speedups (w.r.t. the oracle) for every approach."""
+    table: Dict[str, List[float]] = {}
+    for fold in fold_results:
+        oracle = fold["Oracle"].geomean
+        for name, res in fold.items():
+            table.setdefault(name, []).append(
+                res.geomean / oracle if oracle > 0 else 0.0)
+    return table
+
+
+def format_normalized_table(table: Dict[str, List[float]]) -> str:
+    """Human-readable rows: one line per approach, one column per fold."""
+    lines = []
+    num_folds = max(len(v) for v in table.values())
+    header = "approach".ljust(16) + "".join(f"fold{i+1:>8}" for i in range(num_folds)) \
+        + "   geomean"
+    lines.append(header)
+    for name, values in table.items():
+        overall = geometric_mean([v for v in values if v > 0])
+        row = name.ljust(16) + "".join(f"{v:8.3f}" for v in values) \
+            + f"   {overall:7.3f}"
+        lines.append(row)
+    return "\n".join(lines)

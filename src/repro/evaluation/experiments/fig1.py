@@ -1,0 +1,65 @@
+"""Figure 1: motivation.
+
+(a) execution time of the Rodinia ``kmeans`` kernel at 1..8 threads on the
+8-core Comet Lake system; (b) distribution of the best thread count over all
+loops and input sizes (≈64% of combinations need a non-default thread count
+in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.evaluation.experiments.common import build_openmp_dataset, select_openmp_kernels
+from repro.frontend.analysis import analyze_spec
+from repro.frontend.openmp import OMPConfig
+from repro.kernels import registry
+from repro.simulator.microarch import COMET_LAKE_8C, MicroArch
+from repro.simulator.openmp import OpenMPSimulator
+from repro.tuners.space import thread_search_space
+
+
+def run_fig1a(arch: MicroArch = COMET_LAKE_8C, scale: float = 2.0,
+              max_threads: Optional[int] = None) -> Dict[int, float]:
+    """Execution time of kmeans per thread count."""
+    spec = registry.get_kernel("rodinia/kmeans")
+    summary = analyze_spec(spec, scale)
+    simulator = OpenMPSimulator(arch, noise=0.0)
+    max_threads = max_threads or arch.max_threads
+    return {t: simulator.run(summary, OMPConfig(t)).time_seconds
+            for t in range(1, max_threads + 1)}
+
+
+def run_fig1b(arch: MicroArch = COMET_LAKE_8C, max_kernels: int = 45,
+              num_inputs: int = 10, seed: int = 0) -> Dict[str, object]:
+    """Distribution of best thread counts across loops × inputs."""
+    space = thread_search_space(arch)
+    specs = select_openmp_kernels(max_kernels)
+    dataset = build_openmp_dataset(arch, space, specs, num_inputs=num_inputs,
+                                   seed=seed)
+    best_threads = [dataset.configs[s.label].num_threads for s in dataset.samples]
+    counts = {t: best_threads.count(t) for t in sorted(set(best_threads))}
+    default = arch.max_threads
+    non_default = sum(v for t, v in counts.items() if t != default)
+    return {
+        "histogram": counts,
+        "percent_non_default": 100.0 * non_default / max(1, len(best_threads)),
+        "num_combinations": len(best_threads),
+    }
+
+
+def format_result(fig1a: Dict[int, float], fig1b: Dict[str, object]) -> str:
+    lines = ["Figure 1a: kmeans execution time per thread count"]
+    best = min(fig1a.values())
+    for t, time in fig1a.items():
+        marker = " <-- best" if time == best else ""
+        lines.append(f"  threads={t}: {time * 1e3:8.3f} ms{marker}")
+    lines.append("Figure 1b: best-thread-count distribution")
+    for t, count in fig1b["histogram"].items():
+        lines.append(f"  best={t} threads: {count} combinations")
+    lines.append(f"  non-default best configuration: "
+                 f"{fig1b['percent_non_default']:.1f}% of combinations "
+                 f"(paper: ~64%)")
+    return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""Figure 4: OpenMP thread prediction, 5-fold cross-validation.
+
+Per fold: geometric-mean speedup over the default configuration for Default /
+ytopt / OpenTuner / BLISS / PROGRAML / IR2Vec / MGA / Oracle, normalised by
+the oracle speedup.  Expected shape (paper): MGA is the closest to the oracle
+(≥0.95 in most folds), followed by IR2Vec, PROGRAML, then the search tuners.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.evaluation.experiments.common import (
+    ApproachResult,
+    build_openmp_dataset,
+    evaluate_fold,
+    format_normalized_table,
+    normalized_table,
+    select_openmp_kernels,
+)
+from repro.simulator.microarch import COMET_LAKE_8C, MicroArch
+from repro.tuners.space import thread_search_space
+
+
+def run(arch: MicroArch = COMET_LAKE_8C, max_kernels: int = 45,
+        num_inputs: int = 10, folds: int = 5, epochs: int = 25,
+        budget: int = 10, include_search: bool = True,
+        seed: int = 0) -> Dict[str, object]:
+    """Run the thread-prediction experiment; returns fold results and tables."""
+    space = thread_search_space(arch)
+    specs = select_openmp_kernels(max_kernels)
+    dataset = build_openmp_dataset(arch, space, specs, num_inputs=num_inputs,
+                                   seed=seed)
+    fold_results: List[Dict[str, ApproachResult]] = []
+    for train_idx, val_idx in dataset.kfold_by_kernel(k=folds, seed=seed):
+        fold_results.append(evaluate_fold(dataset, train_idx, val_idx,
+                                          include_search=include_search,
+                                          epochs=epochs, budget=budget,
+                                          seed=seed))
+    table = normalized_table(fold_results)
+    absolute = {name: [fold[name].geomean for fold in fold_results]
+                for name in fold_results[0]}
+    return {
+        "dataset": dataset,
+        "fold_results": fold_results,
+        "normalized": table,
+        "absolute": absolute,
+    }
+
+
+def format_result(result: Dict[str, object]) -> str:
+    lines = ["Figure 4: thread prediction (normalised speedups per fold)"]
+    lines.append(format_normalized_table(result["normalized"]))
+    lines.append("")
+    lines.append("Absolute geometric-mean speedups over the default (per fold):")
+    for name, values in result["absolute"].items():
+        row = ", ".join(f"{v:.2f}x" for v in values)
+        lines.append(f"  {name:<12} {row}")
+    return "\n".join(lines)

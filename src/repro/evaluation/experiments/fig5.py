@@ -1,0 +1,64 @@
+"""Figure 5: impact of static and dynamic features (ablation study).
+
+Models trained with both static and dynamic features (MGA, IR2Vec, PROGRAML)
+are compared with their static-only variants, a dynamic-only model and the
+search tuners, on a randomized 80/20 split.  Expected shape: static+dynamic >
+static-only > dynamic-only, and all DL models above the search tuners.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.evaluation.experiments.common import (
+    DL_APPROACHES,
+    DL_STATIC_APPROACHES,
+    build_openmp_dataset,
+    dl_tuner_speedups,
+    search_tuner_speedups,
+    select_openmp_kernels,
+)
+from repro.evaluation.metrics import geometric_mean
+from repro.simulator.microarch import COMET_LAKE_8C, MicroArch
+from repro.tuners import BLISSTuner, OpenTunerLike, YtoptTuner
+from repro.tuners.space import thread_search_space
+
+
+def run(arch: MicroArch = COMET_LAKE_8C, max_kernels: int = 45,
+        num_inputs: int = 10, epochs: int = 25, budget: int = 10,
+        include_search: bool = True, holdout: float = 0.2,
+        seed: int = 0) -> Dict[str, float]:
+    """Return geometric-mean speedups of every approach on the 80/20 split."""
+    space = thread_search_space(arch)
+    specs = select_openmp_kernels(max_kernels)
+    dataset = build_openmp_dataset(arch, space, specs, num_inputs=num_inputs,
+                                   seed=seed)
+    rng = np.random.default_rng(seed)
+    indices = rng.permutation(len(dataset))
+    n_val = max(1, int(round(len(dataset) * holdout)))
+    val_idx, train_idx = list(indices[:n_val]), list(indices[n_val:])
+
+    results: Dict[str, float] = {}
+    if include_search:
+        for name, factory in (("ytopt", YtoptTuner), ("OpenTuner", OpenTunerLike),
+                              ("BLISS", BLISSTuner)):
+            sp = search_tuner_speedups(dataset, val_idx, factory, budget=budget,
+                                       seed=seed)
+            results[name] = geometric_mean(sp)
+    for name, modalities in {**DL_STATIC_APPROACHES, **DL_APPROACHES}.items():
+        sp = dl_tuner_speedups(dataset, train_idx, val_idx, modalities,
+                               epochs=epochs, seed=seed)
+        results[name] = geometric_mean(sp)
+    results["Oracle"] = geometric_mean(
+        [dataset.samples[i].oracle_speedup for i in val_idx])
+    return results
+
+
+def format_result(result: Dict[str, float]) -> str:
+    lines = ["Figure 5: static vs dynamic feature ablation "
+             "(geomean speedup over default)"]
+    for name, value in result.items():
+        lines.append(f"  {name:<16} {value:6.2f}x")
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Figure 6: thread prediction on unseen loops *and* unseen input sizes.
+
+20% of the input sizes are held out together with the validation-fold loops;
+the model must generalise across both axes.  Expected shape: MGA still close
+to (but a little further from) the oracle than in Figure 4.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.mga import ModalityConfig
+from repro.evaluation.experiments.common import (
+    build_openmp_dataset,
+    dl_tuner_speedups,
+    oracle_speedups,
+    select_openmp_kernels,
+)
+from repro.evaluation.metrics import geometric_mean
+from repro.simulator.microarch import COMET_LAKE_8C, MicroArch
+from repro.tuners.space import thread_search_space
+
+
+def run(arch: MicroArch = COMET_LAKE_8C, max_kernels: int = 45,
+        num_inputs: int = 10, folds: int = 5, epochs: int = 25,
+        seed: int = 0) -> Dict[str, List[float]]:
+    space = thread_search_space(arch)
+    specs = select_openmp_kernels(max_kernels)
+    dataset = build_openmp_dataset(arch, space, specs, num_inputs=num_inputs,
+                                   seed=seed)
+    mga_norm, mga_abs, oracle_abs = [], [], []
+    for train_idx, val_idx in dataset.split_unseen_inputs(k=folds, seed=seed):
+        sp = dl_tuner_speedups(dataset, train_idx, val_idx,
+                               ModalityConfig.mga(), epochs=epochs, seed=seed)
+        oracle = geometric_mean(oracle_speedups(dataset, val_idx))
+        mga = geometric_mean(sp)
+        mga_abs.append(mga)
+        oracle_abs.append(oracle)
+        mga_norm.append(mga / oracle if oracle > 0 else 0.0)
+    return {"MGA": mga_abs, "Oracle": oracle_abs, "MGA_normalized": mga_norm}
+
+
+def format_result(result: Dict[str, List[float]]) -> str:
+    lines = ["Figure 6: unseen loops + unseen input sizes"]
+    for fold, (m, o, n) in enumerate(zip(result["MGA"], result["Oracle"],
+                                         result["MGA_normalized"]), start=1):
+        lines.append(f"  fold {fold}: MGA {m:5.2f}x, oracle {o:5.2f}x, "
+                     f"normalised {n:5.3f}")
+    lines.append(f"  geomean MGA {sum(result['MGA']) / len(result['MGA']):.2f}x "
+                 f"vs oracle {sum(result['Oracle']) / len(result['Oracle']):.2f}x")
+    return "\n".join(lines)

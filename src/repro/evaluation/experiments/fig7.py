@@ -1,0 +1,96 @@
+"""Figure 7 + Table 2: the larger search space (threads × schedule × chunk).
+
+Leave-one-application-out validation over PolyBench + Rodinia + LULESH on the
+Skylake 10c/20t system with the Table-2 search space.  Expected shape: MGA
+normalised speedups ≥0.95 for most applications and above ytopt / OpenTuner /
+BLISS for most applications; ``trisolv`` remains the worst case.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.mga import ModalityConfig
+from repro.evaluation.experiments.common import (
+    build_openmp_dataset,
+    dl_tuner_speedups,
+    oracle_speedups,
+    search_tuner_speedups,
+)
+from repro.evaluation.metrics import geometric_mean
+from repro.kernels import registry
+from repro.simulator.microarch import SKYLAKE_4114, MicroArch
+from repro.tuners import BLISSTuner, OpenTunerLike, YtoptTuner
+from repro.tuners.space import full_search_space
+
+
+def default_applications(max_apps: Optional[int] = None) -> List[str]:
+    """PolyBench + Rodinia subset + LULESH (30 applications in the paper)."""
+    poly = [f"polybench/{name}" for name in
+            ("2mm", "lu", "syrk", "convolution-2d", "correlation", "fdtd-2d",
+             "seidel-2d", "jacobi-2d", "trmm", "fdtd-apml", "gemm", "trisolv",
+             "doitgen", "mvt", "gemver", "covariance", "gesummv", "symm",
+             "gramschmidt", "bicg", "durbin", "syr2k", "cholesky", "adi",
+             "atax")]
+    rodinia = [f"rodinia/{name}" for name in
+               ("backprop", "nn", "kmeans", "streamcluster")]
+    apps = poly + rodinia + ["lulesh/lulesh"]
+    return apps[:max_apps] if max_apps else apps
+
+
+def run(arch: MicroArch = SKYLAKE_4114, max_apps: Optional[int] = None,
+        num_inputs: int = 6, epochs: int = 20, budget: int = 10,
+        include_search: bool = True, seed: int = 0,
+        chunks: Sequence[int] = (1, 8, 32, 64, 128, 256, 512),
+        threads: Sequence[int] = (1, 2, 4, 8, 12, 16, 20)) -> Dict[str, object]:
+    space = full_search_space(threads=threads, chunks=chunks,
+                              max_threads=arch.max_threads)
+    specs = [registry.get_kernel(uid) for uid in default_applications(max_apps)]
+    dataset = build_openmp_dataset(arch, space, specs, num_inputs=num_inputs,
+                                   seed=seed)
+    per_app: Dict[str, Dict[str, float]] = {}
+    for kernel, train_idx, val_idx in dataset.leave_one_application_out():
+        oracle = geometric_mean(oracle_speedups(dataset, val_idx))
+        row: Dict[str, float] = {"Oracle": oracle}
+        row["MGA"] = geometric_mean(dl_tuner_speedups(
+            dataset, train_idx, val_idx, ModalityConfig.mga(), epochs=epochs,
+            seed=seed))
+        if include_search:
+            for name, factory in (("ytopt", YtoptTuner),
+                                  ("OpenTuner", OpenTunerLike),
+                                  ("BLISS", BLISSTuner)):
+                row[name] = geometric_mean(search_tuner_speedups(
+                    dataset, val_idx, factory, budget=budget, seed=seed))
+        per_app[kernel] = row
+
+    mga_norm = [row["MGA"] / row["Oracle"] for row in per_app.values()
+                if row["Oracle"] > 0]
+    summary = {
+        "geomean_mga": geometric_mean([row["MGA"] for row in per_app.values()]),
+        "geomean_oracle": geometric_mean([row["Oracle"]
+                                          for row in per_app.values()]),
+        "apps_above_095": sum(1 for v in mga_norm if v >= 0.95),
+        "apps_above_085": sum(1 for v in mga_norm if v >= 0.85),
+        "num_apps": len(per_app),
+        "search_space_size": len(space),
+    }
+    return {"per_app": per_app, "summary": summary, "dataset": dataset}
+
+
+def format_result(result: Dict[str, object]) -> str:
+    lines = ["Figure 7 / Table 2: larger search space "
+             f"({result['summary']['search_space_size']} configurations), "
+             "leave-one-application-out"]
+    header = f"  {'application':<28}" + "".join(
+        f"{name:>11}" for name in next(iter(result["per_app"].values())))
+    lines.append(header)
+    for app, row in result["per_app"].items():
+        lines.append(f"  {app:<28}" + "".join(f"{v:11.2f}" for v in row.values()))
+    s = result["summary"]
+    lines.append(f"  geomean: MGA {s['geomean_mga']:.2f}x vs oracle "
+                 f"{s['geomean_oracle']:.2f}x; "
+                 f"{s['apps_above_095']}/{s['num_apps']} apps ≥0.95 normalised, "
+                 f"{s['apps_above_085']}/{s['num_apps']} ≥0.85")
+    return "\n".join(lines)

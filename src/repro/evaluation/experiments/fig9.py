@@ -1,0 +1,83 @@
+"""Figure 9: µ-architecture portability.
+
+A model trained on Comet Lake data predicts thread counts for Broadwell and
+Sandy Bridge systems: the target system is profiled under the default
+configuration, its counters are rescaled by the cache-size ratios
+(:func:`repro.profiling.rescale_counters`) and fed to the pre-trained model
+without retraining.  Expected shape: predicted configurations achieve close
+to the target system's oracle speedups for most PolyBench kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.mga import ModalityConfig
+from repro.core.tuner import MGATuner
+from repro.datasets.openmp import OpenMPDatasetBuilder, default_input_targets
+from repro.evaluation.metrics import geometric_mean
+from repro.kernels import registry
+from repro.profiling import rescale_counters
+from repro.simulator.microarch import (
+    BROADWELL_8C,
+    COMET_LAKE_8C,
+    MicroArch,
+    SANDY_BRIDGE_8C,
+)
+from repro.tuners.space import thread_search_space
+
+
+def run(train_arch: MicroArch = COMET_LAKE_8C,
+        target_archs: Sequence[MicroArch] = (SANDY_BRIDGE_8C, BROADWELL_8C),
+        max_kernels: int = 25, num_inputs: int = 4, epochs: int = 20,
+        seed: int = 0) -> Dict[str, object]:
+    space = thread_search_space(train_arch)
+    specs = [registry.get_kernel(f"polybench/{name}")
+             for name in list(registry.TABLE1["polybench"])[:max_kernels]]
+    targets = default_input_targets(num=num_inputs, min_bytes=1e6,
+                                    max_bytes=256e6)   # STANDARD / LARGE inputs
+
+    builder = OpenMPDatasetBuilder(train_arch, list(space), seed=seed)
+    train_dataset = builder.build(specs, targets)
+
+    tuner = MGATuner(train_arch, list(space), modalities=ModalityConfig.mga(),
+                     seed=seed)
+    tuner.fit(train_dataset, epochs=epochs)
+
+    results: Dict[str, Dict[str, List[float]]] = {}
+    for target_arch in target_archs:
+        target_space = thread_search_space(train_arch)   # same 8-core space
+        target_builder = OpenMPDatasetBuilder(target_arch, list(target_space),
+                                              seed=seed + 1)
+        target_dataset = target_builder.build(specs, targets)
+        predicted_speedups, oracle_speedups_list = [], []
+        for i, sample in enumerate(target_dataset.samples):
+            # rescale the target system's counters into the training system's
+            # feature space (the paper's portability transformation)
+            scaled = rescale_counters(sample.counters, source=train_arch,
+                                      target=target_arch)
+            sample.counters.update(scaled)
+        predictions = tuner.predict_indices(target_dataset,
+                                            list(range(len(target_dataset))))
+        for sample, pred in zip(target_dataset.samples, predictions):
+            predicted_speedups.append(sample.speedup_of(int(pred)))
+            oracle_speedups_list.append(sample.oracle_speedup)
+        results[target_arch.name] = {
+            "predicted": predicted_speedups,
+            "oracle": oracle_speedups_list,
+        }
+    return {"per_arch": results}
+
+
+def format_result(result: Dict[str, object]) -> str:
+    lines = ["Figure 9: µ-architecture portability "
+             "(model trained on Comet Lake)"]
+    for arch, data in result["per_arch"].items():
+        pred = geometric_mean(data["predicted"])
+        oracle = geometric_mean(data["oracle"])
+        ratio = pred / oracle if oracle > 0 else 0.0
+        lines.append(f"  {arch:<16} predicted {pred:5.2f}x vs oracle "
+                     f"{oracle:5.2f}x (normalised {ratio:.3f})")
+    return "\n".join(lines)

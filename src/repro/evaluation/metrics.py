@@ -1,0 +1,41 @@
+"""Speedup metrics used throughout the evaluation (§4.1.3)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (ignores non-positive values, which would be invalid
+    speedups)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    arr = arr[arr > 0]
+    if arr.size == 0:
+        return 0.0
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def speedups_from_times(reference: Sequence[float],
+                        achieved: Sequence[float]) -> np.ndarray:
+    """Element-wise ``reference / achieved`` (the paper's speedup definition:
+    runtime_default / runtime_new)."""
+    reference = np.asarray(reference, dtype=np.float64)
+    achieved = np.asarray(achieved, dtype=np.float64)
+    if reference.shape != achieved.shape:
+        raise ValueError("shape mismatch between reference and achieved times")
+    return reference / np.maximum(achieved, 1e-15)
+
+
+def geomean_speedup(reference: Sequence[float],
+                    achieved: Sequence[float]) -> float:
+    """Geometric-mean speedup of ``achieved`` times over ``reference`` times."""
+    return geometric_mean(speedups_from_times(reference, achieved))
+
+
+def normalized_speedup(tuner_speedup: float, oracle_speedup: float) -> float:
+    """Speedup normalised by the oracle speedup (the y-axis of Figs. 4, 6, 7)."""
+    if oracle_speedup <= 0:
+        return 0.0
+    return float(tuner_speedup / oracle_speedup)

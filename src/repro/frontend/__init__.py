@@ -1,0 +1,65 @@
+"""Loop-nest frontend: a small DSL describing parallel kernels.
+
+The benchmark kernels of the paper (PolyBench, Rodinia, NAS, STREAM, ... ) are
+re-expressed in this DSL (see :mod:`repro.kernels`).  A
+:class:`~repro.frontend.spec.KernelSpec` captures the loop structure, array
+accesses, arithmetic and the parallel (OpenMP / OpenCL) region.  It is lowered
+to the miniature IR by :func:`~repro.frontend.lower.lower_to_ir`, and analysed
+by :func:`~repro.frontend.analysis.analyze_spec` to obtain the workload
+summary consumed by the performance simulator.
+"""
+
+from repro.frontend.expr import (
+    AccessPattern,
+    Affine,
+    Array,
+    ArrayRef,
+    BinExpr,
+    CallExpr,
+    CompareExpr,
+    ConstExpr,
+    Dim,
+    Expr,
+    IndirectIndex,
+    LoopVar,
+    Scalar,
+    ScalarRef,
+)
+from repro.frontend.stmt import Assign, For, If, Reduce, Statement
+from repro.frontend.spec import KernelSpec, ParallelModel
+from repro.frontend.analysis import WorkloadSummary, analyze_spec
+from repro.frontend.lower import lower_to_ir
+from repro.frontend.openmp import OMPConfig, OMPSchedule, default_omp_config
+from repro.frontend.opencl import NDRange, OpenCLKernelInstance
+
+__all__ = [
+    "Expr",
+    "ConstExpr",
+    "BinExpr",
+    "CallExpr",
+    "CompareExpr",
+    "LoopVar",
+    "Scalar",
+    "ScalarRef",
+    "Dim",
+    "Affine",
+    "Array",
+    "ArrayRef",
+    "IndirectIndex",
+    "AccessPattern",
+    "Statement",
+    "Assign",
+    "For",
+    "If",
+    "Reduce",
+    "KernelSpec",
+    "ParallelModel",
+    "WorkloadSummary",
+    "analyze_spec",
+    "lower_to_ir",
+    "OMPConfig",
+    "OMPSchedule",
+    "default_omp_config",
+    "NDRange",
+    "OpenCLKernelInstance",
+]

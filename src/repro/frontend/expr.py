@@ -1,0 +1,463 @@
+"""Expression AST of the loop-nest DSL.
+
+The DSL is deliberately close to the C loop nests of the original benchmarks:
+symbolic dimensions (:class:`Dim`), loop induction variables
+(:class:`LoopVar`), multi-dimensional arrays indexed by affine expressions
+(:class:`Array` / :class:`ArrayRef`), scalars and arithmetic expressions with
+operator overloading.  Irregular (data-dependent) accesses are expressed with
+:class:`IndirectIndex`, which is what distinguishes e.g. Rodinia ``bfs`` from
+a dense stencil in both the generated IR and the simulated cache behaviour.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.ir.types import DataType
+
+Number = Union[int, float]
+
+
+class AccessPattern(str, enum.Enum):
+    """Memory access pattern of an array reference w.r.t. the innermost loop."""
+
+    UNIT_STRIDE = "unit_stride"
+    STRIDED = "strided"
+    RANDOM = "random"
+    INVARIANT = "invariant"
+
+
+# ----------------------------------------------------------------------
+# Symbolic sizes
+# ----------------------------------------------------------------------
+class Dim:
+    """A symbolic problem dimension, resolved to an integer per input size.
+
+    ``factor`` and ``offset`` allow derived extents such as ``N - 1`` or
+    ``N // 2`` without a full symbolic algebra layer.
+    """
+
+    __slots__ = ("name", "factor", "offset", "minimum")
+
+    def __init__(self, name: str, factor: float = 1.0, offset: int = 0,
+                 minimum: int = 1):
+        self.name = name
+        self.factor = float(factor)
+        self.offset = int(offset)
+        self.minimum = int(minimum)
+
+    def resolve(self, sizes: Dict[str, int]) -> int:
+        if self.name not in sizes:
+            raise KeyError(f"dimension {self.name!r} not provided (have {sizes})")
+        value = int(math.floor(sizes[self.name] * self.factor)) + self.offset
+        return max(self.minimum, value)
+
+    def scaled(self, factor: float = 1.0, offset: int = 0) -> "Dim":
+        return Dim(self.name, self.factor * factor, self.offset + offset,
+                   self.minimum)
+
+    def __sub__(self, other: int) -> "Dim":
+        return self.scaled(offset=-int(other))
+
+    def __add__(self, other: int) -> "Dim":
+        return self.scaled(offset=int(other))
+
+    def __floordiv__(self, other: int) -> "Dim":
+        return self.scaled(factor=1.0 / int(other))
+
+    def __repr__(self) -> str:
+        return f"Dim({self.name}*{self.factor:g}{self.offset:+d})"
+
+
+Extent = Union[int, Dim]
+
+
+def resolve_extent(extent: Extent, sizes: Dict[str, int]) -> int:
+    """Resolve a loop extent / array dimension to a concrete integer."""
+    if isinstance(extent, Dim):
+        return extent.resolve(sizes)
+    return max(1, int(extent))
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+class Expr:
+    """Base expression with operator overloading building the AST."""
+
+    dtype: DataType = DataType.F64
+
+    # arithmetic -------------------------------------------------------
+    def __add__(self, other) -> "BinExpr":
+        return BinExpr("+", self, wrap(other))
+
+    def __radd__(self, other) -> "BinExpr":
+        return BinExpr("+", wrap(other), self)
+
+    def __sub__(self, other) -> "BinExpr":
+        return BinExpr("-", self, wrap(other))
+
+    def __rsub__(self, other) -> "BinExpr":
+        return BinExpr("-", wrap(other), self)
+
+    def __mul__(self, other) -> "BinExpr":
+        return BinExpr("*", self, wrap(other))
+
+    def __rmul__(self, other) -> "BinExpr":
+        return BinExpr("*", wrap(other), self)
+
+    def __truediv__(self, other) -> "BinExpr":
+        return BinExpr("/", self, wrap(other))
+
+    def __rtruediv__(self, other) -> "BinExpr":
+        return BinExpr("/", wrap(other), self)
+
+    def __neg__(self) -> "BinExpr":
+        return BinExpr("-", ConstExpr(0.0), self)
+
+    # comparisons ------------------------------------------------------
+    def __lt__(self, other) -> "CompareExpr":
+        return CompareExpr("<", self, wrap(other))
+
+    def __gt__(self, other) -> "CompareExpr":
+        return CompareExpr(">", self, wrap(other))
+
+    def __le__(self, other) -> "CompareExpr":
+        return CompareExpr("<=", self, wrap(other))
+
+    def __ge__(self, other) -> "CompareExpr":
+        return CompareExpr(">=", self, wrap(other))
+
+    # traversal --------------------------------------------------------
+    def children(self) -> Sequence["Expr"]:
+        return ()
+
+    def walk(self) -> Iterable["Expr"]:
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+def wrap(value: Union[Expr, Number]) -> Expr:
+    """Coerce Python numbers to :class:`ConstExpr`."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, (int, float)):
+        return ConstExpr(value)
+    raise TypeError(f"cannot use {value!r} in a DSL expression")
+
+
+class ConstExpr(Expr):
+    """A numeric literal."""
+
+    def __init__(self, value: Number, dtype: Optional[DataType] = None):
+        self.value = value
+        if dtype is not None:
+            self.dtype = dtype
+        else:
+            self.dtype = DataType.I64 if isinstance(value, int) else DataType.F64
+
+    def __repr__(self) -> str:
+        return f"Const({self.value})"
+
+
+class BinExpr(Expr):
+    """Binary arithmetic expression ``lhs op rhs`` with op in ``+ - * /``."""
+
+    OPS = ("+", "-", "*", "/", "%", "min", "max")
+
+    def __init__(self, op: str, lhs: Expr, rhs: Expr):
+        if op not in self.OPS:
+            raise ValueError(f"unsupported binary op {op!r}")
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+        self.dtype = (
+            DataType.F64
+            if DataType.F64 in (lhs.dtype, rhs.dtype)
+            or DataType.F32 in (lhs.dtype, rhs.dtype)
+            else DataType.I64
+        )
+
+    def children(self) -> Sequence[Expr]:
+        return (self.lhs, self.rhs)
+
+    def __repr__(self) -> str:
+        return f"({self.lhs!r} {self.op} {self.rhs!r})"
+
+
+class CompareExpr(Expr):
+    """Comparison producing a boolean (used by :class:`repro.frontend.stmt.If`)."""
+
+    OPS = ("<", ">", "<=", ">=", "==", "!=")
+
+    def __init__(self, op: str, lhs: Expr, rhs: Expr):
+        if op not in self.OPS:
+            raise ValueError(f"unsupported comparison {op!r}")
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+        self.dtype = DataType.I1
+
+    def children(self) -> Sequence[Expr]:
+        return (self.lhs, self.rhs)
+
+    def __repr__(self) -> str:
+        return f"({self.lhs!r} {self.op} {self.rhs!r})"
+
+
+class CallExpr(Expr):
+    """Math intrinsic call (sqrt/exp/log/sin/cos/pow/fabs/min/max)."""
+
+    FUNCTIONS = ("sqrt", "exp", "log", "sin", "cos", "pow", "fabs", "min", "max")
+
+    def __init__(self, func: str, *args: Union[Expr, Number]):
+        if func not in self.FUNCTIONS:
+            raise ValueError(f"unsupported intrinsic {func!r}")
+        self.func = func
+        self.args: Tuple[Expr, ...] = tuple(wrap(a) for a in args)
+        self.dtype = DataType.F64
+
+    def children(self) -> Sequence[Expr]:
+        return self.args
+
+    def __repr__(self) -> str:
+        return f"{self.func}({', '.join(map(repr, self.args))})"
+
+
+def sqrt(x) -> CallExpr:
+    return CallExpr("sqrt", x)
+
+
+def exp(x) -> CallExpr:
+    return CallExpr("exp", x)
+
+
+def log(x) -> CallExpr:
+    return CallExpr("log", x)
+
+
+def fabs(x) -> CallExpr:
+    return CallExpr("fabs", x)
+
+
+def pow_(x, y) -> CallExpr:
+    return CallExpr("pow", x, y)
+
+
+def minimum(x, y) -> CallExpr:
+    return CallExpr("min", x, y)
+
+
+def maximum(x, y) -> CallExpr:
+    return CallExpr("max", x, y)
+
+
+# ----------------------------------------------------------------------
+# Variables
+# ----------------------------------------------------------------------
+class LoopVar(Expr):
+    """A loop induction variable (integer typed)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.dtype = DataType.I64
+
+    def __hash__(self) -> int:
+        return hash(("loopvar", self.name))
+
+    def __eq__(self, other) -> bool:  # type: ignore[override]
+        return isinstance(other, LoopVar) and other.name == self.name
+
+    def __repr__(self) -> str:
+        return f"LoopVar({self.name})"
+
+
+class Scalar:
+    """A named scalar kernel parameter (e.g. ``alpha``, ``beta``)."""
+
+    __slots__ = ("name", "dtype", "value")
+
+    def __init__(self, name: str, value: float = 1.0,
+                 dtype: DataType = DataType.F64):
+        self.name = name
+        self.value = value
+        self.dtype = dtype
+
+    def ref(self) -> "ScalarRef":
+        return ScalarRef(self)
+
+    def __repr__(self) -> str:
+        return f"Scalar({self.name}={self.value})"
+
+
+class ScalarRef(Expr):
+    """Use of a scalar parameter inside an expression."""
+
+    def __init__(self, scalar: Scalar):
+        self.scalar = scalar
+        self.dtype = scalar.dtype
+
+    def __repr__(self) -> str:
+        return f"ScalarRef({self.scalar.name})"
+
+
+# ----------------------------------------------------------------------
+# Affine index expressions
+# ----------------------------------------------------------------------
+class Affine:
+    """A (small) affine combination of loop variables: ``sum(c_i * v_i) + k``."""
+
+    __slots__ = ("coeffs", "const")
+
+    def __init__(self, coeffs: Optional[Dict[LoopVar, int]] = None, const: int = 0):
+        self.coeffs: Dict[LoopVar, int] = dict(coeffs or {})
+        self.const = int(const)
+
+    @classmethod
+    def from_value(cls, value: Union["Affine", LoopVar, int, BinExpr]) -> "Affine":
+        if isinstance(value, Affine):
+            return value
+        if isinstance(value, LoopVar):
+            return cls({value: 1}, 0)
+        if isinstance(value, int):
+            return cls({}, value)
+        if isinstance(value, ConstExpr) and isinstance(value.value, int):
+            return cls({}, value.value)
+        if isinstance(value, BinExpr):
+            lhs = cls.from_value(value.lhs)  # may raise for non-affine
+            rhs = cls.from_value(value.rhs)
+            if value.op == "+":
+                return lhs._combine(rhs, 1)
+            if value.op == "-":
+                return lhs._combine(rhs, -1)
+            if value.op == "*":
+                if not lhs.coeffs:
+                    return rhs.scale(lhs.const)
+                if not rhs.coeffs:
+                    return lhs.scale(rhs.const)
+        raise ValueError(f"index expression {value!r} is not affine")
+
+    def _combine(self, other: "Affine", sign: int) -> "Affine":
+        coeffs = dict(self.coeffs)
+        for var, coeff in other.coeffs.items():
+            coeffs[var] = coeffs.get(var, 0) + sign * coeff
+        return Affine(coeffs, self.const + sign * other.const)
+
+    def scale(self, factor: int) -> "Affine":
+        return Affine({v: c * factor for v, c in self.coeffs.items()},
+                      self.const * factor)
+
+    def coefficient(self, var: LoopVar) -> int:
+        return self.coeffs.get(var, 0)
+
+    def variables(self) -> List[LoopVar]:
+        return list(self.coeffs)
+
+    def __repr__(self) -> str:
+        terms = [f"{c}*{v.name}" for v, c in self.coeffs.items()]
+        terms.append(str(self.const))
+        return " + ".join(terms)
+
+
+class IndirectIndex:
+    """A data-dependent index ``index_array[affine]`` (irregular access)."""
+
+    __slots__ = ("array", "inner")
+
+    def __init__(self, array: "Array", inner: Union[Affine, LoopVar, int]):
+        self.array = array
+        self.inner = Affine.from_value(inner)
+
+    def __repr__(self) -> str:
+        return f"{self.array.name}[{self.inner!r}]"
+
+
+IndexLike = Union[Affine, LoopVar, int, BinExpr, IndirectIndex]
+
+
+# ----------------------------------------------------------------------
+# Arrays
+# ----------------------------------------------------------------------
+class Array:
+    """A multi-dimensional array kernel argument."""
+
+    __slots__ = ("name", "dims", "dtype")
+
+    def __init__(self, name: str, dims: Sequence[Extent],
+                 dtype: DataType = DataType.F64):
+        self.name = name
+        self.dims: Tuple[Extent, ...] = tuple(dims)
+        self.dtype = dtype
+
+    @property
+    def rank(self) -> int:
+        return len(self.dims)
+
+    def num_elements(self, sizes: Dict[str, int]) -> int:
+        total = 1
+        for d in self.dims:
+            total *= resolve_extent(d, sizes)
+        return total
+
+    def size_bytes(self, sizes: Dict[str, int]) -> int:
+        from repro.ir.types import sizeof
+
+        return self.num_elements(sizes) * sizeof(self.dtype)
+
+    def __getitem__(self, index) -> "ArrayRef":
+        if not isinstance(index, tuple):
+            index = (index,)
+        if len(index) != self.rank:
+            raise ValueError(
+                f"array {self.name} has rank {self.rank}, got {len(index)} indices"
+            )
+        return ArrayRef(self, index)
+
+    def __repr__(self) -> str:
+        return f"Array({self.name}, dims={self.dims}, {self.dtype})"
+
+
+class ArrayRef(Expr):
+    """A subscripted array reference ``A[i, j]``; usable as value or target."""
+
+    def __init__(self, array: Array, indices: Sequence[IndexLike]):
+        self.array = array
+        self.indices: List[Union[Affine, IndirectIndex]] = []
+        for idx in indices:
+            if isinstance(idx, IndirectIndex):
+                self.indices.append(idx)
+            else:
+                self.indices.append(Affine.from_value(idx))
+        self.dtype = array.dtype
+
+    @property
+    def is_indirect(self) -> bool:
+        return any(isinstance(i, IndirectIndex) for i in self.indices)
+
+    def access_pattern(self, innermost: Optional[LoopVar]) -> AccessPattern:
+        """Classify the access w.r.t. the innermost loop variable."""
+        if self.is_indirect:
+            return AccessPattern.RANDOM
+        if innermost is None:
+            return AccessPattern.INVARIANT
+        # last index dimension varying with the innermost variable => unit stride
+        last = self.indices[-1]
+        assert isinstance(last, Affine)
+        if last.coefficient(innermost) == 1:
+            return AccessPattern.UNIT_STRIDE
+        for idx in self.indices[:-1]:
+            if isinstance(idx, Affine) and idx.coefficient(innermost) != 0:
+                return AccessPattern.STRIDED
+        if last.coefficient(innermost) != 0:
+            return AccessPattern.STRIDED
+        return AccessPattern.INVARIANT
+
+    def children(self) -> Sequence[Expr]:
+        return ()
+
+    def __repr__(self) -> str:
+        idx = ", ".join(repr(i) for i in self.indices)
+        return f"{self.array.name}[{idx}]"

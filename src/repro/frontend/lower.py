@@ -1,0 +1,411 @@
+"""Lowering of kernel specs to the miniature IR.
+
+This plays the role of ``clang -O1 -emit-llvm`` in the paper's pipeline: it
+turns the loop-nest DSL into SSA instructions (phi-based counted loops,
+``getelementptr``/``load``/``store`` memory access, arithmetic, branches) plus
+the OpenMP outlining / OpenCL work-item structure that ProGraML-style graphs
+capture through call-flow edges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.frontend.expr import (
+    Affine,
+    Array,
+    ArrayRef,
+    BinExpr,
+    CallExpr,
+    CompareExpr,
+    ConstExpr,
+    Expr,
+    IndirectIndex,
+    LoopVar,
+    ScalarRef,
+    resolve_extent,
+)
+from repro.frontend.spec import KernelSpec, ParallelModel
+from repro.frontend.stmt import Assign, For, If, Reduce, Statement
+from repro.ir import (
+    Argument,
+    DataType,
+    Function,
+    IRBuilder,
+    Module,
+    Opcode,
+    verify_module,
+)
+from repro.ir.types import is_float, pointer_to
+from repro.ir.values import Constant, GlobalVariable, Value
+
+_CALL_OPCODE = {
+    "sqrt": Opcode.SQRT,
+    "exp": Opcode.EXP,
+    "log": Opcode.LOG,
+    "sin": Opcode.SIN,
+    "cos": Opcode.COS,
+    "pow": Opcode.POW,
+    "fabs": Opcode.FABS,
+    "min": Opcode.MIN,
+    "max": Opcode.MAX,
+}
+
+_BIN_FLOAT = {"+": Opcode.FADD, "-": Opcode.FSUB, "*": Opcode.FMUL, "/": Opcode.FDIV}
+_BIN_INT = {"+": Opcode.ADD, "-": Opcode.SUB, "*": Opcode.MUL, "/": Opcode.SDIV,
+            "%": Opcode.SREM}
+
+
+class _LoweringContext:
+    """Per-function lowering state: builder, loop-variable map, array globals."""
+
+    def __init__(self, builder: IRBuilder, function: Function,
+                 array_values: Dict[str, Value], sizes: Dict[str, int]):
+        self.builder = builder
+        self.function = function
+        self.array_values = array_values
+        self.sizes = sizes
+        self.loop_values: Dict[str, Value] = {}
+
+
+def lower_to_ir(spec: KernelSpec, verify: bool = True) -> Module:
+    """Lower ``spec`` to a :class:`repro.ir.Module`.
+
+    The module contains a driver function (``<name>_main``) and, for OpenMP
+    kernels, an outlined parallel-region function reached through an
+    ``omp.fork`` call; OpenCL kernels become a work-item function whose
+    parallel dimension is read from ``get_global_id``.
+    """
+    sizes = spec.dim_sizes(1.0)
+    module = Module(spec.name, metadata={
+        "suite": spec.suite,
+        "model": spec.model.value,
+        "kernel_uid": spec.uid,
+    })
+    array_values: Dict[str, Value] = {}
+    for array in spec.arrays:
+        gv = module.add_global(array.name, pointer_to(array.dtype),
+                               num_elements=array.num_elements(sizes))
+        array_values[array.name] = gv
+
+    if spec.model == ParallelModel.OPENCL:
+        _lower_opencl(spec, module, array_values, sizes)
+    else:
+        _lower_openmp(spec, module, array_values, sizes)
+
+    if verify:
+        verify_module(module)
+    return module
+
+
+# ----------------------------------------------------------------------
+# OpenMP lowering: driver + outlined parallel region
+# ----------------------------------------------------------------------
+def _lower_openmp(spec: KernelSpec, module: Module,
+                  array_values: Dict[str, Value], sizes: Dict[str, int]) -> None:
+    outlined_name = f"{spec.name}.omp_outlined"
+    parallel_loop = spec.parallel_loop
+
+    # --- outlined function containing the parallel loop nest -----------
+    if parallel_loop is not None:
+        args = [Argument(f"arg.{a.name}", pointer_to(a.dtype), i)
+                for i, a in enumerate(spec.arrays)]
+        outlined = Function(outlined_name, args, DataType.VOID,
+                            metadata={"omp.outlined": True,
+                                      "kernel_uid": spec.uid})
+        module.add_function(outlined)
+        entry = outlined.add_block("entry")
+        builder = IRBuilder(entry)
+        # arguments shadow the globals inside the outlined region
+        local_arrays = dict(array_values)
+        for a, arg in zip(spec.arrays, args):
+            local_arrays[a.name] = arg
+        ctx = _LoweringContext(builder, outlined, local_arrays, sizes)
+        _lower_statements([parallel_loop], ctx, parallel_for=parallel_loop)
+        builder.omp_barrier()
+        builder.ret()
+
+    # --- driver: serial statements + fork ------------------------------
+    main = Function(f"{spec.name}_main", [], DataType.VOID,
+                    metadata={"kernel_uid": spec.uid, "driver": True})
+    module.add_function(main)
+    entry = main.add_block("entry")
+    builder = IRBuilder(entry)
+    ctx = _LoweringContext(builder, main, array_values, sizes)
+    for stmt in spec.body:
+        if stmt is parallel_loop or _contains(stmt, parallel_loop):
+            builder.omp_fork(outlined_name, list(array_values.values()))
+        else:
+            _lower_statements([stmt], ctx, parallel_for=None)
+    builder.ret()
+
+
+def _contains(stmt: Statement, target: Optional[Statement]) -> bool:
+    if target is None:
+        return False
+    return any(s is target for s in stmt.walk())
+
+
+# ----------------------------------------------------------------------
+# OpenCL lowering: one work-item function
+# ----------------------------------------------------------------------
+def _lower_opencl(spec: KernelSpec, module: Module,
+                  array_values: Dict[str, Value], sizes: Dict[str, int]) -> None:
+    parallel_loop = spec.parallel_loop
+    args = [Argument(f"arg.{a.name}", pointer_to(a.dtype), i)
+            for i, a in enumerate(spec.arrays)]
+    kernel = Function(f"{spec.name}_kernel", args, DataType.VOID,
+                      metadata={"opencl.kernel": True, "kernel_uid": spec.uid})
+    module.add_function(kernel)
+    entry = kernel.add_block("entry")
+    builder = IRBuilder(entry)
+    local_arrays = dict(array_values)
+    for a, arg in zip(spec.arrays, args):
+        local_arrays[a.name] = arg
+    ctx = _LoweringContext(builder, kernel, local_arrays, sizes)
+    if parallel_loop is not None:
+        gid = builder.get_global_id(0)
+        ctx.loop_values[parallel_loop.var.name] = gid
+        # guard: if (gid < extent) { body }
+        extent = builder.const_int(resolve_extent(parallel_loop.extent, sizes))
+        cond = builder.icmp("slt", gid, extent)
+        body_block = kernel.add_block("wi.body")
+        exit_block = kernel.add_block("wi.exit")
+        builder.cond_br(cond, body_block, exit_block)
+        builder.position_at_end(body_block)
+        _lower_statements(parallel_loop.body, ctx, parallel_for=None)
+        builder.br(exit_block)
+        builder.position_at_end(exit_block)
+    builder.ret()
+
+
+# ----------------------------------------------------------------------
+# statement lowering
+# ----------------------------------------------------------------------
+def _lower_statements(statements: Sequence[Statement], ctx: _LoweringContext,
+                      parallel_for: Optional[For]) -> None:
+    for stmt in statements:
+        if isinstance(stmt, For):
+            _lower_for(stmt, ctx, parallel=stmt is parallel_for)
+        elif isinstance(stmt, (Assign, Reduce)):
+            _lower_assign(stmt, ctx)
+        elif isinstance(stmt, If):
+            _lower_if(stmt, ctx)
+        else:
+            raise TypeError(f"cannot lower statement {stmt!r}")
+
+
+def _lower_for(loop: For, ctx: _LoweringContext, parallel: bool = False) -> None:
+    builder = ctx.builder
+    function = ctx.function
+    trip = resolve_extent(loop.extent, ctx.sizes)
+    prefix = f"{loop.var.name}"
+
+    header = function.add_block(f"{prefix}.header")
+    body = function.add_block(f"{prefix}.body")
+    latch = function.add_block(f"{prefix}.latch")
+    exit_block = function.add_block(f"{prefix}.exit")
+
+    preheader = builder.block
+    builder.br(header)
+
+    builder.position_at_end(header)
+    iv = builder.phi(DataType.I64, name=f"{prefix}.iv")
+    if parallel:
+        iv.metadata["omp.induction"] = True
+    builder.add_incoming(iv, builder.const_int(0), preheader)
+    bound = builder.const_int(trip)
+    cond = builder.icmp("slt", iv, bound, name=f"{prefix}.cond")
+    builder.cond_br(cond, body, exit_block)
+
+    builder.position_at_end(body)
+    outer_value = ctx.loop_values.get(loop.var.name)
+    ctx.loop_values[loop.var.name] = iv
+    _lower_statements(loop.body, ctx, parallel_for=None)
+    builder.br(latch)
+
+    builder.position_at_end(latch)
+    step = builder.add(iv, builder.const_int(1), name=f"{prefix}.next")
+    builder.br(header)
+    builder.add_incoming(iv, step, latch)
+
+    if outer_value is not None:
+        ctx.loop_values[loop.var.name] = outer_value
+    else:
+        ctx.loop_values.pop(loop.var.name, None)
+    builder.position_at_end(exit_block)
+
+
+def _lower_if(stmt: If, ctx: _LoweringContext) -> None:
+    builder = ctx.builder
+    function = ctx.function
+    cond = _lower_expr(stmt.cond, ctx)
+    then_block = function.add_block("if.then")
+    else_block = function.add_block("if.else")
+    merge_block = function.add_block("if.end")
+    builder.cond_br(cond, then_block, else_block)
+
+    builder.position_at_end(then_block)
+    _lower_statements(stmt.then, ctx, parallel_for=None)
+    builder.br(merge_block)
+
+    builder.position_at_end(else_block)
+    _lower_statements(stmt.orelse, ctx, parallel_for=None)
+    builder.br(merge_block)
+
+    builder.position_at_end(merge_block)
+
+
+def _lower_assign(stmt, ctx: _LoweringContext) -> None:
+    builder = ctx.builder
+    value = _lower_expr(stmt.expr, ctx)
+    target = stmt.target
+    if isinstance(target, ArrayRef):
+        address = _lower_address(target, ctx)
+        if isinstance(stmt, Reduce):
+            if target.is_indirect:
+                builder.atomic_add(address, value)
+                return
+            old = builder.load(address, name="acc")
+            value = _apply_reduce(builder, stmt.op, old, value)
+        builder.store(value, address)
+    else:  # Scalar target: reduction into a register modelled as load/store of
+        # a one-element global (keeps SSA form simple and graph-visible)
+        scalar_ptr = _scalar_slot(target, ctx)
+        if isinstance(stmt, Reduce):
+            old = builder.load(scalar_ptr, name="acc")
+            value = _apply_reduce(builder, stmt.op, old, value)
+        builder.store(value, scalar_ptr)
+
+
+def _apply_reduce(builder: IRBuilder, op: str, old: Value, new: Value) -> Value:
+    if op == "+":
+        return builder.add(old, new, name="redadd")
+    if op == "*":
+        return builder.mul(old, new, name="redmul")
+    if op == "min":
+        return builder.intrinsic(Opcode.MIN, [old, new], name="redmin")
+    if op == "max":
+        return builder.intrinsic(Opcode.MAX, [old, new], name="redmax")
+    raise ValueError(f"unknown reduction op {op!r}")
+
+
+def _scalar_slot(scalar, ctx: _LoweringContext) -> Value:
+    """Get (creating on demand) a module-global slot for a scalar accumulator."""
+    name = f"scalar.{scalar.name}"
+    module = ctx.function.module
+    try:
+        return module.get_global(name)
+    except KeyError:
+        return module.add_global(name, pointer_to(scalar.dtype), 1)
+
+
+# ----------------------------------------------------------------------
+# expression lowering
+# ----------------------------------------------------------------------
+def _lower_expr(expr: Expr, ctx: _LoweringContext) -> Value:
+    builder = ctx.builder
+    if isinstance(expr, ConstExpr):
+        if is_float(expr.dtype):
+            return builder.const_float(float(expr.value), expr.dtype)
+        return builder.const_int(int(expr.value), expr.dtype)
+    if isinstance(expr, ScalarRef):
+        return builder.const_float(float(expr.scalar.value))
+    if isinstance(expr, LoopVar):
+        try:
+            return ctx.loop_values[expr.name]
+        except KeyError as exc:
+            raise KeyError(
+                f"loop variable {expr.name!r} used outside its loop"
+            ) from exc
+    if isinstance(expr, ArrayRef):
+        address = _lower_address(expr, ctx)
+        return builder.load(address, name=f"{expr.array.name}.val")
+    if isinstance(expr, BinExpr):
+        lhs = _lower_expr(expr.lhs, ctx)
+        rhs = _lower_expr(expr.rhs, ctx)
+        lhs, rhs = _coerce(builder, lhs, rhs)
+        table = _BIN_FLOAT if is_float(lhs.dtype) else _BIN_INT
+        if expr.op in ("min", "max"):
+            opcode = Opcode.MIN if expr.op == "min" else Opcode.MAX
+            return builder.intrinsic(opcode, [lhs, rhs])
+        return builder.binary(table[expr.op], lhs, rhs)
+    if isinstance(expr, CompareExpr):
+        lhs = _lower_expr(expr.lhs, ctx)
+        rhs = _lower_expr(expr.rhs, ctx)
+        lhs, rhs = _coerce(builder, lhs, rhs)
+        predicate = {"<": "lt", ">": "gt", "<=": "le", ">=": "ge",
+                     "==": "eq", "!=": "ne"}[expr.op]
+        if is_float(lhs.dtype):
+            return builder.fcmp("o" + predicate, lhs, rhs)
+        return builder.icmp("s" + predicate, lhs, rhs)
+    if isinstance(expr, CallExpr):
+        args = [_lower_expr(a, ctx) for a in expr.args]
+        return builder.intrinsic(_CALL_OPCODE[expr.func], args,
+                                 dtype=DataType.F64, name=expr.func)
+    raise TypeError(f"cannot lower expression {expr!r}")
+
+
+def _coerce(builder: IRBuilder, lhs: Value, rhs: Value):
+    """Insert int→float conversions when mixing integer and float operands."""
+    if is_float(lhs.dtype) and not is_float(rhs.dtype):
+        rhs = builder.sitofp(rhs, lhs.dtype)
+    elif is_float(rhs.dtype) and not is_float(lhs.dtype):
+        lhs = builder.sitofp(lhs, rhs.dtype)
+    return lhs, rhs
+
+
+def _lower_address(ref: ArrayRef, ctx: _LoweringContext) -> Value:
+    """Compute ``&A[i0, i1, ...]`` via linearised index + gep."""
+    builder = ctx.builder
+    base = ctx.array_values[ref.array.name]
+    strides = _row_major_strides(ref.array, ctx.sizes)
+    linear: Optional[Value] = None
+    for idx, stride in zip(ref.indices, strides):
+        term = _lower_index(idx, ctx)
+        if stride != 1:
+            term = builder.mul(term, builder.const_int(stride), name="idxmul")
+        linear = term if linear is None else builder.add(linear, term, name="idxadd")
+    if linear is None:
+        linear = builder.const_int(0)
+    return builder.gep(base, linear, name=f"{ref.array.name}.addr")
+
+
+def _lower_index(idx, ctx: _LoweringContext) -> Value:
+    builder = ctx.builder
+    if isinstance(idx, IndirectIndex):
+        inner = _lower_affine(idx.inner, ctx)
+        base = ctx.array_values[idx.array.name]
+        addr = builder.gep(base, inner, name=f"{idx.array.name}.addr")
+        loaded = builder.load(addr, name=f"{idx.array.name}.idx")
+        if loaded.dtype != DataType.I64:
+            loaded = builder.sext(loaded, DataType.I64)
+        return loaded
+    return _lower_affine(idx, ctx)
+
+
+def _lower_affine(affine: Affine, ctx: _LoweringContext) -> Value:
+    builder = ctx.builder
+    result: Optional[Value] = None
+    for var, coeff in affine.coeffs.items():
+        value = ctx.loop_values.get(var.name)
+        if value is None:
+            raise KeyError(f"loop variable {var.name!r} used outside its loop")
+        if coeff != 1:
+            value = builder.mul(value, builder.const_int(coeff), name="affmul")
+        result = value if result is None else builder.add(result, value, name="affadd")
+    if affine.const != 0 or result is None:
+        const = builder.const_int(affine.const)
+        result = const if result is None else builder.add(result, const, name="affadd")
+    return result
+
+
+def _row_major_strides(array: Array, sizes: Dict[str, int]) -> List[int]:
+    extents = [resolve_extent(d, sizes) for d in array.dims]
+    strides = []
+    for i in range(len(extents)):
+        stride = 1
+        for e in extents[i + 1:]:
+            stride *= e
+        strides.append(stride)
+    return strides

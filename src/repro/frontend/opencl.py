@@ -1,0 +1,49 @@
+"""OpenCL execution configuration model (heterogeneous device mapping, §4.2)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.frontend.spec import KernelSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class NDRange:
+    """Global / local work sizes of an OpenCL kernel launch."""
+
+    global_size: int
+    local_size: int = 64
+
+    def __post_init__(self) -> None:
+        if self.global_size < 1 or self.local_size < 1:
+            raise ValueError("NDRange sizes must be positive")
+
+    @property
+    def num_workgroups(self) -> int:
+        return max(1, -(-self.global_size // self.local_size))
+
+
+@dataclasses.dataclass
+class OpenCLKernelInstance:
+    """One labelled point of the device-mapping dataset.
+
+    Mirrors the Ben-Nun et al. dataset schema used by the paper: a kernel plus
+    its host→device transfer size and workgroup size, to be labelled with the
+    faster device (CPU or GPU).
+    """
+
+    spec: KernelSpec
+    transfer_bytes: float
+    wgsize: int
+    scale: float = 1.0
+
+    @property
+    def ndrange(self) -> NDRange:
+        return NDRange(global_size=max(self.wgsize, self.spec.parallel_trip_count(self.scale)),
+                       local_size=self.wgsize)
+
+    def feature_dict(self) -> dict:
+        return {
+            "transfer_bytes": float(self.transfer_bytes),
+            "wgsize": float(self.wgsize),
+        }

@@ -1,0 +1,55 @@
+"""OpenMP runtime configuration model (the tuning target of §4.1)."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Optional
+
+
+class OMPSchedule(str, enum.Enum):
+    """OpenMP loop scheduling policies from Table 2 of the paper."""
+
+    STATIC = "static"
+    DYNAMIC = "dynamic"
+    GUIDED = "guided"
+
+
+@dataclasses.dataclass(frozen=True)
+class OMPConfig:
+    """One point of the OpenMP runtime search space.
+
+    ``chunk_size = None`` means "compiler/runtime chosen" (static: trip/threads,
+    dynamic/guided: 1), matching the paper's default configuration.
+    """
+
+    num_threads: int
+    schedule: OMPSchedule = OMPSchedule.STATIC
+    chunk_size: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.num_threads < 1:
+            raise ValueError("num_threads must be >= 1")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1 or None")
+
+    def effective_chunk(self, trip_count: int) -> int:
+        """Concrete chunk size for a loop with ``trip_count`` iterations."""
+        if self.chunk_size is not None:
+            return max(1, min(self.chunk_size, max(1, trip_count)))
+        if self.schedule == OMPSchedule.STATIC:
+            return max(1, -(-trip_count // max(1, self.num_threads)))  # ceil div
+        return 1
+
+    def as_tuple(self):
+        return (self.num_threads, self.schedule.value, self.chunk_size or 0)
+
+    def label(self) -> str:
+        chunk = self.chunk_size if self.chunk_size is not None else "auto"
+        return f"t{self.num_threads}/{self.schedule.value}/c{chunk}"
+
+
+def default_omp_config(num_cores: int) -> OMPConfig:
+    """The paper's baseline: all hardware threads, static schedule, auto chunk."""
+    return OMPConfig(num_threads=num_cores, schedule=OMPSchedule.STATIC,
+                     chunk_size=None)

@@ -1,0 +1,134 @@
+"""Kernel specifications: the unit of tuning in the reproduction.
+
+A :class:`KernelSpec` is the DSL analogue of "one OpenMP loop region" or "one
+OpenCL kernel" in the paper: a loop nest with a designated parallel loop, the
+arrays it touches and descriptive metadata.  Specs are created by
+:mod:`repro.kernels`, lowered to IR by :mod:`repro.frontend.lower`, analysed
+by :mod:`repro.frontend.analysis` and executed by :mod:`repro.simulator`.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.frontend.expr import Array, Dim, Scalar, resolve_extent
+from repro.frontend.stmt import For, Statement, find_parallel_loop, loop_nest_depth
+
+
+class ParallelModel(str, enum.Enum):
+    """Programming model of the kernel's parallel region."""
+
+    OPENMP = "openmp"
+    OPENCL = "opencl"
+    SERIAL = "serial"
+
+
+class KernelSpec:
+    """A parallel code region expressed in the loop-nest DSL.
+
+    Parameters
+    ----------
+    name / suite:
+        Kernel and benchmark-suite identifiers (e.g. ``gemm`` / ``polybench``).
+    arrays / scalars:
+        Kernel arguments.
+    body:
+        Top-level statements.  Exactly one loop should be marked
+        ``parallel=True``; statements outside it model the serial fraction.
+    base_sizes:
+        Default value of each symbolic dimension at ``scale = 1.0``.
+    model:
+        Programming model (OpenMP loop or OpenCL NDRange kernel).
+    serial_advantage:
+        >1.0 means the serial version of the region is faster than the
+        parallel one at any thread count (e.g. PolyBench ``trisolv`` in the
+        paper); the simulator adds the corresponding parallel overhead.
+    domain:
+        Free-text application domain (linear algebra, data mining, ...).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        suite: str,
+        arrays: Sequence[Array],
+        body: Sequence[Statement],
+        base_sizes: Dict[str, int],
+        scalars: Sequence[Scalar] = (),
+        model: ParallelModel = ParallelModel.OPENMP,
+        serial_advantage: float = 1.0,
+        domain: str = "general",
+        description: str = "",
+    ):
+        self.name = name
+        self.suite = suite
+        self.arrays: List[Array] = list(arrays)
+        self.scalars: List[Scalar] = list(scalars)
+        self.body: List[Statement] = list(body)
+        self.base_sizes = dict(base_sizes)
+        self.model = ParallelModel(model)
+        self.serial_advantage = float(serial_advantage)
+        self.domain = domain
+        self.description = description or name
+        if self.model != ParallelModel.SERIAL and self.parallel_loop is None:
+            raise ValueError(f"kernel {name!r} has no parallel loop")
+
+    # ------------------------------------------------------------------
+    @property
+    def uid(self) -> str:
+        """Stable unique identifier ``suite/name``."""
+        return f"{self.suite}/{self.name}"
+
+    @property
+    def parallel_loop(self) -> Optional[For]:
+        return find_parallel_loop(self.body)
+
+    @property
+    def loop_depth(self) -> int:
+        return loop_nest_depth(self.body)
+
+    # ------------------------------------------------------------------
+    # problem sizing
+    # ------------------------------------------------------------------
+    def dim_sizes(self, scale: float = 1.0) -> Dict[str, int]:
+        """Concrete dimension sizes at a given linear scale factor."""
+        return {
+            name: max(2, int(round(base * scale)))
+            for name, base in self.base_sizes.items()
+        }
+
+    def working_set_bytes(self, scale: float = 1.0) -> int:
+        """Total bytes of all arrays at the given scale."""
+        sizes = self.dim_sizes(scale)
+        return sum(a.size_bytes(sizes) for a in self.arrays)
+
+    def scale_for_bytes(self, target_bytes: float) -> float:
+        """Scale factor at which the working set is ~``target_bytes``.
+
+        Used by the dataset builder to generate the paper's 30 input sizes
+        spanning 3.5 KB – 0.5 GB (stressing L1 / L2 / L3 to different
+        degrees).  Solved by bisection on the monotone working-set function.
+        """
+        lo, hi = 1e-3, 1.0
+        while self.working_set_bytes(hi) < target_bytes and hi < 1e5:
+            hi *= 2.0
+        for _ in range(60):
+            mid = math.sqrt(lo * hi)
+            if self.working_set_bytes(mid) < target_bytes:
+                lo = mid
+            else:
+                hi = mid
+        return hi
+
+    def parallel_trip_count(self, scale: float = 1.0) -> int:
+        loop = self.parallel_loop
+        if loop is None:
+            return 1
+        return resolve_extent(loop.extent, self.dim_sizes(scale))
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return (f"KernelSpec({self.uid}, model={self.model.value}, "
+                f"arrays={len(self.arrays)}, depth={self.loop_depth})")

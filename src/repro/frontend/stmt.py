@@ -1,0 +1,144 @@
+"""Statement AST of the loop-nest DSL: loops, assignments, conditionals."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.frontend.expr import (
+    ArrayRef,
+    CompareExpr,
+    Expr,
+    Extent,
+    LoopVar,
+    Scalar,
+    wrap,
+)
+
+
+class Statement:
+    """Base class of DSL statements."""
+
+    def children(self) -> Sequence["Statement"]:
+        return ()
+
+    def walk(self) -> Iterable["Statement"]:
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+class Assign(Statement):
+    """``target = expr`` where target is an array reference or scalar."""
+
+    def __init__(self, target: Union[ArrayRef, Scalar], expr: Union[Expr, float]):
+        if not isinstance(target, (ArrayRef, Scalar)):
+            raise TypeError("assignment target must be an ArrayRef or Scalar")
+        self.target = target
+        self.expr = wrap(expr)
+
+    def __repr__(self) -> str:
+        return f"Assign({self.target!r} = {self.expr!r})"
+
+
+class Reduce(Statement):
+    """``target op= expr`` — a reduction into a scalar or array cell.
+
+    ``op`` is one of ``+ * min max``.  Parallel loops containing a
+    :class:`Reduce` on a loop-invariant target are treated as OpenMP
+    reductions (or atomic updates for irregular targets).
+    """
+
+    OPS = ("+", "*", "min", "max")
+
+    def __init__(self, target: Union[ArrayRef, Scalar], expr: Union[Expr, float],
+                 op: str = "+"):
+        if op not in self.OPS:
+            raise ValueError(f"unsupported reduction op {op!r}")
+        self.target = target
+        self.expr = wrap(expr)
+        self.op = op
+
+    def __repr__(self) -> str:
+        return f"Reduce({self.target!r} {self.op}= {self.expr!r})"
+
+
+class If(Statement):
+    """A data-dependent conditional (drives branch-misprediction modelling)."""
+
+    def __init__(self, cond: CompareExpr, then: Sequence[Statement],
+                 orelse: Sequence[Statement] = (),
+                 taken_probability: float = 0.5):
+        self.cond = cond
+        self.then: List[Statement] = list(then)
+        self.orelse: List[Statement] = list(orelse)
+        self.taken_probability = float(taken_probability)
+
+    def children(self) -> Sequence[Statement]:
+        return tuple(self.then) + tuple(self.orelse)
+
+    def __repr__(self) -> str:
+        return f"If({self.cond!r}, then={len(self.then)}, else={len(self.orelse)})"
+
+
+class For(Statement):
+    """A counted loop ``for var in range(extent)``.
+
+    Parameters
+    ----------
+    parallel:
+        Marks the loop as the OpenMP ``parallel for`` / OpenCL NDRange
+        dimension.  Only one loop per kernel may be parallel (the outermost
+        parallel loop is used, as in the paper's per-region tuning).
+    imbalance:
+        Relative per-iteration cost skew in [0, 1]; 0 means perfectly uniform
+        iterations, larger values model triangular/irregular workloads
+        (important for schedule/chunk tuning).
+    """
+
+    def __init__(self, var: LoopVar, extent: Extent, body: Sequence[Statement],
+                 parallel: bool = False, imbalance: float = 0.0,
+                 reduction: Optional[str] = None):
+        self.var = var
+        self.extent = extent
+        self.body: List[Statement] = list(body)
+        self.parallel = bool(parallel)
+        self.imbalance = float(imbalance)
+        self.reduction = reduction
+
+    def children(self) -> Sequence[Statement]:
+        return tuple(self.body)
+
+    def inner_loops(self) -> List["For"]:
+        return [s for s in self.body if isinstance(s, For)]
+
+    def __repr__(self) -> str:
+        tag = " parallel" if self.parallel else ""
+        return f"For({self.var.name}, {self.extent!r},{tag} {len(self.body)} stmts)"
+
+
+def loop_nest_depth(statements: Sequence[Statement]) -> int:
+    """Maximum ``For`` nesting depth of a statement list."""
+    depth = 0
+    for stmt in statements:
+        if isinstance(stmt, For):
+            depth = max(depth, 1 + loop_nest_depth(stmt.body))
+        elif isinstance(stmt, If):
+            depth = max(depth, loop_nest_depth(stmt.then),
+                        loop_nest_depth(stmt.orelse))
+    return depth
+
+
+def find_parallel_loop(statements: Sequence[Statement]) -> Optional[For]:
+    """Return the outermost loop marked ``parallel`` (depth-first order)."""
+    for stmt in statements:
+        if isinstance(stmt, For):
+            if stmt.parallel:
+                return stmt
+            nested = find_parallel_loop(stmt.body)
+            if nested is not None:
+                return nested
+        elif isinstance(stmt, If):
+            nested = find_parallel_loop(list(stmt.then) + list(stmt.orelse))
+            if nested is not None:
+                return nested
+    return None

@@ -1,0 +1,27 @@
+"""Graph neural networks over ProGraML-style graphs.
+
+Provides the homogeneous convolutions evaluated in the paper (§4.1.3: GCN,
+GraphSAGE, GAT and Gated Graph Conv — GGNN wins) plus the heterogeneous
+wrapper that runs one convolution per flow relation (control / data / call)
+and mean-aggregates the per-relation outputs, and global pooling to obtain a
+graph-level embedding.
+"""
+
+from repro.gnn.conv import GATConv, GCNConv, GGNNConv, GRUCell, SAGEConv, make_conv
+from repro.gnn.hetero import HeteroConv
+from repro.gnn.pool import global_mean_pool, global_sum_pool
+from repro.gnn.encoder import GNNEncoder, HomogeneousGNNEncoder
+
+__all__ = [
+    "GRUCell",
+    "GCNConv",
+    "SAGEConv",
+    "GATConv",
+    "GGNNConv",
+    "make_conv",
+    "HeteroConv",
+    "global_mean_pool",
+    "global_sum_pool",
+    "GNNEncoder",
+    "HomogeneousGNNEncoder",
+]

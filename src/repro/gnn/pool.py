@@ -1,0 +1,17 @@
+"""Graph-level pooling of node embeddings."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.autograd import Tensor, segment_mean
+
+
+def global_mean_pool(x: Tensor, graph_index: np.ndarray, num_graphs: int) -> Tensor:
+    """Mean of node embeddings per graph (``[num_graphs, dim]``)."""
+    return segment_mean(x, graph_index, num_graphs)
+
+
+def global_sum_pool(x: Tensor, graph_index: np.ndarray, num_graphs: int) -> Tensor:
+    """Sum of node embeddings per graph."""
+    return x.scatter_add(np.asarray(graph_index, dtype=np.int64), num_graphs)

@@ -1,0 +1,39 @@
+"""ProGraML-style program graphs (modality #1 of the MGA tuner).
+
+:func:`build_programl_graph` converts an IR module into a heterogeneous flow
+multigraph with instruction / variable / constant nodes and control / data /
+call edges, mirroring the representation of Cummins et al. (PROGRAML).
+:func:`to_hetero_graph` converts it into the tensorised
+:class:`HeteroGraphData` consumed by the heterogeneous GNN, and
+:func:`batch_graphs` block-diagonally batches several graphs.
+"""
+
+from repro.graphs.programl import (
+    EdgeFlow,
+    NodeType,
+    ProGraMLGraph,
+    ProGraMLNode,
+    build_programl_graph,
+)
+from repro.graphs.vocab import GraphVocabulary
+from repro.graphs.hetero import (
+    BatchedHeteroGraph,
+    HeteroGraphData,
+    RELATIONS,
+    batch_graphs,
+    to_hetero_graph,
+)
+
+__all__ = [
+    "NodeType",
+    "EdgeFlow",
+    "ProGraMLNode",
+    "ProGraMLGraph",
+    "build_programl_graph",
+    "GraphVocabulary",
+    "HeteroGraphData",
+    "BatchedHeteroGraph",
+    "RELATIONS",
+    "to_hetero_graph",
+    "batch_graphs",
+]

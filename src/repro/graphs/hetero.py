@@ -1,0 +1,124 @@
+"""Tensorised heterogeneous graph containers for the GNN stack.
+
+The paper's heterogeneous GNN is an agglomeration of three homogeneous GNNs,
+one per flow relation (control / data / call), sharing the node set.
+:class:`HeteroGraphData` therefore stores one node-feature matrix plus one
+edge-index array per relation; :func:`batch_graphs` builds the block-diagonal
+batch used during training (with a ``graph_index`` vector for pooling).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.graphs.programl import EdgeFlow, ProGraMLGraph
+from repro.graphs.vocab import GraphVocabulary
+
+#: Relation names, in canonical order.
+RELATIONS = (EdgeFlow.CONTROL.value, EdgeFlow.DATA.value, EdgeFlow.CALL.value)
+
+
+@dataclasses.dataclass
+class HeteroGraphData:
+    """One kernel's graph in tensor form."""
+
+    name: str
+    node_features: np.ndarray                 # [num_nodes, feature_dim]
+    node_types: np.ndarray                    # [num_nodes] int
+    edge_index: Dict[str, np.ndarray]         # relation -> [2, num_edges]
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.node_features.shape[0])
+
+    @property
+    def feature_dim(self) -> int:
+        return int(self.node_features.shape[1])
+
+    def num_edges(self, relation: Optional[str] = None) -> int:
+        if relation is not None:
+            return int(self.edge_index[relation].shape[1])
+        return sum(int(e.shape[1]) for e in self.edge_index.values())
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` if any edge references a missing node."""
+        n = self.num_nodes
+        for rel, edges in self.edge_index.items():
+            if edges.size and (edges.min() < 0 or edges.max() >= n):
+                raise ValueError(f"relation {rel!r} has out-of-range node ids")
+
+
+def to_hetero_graph(graph: ProGraMLGraph,
+                    vocab: Optional[GraphVocabulary] = None) -> HeteroGraphData:
+    """Convert a :class:`ProGraMLGraph` into tensor form."""
+    vocab = vocab or GraphVocabulary()
+    features = vocab.node_features(graph)
+    node_types = np.array([int(n.node_type) for n in graph.nodes], dtype=np.int64)
+    edge_index: Dict[str, np.ndarray] = {}
+    for relation in RELATIONS:
+        edges = [e for e in graph.edges if e.flow.value == relation]
+        if edges:
+            arr = np.array([[e.src for e in edges], [e.dst for e in edges]],
+                           dtype=np.int64)
+        else:
+            arr = np.zeros((2, 0), dtype=np.int64)
+        edge_index[relation] = arr
+    data = HeteroGraphData(graph.name, features, node_types, edge_index)
+    data.validate()
+    return data
+
+
+@dataclasses.dataclass
+class BatchedHeteroGraph:
+    """Block-diagonal batch of several :class:`HeteroGraphData`."""
+
+    node_features: np.ndarray                 # [total_nodes, feature_dim]
+    node_types: np.ndarray                    # [total_nodes]
+    edge_index: Dict[str, np.ndarray]         # relation -> [2, total_edges]
+    graph_index: np.ndarray                   # [total_nodes] graph id per node
+    num_graphs: int
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.node_features.shape[0])
+
+
+def batch_graphs(graphs: Sequence[HeteroGraphData]) -> BatchedHeteroGraph:
+    """Concatenate graphs with node-id offsets (PyG-style batching)."""
+    if not graphs:
+        raise ValueError("cannot batch zero graphs")
+    feature_dim = graphs[0].feature_dim
+    for g in graphs:
+        if g.feature_dim != feature_dim:
+            raise ValueError("all graphs must share the feature dimension")
+
+    features: List[np.ndarray] = []
+    node_types: List[np.ndarray] = []
+    graph_index: List[np.ndarray] = []
+    edges: Dict[str, List[np.ndarray]] = {rel: [] for rel in RELATIONS}
+    offset = 0
+    for gid, g in enumerate(graphs):
+        features.append(g.node_features)
+        node_types.append(g.node_types)
+        graph_index.append(np.full(g.num_nodes, gid, dtype=np.int64))
+        for rel in RELATIONS:
+            e = g.edge_index.get(rel)
+            if e is not None and e.size:
+                edges[rel].append(e + offset)
+        offset += g.num_nodes
+
+    edge_index = {
+        rel: (np.concatenate(parts, axis=1) if parts
+              else np.zeros((2, 0), dtype=np.int64))
+        for rel, parts in edges.items()
+    }
+    return BatchedHeteroGraph(
+        node_features=np.concatenate(features, axis=0),
+        node_types=np.concatenate(node_types, axis=0),
+        edge_index=edge_index,
+        graph_index=np.concatenate(graph_index, axis=0),
+        num_graphs=len(graphs),
+    )

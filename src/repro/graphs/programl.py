@@ -1,0 +1,209 @@
+"""Construction of ProGraML-style flow multigraphs from the miniature IR.
+
+Following Cummins et al. (ICML 2021), the graph has:
+
+* one **instruction node** per IR instruction,
+* one **variable node** per SSA value (instruction results, arguments,
+  globals) and one **constant node** per constant operand,
+* **control edges** between an instruction and its control-flow successors,
+* **data edges** from defining instruction to its value node and from value /
+  constant nodes to the instructions using them (with operand position),
+* **call edges** from call sites to the callee's entry instruction and from
+  the callee's returns back to the call site.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.module import Module
+from repro.ir.values import Argument, Constant, GlobalVariable, Value
+
+
+class NodeType(enum.IntEnum):
+    """ProGraML node categories."""
+
+    INSTRUCTION = 0
+    VARIABLE = 1
+    CONSTANT = 2
+
+
+class EdgeFlow(str, enum.Enum):
+    """ProGraML edge (relation) categories."""
+
+    CONTROL = "control"
+    DATA = "data"
+    CALL = "call"
+
+
+@dataclasses.dataclass
+class ProGraMLNode:
+    """One graph vertex."""
+
+    node_id: int
+    node_type: NodeType
+    text: str                      # opcode for instructions, dtype otherwise
+    function: Optional[str] = None
+    block: Optional[str] = None
+
+
+@dataclasses.dataclass
+class ProGraMLEdge:
+    """One directed, typed edge with an operand position."""
+
+    src: int
+    dst: int
+    flow: EdgeFlow
+    position: int = 0
+
+
+class ProGraMLGraph:
+    """A flow multigraph of one IR module."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.nodes: List[ProGraMLNode] = []
+        self.edges: List[ProGraMLEdge] = []
+
+    # ------------------------------------------------------------------
+    def add_node(self, node_type: NodeType, text: str,
+                 function: Optional[str] = None,
+                 block: Optional[str] = None) -> int:
+        node_id = len(self.nodes)
+        self.nodes.append(ProGraMLNode(node_id, node_type, text, function, block))
+        return node_id
+
+    def add_edge(self, src: int, dst: int, flow: EdgeFlow, position: int = 0) -> None:
+        if not (0 <= src < len(self.nodes) and 0 <= dst < len(self.nodes)):
+            raise IndexError(f"edge ({src}, {dst}) references unknown node")
+        self.edges.append(ProGraMLEdge(src, dst, flow, position))
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def edges_of_flow(self, flow: EdgeFlow) -> List[ProGraMLEdge]:
+        return [e for e in self.edges if e.flow == flow]
+
+    def nodes_of_type(self, node_type: NodeType) -> List[ProGraMLNode]:
+        return [n for n in self.nodes if n.node_type == node_type]
+
+    def to_networkx(self) -> nx.MultiDiGraph:
+        """Export to a networkx multigraph (used by tests and inspection)."""
+        graph = nx.MultiDiGraph(name=self.name)
+        for node in self.nodes:
+            graph.add_node(node.node_id, node_type=int(node.node_type),
+                           text=node.text, function=node.function)
+        for edge in self.edges:
+            graph.add_edge(edge.src, edge.dst, flow=edge.flow.value,
+                           position=edge.position)
+        return graph
+
+    def __repr__(self) -> str:
+        return (f"<ProGraMLGraph {self.name!r}: {self.num_nodes} nodes, "
+                f"{self.num_edges} edges>")
+
+
+def build_programl_graph(module: Module) -> ProGraMLGraph:
+    """Build the ProGraML-style graph of ``module``."""
+    graph = ProGraMLGraph(module.name)
+    inst_node: Dict[Instruction, int] = {}
+    value_node: Dict[Value, int] = {}
+
+    # ------------------------------------------------------------------
+    # nodes: instructions first (so instruction ids are dense and stable)
+    # ------------------------------------------------------------------
+    for function in module.functions:
+        for block in function.blocks:
+            for inst in block.instructions:
+                nid = graph.add_node(NodeType.INSTRUCTION, inst.opcode.value,
+                                     function.name, block.label)
+                inst_node[inst] = nid
+
+    def _value_node(value: Value, function_name: Optional[str]) -> int:
+        if value in value_node:
+            return value_node[value]
+        if isinstance(value, Constant):
+            nid = graph.add_node(NodeType.CONSTANT, value.dtype.value,
+                                 function_name)
+        else:
+            nid = graph.add_node(NodeType.VARIABLE, value.dtype.value,
+                                 function_name)
+        value_node[value] = nid
+        return nid
+
+    # ------------------------------------------------------------------
+    # control edges
+    # ------------------------------------------------------------------
+    for function in module.functions:
+        for block in function.blocks:
+            insts = block.instructions
+            for a, b in zip(insts, insts[1:]):
+                graph.add_edge(inst_node[a], inst_node[b], EdgeFlow.CONTROL)
+            term = block.terminator
+            if term is None:
+                continue
+            for pos, succ in enumerate(term.successors()):
+                if succ.instructions:
+                    graph.add_edge(inst_node[term],
+                                   inst_node[succ.instructions[0]],
+                                   EdgeFlow.CONTROL, position=pos)
+
+    # ------------------------------------------------------------------
+    # data edges (def -> value, value/const -> use)
+    # ------------------------------------------------------------------
+    for function in module.functions:
+        for block in function.blocks:
+            for inst in block.instructions:
+                if inst.has_result:
+                    vid = _value_node(inst, function.name)
+                    graph.add_edge(inst_node[inst], vid, EdgeFlow.DATA)
+                for pos, operand in enumerate(inst.operands):
+                    if isinstance(operand, Instruction):
+                        vid = _value_node(operand, function.name)
+                    elif isinstance(operand, (Argument, GlobalVariable, Constant)):
+                        vid = _value_node(operand, function.name)
+                    else:  # pragma: no cover - defensive
+                        continue
+                    graph.add_edge(vid, inst_node[inst], EdgeFlow.DATA,
+                                   position=pos)
+
+    # ------------------------------------------------------------------
+    # call edges
+    # ------------------------------------------------------------------
+    function_entry: Dict[str, Instruction] = {}
+    function_rets: Dict[str, List[Instruction]] = {}
+    for function in module.functions:
+        if function.is_declaration:
+            continue
+        entry = function.entry_block
+        if entry.instructions:
+            function_entry[function.name] = entry.instructions[0]
+        function_rets[function.name] = [
+            inst for inst in function.instructions() if inst.opcode == Opcode.RET
+        ]
+    for function in module.functions:
+        for block in function.blocks:
+            for inst in block.instructions:
+                if not inst.is_call:
+                    continue
+                callee = inst.metadata.get("callee")
+                if callee in function_entry:
+                    graph.add_edge(inst_node[inst],
+                                   inst_node[function_entry[callee]],
+                                   EdgeFlow.CALL)
+                    for ret in function_rets.get(callee, []):
+                        graph.add_edge(inst_node[ret], inst_node[inst],
+                                       EdgeFlow.CALL, position=1)
+    return graph

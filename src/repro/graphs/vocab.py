@@ -1,0 +1,62 @@
+"""Node-text vocabulary shared by the graph and embedding pipelines."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from repro.graphs.programl import NodeType, ProGraMLGraph
+from repro.ir.instructions import Opcode
+from repro.ir.types import DataType
+
+
+class GraphVocabulary:
+    """Maps ProGraML node text to integer ids / one-hot features.
+
+    The vocabulary is closed over the IR's opcodes and data types plus the
+    three node-type markers; unseen text maps to a dedicated UNK id so that a
+    model trained on one kernel set remains applicable to any other.
+    """
+
+    UNK = "<unk>"
+
+    def __init__(self) -> None:
+        tokens: List[str] = [self.UNK]
+        tokens.extend(op.value for op in Opcode)
+        tokens.extend(dt.value for dt in DataType)
+        self._index: Dict[str, int] = {tok: i for i, tok in enumerate(tokens)}
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self._index)
+
+    def token_id(self, text: str) -> int:
+        return self._index.get(text, self._index[self.UNK])
+
+    def encode_nodes(self, graph: ProGraMLGraph) -> np.ndarray:
+        """Integer token id per node, shape ``[num_nodes]``."""
+        return np.array([self.token_id(n.text) for n in graph.nodes],
+                        dtype=np.int64)
+
+    def node_features(self, graph: ProGraMLGraph,
+                      include_node_type: bool = True) -> np.ndarray:
+        """Initial node feature matrix: one-hot token id (+ node-type one-hot)."""
+        ids = self.encode_nodes(graph)
+        feats = np.zeros((graph.num_nodes, self.size), dtype=np.float64)
+        feats[np.arange(graph.num_nodes), ids] = 1.0
+        if include_node_type:
+            type_feats = np.zeros((graph.num_nodes, len(NodeType)),
+                                  dtype=np.float64)
+            for i, node in enumerate(graph.nodes):
+                type_feats[i, int(node.node_type)] = 1.0
+            feats = np.concatenate([feats, type_feats], axis=1)
+        return feats
+
+    @property
+    def feature_dim(self) -> int:
+        return self.size + len(NodeType)
+
+    def tokens(self) -> Iterable[str]:
+        return self._index.keys()

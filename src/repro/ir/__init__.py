@@ -1,0 +1,69 @@
+"""Miniature LLVM-like SSA intermediate representation.
+
+This package is the substrate that replaces Clang/LLVM in the reproduction.
+It provides typed values, SSA instructions grouped into basic blocks and
+functions, an :class:`IRBuilder` for construction, a verifier, a textual
+printer and control-flow analyses.  The downstream code representations
+(ProGraML-style graphs in :mod:`repro.graphs` and IR2Vec-style vectors in
+:mod:`repro.embeddings`) consume only this IR.
+"""
+
+from repro.ir.types import DataType, is_float, is_int, is_pointer
+from repro.ir.values import Argument, Constant, GlobalVariable, Value
+from repro.ir.instructions import (
+    CALL_OPCODES,
+    COMMUTATIVE_OPCODES,
+    CONTROL_OPCODES,
+    MEMORY_OPCODES,
+    Instruction,
+    Opcode,
+    TERMINATOR_OPCODES,
+)
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.builder import IRBuilder
+from repro.ir.verifier import VerificationError, verify_function, verify_module
+from repro.ir.printer import print_function, print_instruction, print_module
+from repro.ir.analysis import (
+    CFG,
+    compute_dominators,
+    instruction_histogram,
+    module_statistics,
+    natural_loops,
+    reachable_blocks,
+)
+
+__all__ = [
+    "DataType",
+    "is_float",
+    "is_int",
+    "is_pointer",
+    "Value",
+    "Constant",
+    "Argument",
+    "GlobalVariable",
+    "Opcode",
+    "Instruction",
+    "TERMINATOR_OPCODES",
+    "MEMORY_OPCODES",
+    "CONTROL_OPCODES",
+    "CALL_OPCODES",
+    "COMMUTATIVE_OPCODES",
+    "BasicBlock",
+    "Function",
+    "Module",
+    "IRBuilder",
+    "VerificationError",
+    "verify_module",
+    "verify_function",
+    "print_module",
+    "print_function",
+    "print_instruction",
+    "CFG",
+    "compute_dominators",
+    "natural_loops",
+    "reachable_blocks",
+    "module_statistics",
+    "instruction_histogram",
+]

@@ -1,0 +1,173 @@
+"""Control-flow and statistical analyses over the miniature IR.
+
+These analyses feed three consumers:
+
+* the ProGraML-style graph builder (control-flow successor relation),
+* the IR2Vec-style encoder (instruction/flow statistics),
+* the performance simulator (loop nesting depth, instruction mix).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Set, Tuple
+
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Opcode
+from repro.ir.module import Module
+
+
+class CFG:
+    """Explicit control-flow graph of a function (blocks as nodes)."""
+
+    def __init__(self, function: Function):
+        self.function = function
+        self.successors: Dict[BasicBlock, List[BasicBlock]] = {}
+        self.predecessors: Dict[BasicBlock, List[BasicBlock]] = {
+            b: [] for b in function.blocks
+        }
+        for block in function.blocks:
+            succs = block.successors()
+            self.successors[block] = succs
+            for s in succs:
+                self.predecessors.setdefault(s, []).append(block)
+
+    @property
+    def entry(self) -> BasicBlock:
+        return self.function.entry_block
+
+    def edges(self) -> List[Tuple[BasicBlock, BasicBlock]]:
+        return [(src, dst) for src, dsts in self.successors.items() for dst in dsts]
+
+
+def reachable_blocks(function: Function) -> Set[BasicBlock]:
+    """Blocks reachable from the entry block."""
+    if function.is_declaration:
+        return set()
+    seen: Set[BasicBlock] = set()
+    stack = [function.entry_block]
+    while stack:
+        block = stack.pop()
+        if block in seen:
+            continue
+        seen.add(block)
+        stack.extend(block.successors())
+    return seen
+
+
+def compute_dominators(function: Function) -> Dict[BasicBlock, Set[BasicBlock]]:
+    """Classic iterative dominator computation.
+
+    Returns a mapping ``block -> set of blocks dominating it`` (including the
+    block itself).  Unreachable blocks dominate themselves only.
+    """
+    if function.is_declaration:
+        return {}
+    cfg = CFG(function)
+    blocks = [b for b in function.blocks if b in reachable_blocks(function)]
+    entry = function.entry_block
+    dom: Dict[BasicBlock, Set[BasicBlock]] = {b: set(blocks) for b in blocks}
+    dom[entry] = {entry}
+    changed = True
+    while changed:
+        changed = False
+        for block in blocks:
+            if block is entry:
+                continue
+            preds = [p for p in cfg.predecessors.get(block, []) if p in dom]
+            if not preds:
+                new = {block}
+            else:
+                new = set(blocks)
+                for p in preds:
+                    new &= dom[p]
+                new |= {block}
+            if new != dom[block]:
+                dom[block] = new
+                changed = True
+    for block in function.blocks:
+        if block not in dom:
+            dom[block] = {block}
+    return dom
+
+
+def natural_loops(function: Function) -> List[Dict[str, object]]:
+    """Detect natural loops via back edges (``latch -> header`` with header
+    dominating latch).  Returns a list of ``{"header", "latch", "blocks"}``.
+    """
+    if function.is_declaration:
+        return []
+    dom = compute_dominators(function)
+    cfg = CFG(function)
+    loops: List[Dict[str, object]] = []
+    for latch, succs in cfg.successors.items():
+        for header in succs:
+            if header in dom.get(latch, set()):
+                body: Set[BasicBlock] = {header, latch}
+                stack = [latch]
+                while stack:
+                    block = stack.pop()
+                    if block is header:
+                        continue
+                    for pred in cfg.predecessors.get(block, []):
+                        if pred not in body:
+                            body.add(pred)
+                            stack.append(pred)
+                loops.append({"header": header, "latch": latch, "blocks": body})
+    return loops
+
+
+def loop_nest_depth(function: Function) -> int:
+    """Maximum loop nesting depth (0 when the function has no loops)."""
+    loops = natural_loops(function)
+    if not loops:
+        return 0
+    depth = 0
+    for loop in loops:
+        nested = sum(
+            1
+            for other in loops
+            if other is not loop and loop["header"] in other["blocks"]
+        )
+        depth = max(depth, nested + 1)
+    return depth
+
+
+def instruction_histogram(module: Module) -> Counter:
+    """Opcode -> count over all instructions in the module."""
+    hist: Counter = Counter()
+    for inst in module.instructions():
+        hist[inst.opcode] += 1
+    return hist
+
+
+def module_statistics(module: Module) -> Dict[str, float]:
+    """Summary statistics used by tests and by the feature pipelines."""
+    hist = instruction_histogram(module)
+    total = sum(hist.values())
+    n_mem = sum(c for op, c in hist.items()
+                if op in (Opcode.LOAD, Opcode.STORE, Opcode.ATOMIC_ADD))
+    n_float = sum(c for op, c in hist.items()
+                  if op in (Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV,
+                            Opcode.FMA, Opcode.SQRT, Opcode.EXP, Opcode.LOG,
+                            Opcode.POW, Opcode.SIN, Opcode.COS))
+    n_branch = sum(c for op, c in hist.items()
+                   if op in (Opcode.BR, Opcode.CONDBR, Opcode.SWITCH))
+    n_call = sum(c for op, c in hist.items()
+                 if op in (Opcode.CALL, Opcode.OMP_FORK))
+    max_depth = max((loop_nest_depth(f) for f in module.defined_functions()),
+                    default=0)
+    return {
+        "num_instructions": float(total),
+        "num_functions": float(len(module.functions)),
+        "num_blocks": float(sum(len(f.blocks) for f in module.functions)),
+        "num_memory_ops": float(n_mem),
+        "num_float_ops": float(n_float),
+        "num_branches": float(n_branch),
+        "num_calls": float(n_call),
+        "max_loop_depth": float(max_depth),
+        "mem_ratio": n_mem / total if total else 0.0,
+        "float_ratio": n_float / total if total else 0.0,
+        "branch_ratio": n_branch / total if total else 0.0,
+    }

@@ -1,0 +1,71 @@
+"""Basic blocks: maximal straight-line sequences of instructions."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.ir.instructions import Instruction, Opcode
+
+
+class BasicBlock:
+    """An ordered list of instructions ending in a single terminator."""
+
+    __slots__ = ("label", "instructions", "function")
+
+    def __init__(self, label: str):
+        self.label = label
+        self.instructions: List[Instruction] = []
+        self.function = None  # set by Function.add_block
+
+    # ------------------------------------------------------------------
+    def append(self, inst: Instruction) -> Instruction:
+        """Append ``inst``; refuses to add instructions after a terminator."""
+        if self.terminator is not None:
+            raise ValueError(
+                f"block {self.label!r} already has a terminator "
+                f"({self.terminator.opcode}); cannot append {inst.opcode}"
+            )
+        inst.block = self
+        self.instructions.append(inst)
+        return inst
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    @property
+    def is_terminated(self) -> bool:
+        return self.terminator is not None
+
+    def successors(self) -> List["BasicBlock"]:
+        term = self.terminator
+        if term is None:
+            return []
+        return term.successors()
+
+    def predecessors(self) -> List["BasicBlock"]:
+        if self.function is None:
+            return []
+        preds = []
+        for block in self.function.blocks:
+            if self in block.successors():
+                preds.append(block)
+        return preds
+
+    def phis(self) -> List[Instruction]:
+        return [i for i in self.instructions if i.opcode == Opcode.PHI]
+
+    def non_phi_instructions(self) -> List[Instruction]:
+        return [i for i in self.instructions if i.opcode != Opcode.PHI]
+
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __repr__(self) -> str:
+        return f"<BasicBlock {self.label} ({len(self)} insts)>"

@@ -1,0 +1,222 @@
+"""IRBuilder: convenience API for constructing SSA instructions.
+
+Mirrors ``llvm::IRBuilder``: the builder is positioned at the end of a basic
+block and every ``create_*`` method appends one instruction there, returning
+the instruction (which is itself a :class:`Value` usable as an operand).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Sequence
+
+from repro.ir.block import BasicBlock
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.types import DataType, is_float, is_int, is_pointer, pointee
+from repro.ir.values import Constant, Value
+
+
+class IRBuilder:
+    """Appends instructions to a basic block with automatic SSA naming."""
+
+    def __init__(self, block: Optional[BasicBlock] = None):
+        self._block = block
+        self._name_counter = itertools.count()
+
+    # ------------------------------------------------------------------
+    # positioning
+    # ------------------------------------------------------------------
+    @property
+    def block(self) -> BasicBlock:
+        if self._block is None:
+            raise ValueError("builder is not positioned at a block")
+        return self._block
+
+    def position_at_end(self, block: BasicBlock) -> None:
+        self._block = block
+
+    def _fresh(self, hint: str) -> str:
+        return f"{hint}{next(self._name_counter)}"
+
+    def _emit(
+        self,
+        opcode: Opcode,
+        dtype: DataType,
+        operands: Sequence[Value] = (),
+        name_hint: str = "t",
+        metadata: Optional[dict] = None,
+    ) -> Instruction:
+        inst = Instruction(
+            opcode,
+            dtype,
+            operands,
+            name=self._fresh(name_hint) if dtype != DataType.VOID else opcode.value,
+            metadata=metadata,
+        )
+        return self.block.append(inst)
+
+    # ------------------------------------------------------------------
+    # constants
+    # ------------------------------------------------------------------
+    @staticmethod
+    def const_int(value: int, dtype: DataType = DataType.I64) -> Constant:
+        return Constant(int(value), dtype)
+
+    @staticmethod
+    def const_float(value: float, dtype: DataType = DataType.F64) -> Constant:
+        return Constant(float(value), dtype)
+
+    # ------------------------------------------------------------------
+    # arithmetic (dispatches on operand type)
+    # ------------------------------------------------------------------
+    def _binop(self, int_op: Opcode, float_op: Opcode, lhs: Value, rhs: Value,
+               name: str) -> Instruction:
+        if is_float(lhs.dtype) or is_float(rhs.dtype):
+            dtype = lhs.dtype if is_float(lhs.dtype) else rhs.dtype
+            return self._emit(float_op, dtype, [lhs, rhs], name)
+        return self._emit(int_op, lhs.dtype, [lhs, rhs], name)
+
+    def add(self, lhs: Value, rhs: Value, name: str = "add") -> Instruction:
+        return self._binop(Opcode.ADD, Opcode.FADD, lhs, rhs, name)
+
+    def sub(self, lhs: Value, rhs: Value, name: str = "sub") -> Instruction:
+        return self._binop(Opcode.SUB, Opcode.FSUB, lhs, rhs, name)
+
+    def mul(self, lhs: Value, rhs: Value, name: str = "mul") -> Instruction:
+        return self._binop(Opcode.MUL, Opcode.FMUL, lhs, rhs, name)
+
+    def div(self, lhs: Value, rhs: Value, name: str = "div") -> Instruction:
+        return self._binop(Opcode.SDIV, Opcode.FDIV, lhs, rhs, name)
+
+    def rem(self, lhs: Value, rhs: Value, name: str = "rem") -> Instruction:
+        return self._emit(Opcode.SREM, lhs.dtype, [lhs, rhs], name)
+
+    def fma(self, a: Value, b: Value, c: Value, name: str = "fma") -> Instruction:
+        return self._emit(Opcode.FMA, a.dtype, [a, b, c], name)
+
+    def neg(self, value: Value, name: str = "neg") -> Instruction:
+        if is_float(value.dtype):
+            return self._emit(Opcode.FNEG, value.dtype, [value], name)
+        zero = self.const_int(0, value.dtype)
+        return self._emit(Opcode.SUB, value.dtype, [zero, value], name)
+
+    def binary(self, opcode: Opcode, lhs: Value, rhs: Value,
+               name: str = "bin") -> Instruction:
+        return self._emit(opcode, lhs.dtype, [lhs, rhs], name)
+
+    def intrinsic(self, opcode: Opcode, operands: Sequence[Value],
+                  dtype: Optional[DataType] = None,
+                  name: str = "call") -> Instruction:
+        dtype = dtype or operands[0].dtype
+        return self._emit(opcode, dtype, operands, name)
+
+    # ------------------------------------------------------------------
+    # comparisons / select
+    # ------------------------------------------------------------------
+    def icmp(self, predicate: str, lhs: Value, rhs: Value,
+             name: str = "cmp") -> Instruction:
+        return self._emit(Opcode.ICMP, DataType.I1, [lhs, rhs], name,
+                          metadata={"predicate": predicate})
+
+    def fcmp(self, predicate: str, lhs: Value, rhs: Value,
+             name: str = "fcmp") -> Instruction:
+        return self._emit(Opcode.FCMP, DataType.I1, [lhs, rhs], name,
+                          metadata={"predicate": predicate})
+
+    def select(self, cond: Value, if_true: Value, if_false: Value,
+               name: str = "sel") -> Instruction:
+        return self._emit(Opcode.SELECT, if_true.dtype, [cond, if_true, if_false],
+                          name)
+
+    # ------------------------------------------------------------------
+    # memory
+    # ------------------------------------------------------------------
+    def alloca(self, dtype: DataType, name: str = "stack") -> Instruction:
+        from repro.ir.types import pointer_to
+
+        return self._emit(Opcode.ALLOCA, pointer_to(dtype), [], name)
+
+    def gep(self, base: Value, index: Value, name: str = "ptr") -> Instruction:
+        if not is_pointer(base.dtype):
+            raise ValueError(f"gep base must be a pointer, got {base.dtype}")
+        return self._emit(Opcode.GEP, base.dtype, [base, index], name)
+
+    def load(self, pointer: Value, name: str = "val") -> Instruction:
+        if not is_pointer(pointer.dtype):
+            raise ValueError(f"load pointer operand required, got {pointer.dtype}")
+        return self._emit(Opcode.LOAD, pointee(pointer.dtype), [pointer], name)
+
+    def store(self, value: Value, pointer: Value) -> Instruction:
+        if not is_pointer(pointer.dtype):
+            raise ValueError(f"store pointer operand required, got {pointer.dtype}")
+        return self._emit(Opcode.STORE, DataType.VOID, [value, pointer])
+
+    def atomic_add(self, pointer: Value, value: Value,
+                   name: str = "old") -> Instruction:
+        return self._emit(Opcode.ATOMIC_ADD, pointee(pointer.dtype),
+                          [pointer, value], name)
+
+    # ------------------------------------------------------------------
+    # casts
+    # ------------------------------------------------------------------
+    def cast(self, opcode: Opcode, value: Value, dtype: DataType,
+             name: str = "cast") -> Instruction:
+        return self._emit(opcode, dtype, [value], name)
+
+    def sext(self, value: Value, dtype: DataType = DataType.I64) -> Instruction:
+        return self.cast(Opcode.SEXT, value, dtype, "sext")
+
+    def sitofp(self, value: Value, dtype: DataType = DataType.F64) -> Instruction:
+        return self.cast(Opcode.SITOFP, value, dtype, "conv")
+
+    def fptosi(self, value: Value, dtype: DataType = DataType.I64) -> Instruction:
+        return self.cast(Opcode.FPTOSI, value, dtype, "conv")
+
+    # ------------------------------------------------------------------
+    # control flow
+    # ------------------------------------------------------------------
+    def br(self, target: BasicBlock) -> Instruction:
+        return self._emit(Opcode.BR, DataType.VOID, [], metadata={"target": target})
+
+    def cond_br(self, cond: Value, if_true: BasicBlock,
+                if_false: BasicBlock) -> Instruction:
+        return self._emit(Opcode.CONDBR, DataType.VOID, [cond],
+                          metadata={"if_true": if_true, "if_false": if_false})
+
+    def ret(self, value: Optional[Value] = None) -> Instruction:
+        operands = [value] if value is not None else []
+        return self._emit(Opcode.RET, DataType.VOID, operands)
+
+    def phi(self, dtype: DataType, name: str = "phi") -> Instruction:
+        return self._emit(Opcode.PHI, dtype, [], name, metadata={"incoming": []})
+
+    @staticmethod
+    def add_incoming(phi: Instruction, value: Value, block: BasicBlock) -> None:
+        if phi.opcode != Opcode.PHI:
+            raise ValueError("add_incoming requires a phi instruction")
+        phi.operands.append(value)
+        phi.metadata["incoming"].append(block)
+
+    # ------------------------------------------------------------------
+    # calls / parallel runtime
+    # ------------------------------------------------------------------
+    def call(self, callee_name: str, args: Sequence[Value],
+             dtype: DataType = DataType.VOID, name: str = "ret") -> Instruction:
+        return self._emit(Opcode.CALL, dtype, list(args),
+                          name if dtype != DataType.VOID else "call",
+                          metadata={"callee": callee_name})
+
+    def omp_fork(self, outlined_name: str, args: Sequence[Value]) -> Instruction:
+        return self._emit(Opcode.OMP_FORK, DataType.VOID, list(args),
+                          metadata={"callee": outlined_name})
+
+    def omp_barrier(self) -> Instruction:
+        return self._emit(Opcode.OMP_BARRIER, DataType.VOID, [])
+
+    def get_global_id(self, dim: int = 0, name: str = "gid") -> Instruction:
+        return self._emit(Opcode.GET_GLOBAL_ID, DataType.I64,
+                          [self.const_int(dim, DataType.I32)], name)
+
+    def get_local_id(self, dim: int = 0, name: str = "lid") -> Instruction:
+        return self._emit(Opcode.GET_LOCAL_ID, DataType.I64,
+                          [self.const_int(dim, DataType.I32)], name)

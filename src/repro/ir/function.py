@@ -1,0 +1,89 @@
+"""Functions: argument lists plus an ordered list of basic blocks."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.ir.block import BasicBlock
+from repro.ir.instructions import Instruction
+from repro.ir.types import DataType
+from repro.ir.values import Argument
+
+
+class Function:
+    """A function definition (or declaration when it has no blocks).
+
+    Attributes
+    ----------
+    metadata:
+        Free-form annotations.  The frontend stores OpenMP/OpenCL region
+        information here (e.g. ``{"omp.parallel_for": True}``) which the
+        graph builder turns into call-flow edges and the simulator uses to
+        locate the parallel region.
+    """
+
+    __slots__ = ("name", "args", "return_type", "blocks", "module", "metadata")
+
+    def __init__(
+        self,
+        name: str,
+        args: Sequence[Argument] = (),
+        return_type: DataType = DataType.VOID,
+        metadata: Optional[dict] = None,
+    ):
+        self.name = name
+        self.args: List[Argument] = list(args)
+        for i, arg in enumerate(self.args):
+            arg.function = self
+            arg.index = i
+        self.return_type = return_type
+        self.blocks: List[BasicBlock] = []
+        self.module = None  # set by Module.add_function
+        self.metadata = dict(metadata or {})
+
+    # ------------------------------------------------------------------
+    @property
+    def is_declaration(self) -> bool:
+        return not self.blocks
+
+    @property
+    def entry_block(self) -> BasicBlock:
+        if not self.blocks:
+            raise ValueError(f"function {self.name!r} has no blocks")
+        return self.blocks[0]
+
+    def add_block(self, label: str) -> BasicBlock:
+        block = BasicBlock(label=self._unique_label(label))
+        block.function = self
+        self.blocks.append(block)
+        return block
+
+    def _unique_label(self, label: str) -> str:
+        existing = {b.label for b in self.blocks}
+        if label not in existing:
+            return label
+        i = 1
+        while f"{label}.{i}" in existing:
+            i += 1
+        return f"{label}.{i}"
+
+    def get_block(self, label: str) -> BasicBlock:
+        for block in self.blocks:
+            if block.label == label:
+                return block
+        raise KeyError(label)
+
+    # ------------------------------------------------------------------
+    def instructions(self) -> Iterator[Instruction]:
+        for block in self.blocks:
+            yield from block.instructions
+
+    def num_instructions(self) -> int:
+        return sum(len(b) for b in self.blocks)
+
+    def block_index(self) -> Dict[str, BasicBlock]:
+        return {b.label: b for b in self.blocks}
+
+    def __repr__(self) -> str:
+        kind = "declare" if self.is_declaration else "define"
+        return f"<Function {kind} {self.name}({len(self.args)} args), {len(self.blocks)} blocks>"

@@ -1,0 +1,228 @@
+"""Instruction set of the miniature IR.
+
+The opcode set mirrors the subset of LLVM IR that loop-nest kernels compile
+to: integer/floating arithmetic, comparisons, memory access through
+``getelementptr``/``load``/``store``, control flow (``br``/``condbr``/``ret``),
+``phi`` nodes, casts, calls and a handful of math intrinsics.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, List, Optional, Sequence
+
+from repro.ir.types import DataType
+from repro.ir.values import Value
+
+
+class Opcode(str, enum.Enum):
+    """Operation codes.  String-valued so histograms/embeddings key on text."""
+
+    # integer arithmetic
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    SDIV = "sdiv"
+    SREM = "srem"
+    SHL = "shl"
+    LSHR = "lshr"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    # floating point arithmetic
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    FNEG = "fneg"
+    FMA = "fma"
+    # comparisons
+    ICMP = "icmp"
+    FCMP = "fcmp"
+    # memory
+    ALLOCA = "alloca"
+    LOAD = "load"
+    STORE = "store"
+    GEP = "getelementptr"
+    # control flow
+    BR = "br"
+    CONDBR = "condbr"
+    RET = "ret"
+    SWITCH = "switch"
+    # ssa
+    PHI = "phi"
+    SELECT = "select"
+    # casts
+    SEXT = "sext"
+    ZEXT = "zext"
+    TRUNC = "trunc"
+    SITOFP = "sitofp"
+    FPTOSI = "fptosi"
+    FPEXT = "fpext"
+    FPTRUNC = "fptrunc"
+    BITCAST = "bitcast"
+    # calls and intrinsics
+    CALL = "call"
+    SQRT = "sqrt"
+    EXP = "exp"
+    LOG = "log"
+    SIN = "sin"
+    COS = "cos"
+    POW = "pow"
+    FABS = "fabs"
+    MIN = "min"
+    MAX = "max"
+    # parallel runtime markers (OpenMP outlining / OpenCL work-item queries)
+    OMP_FORK = "omp.fork"
+    OMP_BARRIER = "omp.barrier"
+    GET_GLOBAL_ID = "get_global_id"
+    GET_LOCAL_ID = "get_local_id"
+    ATOMIC_ADD = "atomic.add"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+TERMINATOR_OPCODES = frozenset({Opcode.BR, Opcode.CONDBR, Opcode.RET, Opcode.SWITCH})
+MEMORY_OPCODES = frozenset(
+    {Opcode.LOAD, Opcode.STORE, Opcode.ALLOCA, Opcode.GEP, Opcode.ATOMIC_ADD}
+)
+CONTROL_OPCODES = frozenset({Opcode.BR, Opcode.CONDBR, Opcode.SWITCH, Opcode.PHI})
+CALL_OPCODES = frozenset({Opcode.CALL, Opcode.OMP_FORK})
+COMMUTATIVE_OPCODES = frozenset(
+    {
+        Opcode.ADD,
+        Opcode.MUL,
+        Opcode.FADD,
+        Opcode.FMUL,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.MIN,
+        Opcode.MAX,
+    }
+)
+FLOAT_ARITH_OPCODES = frozenset(
+    {Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV, Opcode.FNEG, Opcode.FMA}
+)
+INT_ARITH_OPCODES = frozenset(
+    {
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.MUL,
+        Opcode.SDIV,
+        Opcode.SREM,
+        Opcode.SHL,
+        Opcode.LSHR,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+    }
+)
+MATH_INTRINSICS = frozenset(
+    {
+        Opcode.SQRT,
+        Opcode.EXP,
+        Opcode.LOG,
+        Opcode.SIN,
+        Opcode.COS,
+        Opcode.POW,
+        Opcode.FABS,
+        Opcode.MIN,
+        Opcode.MAX,
+    }
+)
+
+
+class Instruction(Value):
+    """A single SSA instruction.
+
+    Parameters
+    ----------
+    opcode:
+        The :class:`Opcode`.
+    dtype:
+        Result type (``VOID`` for instructions without a result such as
+        ``store``/``br``).
+    operands:
+        Operand values in positional order.
+    name:
+        SSA result name.  Auto-named by the builder when omitted.
+    metadata:
+        Free-form dictionary; used for e.g. ``icmp`` predicates, callee names,
+        phi incoming-block labels and OpenMP annotations.
+    """
+
+    __slots__ = ("opcode", "operands", "block", "metadata")
+
+    def __init__(
+        self,
+        opcode: Opcode,
+        dtype: DataType,
+        operands: Sequence[Value] = (),
+        name: str = "",
+        metadata: Optional[dict] = None,
+    ):
+        super().__init__(name=name or opcode.value, dtype=dtype)
+        self.opcode = opcode
+        self.operands: List[Value] = list(operands)
+        self.block = None  # set when appended to a BasicBlock
+        self.metadata = dict(metadata or {})
+
+    # ------------------------------------------------------------------
+    # classification helpers
+    # ------------------------------------------------------------------
+    @property
+    def is_terminator(self) -> bool:
+        return self.opcode in TERMINATOR_OPCODES
+
+    @property
+    def is_memory(self) -> bool:
+        return self.opcode in MEMORY_OPCODES
+
+    @property
+    def is_float_arith(self) -> bool:
+        return self.opcode in FLOAT_ARITH_OPCODES or self.opcode in MATH_INTRINSICS
+
+    @property
+    def is_int_arith(self) -> bool:
+        return self.opcode in INT_ARITH_OPCODES
+
+    @property
+    def is_call(self) -> bool:
+        return self.opcode in CALL_OPCODES
+
+    @property
+    def has_result(self) -> bool:
+        return self.dtype != DataType.VOID
+
+    # ------------------------------------------------------------------
+    # operand utilities
+    # ------------------------------------------------------------------
+    def operand_values(self) -> Iterable[Value]:
+        return iter(self.operands)
+
+    def replace_operand(self, old: Value, new: Value) -> int:
+        """Replace every occurrence of ``old`` with ``new``; return count."""
+        count = 0
+        for i, op in enumerate(self.operands):
+            if op is old:
+                self.operands[i] = new
+                count += 1
+        return count
+
+    def successors(self) -> List["object"]:
+        """Successor basic blocks encoded in the terminator's metadata."""
+        if self.opcode == Opcode.BR:
+            return [self.metadata["target"]]
+        if self.opcode == Opcode.CONDBR:
+            return [self.metadata["if_true"], self.metadata["if_false"]]
+        if self.opcode == Opcode.SWITCH:
+            return list(self.metadata.get("targets", []))
+        return []
+
+    def __repr__(self) -> str:
+        ops = ", ".join(op.short() for op in self.operands)
+        if self.has_result:
+            return f"<{self.short()} = {self.opcode} {ops}>"
+        return f"<{self.opcode} {ops}>"

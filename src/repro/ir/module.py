@@ -1,0 +1,76 @@
+"""Modules: the top-level IR container (functions + global variables)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.ir.types import DataType
+from repro.ir.values import GlobalVariable
+
+
+class Module:
+    """A translation unit: global arrays plus a set of functions.
+
+    The frontend produces one module per kernel/code region; ``metadata``
+    carries the originating :class:`repro.frontend.spec.KernelSpec` name and
+    the programming model (``"openmp"`` or ``"opencl"``).
+    """
+
+    __slots__ = ("name", "functions", "globals", "metadata")
+
+    def __init__(self, name: str, metadata: Optional[dict] = None):
+        self.name = name
+        self.functions: List[Function] = []
+        self.globals: List[GlobalVariable] = []
+        self.metadata = dict(metadata or {})
+
+    # ------------------------------------------------------------------
+    def add_function(self, function: Function) -> Function:
+        if any(f.name == function.name for f in self.functions):
+            raise ValueError(f"duplicate function name {function.name!r}")
+        function.module = self
+        self.functions.append(function)
+        return function
+
+    def add_global(
+        self, name: str, dtype: DataType, num_elements: int = 1
+    ) -> GlobalVariable:
+        if any(g.name == name for g in self.globals):
+            raise ValueError(f"duplicate global name {name!r}")
+        gv = GlobalVariable(name, dtype, num_elements)
+        self.globals.append(gv)
+        return gv
+
+    def get_function(self, name: str) -> Function:
+        for f in self.functions:
+            if f.name == name:
+                return f
+        raise KeyError(name)
+
+    def get_global(self, name: str) -> GlobalVariable:
+        for g in self.globals:
+            if g.name == name:
+                return g
+        raise KeyError(name)
+
+    # ------------------------------------------------------------------
+    def defined_functions(self) -> List[Function]:
+        return [f for f in self.functions if not f.is_declaration]
+
+    def instructions(self) -> Iterator[Instruction]:
+        for f in self.functions:
+            yield from f.instructions()
+
+    def num_instructions(self) -> int:
+        return sum(f.num_instructions() for f in self.functions)
+
+    def function_index(self) -> Dict[str, Function]:
+        return {f.name: f for f in self.functions}
+
+    def __repr__(self) -> str:
+        return (
+            f"<Module {self.name!r}: {len(self.functions)} functions, "
+            f"{len(self.globals)} globals, {self.num_instructions()} insts>"
+        )

@@ -1,0 +1,72 @@
+"""Textual (LLVM-flavoured) printer for the miniature IR.
+
+The printed form is for debugging, documentation and golden tests; it is not
+re-parsed by the pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.module import Module
+from repro.ir.types import DataType
+
+
+def print_instruction(inst: Instruction) -> str:
+    """Render one instruction as a single line of LLVM-like text."""
+    ops = ", ".join(f"{o.dtype} {o.short()}" for o in inst.operands)
+    if inst.opcode == Opcode.BR:
+        return f"br label %{inst.metadata['target'].label}"
+    if inst.opcode == Opcode.CONDBR:
+        cond = inst.operands[0].short()
+        return (f"br i1 {cond}, label %{inst.metadata['if_true'].label}, "
+                f"label %{inst.metadata['if_false'].label}")
+    if inst.opcode == Opcode.RET:
+        if inst.operands:
+            return f"ret {inst.operands[0].dtype} {inst.operands[0].short()}"
+        return "ret void"
+    if inst.opcode == Opcode.PHI:
+        incoming = inst.metadata.get("incoming", [])
+        pairs = ", ".join(
+            f"[ {val.short()}, %{blk.label} ]"
+            for val, blk in zip(inst.operands, incoming)
+        )
+        return f"{inst.short()} = phi {inst.dtype} {pairs}"
+    if inst.opcode in (Opcode.ICMP, Opcode.FCMP):
+        pred = inst.metadata.get("predicate", "?")
+        return f"{inst.short()} = {inst.opcode} {pred} {ops}"
+    if inst.opcode in (Opcode.CALL, Opcode.OMP_FORK):
+        callee = inst.metadata.get("callee", "?")
+        prefix = f"{inst.short()} = " if inst.has_result else ""
+        return f"{prefix}{inst.opcode} {inst.dtype} @{callee}({ops})"
+    if inst.has_result:
+        return f"{inst.short()} = {inst.opcode} {ops}"
+    return f"{inst.opcode} {ops}"
+
+
+def print_function(function: Function) -> str:
+    """Render a function definition or declaration."""
+    args = ", ".join(f"{a.dtype} %{a.name}" for a in function.args)
+    header = f"{function.return_type} @{function.name}({args})"
+    if function.is_declaration:
+        return f"declare {header}"
+    lines: List[str] = [f"define {header} {{"]
+    for block in function.blocks:
+        lines.append(f"{block.label}:")
+        for inst in block.instructions:
+            lines.append(f"  {print_instruction(inst)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module: Module) -> str:
+    """Render a whole module."""
+    lines: List[str] = [f"; ModuleID = '{module.name}'"]
+    for gv in module.globals:
+        lines.append(f"@{gv.name} = global {gv.dtype} x {gv.num_elements}")
+    for function in module.functions:
+        lines.append("")
+        lines.append(print_function(function))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,115 @@
+"""Scalar and pointer types for the miniature IR.
+
+The type system is intentionally small: it covers the types that appear in
+the OpenMP / OpenCL loop kernels used by the paper (integer index arithmetic,
+single/double precision floating point, pointers to arrays and ``void`` for
+functions without a return value).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class DataType(str, enum.Enum):
+    """Value types understood by the IR.
+
+    ``PTR_*`` types are typed pointers; :func:`pointee` recovers the element
+    type which is what ``load``/``store`` instructions produce/consume.
+    """
+
+    VOID = "void"
+    I1 = "i1"
+    I32 = "i32"
+    I64 = "i64"
+    F32 = "float"
+    F64 = "double"
+    PTR_I32 = "i32*"
+    PTR_I64 = "i64*"
+    PTR_F32 = "float*"
+    PTR_F64 = "double*"
+    LABEL = "label"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+_INT_TYPES = {DataType.I1, DataType.I32, DataType.I64}
+_FLOAT_TYPES = {DataType.F32, DataType.F64}
+_POINTER_TYPES = {
+    DataType.PTR_I32,
+    DataType.PTR_I64,
+    DataType.PTR_F32,
+    DataType.PTR_F64,
+}
+
+_POINTEE = {
+    DataType.PTR_I32: DataType.I32,
+    DataType.PTR_I64: DataType.I64,
+    DataType.PTR_F32: DataType.F32,
+    DataType.PTR_F64: DataType.F64,
+}
+
+_POINTER_TO = {v: k for k, v in _POINTEE.items()}
+
+_SIZEOF = {
+    DataType.I1: 1,
+    DataType.I32: 4,
+    DataType.I64: 8,
+    DataType.F32: 4,
+    DataType.F64: 8,
+    DataType.PTR_I32: 8,
+    DataType.PTR_I64: 8,
+    DataType.PTR_F32: 8,
+    DataType.PTR_F64: 8,
+}
+
+
+def is_int(dtype: DataType) -> bool:
+    """Return ``True`` for integer scalar types (including ``i1``)."""
+    return dtype in _INT_TYPES
+
+
+def is_float(dtype: DataType) -> bool:
+    """Return ``True`` for floating-point scalar types."""
+    return dtype in _FLOAT_TYPES
+
+
+def is_pointer(dtype: DataType) -> bool:
+    """Return ``True`` for pointer types."""
+    return dtype in _POINTER_TYPES
+
+
+def is_scalar(dtype: DataType) -> bool:
+    """Return ``True`` for non-pointer, non-void, non-label types."""
+    return is_int(dtype) or is_float(dtype)
+
+
+def pointee(dtype: DataType) -> DataType:
+    """Element type of a pointer type.
+
+    Raises
+    ------
+    ValueError
+        If ``dtype`` is not a pointer type.
+    """
+    try:
+        return _POINTEE[dtype]
+    except KeyError as exc:
+        raise ValueError(f"{dtype} is not a pointer type") from exc
+
+
+def pointer_to(dtype: DataType) -> DataType:
+    """Pointer type whose pointee is ``dtype``."""
+    try:
+        return _POINTER_TO[dtype]
+    except KeyError as exc:
+        raise ValueError(f"no pointer type for {dtype}") from exc
+
+
+def sizeof(dtype: DataType) -> int:
+    """Size in bytes of a value of type ``dtype``."""
+    try:
+        return _SIZEOF[dtype]
+    except KeyError as exc:
+        raise ValueError(f"{dtype} has no size") from exc

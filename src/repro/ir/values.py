@@ -1,0 +1,96 @@
+"""Value hierarchy of the miniature IR.
+
+Every operand of an instruction is a :class:`Value`.  Concrete values are
+constants, function arguments, global variables (arrays) and instructions
+(defined in :mod:`repro.ir.instructions`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.ir.types import DataType, is_float, is_int, is_pointer
+
+_value_counter = itertools.count()
+
+
+class Value:
+    """Base class for everything that can appear as an instruction operand."""
+
+    __slots__ = ("name", "dtype", "uid")
+
+    def __init__(self, name: str, dtype: DataType):
+        self.name = name
+        self.dtype = dtype
+        self.uid = next(_value_counter)
+
+    # Identity semantics: values are SSA definitions, two values are the same
+    # operand only if they are the same object.
+    def __hash__(self) -> int:
+        return hash(self.uid)
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def short(self) -> str:
+        """Short printable reference (``%name`` / literal / ``@name``)."""
+        return f"%{self.name}"
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.short()}: {self.dtype}>"
+
+
+class Constant(Value):
+    """An immediate constant of integer or floating-point type."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float, dtype: DataType = DataType.I64):
+        if not (is_int(dtype) or is_float(dtype)):
+            raise ValueError(f"constants must be scalar, got {dtype}")
+        super().__init__(name=str(value), dtype=dtype)
+        self.value = float(value) if is_float(dtype) else int(value)
+
+    def short(self) -> str:
+        if is_float(self.dtype):
+            return f"{self.value:.6e}"
+        return str(int(self.value))
+
+
+class Argument(Value):
+    """A formal parameter of a :class:`repro.ir.function.Function`."""
+
+    __slots__ = ("function", "index")
+
+    def __init__(self, name: str, dtype: DataType, index: int = 0):
+        super().__init__(name, dtype)
+        self.function = None  # set by Function
+        self.index = index
+
+
+class GlobalVariable(Value):
+    """A module-level array or scalar (always of pointer type).
+
+    ``num_elements`` is symbolic array length metadata used by the frontend
+    and the performance simulator (working-set estimation); it does not affect
+    the IR semantics.
+    """
+
+    __slots__ = ("num_elements", "initializer")
+
+    def __init__(
+        self,
+        name: str,
+        dtype: DataType,
+        num_elements: int = 1,
+        initializer: Optional[float] = None,
+    ):
+        if not is_pointer(dtype):
+            raise ValueError("global variables must have pointer type")
+        super().__init__(name, dtype)
+        self.num_elements = int(num_elements)
+        self.initializer = initializer
+
+    def short(self) -> str:
+        return f"@{self.name}"

@@ -1,0 +1,137 @@
+"""Structural verifier for the miniature IR.
+
+The verifier enforces the invariants the rest of the pipeline relies on:
+every reachable block is terminated, branch targets belong to the same
+function, phi nodes have one incoming value per operand, operand types are
+consistent with the opcode, and every instruction operand is defined in the
+same function (arguments/globals/constants are always legal operands).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.module import Module
+from repro.ir.types import DataType, is_float, is_int, is_pointer
+from repro.ir.values import Argument, Constant, GlobalVariable, Value
+
+
+class VerificationError(Exception):
+    """Raised when a module violates an IR invariant."""
+
+
+def _check(cond: bool, message: str, errors: List[str]) -> None:
+    if not cond:
+        errors.append(message)
+
+
+def verify_function(function: Function) -> List[str]:
+    """Return a list of human-readable invariant violations (empty if valid)."""
+    errors: List[str] = []
+    if function.is_declaration:
+        return errors
+
+    blocks = set(function.blocks)
+    defined: set = set(function.args)
+    for block in function.blocks:
+        for inst in block.instructions:
+            if inst.has_result:
+                defined.add(inst)
+
+    for block in function.blocks:
+        _check(block.is_terminated,
+               f"{function.name}:{block.label}: block is not terminated", errors)
+        terminator_seen = False
+        for inst in block.instructions:
+            _check(not terminator_seen,
+                   f"{function.name}:{block.label}: instruction after terminator",
+                   errors)
+            if inst.is_terminator:
+                terminator_seen = True
+                for succ in inst.successors():
+                    _check(succ in blocks,
+                           f"{function.name}:{block.label}: branch to foreign block",
+                           errors)
+            _verify_instruction(function, block, inst, defined, errors)
+    return errors
+
+
+def _verify_instruction(function: Function, block: BasicBlock, inst: Instruction,
+                        defined: set, errors: List[str]) -> None:
+    label = f"{function.name}:{block.label}:{inst.name}"
+    for op in inst.operands:
+        legal = (
+            isinstance(op, (Constant, GlobalVariable))
+            or (isinstance(op, Argument) and op.function is function)
+            or op in defined
+        )
+        _check(legal, f"{label}: operand {op!r} not defined in function", errors)
+
+    op = inst.opcode
+    if op == Opcode.LOAD:
+        _check(len(inst.operands) == 1 and is_pointer(inst.operands[0].dtype),
+               f"{label}: load requires one pointer operand", errors)
+    elif op == Opcode.STORE:
+        _check(len(inst.operands) == 2, f"{label}: store requires two operands",
+               errors)
+        if len(inst.operands) == 2:
+            _check(is_pointer(inst.operands[1].dtype),
+                   f"{label}: store target must be a pointer", errors)
+        _check(inst.dtype == DataType.VOID, f"{label}: store has no result", errors)
+    elif op == Opcode.GEP:
+        _check(len(inst.operands) == 2 and is_pointer(inst.operands[0].dtype),
+               f"{label}: gep requires (pointer, index)", errors)
+        if len(inst.operands) == 2:
+            _check(is_int(inst.operands[1].dtype),
+                   f"{label}: gep index must be an integer", errors)
+    elif op in (Opcode.ICMP, Opcode.FCMP):
+        _check("predicate" in inst.metadata, f"{label}: cmp without predicate",
+               errors)
+        _check(inst.dtype == DataType.I1, f"{label}: cmp must produce i1", errors)
+    elif op == Opcode.PHI:
+        incoming = inst.metadata.get("incoming", [])
+        _check(len(incoming) == len(inst.operands),
+               f"{label}: phi has {len(inst.operands)} values but "
+               f"{len(incoming)} incoming blocks", errors)
+        _check(len(inst.operands) >= 1, f"{label}: phi with no incoming values",
+               errors)
+    elif op == Opcode.CONDBR:
+        _check(len(inst.operands) == 1 and inst.operands[0].dtype == DataType.I1,
+               f"{label}: condbr requires an i1 condition", errors)
+    elif op == Opcode.CALL or op == Opcode.OMP_FORK:
+        _check("callee" in inst.metadata, f"{label}: call without callee name",
+               errors)
+    elif inst.is_float_arith:
+        for operand in inst.operands:
+            _check(is_float(operand.dtype) or is_int(operand.dtype),
+                   f"{label}: arithmetic on non-scalar operand", errors)
+
+
+def verify_module(module: Module, raise_on_error: bool = True) -> List[str]:
+    """Verify every function in ``module``.
+
+    Parameters
+    ----------
+    raise_on_error:
+        When true (default) a :class:`VerificationError` is raised listing all
+        violations; otherwise the list is returned.
+    """
+    errors: List[str] = []
+    seen_names = set()
+    for function in module.functions:
+        _check(function.name not in seen_names,
+               f"duplicate function {function.name}", errors)
+        seen_names.add(function.name)
+        errors.extend(verify_function(function))
+    for inst in module.instructions():
+        if inst.is_call:
+            callee = inst.metadata.get("callee")
+            if callee is not None and callee.startswith("__repro"):
+                _check(callee in {f.name for f in module.functions},
+                       f"call to unknown internal function {callee}", errors)
+    if errors and raise_on_error:
+        raise VerificationError("; ".join(errors))
+    return errors

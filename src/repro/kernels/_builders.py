@@ -1,0 +1,504 @@
+"""Parametric kernel-shape builders.
+
+The ~120 benchmark kernels of Table 1 fall into a small number of structural
+families (dense matrix products, stencils, streaming/element-wise kernels,
+reductions, triangular solvers, irregular graph traversals, branchy
+particle/image kernels, ...).  Each family is implemented once here as a
+builder producing a :class:`~repro.frontend.spec.KernelSpec`; the per-suite
+modules instantiate the builders with the parameters that characterise each
+original benchmark (loop structure, arithmetic intensity, branchiness,
+imbalance, working-set shape).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.frontend.expr import (
+    Array,
+    CallExpr,
+    Dim,
+    IndirectIndex,
+    LoopVar,
+    Scalar,
+)
+from repro.frontend.spec import KernelSpec, ParallelModel
+from repro.frontend.stmt import Assign, For, If, Reduce
+from repro.ir.types import DataType
+
+__all__ = [
+    "matmul_kernel",
+    "matvec_kernel",
+    "stencil1d_kernel",
+    "stencil2d_kernel",
+    "stencil3d_kernel",
+    "streaming_kernel",
+    "elementwise_math_kernel",
+    "reduction_kernel",
+    "dot_kernel",
+    "triangular_kernel",
+    "correlation_kernel",
+    "irregular_graph_kernel",
+    "spmv_kernel",
+    "histogram_kernel",
+    "nbody_kernel",
+    "branchy_kernel",
+    "scan_kernel",
+    "transpose_kernel",
+    "fft_like_kernel",
+    "sort_pass_kernel",
+]
+
+
+def _spec(name: str, suite: str, arrays, body, base_sizes, model, **kwargs):
+    return KernelSpec(name=name, suite=suite, arrays=arrays, body=body,
+                      base_sizes=base_sizes, model=model, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# dense linear algebra
+# ----------------------------------------------------------------------
+def matmul_kernel(name: str, suite: str, n: int = 180, m: Optional[int] = None,
+                  k: Optional[int] = None, alpha_beta: bool = True,
+                  model: ParallelModel = ParallelModel.OPENMP,
+                  domain: str = "linear algebra") -> KernelSpec:
+    """C = alpha*A*B + beta*C — gemm/2mm/3mm/syrk-style triple loop."""
+    m = m or n
+    k = k or n
+    N, M, K = Dim("N"), Dim("M"), Dim("K")
+    A = Array("A", (N, K))
+    B = Array("B", (K, M))
+    C = Array("C", (N, M))
+    alpha = Scalar("alpha", 1.5)
+    beta = Scalar("beta", 1.2)
+    i, j, kk = LoopVar("i"), LoopVar("j"), LoopVar("k")
+    inner = [Reduce(C[i, j], alpha.ref() * A[i, kk] * B[kk, j])]
+    body_j = []
+    if alpha_beta:
+        body_j.append(Assign(C[i, j], C[i, j] * beta.ref()))
+    body_j.append(For(kk, K, inner))
+    body = [For(i, N, [For(j, M, body_j)], parallel=True)]
+    return _spec(name, suite, [A, B, C], body,
+                 {"N": n, "M": m, "K": k}, model,
+                 scalars=[alpha, beta], domain=domain,
+                 description="dense matrix-matrix product")
+
+
+def matvec_kernel(name: str, suite: str, n: int = 900, transposed: bool = False,
+                  model: ParallelModel = ParallelModel.OPENMP,
+                  domain: str = "linear algebra") -> KernelSpec:
+    """y = A*x (atax/bicg/mvt/gesummv-style doubly nested loop)."""
+    N, M = Dim("N"), Dim("M")
+    A = Array("A", (N, M))
+    x = Array("x", (M,))
+    y = Array("y", (N,))
+    i, j = LoopVar("i"), LoopVar("j")
+    if transposed:
+        access = A[j, i]
+    else:
+        access = A[i, j]
+    body = [
+        For(i, N, [
+            Assign(y[i], 0.0),
+            For(j, M, [Reduce(y[i], access * x[j])]),
+        ], parallel=True)
+    ]
+    return _spec(name, suite, [A, x, y], body, {"N": n, "M": n}, model,
+                 domain=domain, description="matrix-vector product")
+
+
+def transpose_kernel(name: str, suite: str, n: int = 1024,
+                     model: ParallelModel = ParallelModel.OPENMP,
+                     domain: str = "linear algebra") -> KernelSpec:
+    """B = A^T — strided accesses, purely memory bound."""
+    N = Dim("N")
+    A = Array("A", (N, N))
+    B = Array("B", (N, N))
+    i, j = LoopVar("i"), LoopVar("j")
+    body = [For(i, N, [For(j, N, [Assign(B[j, i], A[i, j])])], parallel=True)]
+    return _spec(name, suite, [A, B], body, {"N": n}, model, domain=domain,
+                 description="matrix transpose")
+
+
+def triangular_kernel(name: str, suite: str, n: int = 700,
+                      flops_per_elem: int = 2, serial_advantage: float = 1.0,
+                      model: ParallelModel = ParallelModel.OPENMP,
+                      domain: str = "linear algebra") -> KernelSpec:
+    """Triangular sweep (lu/cholesky/trisolv/trmm): imbalanced parallel loop."""
+    N = Dim("N")
+    A = Array("A", (N, N))
+    b = Array("b", (N,))
+    x = Array("x", (N,))
+    i, j = LoopVar("i"), LoopVar("j")
+    inner = [Reduce(x[i], A[i, j] * b[j], op="+")]
+    if flops_per_elem > 2:
+        inner.append(Reduce(x[i], CallExpr("sqrt", A[i, j] + 1.0), op="+"))
+    body = [
+        For(i, N, [
+            Assign(x[i], b[i]),
+            For(j, N, inner),
+            Assign(x[i], x[i] / A[i, i]),
+        ], parallel=True, imbalance=0.6),
+    ]
+    return _spec(name, suite, [A, b, x], body, {"N": n}, model,
+                 serial_advantage=serial_advantage, domain=domain,
+                 description="triangular solve / factorization sweep")
+
+
+def correlation_kernel(name: str, suite: str, n: int = 260,
+                       with_sqrt: bool = True,
+                       model: ParallelModel = ParallelModel.OPENMP,
+                       domain: str = "data mining") -> KernelSpec:
+    """correlation/covariance: column statistics then pairwise products."""
+    N, M = Dim("N"), Dim("M")
+    data = Array("data", (N, M))
+    mean = Array("mean", (M,))
+    corr = Array("corr", (M, M))
+    i, j, k = LoopVar("i"), LoopVar("j"), LoopVar("k")
+    stat_expr = data[k, i] if not with_sqrt else CallExpr("sqrt",
+                                                          data[k, i] * data[k, i])
+    body = [
+        For(j, M, [
+            Assign(mean[j], 0.0),
+            For(k, N, [Reduce(mean[j], data[k, j])]),
+            Assign(mean[j], mean[j] / 1000.0),
+        ]),
+        For(i, M, [
+            For(j, M, [
+                Assign(corr[i, j], 0.0),
+                For(k, N, [Reduce(corr[i, j], stat_expr * data[k, j])]),
+            ]),
+        ], parallel=True, imbalance=0.3),
+    ]
+    return _spec(name, suite, [data, mean, corr], body, {"N": n, "M": n}, model,
+                 domain=domain, description="correlation / covariance matrix")
+
+
+# ----------------------------------------------------------------------
+# stencils
+# ----------------------------------------------------------------------
+def stencil1d_kernel(name: str, suite: str, n: int = 400_000, points: int = 3,
+                     sweeps: int = 1,
+                     model: ParallelModel = ParallelModel.OPENMP,
+                     domain: str = "pde solver") -> KernelSpec:
+    """Jacobi-1D style kernel."""
+    N = Dim("N")
+    A = Array("A", (N,))
+    B = Array("B", (N,))
+    i = LoopVar("i")
+    expr = A[i]
+    if points >= 3:
+        expr = (A[i + 1] + A[i] + A[i - 1]) * 0.3333
+    body = [For(i, N - 2, [Assign(B[i + 1], expr)], parallel=True)]
+    return _spec(name, suite, [A, B], body, {"N": n}, model, domain=domain,
+                 description=f"{points}-point 1D stencil")
+
+
+def stencil2d_kernel(name: str, suite: str, n: int = 700, points: int = 5,
+                     flops_scale: int = 1,
+                     model: ParallelModel = ParallelModel.OPENMP,
+                     domain: str = "pde solver") -> KernelSpec:
+    """Jacobi-2D / hotspot / seidel / fdtd-style 5- or 9-point stencil."""
+    N = Dim("N")
+    A = Array("A", (N, N))
+    B = Array("B", (N, N))
+    i, j = LoopVar("i"), LoopVar("j")
+    expr = (A[i, j] + A[i, j - 1] + A[i, j + 1] + A[i - 1, j] + A[i + 1, j]) * 0.2
+    if points >= 9:
+        expr = expr + (A[i - 1, j - 1] + A[i - 1, j + 1] + A[i + 1, j - 1]
+                       + A[i + 1, j + 1]) * 0.05
+    for _ in range(max(0, flops_scale - 1)):
+        expr = expr * 0.99 + A[i, j] * 0.01
+    body = [
+        For(i, N - 2, [
+            For(j, N - 2, [Assign(B[i + 1, j + 1], expr)]),
+        ], parallel=True)
+    ]
+    return _spec(name, suite, [A, B], body, {"N": n}, model, domain=domain,
+                 description=f"{points}-point 2D stencil")
+
+
+def stencil3d_kernel(name: str, suite: str, n: int = 90, points: int = 7,
+                     model: ParallelModel = ParallelModel.OPENMP,
+                     domain: str = "pde solver") -> KernelSpec:
+    """conv-3d / FDTD3D / MG-style 3-D stencil."""
+    N = Dim("N")
+    A = Array("A", (N, N, N))
+    B = Array("B", (N, N, N))
+    i, j, k = LoopVar("i"), LoopVar("j"), LoopVar("k")
+    expr = (A[i, j, k] + A[i, j, k - 1] + A[i, j, k + 1] + A[i, j - 1, k]
+            + A[i, j + 1, k] + A[i - 1, j, k] + A[i + 1, j, k]) * 0.1428
+    body = [
+        For(i, N - 2, [
+            For(j, N - 2, [
+                For(k, N - 2, [Assign(B[i + 1, j + 1, k + 1], expr)]),
+            ]),
+        ], parallel=True)
+    ]
+    return _spec(name, suite, [A, B], body, {"N": n}, model, domain=domain,
+                 description=f"{points}-point 3D stencil")
+
+
+def fft_like_kernel(name: str, suite: str, n: int = 262_144,
+                    model: ParallelModel = ParallelModel.OPENMP,
+                    domain: str = "spectral methods") -> KernelSpec:
+    """Butterfly-style strided kernel (FT / FFT / FastWalshTransform)."""
+    N = Dim("N")
+    re = Array("re", (N,))
+    im = Array("im", (N,))
+    tw = Array("tw", (N,))
+    i = LoopVar("i")
+    body = [
+        For(i, N // 2, [
+            Assign(re[i], re[i * 2] + tw[i] * re[i * 2 + 1]),
+            Assign(im[i], im[i * 2] - tw[i] * im[i * 2 + 1]),
+        ], parallel=True)
+    ]
+    return _spec(name, suite, [re, im, tw], body, {"N": n}, model, domain=domain,
+                 description="butterfly / strided transform stage")
+
+
+# ----------------------------------------------------------------------
+# streaming / element-wise
+# ----------------------------------------------------------------------
+def streaming_kernel(name: str, suite: str, n: int = 2_000_000,
+                     num_inputs: int = 2, flops_per_elem: int = 2,
+                     model: ParallelModel = ParallelModel.OPENMP,
+                     domain: str = "memory bandwidth") -> KernelSpec:
+    """STREAM copy/scale/add/triad and vector-add style kernels."""
+    N = Dim("N")
+    arrays = [Array(chr(ord("a") + idx), (N,)) for idx in range(num_inputs)]
+    out = Array("out", (N,))
+    scalar = Scalar("s", 3.0)
+    i = LoopVar("i")
+    expr = arrays[0][i]
+    for a in arrays[1:]:
+        expr = expr + a[i]
+    for _ in range(max(0, flops_per_elem - num_inputs)):
+        expr = expr * scalar.ref()
+    body = [For(i, N, [Assign(out[i], expr)], parallel=True)]
+    return _spec(name, suite, arrays + [out], body, {"N": n}, model,
+                 scalars=[scalar], domain=domain,
+                 description="streaming element-wise kernel")
+
+
+def elementwise_math_kernel(name: str, suite: str, n: int = 1_000_000,
+                            intensity: int = 3, inner_steps: int = 1,
+                            model: ParallelModel = ParallelModel.OPENMP,
+                            domain: str = "financial / math") -> KernelSpec:
+    """Compute-heavy per-element kernel (BlackScholes, BinomialOption, EP).
+
+    ``inner_steps`` models the per-element iteration count of option pricers /
+    hash functions / chemistry kernels, which is what makes these kernels
+    arithmetically intense enough to be profitable on accelerators.
+    """
+    N = Dim("N")
+    x = Array("x", (N,))
+    y = Array("y", (N,))
+    i, s = LoopVar("i"), LoopVar("s")
+    expr = CallExpr("exp", y[i] * 0.5) + CallExpr("log", y[i] + 2.0)
+    for _ in range(max(0, intensity - 1)):
+        expr = expr * CallExpr("sqrt", y[i] + 1.0) + 0.5
+    step_body = [Assign(y[i], expr * 0.5 + y[i] * 0.5)]
+    if inner_steps > 1:
+        elem_body = [Assign(y[i], x[i]), For(s, inner_steps, step_body)]
+    else:
+        elem_body = [Assign(y[i], x[i] + expr)]
+    body = [For(i, N, elem_body, parallel=True)]
+    return _spec(name, suite, [x, y], body, {"N": n}, model, domain=domain,
+                 description="transcendental-heavy element-wise kernel")
+
+
+# ----------------------------------------------------------------------
+# reductions / scans
+# ----------------------------------------------------------------------
+def reduction_kernel(name: str, suite: str, n: int = 4_000_000, op: str = "+",
+                     model: ParallelModel = ParallelModel.OPENMP,
+                     domain: str = "reduction") -> KernelSpec:
+    """Sum/max reduction over a vector."""
+    N = Dim("N")
+    x = Array("x", (N,))
+    acc = Scalar("acc", 0.0)
+    i = LoopVar("i")
+    body = [For(i, N, [Reduce(acc, x[i], op=op)], parallel=True,
+                reduction=op)]
+    return _spec(name, suite, [x], body, {"N": n}, model, scalars=[acc],
+                 domain=domain, description=f"{op}-reduction")
+
+
+def dot_kernel(name: str, suite: str, n: int = 2_000_000,
+               model: ParallelModel = ParallelModel.OPENMP,
+               domain: str = "linear algebra") -> KernelSpec:
+    """Dot product of two vectors."""
+    N = Dim("N")
+    x = Array("x", (N,))
+    y = Array("y", (N,))
+    acc = Scalar("acc", 0.0)
+    i = LoopVar("i")
+    body = [For(i, N, [Reduce(acc, x[i] * y[i])], parallel=True, reduction="+")]
+    return _spec(name, suite, [x, y], body, {"N": n}, model, scalars=[acc],
+                 domain=domain, description="dot product")
+
+
+def scan_kernel(name: str, suite: str, n: int = 1_000_000,
+                model: ParallelModel = ParallelModel.OPENMP,
+                domain: str = "primitives") -> KernelSpec:
+    """Blocked prefix-sum pass (PrefixSum / ScanLargeArrays / Scan)."""
+    N = Dim("N")
+    x = Array("x", (N,))
+    block = Array("block", (N // 256,))
+    i, j = LoopVar("i"), LoopVar("j")
+    body = [
+        For(i, N // 256, [
+            Assign(block[i], 0.0),
+            For(j, 256, [Reduce(block[i], x[i * 256 + j])]),
+        ], parallel=True)
+    ]
+    return _spec(name, suite, [x, block], body, {"N": n}, model, domain=domain,
+                 description="blocked prefix sum")
+
+
+def sort_pass_kernel(name: str, suite: str, n: int = 500_000,
+                     model: ParallelModel = ParallelModel.OPENMP,
+                     domain: str = "sorting") -> KernelSpec:
+    """Bitonic/merge sort compare-exchange pass: branchy + strided."""
+    N = Dim("N")
+    keys = Array("keys", (N,))
+    out = Array("out", (N,))
+    i = LoopVar("i")
+    body = [
+        For(i, N // 2, [
+            If(keys[i * 2] > keys[i * 2 + 1],
+               then=[Assign(out[i * 2], keys[i * 2 + 1]),
+                     Assign(out[i * 2 + 1], keys[i * 2])],
+               orelse=[Assign(out[i * 2], keys[i * 2]),
+                       Assign(out[i * 2 + 1], keys[i * 2 + 1])],
+               taken_probability=0.5),
+        ], parallel=True)
+    ]
+    return _spec(name, suite, [keys, out], body, {"N": n}, model, domain=domain,
+                 description="compare-exchange sorting pass")
+
+
+# ----------------------------------------------------------------------
+# irregular / graph / sparse
+# ----------------------------------------------------------------------
+def irregular_graph_kernel(name: str, suite: str, n: int = 200_000,
+                           avg_degree: int = 8, branchy: bool = True,
+                           model: ParallelModel = ParallelModel.OPENMP,
+                           domain: str = "graph analytics") -> KernelSpec:
+    """BFS/needle-style kernel with indirect (data-dependent) accesses."""
+    N, E = Dim("N"), Dim("E")
+    offsets = Array("offsets", (N,), DataType.I64)
+    edges = Array("edges", (E,), DataType.I64)
+    cost = Array("cost", (N,))
+    frontier = Array("frontier", (N,), DataType.I64)
+    i, e = LoopVar("i"), LoopVar("e")
+    neighbor_cost = cost[IndirectIndex(edges, e)]
+    update = [Reduce(cost[IndirectIndex(edges, e)], cost[i] + 1.0, op="min")]
+    inner_body = [If(neighbor_cost > cost[i], then=update, orelse=[],
+                     taken_probability=0.3)] if branchy else update
+    body = [
+        For(i, N, [
+            If(frontier[i] > 0.0,
+               then=[For(e, Dim("E", factor=1.0 / max(1, n)), inner_body)],
+               orelse=[],
+               taken_probability=0.4),
+        ], parallel=True, imbalance=0.5)
+    ]
+    return _spec(name, suite, [offsets, edges, cost, frontier], body,
+                 {"N": n, "E": n * avg_degree}, model, domain=domain,
+                 description="frontier-based graph traversal")
+
+
+def spmv_kernel(name: str, suite: str, n: int = 300_000, nnz_per_row: int = 12,
+                model: ParallelModel = ParallelModel.OPENMP,
+                domain: str = "sparse linear algebra") -> KernelSpec:
+    """CSR sparse matrix-vector multiply (Parboil/SHOC spmv, NPB CG)."""
+    N, NNZ = Dim("N"), Dim("NNZ")
+    values = Array("values", (NNZ,))
+    colidx = Array("colidx", (NNZ,), DataType.I64)
+    x = Array("x", (N,))
+    y = Array("y", (N,))
+    i, k = LoopVar("i"), LoopVar("k")
+    body = [
+        For(i, N, [
+            Assign(y[i], 0.0),
+            For(k, Dim("NNZ", factor=1.0 / max(1, n)), [
+                Reduce(y[i], values[i * nnz_per_row + k]
+                       * x[IndirectIndex(colidx, i * nnz_per_row + k)]),
+            ]),
+        ], parallel=True, imbalance=0.35)
+    ]
+    return _spec(name, suite, [values, colidx, x, y], body,
+                 {"N": n, "NNZ": n * nnz_per_row}, model, domain=domain,
+                 description="CSR sparse matrix-vector product")
+
+
+def histogram_kernel(name: str, suite: str, n: int = 1_000_000, bins: int = 4096,
+                     model: ParallelModel = ParallelModel.OPENMP,
+                     domain: str = "data mining") -> KernelSpec:
+    """Scatter/histogram kernel with atomic updates (kmeans assignment, MD5)."""
+    N, B = Dim("N"), Dim("B")
+    data = Array("data", (N,))
+    labels = Array("labels", (N,), DataType.I64)
+    hist = Array("hist", (B,))
+    i = LoopVar("i")
+    body = [
+        For(i, N, [
+            Reduce(hist[IndirectIndex(labels, i)], data[i], op="+"),
+        ], parallel=True)
+    ]
+    return _spec(name, suite, [data, labels, hist], body, {"N": n, "B": bins},
+                 model, domain=domain, description="atomic histogram / scatter")
+
+
+# ----------------------------------------------------------------------
+# n-body / particle / branchy kernels
+# ----------------------------------------------------------------------
+def nbody_kernel(name: str, suite: str, n: int = 6_000, cutoff: bool = True,
+                 model: ParallelModel = ParallelModel.OPENMP,
+                 domain: str = "molecular dynamics") -> KernelSpec:
+    """All-pairs force kernel (lavaMD, MD, cutcp, leukocyte, nn)."""
+    N = Dim("N")
+    px = Array("px", (N,))
+    py = Array("py", (N,))
+    fx = Array("fx", (N,))
+    i, j = LoopVar("i"), LoopVar("j")
+    dist = (px[i] - px[j]) * (px[i] - px[j]) + (py[i] - py[j]) * (py[i] - py[j])
+    force = (px[j] - px[i]) / (CallExpr("sqrt", dist + 0.001) + 0.01)
+    update = [Reduce(fx[i], force)]
+    inner = [If(dist < 2.5, then=update, orelse=[], taken_probability=0.25)] \
+        if cutoff else update
+    body = [
+        For(i, N, [
+            Assign(fx[i], 0.0),
+            For(j, N, inner),
+        ], parallel=True, imbalance=0.15)
+    ]
+    return _spec(name, suite, [px, py, fx], body, {"N": n}, model, domain=domain,
+                 description="all-pairs short-range force computation")
+
+
+def branchy_kernel(name: str, suite: str, n: int = 800_000,
+                   taken_probability: float = 0.5, work: int = 2,
+                   model: ParallelModel = ParallelModel.OPENMP,
+                   domain: str = "image / signal processing") -> KernelSpec:
+    """Data-dependent branchy per-element kernel (particlefilter, sad, sobel)."""
+    N = Dim("N")
+    x = Array("x", (N,))
+    y = Array("y", (N,))
+    i = LoopVar("i")
+    heavy = x[i]
+    for _ in range(work):
+        heavy = heavy * 1.7 + CallExpr("fabs", x[i] - 0.5)
+    body = [
+        For(i, N, [
+            If(x[i] > 0.5,
+               then=[Assign(y[i], heavy)],
+               orelse=[Assign(y[i], x[i] * 0.25)],
+               taken_probability=taken_probability),
+        ], parallel=True)
+    ]
+    return _spec(name, suite, [x, y], body, {"N": n}, model, domain=domain,
+                 description="branch-heavy element-wise kernel")

@@ -1,0 +1,98 @@
+"""AMD APP SDK OpenCL kernels (12 applications, Table 1)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.frontend.spec import KernelSpec, ParallelModel
+from repro.kernels._builders import (
+    branchy_kernel,
+    elementwise_math_kernel,
+    fft_like_kernel,
+    matmul_kernel,
+    reduction_kernel,
+    scan_kernel,
+    sort_pass_kernel,
+    stencil2d_kernel,
+    transpose_kernel,
+    triangular_kernel,
+)
+
+SUITE = "amdsdk"
+_M = ParallelModel.OPENCL
+
+
+def binomial_option(model: ParallelModel = _M) -> KernelSpec:
+    return elementwise_math_kernel("BinomialOption", SUITE, n=300_000,
+                                   intensity=6, inner_steps=128, model=model,
+                                   domain="finance")
+
+
+def bitonic_sort(model: ParallelModel = _M) -> KernelSpec:
+    return sort_pass_kernel("BitonicSort", SUITE, n=400_000, model=model)
+
+
+def black_scholes(model: ParallelModel = _M) -> KernelSpec:
+    return elementwise_math_kernel("BlackScholes", SUITE, n=1_000_000,
+                                   intensity=4, inner_steps=16, model=model,
+                                   domain="finance")
+
+
+def fast_walsh_transform(model: ParallelModel = _M) -> KernelSpec:
+    return fft_like_kernel("FastWalshTransform", SUITE, n=262_144, model=model)
+
+
+def floyd_warshall(model: ParallelModel = _M) -> KernelSpec:
+    return triangular_kernel("FloydWarshall", SUITE, n=700, model=model,
+                             domain="graph analytics")
+
+
+def matrix_multiplication(model: ParallelModel = _M) -> KernelSpec:
+    return matmul_kernel("MatrixMultiplication", SUITE, n=256, model=model)
+
+
+def matrix_transpose(model: ParallelModel = _M) -> KernelSpec:
+    return transpose_kernel("MatrixTranspose", SUITE, n=1500, model=model)
+
+
+def prefix_sum(model: ParallelModel = _M) -> KernelSpec:
+    return scan_kernel("PrefixSum", SUITE, n=1_000_000, model=model)
+
+
+def reduction(model: ParallelModel = _M) -> KernelSpec:
+    return reduction_kernel("Reduction", SUITE, n=3_000_000, model=model)
+
+
+def scan_large_arrays(model: ParallelModel = _M) -> KernelSpec:
+    return scan_kernel("ScanLargeArrays", SUITE, n=2_000_000, model=model)
+
+
+def simple_convolution(model: ParallelModel = _M) -> KernelSpec:
+    return stencil2d_kernel("SimpleConvolution", SUITE, n=1024, points=9,
+                            model=model, domain="image processing")
+
+
+def sobel_filter(model: ParallelModel = _M) -> KernelSpec:
+    return branchy_kernel("SobelFilter", SUITE, n=1_000_000,
+                          taken_probability=0.45, work=2, model=model,
+                          domain="image processing")
+
+
+APPLICATIONS: Dict[str, Callable[..., KernelSpec]] = {
+    "BinomialOption": binomial_option,
+    "BitonicSort": bitonic_sort,
+    "BlackScholes": black_scholes,
+    "FastWalshTransform": fast_walsh_transform,
+    "FloydWarshall": floyd_warshall,
+    "MatrixMultiplication": matrix_multiplication,
+    "MatrixTranspose": matrix_transpose,
+    "PrefixSum": prefix_sum,
+    "Reduction": reduction,
+    "ScanLargeArrays": scan_large_arrays,
+    "SimpleConvolution": simple_convolution,
+    "SobelFilter": sobel_filter,
+}
+
+
+def all_specs(model: ParallelModel = _M) -> List[KernelSpec]:
+    return [factory(model=model) for factory in APPLICATIONS.values()]

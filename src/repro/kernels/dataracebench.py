@@ -1,0 +1,68 @@
+"""DataRaceBench loops used in the paper (DRB045/046/061/062/093/094/121).
+
+The DRB micro-benchmarks are small OpenMP loops with varied dependence /
+reduction / scheduling structure; we model each with the builder whose shape
+matches the original micro-benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.frontend.spec import KernelSpec, ParallelModel
+from repro.kernels._builders import (
+    dot_kernel,
+    histogram_kernel,
+    reduction_kernel,
+    stencil1d_kernel,
+    streaming_kernel,
+)
+
+SUITE = "dataracebench"
+
+
+def drb045(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return streaming_kernel("DRB045", SUITE, n=1_500_000, num_inputs=1,
+                            flops_per_elem=2, model=model)
+
+
+def drb046(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return stencil1d_kernel("DRB046", SUITE, n=1_000_000, model=model)
+
+
+def drb061(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return reduction_kernel("DRB061", SUITE, n=3_000_000, model=model)
+
+
+def drb062(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return dot_kernel("DRB062", SUITE, n=2_500_000, model=model)
+
+
+def drb093(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return histogram_kernel("DRB093", SUITE, n=1_200_000, bins=1024,
+                            model=model)
+
+
+def drb094(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return streaming_kernel("DRB094", SUITE, n=2_000_000, num_inputs=2,
+                            flops_per_elem=4, model=model)
+
+
+def drb121(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return reduction_kernel("DRB121", SUITE, n=4_000_000, op="max",
+                            model=model)
+
+
+APPLICATIONS: Dict[str, Callable[..., KernelSpec]] = {
+    "DRB045": drb045,
+    "DRB046": drb046,
+    "DRB061": drb061,
+    "DRB062": drb062,
+    "DRB093": drb093,
+    "DRB094": drb094,
+    "DRB121": drb121,
+}
+
+
+def all_specs(model: ParallelModel = ParallelModel.OPENMP) -> List[KernelSpec]:
+    return [factory(model=model) for factory in APPLICATIONS.values()]

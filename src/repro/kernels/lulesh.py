@@ -1,0 +1,47 @@
+"""LULESH proxy application (DARPA UHPC): representative hydrodynamics loops."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.frontend.expr import Array, CallExpr, Dim, IndirectIndex, LoopVar
+from repro.frontend.spec import KernelSpec, ParallelModel
+from repro.frontend.stmt import Assign, For, Reduce
+from repro.ir.types import DataType
+
+SUITE = "lulesh"
+
+
+def calc_force(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    """Element force loop: gather nodal data through the connectivity array,
+    do substantial floating-point work and scatter back — the LULESH hot loop."""
+    E, N = Dim("E"), Dim("N")
+    nodelist = Array("nodelist", (E,), DataType.I64)
+    coords = Array("coords", (N,))
+    forces = Array("forces", (N,))
+    sig = Array("sig", (E,))
+    e, c = LoopVar("e"), LoopVar("c")
+    gathered = coords[IndirectIndex(nodelist, e * 8 + c)]
+    work = CallExpr("sqrt", gathered * gathered + sig[e] * sig[e]) \
+        + CallExpr("fabs", gathered - sig[e])
+    body = [
+        For(e, E, [
+            Assign(sig[e], sig[e] * 0.98),
+            For(c, 8, [
+                Reduce(forces[IndirectIndex(nodelist, e * 8 + c)], work, op="+"),
+            ]),
+        ], parallel=True, imbalance=0.1)
+    ]
+    return KernelSpec("lulesh", SUITE, [nodelist, coords, forces, sig], body,
+                      {"E": 250_000, "N": 260_000}, model=model,
+                      domain="hydrodynamics",
+                      description="LULESH element force gather/scatter loop")
+
+
+APPLICATIONS: Dict[str, Callable[..., KernelSpec]] = {
+    "lulesh": calc_force,
+}
+
+
+def all_specs(model: ParallelModel = ParallelModel.OPENMP) -> List[KernelSpec]:
+    return [factory(model=model) for factory in APPLICATIONS.values()]

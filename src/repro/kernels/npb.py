@@ -1,0 +1,66 @@
+"""NAS Parallel Benchmarks (BT, CG, EP, FT, LU, MG, SP)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.frontend.spec import KernelSpec, ParallelModel
+from repro.kernels._builders import (
+    elementwise_math_kernel,
+    fft_like_kernel,
+    spmv_kernel,
+    stencil3d_kernel,
+    triangular_kernel,
+)
+
+SUITE = "npb"
+
+
+def bt(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return stencil3d_kernel("BT", SUITE, n=64, model=model,
+                            domain="fluid dynamics")
+
+
+def cg(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return spmv_kernel("CG", SUITE, n=150_000, nnz_per_row=13, model=model,
+                       domain="sparse solvers")
+
+
+def ep(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return elementwise_math_kernel("EP", SUITE, n=2_000_000, intensity=5,
+                                   inner_steps=24, model=model,
+                                   domain="random numbers")
+
+
+def ft(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return fft_like_kernel("FT", SUITE, n=524_288, model=model)
+
+
+def lu_app(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return triangular_kernel("LU", SUITE, n=800, model=model,
+                             domain="fluid dynamics")
+
+
+def mg(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return stencil3d_kernel("MG", SUITE, n=128, model=model,
+                            domain="multigrid solvers")
+
+
+def sp(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return stencil3d_kernel("SP", SUITE, n=72, model=model,
+                            domain="fluid dynamics")
+
+
+APPLICATIONS: Dict[str, Callable[..., KernelSpec]] = {
+    "BT": bt,
+    "CG": cg,
+    "EP": ep,
+    "FT": ft,
+    "LU": lu_app,
+    "MG": mg,
+    "SP": sp,
+}
+
+
+def all_specs(model: ParallelModel = ParallelModel.OPENMP) -> List[KernelSpec]:
+    return [factory(model=model) for factory in APPLICATIONS.values()]

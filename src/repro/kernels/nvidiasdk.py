@@ -1,0 +1,59 @@
+"""NVIDIA SDK OpenCL kernels (6 applications, Table 1)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.frontend.spec import KernelSpec, ParallelModel
+from repro.kernels._builders import (
+    dot_kernel,
+    elementwise_math_kernel,
+    matmul_kernel,
+    matvec_kernel,
+    stencil3d_kernel,
+    streaming_kernel,
+)
+
+SUITE = "nvidiasdk"
+_M = ParallelModel.OPENCL
+
+
+def dot_product(model: ParallelModel = _M) -> KernelSpec:
+    return dot_kernel("DotProduct", SUITE, n=4_000_000, model=model)
+
+
+def fdtd3d(model: ParallelModel = _M) -> KernelSpec:
+    return stencil3d_kernel("FDTD3D", SUITE, n=128, model=model)
+
+
+def mat_vec_mul(model: ParallelModel = _M) -> KernelSpec:
+    return matvec_kernel("MatVecMul", SUITE, n=2000, model=model)
+
+
+def matrix_mul(model: ParallelModel = _M) -> KernelSpec:
+    return matmul_kernel("MatrixMul", SUITE, n=320, model=model)
+
+
+def mersenne_twister(model: ParallelModel = _M) -> KernelSpec:
+    return elementwise_math_kernel("MersenneTwister", SUITE, n=2_000_000,
+                                   intensity=3, inner_steps=16, model=model,
+                                   domain="random numbers")
+
+
+def vector_add(model: ParallelModel = _M) -> KernelSpec:
+    return streaming_kernel("VectorAdd", SUITE, n=4_000_000, num_inputs=2,
+                            flops_per_elem=2, model=model)
+
+
+APPLICATIONS: Dict[str, Callable[..., KernelSpec]] = {
+    "DotProduct": dot_product,
+    "FDTD3D": fdtd3d,
+    "MatVecMul": mat_vec_mul,
+    "MatrixMul": matrix_mul,
+    "MersenneTwister": mersenne_twister,
+    "VectorAdd": vector_add,
+}
+
+
+def all_specs(model: ParallelModel = _M) -> List[KernelSpec]:
+    return [factory(model=model) for factory in APPLICATIONS.values()]

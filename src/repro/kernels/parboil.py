@@ -1,0 +1,58 @@
+"""Parboil OpenCL kernels (BFS, cutcp, lbm, sad, spmv, stencil)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.frontend.spec import KernelSpec, ParallelModel
+from repro.kernels._builders import (
+    branchy_kernel,
+    irregular_graph_kernel,
+    nbody_kernel,
+    spmv_kernel,
+    stencil3d_kernel,
+)
+
+SUITE = "parboil"
+_M = ParallelModel.OPENCL
+
+
+def bfs(model: ParallelModel = _M) -> KernelSpec:
+    return irregular_graph_kernel("BFS", SUITE, n=500_000, avg_degree=8,
+                                  model=model)
+
+
+def cutcp(model: ParallelModel = _M) -> KernelSpec:
+    return nbody_kernel("cutcp", SUITE, n=8_000, cutoff=True, model=model)
+
+
+def lbm(model: ParallelModel = _M) -> KernelSpec:
+    return stencil3d_kernel("lbm", SUITE, n=100, points=19, model=model,
+                            domain="fluid dynamics")
+
+
+def sad(model: ParallelModel = _M) -> KernelSpec:
+    return branchy_kernel("sad", SUITE, n=1_500_000, taken_probability=0.5,
+                          work=2, model=model, domain="video encoding")
+
+
+def spmv(model: ParallelModel = _M) -> KernelSpec:
+    return spmv_kernel("spmv", SUITE, n=250_000, nnz_per_row=10, model=model)
+
+
+def stencil(model: ParallelModel = _M) -> KernelSpec:
+    return stencil3d_kernel("stencil", SUITE, n=128, model=model)
+
+
+APPLICATIONS: Dict[str, Callable[..., KernelSpec]] = {
+    "BFS": bfs,
+    "cutcp": cutcp,
+    "lbm": lbm,
+    "sad": sad,
+    "spmv": spmv,
+    "stencil": stencil,
+}
+
+
+def all_specs(model: ParallelModel = _M) -> List[KernelSpec]:
+    return [factory(model=model) for factory in APPLICATIONS.values()]

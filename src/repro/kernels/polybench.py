@@ -1,0 +1,203 @@
+"""PolyBench kernels (28 applications, Table 1).
+
+Each function returns the kernel's main parallel loop nest.  Structure and
+relative arithmetic intensity follow PolyBench 4.x; trisolv/durbin keep the
+paper's observation that their parallel versions can be slower than serial
+(``serial_advantage > 1``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.frontend.expr import Array, CallExpr, Dim, LoopVar, Scalar
+from repro.frontend.spec import KernelSpec, ParallelModel
+from repro.frontend.stmt import Assign, For, Reduce
+from repro.kernels._builders import (
+    correlation_kernel,
+    matmul_kernel,
+    matvec_kernel,
+    stencil1d_kernel,
+    stencil2d_kernel,
+    stencil3d_kernel,
+    triangular_kernel,
+)
+
+SUITE = "polybench"
+
+
+def gemm(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return matmul_kernel("gemm", SUITE, n=180, model=model)
+
+
+def two_mm(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return matmul_kernel("2mm", SUITE, n=160, m=170, k=150, model=model)
+
+
+def three_mm(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return matmul_kernel("3mm", SUITE, n=150, m=160, k=170, alpha_beta=False,
+                         model=model)
+
+
+def syrk(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return matmul_kernel("syrk", SUITE, n=170, m=170, k=140, model=model)
+
+
+def syr2k(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return matmul_kernel("syr2k", SUITE, n=160, m=160, k=150, model=model)
+
+
+def symm(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return matmul_kernel("symm", SUITE, n=160, model=model)
+
+
+def trmm(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return triangular_kernel("trmm", SUITE, n=420, model=model)
+
+
+def doitgen(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return matmul_kernel("doitgen", SUITE, n=128, m=128, k=128,
+                         alpha_beta=False, model=model)
+
+
+def atax(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return matvec_kernel("atax", SUITE, n=1000, transposed=True, model=model)
+
+
+def bicg(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return matvec_kernel("bicg", SUITE, n=1000, model=model)
+
+
+def mvt(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return matvec_kernel("mvt", SUITE, n=1100, model=model)
+
+
+def gesummv(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return matvec_kernel("gesummv", SUITE, n=900, model=model)
+
+
+def gemver(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    """gemver: rank-1 updates + matrix-vector products (memory bound)."""
+    N = Dim("N")
+    A = Array("A", (N, N))
+    u1 = Array("u1", (N,))
+    v1 = Array("v1", (N,))
+    x = Array("x", (N,))
+    y = Array("y", (N,))
+    i, j = LoopVar("i"), LoopVar("j")
+    body = [
+        For(i, N, [
+            For(j, N, [
+                Assign(A[i, j], A[i, j] + u1[i] * v1[j]),
+                Reduce(x[i], A[j, i] * y[j]),
+            ]),
+        ], parallel=True)
+    ]
+    return KernelSpec("gemver", SUITE, [A, u1, v1, x, y], body, {"N": 1000},
+                      model=model, domain="linear algebra",
+                      description="rank-1 update + A^T x")
+
+
+def cholesky(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return triangular_kernel("cholesky", SUITE, n=500, flops_per_elem=4,
+                             model=model)
+
+
+def lu(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return triangular_kernel("lu", SUITE, n=550, model=model)
+
+
+def durbin(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return triangular_kernel("durbin", SUITE, n=600, serial_advantage=1.15,
+                             model=model)
+
+
+def trisolv(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    # The paper singles trisolv out: its parallel version is slower than the
+    # serial one, which hurts fold-1 of the thread-prediction experiment.
+    return triangular_kernel("trisolv", SUITE, n=650, serial_advantage=1.45,
+                             model=model)
+
+
+def gramschmidt(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return correlation_kernel("gramschmidt", SUITE, n=220, with_sqrt=True,
+                              model=model)
+
+
+def correlation(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return correlation_kernel("correlation", SUITE, n=260, model=model)
+
+
+def covariance(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return correlation_kernel("covariance", SUITE, n=250, with_sqrt=False,
+                              model=model)
+
+
+def jacobi_1d(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return stencil1d_kernel("jacobi-1d", SUITE, n=400_000, model=model)
+
+
+def jacobi_2d(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return stencil2d_kernel("jacobi-2d", SUITE, n=650, model=model)
+
+
+def seidel_2d(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return stencil2d_kernel("seidel-2d", SUITE, n=600, points=9, model=model)
+
+
+def fdtd_2d(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return stencil2d_kernel("fdtd-2d", SUITE, n=700, flops_scale=2, model=model)
+
+
+def fdtd_apml(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return stencil3d_kernel("fdtd-apml", SUITE, n=80, model=model)
+
+
+def convolution_2d(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return stencil2d_kernel("convolution-2d", SUITE, n=800, points=9,
+                            model=model)
+
+
+def convolution_3d(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return stencil3d_kernel("convolution-3d", SUITE, n=96, model=model)
+
+
+def adi(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return stencil2d_kernel("adi", SUITE, n=550, flops_scale=3, model=model)
+
+
+APPLICATIONS: Dict[str, Callable[..., KernelSpec]] = {
+    "2mm": two_mm,
+    "3mm": three_mm,
+    "atax": atax,
+    "adi": adi,
+    "bicg": bicg,
+    "cholesky": cholesky,
+    "convolution-2d": convolution_2d,
+    "convolution-3d": convolution_3d,
+    "correlation": correlation,
+    "covariance": covariance,
+    "doitgen": doitgen,
+    "durbin": durbin,
+    "fdtd-2d": fdtd_2d,
+    "fdtd-apml": fdtd_apml,
+    "gemm": gemm,
+    "gemver": gemver,
+    "gesummv": gesummv,
+    "gramschmidt": gramschmidt,
+    "jacobi-1d": jacobi_1d,
+    "jacobi-2d": jacobi_2d,
+    "lu": lu,
+    "mvt": mvt,
+    "seidel-2d": seidel_2d,
+    "symm": symm,
+    "syrk": syrk,
+    "syr2k": syr2k,
+    "trisolv": trisolv,
+    "trmm": trmm,
+}
+
+
+def all_specs(model: ParallelModel = ParallelModel.OPENMP) -> List[KernelSpec]:
+    """All PolyBench kernels under the given programming model."""
+    return [factory(model=model) for factory in APPLICATIONS.values()]

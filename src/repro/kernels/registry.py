@@ -1,0 +1,135 @@
+"""Kernel registry: Table 1 and convenient accessors over all suites."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.frontend.spec import KernelSpec, ParallelModel
+from repro.kernels import (
+    amdsdk,
+    dataracebench,
+    lulesh,
+    npb,
+    nvidiasdk,
+    parboil,
+    polybench,
+    rodinia,
+    shoc,
+    stream,
+)
+
+#: Table 1 of the paper: suite -> list of applications.
+TABLE1: Dict[str, List[str]] = {
+    "polybench": list(polybench.APPLICATIONS),
+    "rodinia": list(rodinia.APPLICATIONS),
+    "npb": list(npb.APPLICATIONS),
+    "stream": list(stream.APPLICATIONS),
+    "dataracebench": list(dataracebench.APPLICATIONS),
+    "amdsdk": list(amdsdk.APPLICATIONS),
+    "nvidiasdk": list(nvidiasdk.APPLICATIONS),
+    "parboil": list(parboil.APPLICATIONS),
+    "shoc": list(shoc.APPLICATIONS),
+    "lulesh": list(lulesh.APPLICATIONS),
+}
+
+_OPENMP_SUITES = {
+    "polybench": polybench,
+    "rodinia": rodinia,
+    "npb": npb,
+    "stream": stream,
+    "dataracebench": dataracebench,
+    "lulesh": lulesh,
+}
+
+_OPENCL_NATIVE_SUITES = {
+    "amdsdk": amdsdk,
+    "nvidiasdk": nvidiasdk,
+    "parboil": parboil,
+    "shoc": shoc,
+}
+
+_ALL_SUITES = {**_OPENMP_SUITES, **_OPENCL_NATIVE_SUITES}
+
+
+def as_opencl(spec: KernelSpec) -> KernelSpec:
+    """Re-express an OpenMP kernel spec as an OpenCL NDRange kernel.
+
+    The paper's device-mapping dataset (Ben-Nun et al.) includes PolyBench,
+    Rodinia and NPB OpenCL ports; this helper plays the role of those ports.
+    """
+    if spec.model == ParallelModel.OPENCL:
+        return spec
+    return KernelSpec(
+        name=spec.name,
+        suite=spec.suite,
+        arrays=spec.arrays,
+        body=spec.body,
+        base_sizes=spec.base_sizes,
+        scalars=spec.scalars,
+        model=ParallelModel.OPENCL,
+        serial_advantage=spec.serial_advantage,
+        domain=spec.domain,
+        description=spec.description,
+    )
+
+
+def kernels_for_suite(suite: str,
+                      model: Optional[ParallelModel] = None) -> List[KernelSpec]:
+    """All kernels of one suite, optionally forcing the programming model."""
+    try:
+        module = _ALL_SUITES[suite]
+    except KeyError as exc:
+        raise KeyError(f"unknown suite {suite!r}; known: {sorted(_ALL_SUITES)}") from exc
+    if model is None:
+        return module.all_specs()
+    specs = module.all_specs()
+    if model == ParallelModel.OPENCL:
+        return [as_opencl(s) for s in specs]
+    return [s for s in specs]
+
+
+def openmp_kernels(suites: Optional[List[str]] = None) -> List[KernelSpec]:
+    """Kernels used in the OpenMP tuning experiments (§4.1)."""
+    suites = suites or list(_OPENMP_SUITES)
+    specs: List[KernelSpec] = []
+    for suite in suites:
+        specs.extend(_OPENMP_SUITES[suite].all_specs())
+    return specs
+
+
+def opencl_kernels(include_ported: bool = True) -> List[KernelSpec]:
+    """Kernels used in the OpenCL device-mapping experiment (§4.2).
+
+    Native OpenCL suites (AMD SDK, NVIDIA SDK, Parboil, SHOC) plus — when
+    ``include_ported`` — OpenCL variants of PolyBench, Rodinia and NPB,
+    mirroring the seven suites of the Ben-Nun et al. dataset.
+    """
+    specs: List[KernelSpec] = []
+    for module in _OPENCL_NATIVE_SUITES.values():
+        specs.extend(module.all_specs())
+    if include_ported:
+        for suite in ("polybench", "rodinia", "npb"):
+            specs.extend(as_opencl(s) for s in _OPENMP_SUITES[suite].all_specs())
+    return specs
+
+
+def all_kernels() -> List[KernelSpec]:
+    """Every kernel in the registry under its native programming model."""
+    return openmp_kernels() + [s for m in _OPENCL_NATIVE_SUITES.values()
+                               for s in m.all_specs()]
+
+
+def get_kernel(uid: str, model: Optional[ParallelModel] = None) -> KernelSpec:
+    """Look up a kernel by ``suite/name`` identifier."""
+    suite, _, name = uid.partition("/")
+    try:
+        module = _ALL_SUITES[suite]
+        factory = module.APPLICATIONS[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown kernel {uid!r}") from exc
+    spec = factory()
+    if model is not None and spec.model != model:
+        if model == ParallelModel.OPENCL:
+            return as_opencl(spec)
+        raise ValueError(f"kernel {uid!r} is not available as {model.value}")
+    return spec

@@ -1,0 +1,186 @@
+"""Rodinia kernels (17 applications, Table 1)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.frontend.expr import Array, CallExpr, Dim, IndirectIndex, LoopVar
+from repro.frontend.spec import KernelSpec, ParallelModel
+from repro.frontend.stmt import Assign, For, If, Reduce
+from repro.kernels._builders import (
+    branchy_kernel,
+    histogram_kernel,
+    irregular_graph_kernel,
+    matmul_kernel,
+    nbody_kernel,
+    stencil2d_kernel,
+    streaming_kernel,
+    triangular_kernel,
+)
+
+SUITE = "rodinia"
+
+
+def kmeans(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    """kmeans assignment step: distance computation + argmin (Fig. 1a kernel)."""
+    N, K, D = Dim("N"), Dim("K"), Dim("D")
+    points = Array("points", (N, D))
+    centers = Array("centers", (K, D))
+    assign = Array("assign", (N,))
+    best = Array("best", (N,))
+    i, c, d = LoopVar("i"), LoopVar("c"), LoopVar("d")
+    dist_term = (points[i, d] - centers[c, d]) * (points[i, d] - centers[c, d])
+    body = [
+        For(i, N, [
+            Assign(best[i], 1.0e30),
+            For(c, K, [
+                Assign(assign[i], 0.0),
+                For(d, D, [Reduce(assign[i], dist_term)]),
+                If(assign[i] < best[i],
+                   then=[Assign(best[i], assign[i])],
+                   orelse=[],
+                   taken_probability=0.2),
+            ]),
+        ], parallel=True)
+    ]
+    return KernelSpec("kmeans", SUITE, [points, centers, assign, best], body,
+                      {"N": 60_000, "K": 16, "D": 16}, model=model,
+                      domain="data mining",
+                      description="k-means point-to-centroid assignment")
+
+
+def backprop(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return matmul_kernel("backprop", SUITE, n=96, m=4096, k=16,
+                         alpha_beta=False, model=model,
+                         domain="machine learning")
+
+
+def bfs(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return irregular_graph_kernel("bfs", SUITE, n=400_000, avg_degree=6,
+                                  model=model)
+
+
+def cfd(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return nbody_kernel("cfd", SUITE, n=4_000, cutoff=False, model=model,
+                        domain="fluid dynamics")
+
+
+def gaussian(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return triangular_kernel("gaussian", SUITE, n=600, model=model)
+
+
+def hotspot(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return stencil2d_kernel("hotspot", SUITE, n=1024, flops_scale=2,
+                            model=model, domain="physics simulation")
+
+
+def lavamd(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return nbody_kernel("lavaMD", SUITE, n=7_000, model=model)
+
+
+def leukocyte(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return nbody_kernel("leukocyte", SUITE, n=3_000, cutoff=True, model=model,
+                        domain="medical imaging")
+
+
+def lud(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return triangular_kernel("lud", SUITE, n=700, model=model)
+
+
+def nn(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return nbody_kernel("nn", SUITE, n=50_000, cutoff=False, model=model,
+                        domain="data mining")
+
+
+def nw(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return stencil2d_kernel("nw", SUITE, n=1600, points=5, model=model,
+                            domain="bioinformatics")
+
+
+def needle(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return irregular_graph_kernel("needle", SUITE, n=120_000, avg_degree=4,
+                                  branchy=True, model=model,
+                                  domain="bioinformatics")
+
+
+def particlefilter(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return branchy_kernel("particlefilter", SUITE, n=500_000,
+                          taken_probability=0.35, work=3, model=model)
+
+
+def pathfinder(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    """Dynamic-programming wavefront over a grid row."""
+    N, C = Dim("N"), Dim("C")
+    wall = Array("wall", (N, C))
+    src = Array("src", (C,))
+    dst = Array("dst", (C,))
+    j = LoopVar("j")
+    best = CallExpr("min", CallExpr("min", src[j - 1], src[j]), src[j + 1])
+    body = [
+        For(j, C - 2, [
+            Assign(dst[j + 1], wall[1, j + 1] + best),
+        ], parallel=True)
+    ]
+    return KernelSpec("pathfinder", SUITE, [wall, src, dst], body,
+                      {"N": 100, "C": 400_000}, model=model,
+                      domain="dynamic programming",
+                      description="pathfinder row relaxation")
+
+
+def srad(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return stencil2d_kernel("srad", SUITE, n=1000, points=5, flops_scale=3,
+                            model=model, domain="image processing")
+
+
+def streamcluster(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return histogram_kernel("streamcluster", SUITE, n=800_000, bins=2048,
+                            model=model)
+
+
+def b_plus_tree(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    """b+tree range queries: pointer-chasing style indirect accesses."""
+    N, Q = Dim("N"), Dim("Q")
+    keys = Array("keys", (N,))
+    queries = Array("queries", (Q,))
+    child = Array("child", (N,))
+    result = Array("result", (Q,))
+    q, lvl = LoopVar("q"), LoopVar("lvl")
+    from repro.ir.types import DataType
+
+    idx = Array("idx", (Q,), DataType.I64)
+    body = [
+        For(q, Q, [
+            Assign(result[q], 0.0),
+            For(lvl, 6, [
+                Reduce(result[q], keys[IndirectIndex(idx, q)] + queries[q]),
+            ]),
+        ], parallel=True, imbalance=0.2)
+    ]
+    return KernelSpec("b+tree", SUITE, [keys, queries, child, result, idx],
+                      body, {"N": 1_000_000, "Q": 60_000}, model=model,
+                      domain="databases", description="B+ tree range queries")
+
+
+APPLICATIONS: Dict[str, Callable[..., KernelSpec]] = {
+    "b+tree": b_plus_tree,
+    "backprop": backprop,
+    "bfs": bfs,
+    "cfd": cfd,
+    "gaussian": gaussian,
+    "hotspot": hotspot,
+    "kmeans": kmeans,
+    "lavaMD": lavamd,
+    "leukocyte": leukocyte,
+    "lud": lud,
+    "nn": nn,
+    "nw": nw,
+    "needle": needle,
+    "particlefilter": particlefilter,
+    "pathfinder": pathfinder,
+    "srad": srad,
+    "streamcluster": streamcluster,
+}
+
+
+def all_specs(model: ParallelModel = ParallelModel.OPENMP) -> List[KernelSpec]:
+    return [factory(model=model) for factory in APPLICATIONS.values()]

@@ -1,0 +1,98 @@
+"""SHOC OpenCL kernels (12 applications, Table 1)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.frontend.spec import KernelSpec, ParallelModel
+from repro.kernels._builders import (
+    elementwise_math_kernel,
+    fft_like_kernel,
+    histogram_kernel,
+    irregular_graph_kernel,
+    matmul_kernel,
+    nbody_kernel,
+    reduction_kernel,
+    scan_kernel,
+    sort_pass_kernel,
+    spmv_kernel,
+    stencil2d_kernel,
+    streaming_kernel,
+)
+
+SUITE = "shoc"
+_M = ParallelModel.OPENCL
+
+
+def bfs(model: ParallelModel = _M) -> KernelSpec:
+    return irregular_graph_kernel("BFS", SUITE, n=300_000, avg_degree=10,
+                                  model=model)
+
+
+def fft(model: ParallelModel = _M) -> KernelSpec:
+    return fft_like_kernel("FFT", SUITE, n=524_288, model=model)
+
+
+def gemm(model: ParallelModel = _M) -> KernelSpec:
+    return matmul_kernel("GEMM", SUITE, n=384, model=model)
+
+
+def md(model: ParallelModel = _M) -> KernelSpec:
+    return nbody_kernel("MD", SUITE, n=12_000, cutoff=True, model=model)
+
+
+def md5(model: ParallelModel = _M) -> KernelSpec:
+    return elementwise_math_kernel("MD5", SUITE, n=1_000_000, intensity=8,
+                                   inner_steps=64, model=model,
+                                   domain="cryptography")
+
+
+def reduction(model: ParallelModel = _M) -> KernelSpec:
+    return reduction_kernel("Reduction", SUITE, n=4_000_000, model=model)
+
+
+def s3d(model: ParallelModel = _M) -> KernelSpec:
+    return elementwise_math_kernel("S3D", SUITE, n=500_000, intensity=10,
+                                   inner_steps=48, model=model,
+                                   domain="combustion chemistry")
+
+
+def scan(model: ParallelModel = _M) -> KernelSpec:
+    return scan_kernel("Scan", SUITE, n=2_000_000, model=model)
+
+
+def sort(model: ParallelModel = _M) -> KernelSpec:
+    return sort_pass_kernel("Sort", SUITE, n=1_000_000, model=model)
+
+
+def spmv(model: ParallelModel = _M) -> KernelSpec:
+    return spmv_kernel("Spmv", SUITE, n=200_000, nnz_per_row=16, model=model)
+
+
+def stencil2d(model: ParallelModel = _M) -> KernelSpec:
+    return stencil2d_kernel("Stencil2D", SUITE, n=1500, model=model)
+
+
+def triad(model: ParallelModel = _M) -> KernelSpec:
+    return streaming_kernel("Triad", SUITE, n=4_000_000, num_inputs=2,
+                            flops_per_elem=3, model=model)
+
+
+APPLICATIONS: Dict[str, Callable[..., KernelSpec]] = {
+    "BFS": bfs,
+    "FFT": fft,
+    "GEMM": gemm,
+    "MD": md,
+    "MD5": md5,
+    "Reduction": reduction,
+    "S3D": s3d,
+    "Scan": scan,
+    "Sort": sort,
+    "Spmv": spmv,
+    "Stencil2D": stencil2d,
+    "Triad": triad,
+}
+
+
+def all_specs(model: ParallelModel = _M) -> List[KernelSpec]:
+    return [factory(model=model) for factory in APPLICATIONS.values()]

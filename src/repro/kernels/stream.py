@@ -1,0 +1,42 @@
+"""STREAM benchmark loops (copy, scale, add, triad)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.frontend.spec import KernelSpec, ParallelModel
+from repro.kernels._builders import streaming_kernel
+
+SUITE = "stream"
+
+
+def copy(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return streaming_kernel("copy", SUITE, n=4_000_000, num_inputs=1,
+                            flops_per_elem=0, model=model)
+
+
+def scale(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return streaming_kernel("scale", SUITE, n=4_000_000, num_inputs=1,
+                            flops_per_elem=2, model=model)
+
+
+def add(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return streaming_kernel("add", SUITE, n=4_000_000, num_inputs=2,
+                            flops_per_elem=2, model=model)
+
+
+def triad(model: ParallelModel = ParallelModel.OPENMP) -> KernelSpec:
+    return streaming_kernel("triad", SUITE, n=4_000_000, num_inputs=2,
+                            flops_per_elem=3, model=model)
+
+
+APPLICATIONS: Dict[str, Callable[..., KernelSpec]] = {
+    "copy": copy,
+    "scale": scale,
+    "add": add,
+    "triad": triad,
+}
+
+
+def all_specs(model: ParallelModel = ParallelModel.OPENMP) -> List[KernelSpec]:
+    return [factory(model=model) for factory in APPLICATIONS.values()]

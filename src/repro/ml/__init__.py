@@ -1,0 +1,20 @@
+"""Classical ML models built from scratch (decision trees and ensembles).
+
+Used by the baselines: Grewe et al. device mapping (decision tree), the
+IR2Vec-style gradient-boosted alternative, and the BLISS-like tuner's pool of
+lightweight surrogate models (random forest regressor).
+"""
+
+from repro.ml.trees import (
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    GradientBoostingClassifier,
+    RandomForestRegressor,
+)
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "RandomForestRegressor",
+    "GradientBoostingClassifier",
+]

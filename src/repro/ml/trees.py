@@ -1,0 +1,233 @@
+"""CART decision trees, random forests and gradient boosting from scratch."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+import numpy as np
+
+
+@dataclasses.dataclass
+class _Node:
+    """One tree node: internal (feature/threshold) or leaf (value)."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    value: Optional[np.ndarray] = None        # class distribution or mean
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class _BaseTree:
+    """Shared CART machinery (greedy best-split on a random feature subset)."""
+
+    def __init__(self, max_depth: int = 6, min_samples_split: int = 4,
+                 max_features: Optional[float] = None, seed: int = 0):
+        self.max_depth = int(max_depth)
+        self.min_samples_split = int(min_samples_split)
+        self.max_features = max_features
+        self._rng = np.random.default_rng(seed)
+        self.root: Optional[_Node] = None
+        self.n_features_: int = 0
+
+    # subclasses provide leaf-value and impurity functions -------------
+    def _leaf_value(self, y: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def _impurity(self, y: np.ndarray) -> float:  # pragma: no cover
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def fit(self, x: np.ndarray, y: np.ndarray):
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y)
+        if x.ndim != 2 or x.shape[0] != y.shape[0]:
+            raise ValueError("x must be [n, d] with matching y")
+        self.n_features_ = x.shape[1]
+        self.root = self._grow(x, y, depth=0)
+        return self
+
+    def _candidate_features(self) -> np.ndarray:
+        d = self.n_features_
+        if self.max_features is None:
+            return np.arange(d)
+        k = max(1, int(round(d * float(self.max_features))))
+        return self._rng.choice(d, size=min(k, d), replace=False)
+
+    def _grow(self, x: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node(value=self._leaf_value(y))
+        if (depth >= self.max_depth or x.shape[0] < self.min_samples_split
+                or self._impurity(y) <= 1e-12):
+            return node
+        best_gain, best_feature, best_threshold = 0.0, -1, 0.0
+        parent_impurity = self._impurity(y)
+        n = x.shape[0]
+        for feature in self._candidate_features():
+            values = x[:, feature]
+            thresholds = np.unique(np.quantile(values, np.linspace(0.1, 0.9, 9)))
+            for threshold in thresholds:
+                mask = values <= threshold
+                n_left = int(mask.sum())
+                if n_left == 0 or n_left == n:
+                    continue
+                gain = parent_impurity - (
+                    n_left / n * self._impurity(y[mask])
+                    + (n - n_left) / n * self._impurity(y[~mask]))
+                if gain > best_gain + 1e-12:
+                    best_gain, best_feature, best_threshold = gain, feature, threshold
+        if best_feature < 0:
+            return node
+        mask = x[:, best_feature] <= best_threshold
+        node.feature = best_feature
+        node.threshold = float(best_threshold)
+        node.left = self._grow(x[mask], y[mask], depth + 1)
+        node.right = self._grow(x[~mask], y[~mask], depth + 1)
+        return node
+
+    def _predict_value(self, row: np.ndarray) -> np.ndarray:
+        node = self.root
+        if node is None:
+            raise RuntimeError("tree is not fitted")
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node.value
+
+    def depth(self) -> int:
+        def walk(node: Optional[_Node]) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+        return walk(self.root)
+
+
+class DecisionTreeClassifier(_BaseTree):
+    """CART classifier with Gini impurity."""
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        y = np.asarray(y, dtype=np.int64)
+        self.classes_ = np.unique(y)
+        self._class_index = {c: i for i, c in enumerate(self.classes_)}
+        return super().fit(x, np.vectorize(self._class_index.get)(y))
+
+    def _leaf_value(self, y: np.ndarray) -> np.ndarray:
+        counts = np.bincount(y, minlength=len(self.classes_)).astype(np.float64)
+        return counts / max(1.0, counts.sum())
+
+    def _impurity(self, y: np.ndarray) -> float:
+        if y.size == 0:
+            return 0.0
+        p = np.bincount(y, minlength=len(self.classes_)) / y.size
+        return float(1.0 - np.sum(p ** 2))
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        return np.stack([self._predict_value(row) for row in x])
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        proba = self.predict_proba(x)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+
+class DecisionTreeRegressor(_BaseTree):
+    """CART regressor with variance reduction."""
+
+    def _leaf_value(self, y: np.ndarray) -> np.ndarray:
+        return np.array([float(np.mean(y))]) if y.size else np.array([0.0])
+
+    def _impurity(self, y: np.ndarray) -> float:
+        return float(np.var(y)) if y.size else 0.0
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        return np.array([self._predict_value(row)[0] for row in x])
+
+
+class RandomForestRegressor:
+    """Bagged ensemble of randomized regression trees."""
+
+    def __init__(self, n_estimators: int = 20, max_depth: int = 6,
+                 max_features: float = 0.7, seed: int = 0):
+        self.n_estimators = int(n_estimators)
+        self.max_depth = max_depth
+        self.max_features = max_features
+        self.seed = seed
+        self.trees_: List[DecisionTreeRegressor] = []
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        rng = np.random.default_rng(self.seed)
+        self.trees_ = []
+        for i in range(self.n_estimators):
+            idx = rng.integers(0, x.shape[0], size=x.shape[0])
+            tree = DecisionTreeRegressor(max_depth=self.max_depth,
+                                         max_features=self.max_features,
+                                         seed=self.seed + i)
+            tree.fit(x[idx], y[idx])
+            self.trees_.append(tree)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if not self.trees_:
+            raise RuntimeError("forest is not fitted")
+        return np.mean([t.predict(x) for t in self.trees_], axis=0)
+
+    def predict_std(self, x: np.ndarray) -> np.ndarray:
+        """Ensemble standard deviation (uncertainty proxy for BLISS-like BO)."""
+        preds = np.stack([t.predict(x) for t in self.trees_])
+        return preds.std(axis=0)
+
+
+class GradientBoostingClassifier:
+    """Binary gradient boosting with logistic loss on regression stumps."""
+
+    def __init__(self, n_estimators: int = 50, learning_rate: float = 0.2,
+                 max_depth: int = 3, seed: int = 0):
+        self.n_estimators = int(n_estimators)
+        self.learning_rate = float(learning_rate)
+        self.max_depth = int(max_depth)
+        self.seed = seed
+        self.trees_: List[DecisionTreeRegressor] = []
+        self.base_score_ = 0.0
+
+    @staticmethod
+    def _sigmoid(z: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-np.clip(z, -40, 40)))
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "GradientBoostingClassifier":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if set(np.unique(y)) - {0.0, 1.0}:
+            raise ValueError("labels must be binary 0/1")
+        pos = np.clip(y.mean(), 1e-3, 1 - 1e-3)
+        self.base_score_ = float(np.log(pos / (1 - pos)))
+        score = np.full(y.shape, self.base_score_)
+        self.trees_ = []
+        for i in range(self.n_estimators):
+            residual = y - self._sigmoid(score)
+            tree = DecisionTreeRegressor(max_depth=self.max_depth,
+                                         seed=self.seed + i)
+            tree.fit(x, residual)
+            update = tree.predict(x)
+            score = score + self.learning_rate * update
+            self.trees_.append(tree)
+        return self
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        score = np.full(x.shape[0], self.base_score_)
+        for tree in self.trees_:
+            score = score + self.learning_rate * tree.predict(x)
+        return score
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        p = self._sigmoid(self.decision_function(x))
+        return np.stack([1 - p, p], axis=1)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return (self.decision_function(x) > 0).astype(np.int64)

@@ -1,0 +1,65 @@
+"""Numpy deep-learning stack (autograd, layers, optimisers, scalers).
+
+Replaces PyTorch in the reproduction.  See :mod:`repro.nn.autograd` for the
+reverse-mode engine, :mod:`repro.nn.layers` for the module system and
+:mod:`repro.nn.optim` for SGD / Adam / AdamW (the paper trains with AdamW).
+"""
+
+from repro.nn.autograd import Tensor, as_tensor, concat, dropout, gradcheck, segment_mean, stack_rows
+from repro.nn.functional import (
+    accuracy,
+    binary_cross_entropy,
+    cross_entropy,
+    f1_score,
+    log_softmax,
+    mse_loss,
+    softmax,
+)
+from repro.nn.layers import (
+    Dropout,
+    Linear,
+    Module,
+    MLP,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.optim import SGD, Adam, AdamW, Optimizer
+from repro.nn.scalers import GaussRankScaler, MinMaxScaler, StandardScaler
+from repro.nn.training import EarlyStopping, iterate_minibatches, set_seed
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "concat",
+    "stack_rows",
+    "segment_mean",
+    "dropout",
+    "gradcheck",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "binary_cross_entropy",
+    "mse_loss",
+    "accuracy",
+    "f1_score",
+    "Module",
+    "Linear",
+    "Dropout",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Sequential",
+    "MLP",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "StandardScaler",
+    "MinMaxScaler",
+    "GaussRankScaler",
+    "EarlyStopping",
+    "iterate_minibatches",
+    "set_seed",
+]

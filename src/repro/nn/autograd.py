@@ -1,0 +1,407 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This is the reproduction's replacement for PyTorch's autograd: a small
+define-by-run :class:`Tensor` supporting the operations needed by the MGA
+models (dense layers, gated graph convolutions, attention, autoencoders and
+the fused classifier).  Gradients are verified against finite differences in
+the test suite (``tests/nn/test_autograd.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, Sequence[float]]
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` back down to ``shape`` (inverse of numpy broadcasting)."""
+    if grad.shape == shape:
+        return grad
+    # sum over leading broadcast dimensions
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # sum over axes that were 1 in the original shape
+    for axis, dim in enumerate(shape):
+        if dim == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy array with a gradient and a backward closure."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(self, data: ArrayLike, requires_grad: bool = False,
+                 parents: Tuple["Tensor", ...] = (),
+                 backward: Optional[Callable[[np.ndarray], None]] = None,
+                 name: str = ""):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad)
+        self._backward = backward
+        self._parents = parents
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # basics
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    def numpy(self) -> np.ndarray:
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data.copy())
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        grad = np.asarray(grad, dtype=np.float64)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    def __repr__(self) -> str:
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad})"
+
+    # ------------------------------------------------------------------
+    # graph construction helper
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(data: np.ndarray, parents: Tuple["Tensor", ...],
+              backward: Callable[[np.ndarray], None]) -> "Tensor":
+        requires = any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires, parents=parents,
+                     backward=backward if requires else None)
+        return out
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = as_tensor(other)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad, other.shape))
+
+        return Tensor._make(self.data + other.data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(-grad)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-as_tensor(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return as_tensor(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad * other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad * self.data, other.shape))
+
+        return Tensor._make(self.data * other.data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = as_tensor(other)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad / other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(
+                    -grad * self.data / (other.data ** 2), other.shape))
+
+        return Tensor._make(self.data / other.data, (self, other), backward)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        exponent = float(exponent)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * exponent * self.data ** (exponent - 1.0))
+
+        return Tensor._make(self.data ** exponent, (self,), backward)
+
+    def matmul(self, other: "Tensor") -> "Tensor":
+        other = as_tensor(other)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad @ other.data.T)
+            if other.requires_grad:
+                other._accumulate(self.data.T @ grad)
+
+        return Tensor._make(self.data @ other.data, (self, other), backward)
+
+    __matmul__ = matmul
+
+    # ------------------------------------------------------------------
+    # reductions / shaping
+    # ------------------------------------------------------------------
+    def sum(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            g = np.asarray(grad)
+            if axis is None:
+                self._accumulate(np.full(self.shape, float(g)))
+            else:
+                if not keepdims:
+                    g = np.expand_dims(g, axis)
+                self._accumulate(np.broadcast_to(g, self.shape).copy())
+
+        return Tensor._make(self.data.sum(axis=axis, keepdims=keepdims),
+                            (self,), backward)
+
+    def mean(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            count = self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def reshape(self, *shape: int) -> "Tensor":
+        old_shape = self.shape
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.reshape(old_shape))
+
+        return Tensor._make(self.data.reshape(*shape), (self,), backward)
+
+    @property
+    def T(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.T)
+
+        return Tensor._make(self.data.T, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # nonlinearities
+    # ------------------------------------------------------------------
+    def relu(self) -> "Tensor":
+        mask = (self.data > 0).astype(np.float64)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * mask)
+
+        return Tensor._make(self.data * mask, (self,), backward)
+
+    def leaky_relu(self, slope: float = 0.01) -> "Tensor":
+        mask = np.where(self.data > 0, 1.0, slope)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * mask)
+
+        return Tensor._make(self.data * mask, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * out_data * (1.0 - out_data))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * (1.0 - out_data ** 2))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def exp(self) -> "Tensor":
+        out_data = np.exp(np.clip(self.data, -60.0, 60.0))
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * out_data)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad / np.maximum(self.data, 1e-12))
+
+        return Tensor._make(np.log(np.maximum(self.data, 1e-12)), (self,),
+                            backward)
+
+    # ------------------------------------------------------------------
+    # indexing / scatter-gather (the message-passing primitives)
+    # ------------------------------------------------------------------
+    def index_select(self, index: np.ndarray) -> "Tensor":
+        """Gather rows: ``out[i] = self[index[i]]``."""
+        index = np.asarray(index, dtype=np.int64)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                acc = np.zeros_like(self.data)
+                np.add.at(acc, index, grad)
+                self._accumulate(acc)
+
+        return Tensor._make(self.data[index], (self,), backward)
+
+    def scatter_add(self, index: np.ndarray, num_rows: int) -> "Tensor":
+        """Scatter rows: ``out[index[i]] += self[i]`` with ``num_rows`` rows."""
+        index = np.asarray(index, dtype=np.int64)
+        out_data = np.zeros((num_rows,) + self.data.shape[1:], dtype=np.float64)
+        np.add.at(out_data, index, self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad[index])
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # backward pass
+    # ------------------------------------------------------------------
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor (must be scalar unless ``grad``)."""
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError("backward() without grad requires a scalar")
+            grad = np.ones_like(self.data)
+        topo: List[Tensor] = []
+        visited = set()
+
+        def visit(t: Tensor) -> None:
+            if id(t) in visited:
+                return
+            visited.add(id(t))
+            for parent in t._parents:
+                visit(parent)
+            topo.append(t)
+
+        visit(self)
+        self._accumulate(np.asarray(grad, dtype=np.float64))
+        # children appear after their parents in `topo`, so the reversed walk
+        # guarantees a node's output gradient is complete before its
+        # _backward distributes it to the parents
+        for tensor in reversed(topo):
+            if tensor._backward is not None and tensor.grad is not None:
+                tensor._backward(tensor.grad)
+
+
+def as_tensor(value: Union[Tensor, ArrayLike]) -> Tensor:
+    """Coerce numbers / arrays to (constant) tensors."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)
+
+
+# ----------------------------------------------------------------------
+# free functions
+# ----------------------------------------------------------------------
+def concat(tensors: Sequence[Tensor], axis: int = 1) -> Tensor:
+    """Concatenate tensors along ``axis`` (differentiable)."""
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if t.requires_grad:
+                slicer = [slice(None)] * grad.ndim
+                slicer[axis] = slice(start, stop)
+                t._accumulate(grad[tuple(slicer)])
+
+    return Tensor._make(data, tuple(tensors), backward)
+
+
+def stack_rows(tensors: Sequence[Tensor]) -> Tensor:
+    """Stack 1-D tensors into a 2-D tensor (row per input)."""
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=0)
+
+    def backward(grad: np.ndarray) -> None:
+        for i, t in enumerate(tensors):
+            if t.requires_grad:
+                t._accumulate(grad[i])
+
+    return Tensor._make(data, tuple(tensors), backward)
+
+
+def segment_mean(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Mean of rows of ``x`` grouped by ``segment_ids`` (empty segments → 0)."""
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    counts = np.bincount(segment_ids, minlength=num_segments).astype(np.float64)
+    counts = np.maximum(counts, 1.0)
+    sums = x.scatter_add(segment_ids, num_segments)
+    inv = Tensor(1.0 / counts[:, None])
+    return sums * inv
+
+
+def dropout(x: Tensor, rate: float, rng: np.random.Generator,
+            training: bool = True) -> Tensor:
+    """Inverted dropout."""
+    if not training or rate <= 0.0:
+        return x
+    mask = (rng.random(x.shape) >= rate).astype(np.float64) / (1.0 - rate)
+    return x * Tensor(mask)
+
+
+def gradcheck(func: Callable[..., Tensor], inputs: Sequence[Tensor],
+              eps: float = 1e-6, atol: float = 1e-4) -> bool:
+    """Finite-difference gradient check of ``func`` w.r.t. ``inputs``."""
+    for t in inputs:
+        t.zero_grad()
+    output = func(*inputs)
+    output.backward()
+    for tensor in inputs:
+        if not tensor.requires_grad:
+            continue
+        analytic = tensor.grad if tensor.grad is not None else np.zeros_like(tensor.data)
+        numeric = np.zeros_like(tensor.data)
+        flat = tensor.data.reshape(-1)
+        num_flat = numeric.reshape(-1)
+        for i in range(flat.size):
+            original = flat[i]
+            flat[i] = original + eps
+            plus = func(*inputs).data.sum()
+            flat[i] = original - eps
+            minus = func(*inputs).data.sum()
+            flat[i] = original
+            num_flat[i] = (plus - minus) / (2 * eps)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=1e-3):
+            return False
+    return True

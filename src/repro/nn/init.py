@@ -1,0 +1,29 @@
+"""Parameter initialisation schemes."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation."""
+    fan_in, fan_out = shape[0], shape[-1]
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def kaiming_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming uniform initialisation (ReLU gain)."""
+    fan_in = shape[0]
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def orthogonal(shape: Tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+    """Orthogonal initialisation (used for GRU recurrent weights)."""
+    a = rng.standard_normal(shape)
+    q, r = np.linalg.qr(a if shape[0] >= shape[1] else a.T)
+    q = q * np.sign(np.diag(r))
+    return q if shape[0] >= shape[1] else q.T

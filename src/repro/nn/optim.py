@@ -1,0 +1,103 @@
+"""First-order optimisers: SGD (+momentum), Adam and AdamW.
+
+The paper optimises the MGA model with AdamW (decoupled weight decay).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+
+
+class Optimizer:
+    """Base optimiser over a fixed parameter list."""
+
+    def __init__(self, parameters: Iterable[Tensor], lr: float):
+        self.parameters: List[Tensor] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with classical momentum."""
+
+    def __init__(self, parameters: Iterable[Tensor], lr: float = 1e-2,
+                 momentum: float = 0.0, weight_decay: float = 0.0):
+        super().__init__(parameters, lr)
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for p in self.parameters:
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self.momentum:
+                v = self._velocity.get(id(p))
+                v = self.momentum * v + grad if v is not None else grad
+                self._velocity[id(p)] = v
+                grad = v
+            p.data = p.data - self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam with bias correction; ``decoupled=False`` applies L2 to the grad."""
+
+    def __init__(self, parameters: Iterable[Tensor], lr: float = 1e-3,
+                 betas=(0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0, decoupled: bool = False):
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = float(weight_decay)
+        self.decoupled = decoupled
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        for p in self.parameters:
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay and not self.decoupled:
+                grad = grad + self.weight_decay * p.data
+            m = self._m.get(id(p), np.zeros_like(p.data))
+            v = self._v.get(id(p), np.zeros_like(p.data))
+            m = self.beta1 * m + (1 - self.beta1) * grad
+            v = self.beta2 * v + (1 - self.beta2) * grad ** 2
+            self._m[id(p)] = m
+            self._v[id(p)] = v
+            m_hat = m / (1 - self.beta1 ** self._t)
+            v_hat = v / (1 - self.beta2 ** self._t)
+            update = m_hat / (np.sqrt(v_hat) + self.eps)
+            if self.weight_decay and self.decoupled:
+                update = update + self.weight_decay * p.data
+            p.data = p.data - self.lr * update
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter)."""
+
+    def __init__(self, parameters: Iterable[Tensor], lr: float = 1e-3,
+                 betas=(0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 1e-2):
+        super().__init__(parameters, lr=lr, betas=betas, eps=eps,
+                         weight_decay=weight_decay, decoupled=True)

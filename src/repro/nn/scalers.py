@@ -1,0 +1,101 @@
+"""Feature scalers: standard, min-max and Gaussian-rank.
+
+The paper scales the IR2Vec code vectors with Gaussian rank scaling before
+the denoising autoencoder, and normalises performance counters / transfer and
+workgroup sizes into [0, 1] before fusion.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy.special import erfinv
+
+
+class StandardScaler:
+    """Zero-mean / unit-variance per feature."""
+
+    def __init__(self) -> None:
+        self.mean_: Optional[np.ndarray] = None
+        self.std_: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray) -> "StandardScaler":
+        x = np.asarray(x, dtype=np.float64)
+        self.mean_ = x.mean(axis=0)
+        self.std_ = x.std(axis=0)
+        self.std_ = np.where(self.std_ < 1e-12, 1.0, self.std_)
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("scaler is not fitted")
+        return (np.asarray(x, dtype=np.float64) - self.mean_) / self.std_
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("scaler is not fitted")
+        return np.asarray(x) * self.std_ + self.mean_
+
+
+class MinMaxScaler:
+    """Scale each feature into [0, 1] (constant features map to 0)."""
+
+    def __init__(self) -> None:
+        self.min_: Optional[np.ndarray] = None
+        self.range_: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray) -> "MinMaxScaler":
+        x = np.asarray(x, dtype=np.float64)
+        self.min_ = x.min(axis=0)
+        rng = x.max(axis=0) - self.min_
+        self.range_ = np.where(rng < 1e-12, 1.0, rng)
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self.min_ is None:
+            raise RuntimeError("scaler is not fitted")
+        out = (np.asarray(x, dtype=np.float64) - self.min_) / self.range_
+        return np.clip(out, 0.0, 1.0)
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+
+class GaussRankScaler:
+    """Gaussian rank scaling (Jahrer's Porto-Seguro winning trick).
+
+    Each feature is mapped to the quantiles of a standard normal via its rank
+    in the training data; unseen values are interpolated between the training
+    values' ranks.
+    """
+
+    def __init__(self, epsilon: float = 1e-3):
+        self.epsilon = float(epsilon)
+        self.sorted_: Optional[list] = None
+
+    def fit(self, x: np.ndarray) -> "GaussRankScaler":
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValueError("GaussRankScaler expects a 2-D matrix")
+        self.sorted_ = [np.sort(x[:, j]) for j in range(x.shape[1])]
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self.sorted_ is None:
+            raise RuntimeError("scaler is not fitted")
+        x = np.asarray(x, dtype=np.float64)
+        out = np.empty_like(x)
+        for j, ref in enumerate(self.sorted_):
+            n = len(ref)
+            # rank of each value among the training values, in (0, 1)
+            ranks = np.searchsorted(ref, x[:, j], side="left").astype(np.float64)
+            frac = np.clip(ranks / max(n - 1, 1), self.epsilon, 1.0 - self.epsilon)
+            out[:, j] = np.sqrt(2.0) * erfinv(2.0 * frac - 1.0)
+        return out
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)

@@ -1,0 +1,48 @@
+"""Training-loop utilities: seeding, mini-batches, early stopping."""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def set_seed(seed: int) -> np.random.Generator:
+    """Seed Python and numpy RNGs; return a fresh generator for local use."""
+    random.seed(seed)
+    np.random.seed(seed % (2 ** 32))
+    return np.random.default_rng(seed)
+
+
+def iterate_minibatches(num_samples: int, batch_size: int,
+                        rng: Optional[np.random.Generator] = None,
+                        shuffle: bool = True) -> Iterator[np.ndarray]:
+    """Yield index arrays covering ``range(num_samples)`` in batches."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    indices = np.arange(num_samples)
+    if shuffle:
+        rng = rng or np.random.default_rng(0)
+        rng.shuffle(indices)
+    for start in range(0, num_samples, batch_size):
+        yield indices[start:start + batch_size]
+
+
+class EarlyStopping:
+    """Stop training when the monitored loss stops improving."""
+
+    def __init__(self, patience: int = 10, min_delta: float = 1e-5):
+        self.patience = int(patience)
+        self.min_delta = float(min_delta)
+        self.best: Optional[float] = None
+        self.counter = 0
+
+    def step(self, value: float) -> bool:
+        """Record a new loss value; return True when training should stop."""
+        if self.best is None or value < self.best - self.min_delta:
+            self.best = value
+            self.counter = 0
+            return False
+        self.counter += 1
+        return self.counter >= self.patience

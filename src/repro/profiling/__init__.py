@@ -1,0 +1,27 @@
+"""PAPI-style profiling layer on top of the performance simulator.
+
+Mirrors the role PAPI plays in the paper (§4.1.1): instrumented loops are
+profiled per input size to collect ~20 preset counters; Pearson correlation
+against execution time selects the five most informative counters; later runs
+collect only those five (two runs per configuration, as the selected events
+cannot all be measured in one run on the paper's systems).
+"""
+
+from repro.profiling.papi import (
+    PAPI_PRESET_COUNTERS,
+    SELECTED_COUNTERS,
+    PAPIProfiler,
+    ProfileRecord,
+)
+from repro.profiling.selection import pearson_correlation, select_counters
+from repro.profiling.portability import rescale_counters
+
+__all__ = [
+    "PAPI_PRESET_COUNTERS",
+    "SELECTED_COUNTERS",
+    "PAPIProfiler",
+    "ProfileRecord",
+    "pearson_correlation",
+    "select_counters",
+    "rescale_counters",
+]

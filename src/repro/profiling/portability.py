@@ -1,0 +1,41 @@
+"""µ-architecture portability: counter rescaling (§4.1.5).
+
+When a model trained on Comet Lake data is applied to Broadwell / Sandy
+Bridge, the paper rescales the cache-miss counters by the ratio of the target
+system's cache sizes to the training system's, and divides the
+branch-misprediction counter by the reference cycles, then normalises to
+[0, 1].  This module implements that transformation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.simulator.microarch import MicroArch
+
+
+def rescale_counters(counters: Dict[str, float], source: MicroArch,
+                     target: MicroArch) -> Dict[str, float]:
+    """Rescale counters measured on ``target`` into ``source``'s feature space.
+
+    Cache-miss counters are multiplied by ``cache_size_target /
+    cache_size_source`` (per level, as in the paper's formula for Sandy
+    Bridge L1 misses); branch mispredictions are expressed per reference
+    cycle; everything else passes through unchanged.
+    """
+    out = dict(counters)
+    ratio_l1 = target.l1_bytes / source.l1_bytes
+    ratio_l2 = target.l2_bytes / source.l2_bytes
+    ratio_l3 = target.l3_bytes / source.l3_bytes
+    if "PAPI_L1_DCM" in out:
+        out["PAPI_L1_DCM"] = out["PAPI_L1_DCM"] * ratio_l1
+    if "PAPI_L2_DCM" in out:
+        out["PAPI_L2_DCM"] = out["PAPI_L2_DCM"] * ratio_l2
+    if "PAPI_L3_LDM" in out:
+        out["PAPI_L3_LDM"] = out["PAPI_L3_LDM"] * ratio_l3
+    if "PAPI_L3_TCM" in out:
+        out["PAPI_L3_TCM"] = out["PAPI_L3_TCM"] * ratio_l3
+    if "PAPI_BR_MSP" in out and "PAPI_TOT_CYC" in counters:
+        cycles = max(counters["PAPI_TOT_CYC"], 1.0)
+        out["PAPI_BR_MSP"] = out["PAPI_BR_MSP"] / cycles * 1e6
+    return out

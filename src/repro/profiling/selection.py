@@ -1,0 +1,42 @@
+"""Counter selection via Pearson correlation against execution time (§4.1.1).
+
+Collecting all ~20 preset counters for every loop/input/configuration leads
+to a feature explosion; the paper keeps the five counters whose absolute
+Pearson correlation with execution time is highest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.profiling.papi import PAPI_PRESET_COUNTERS, ProfileRecord
+
+
+def pearson_correlation(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson correlation coefficient, 0.0 for degenerate (constant) inputs."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.size != y.size or x.size < 2:
+        raise ValueError("inputs must be equal-length with at least 2 samples")
+    xs = x - x.mean()
+    ys = y - y.mean()
+    denom = np.sqrt(np.sum(xs ** 2) * np.sum(ys ** 2))
+    if denom == 0.0:
+        return 0.0
+    return float(np.sum(xs * ys) / denom)
+
+
+def select_counters(records: Sequence[ProfileRecord], k: int = 5,
+                    candidates: Sequence[str] = PAPI_PRESET_COUNTERS) -> List[str]:
+    """Return the ``k`` counters most correlated (|r|) with execution time."""
+    if not records:
+        raise ValueError("no profile records supplied")
+    times = np.array([r.time_seconds for r in records])
+    scores: Dict[str, float] = {}
+    for name in candidates:
+        values = np.array([r.counters.get(name, 0.0) for r in records])
+        scores[name] = abs(pearson_correlation(values, times))
+    ranked = sorted(scores, key=lambda n: scores[n], reverse=True)
+    return ranked[:k]

@@ -1,0 +1,54 @@
+"""Analytic performance simulator (the reproduction's "hardware").
+
+The paper measures execution times and PAPI counters on physical Comet Lake /
+Skylake / Broadwell / Sandy Bridge CPUs and on an OpenCL CPU+GPU testbed.
+This package replaces that hardware with a mechanistic analytic model:
+
+* :mod:`microarch` — CPU micro-architecture and GPU device models,
+* :mod:`cache` — multi-level cache behaviour of a workload summary,
+* :mod:`openmp` — execution time + counters of an OpenMP loop under a given
+  (threads, schedule, chunk) configuration,
+* :mod:`opencl` — execution time of an OpenCL kernel on a CPU or GPU device.
+
+Because times and counters come from one consistent model, the statistical
+structure the MGA tuner must learn (code structure + counters → best
+configuration) is present in the generated datasets just as it is in the
+paper's measurements.
+"""
+
+from repro.simulator.microarch import (
+    BROADWELL_8C,
+    COMET_LAKE_8C,
+    CORE_I7_3820,
+    GTX_970,
+    MicroArch,
+    GPUDevice,
+    SANDY_BRIDGE_8C,
+    SKYLAKE_4114,
+    TAHITI_7970,
+    get_microarch,
+)
+from repro.simulator.cache import CacheTraffic, estimate_cache_traffic
+from repro.simulator.openmp import ExecutionResult, OpenMPSimulator, simulate_openmp
+from repro.simulator.opencl import DeviceKind, OpenCLSimulator, simulate_opencl
+
+__all__ = [
+    "MicroArch",
+    "GPUDevice",
+    "COMET_LAKE_8C",
+    "SKYLAKE_4114",
+    "BROADWELL_8C",
+    "SANDY_BRIDGE_8C",
+    "CORE_I7_3820",
+    "TAHITI_7970",
+    "GTX_970",
+    "get_microarch",
+    "CacheTraffic",
+    "estimate_cache_traffic",
+    "ExecutionResult",
+    "OpenMPSimulator",
+    "simulate_openmp",
+    "DeviceKind",
+    "OpenCLSimulator",
+    "simulate_opencl",
+]

@@ -1,0 +1,156 @@
+"""Machine models: CPU micro-architectures and OpenCL devices.
+
+The presets correspond to the systems used in the paper:
+
+* Intel i7-10700K (Comet Lake, 8 cores) — §4.1.3 thread prediction,
+* Intel Xeon Silver 4114 (Skylake-SP, 10 cores / 20 threads) — §4.1.4,
+* Broadwell and Sandy Bridge 8-core CloudLab nodes — §4.1.5 portability,
+* Intel i7-3820 + AMD Tahiti 7970 + NVIDIA GTX 970 — §4.2 device mapping.
+
+Numbers are nominal datasheet values; the simulator only relies on their
+relative magnitudes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+
+@dataclasses.dataclass(frozen=True)
+class MicroArch:
+    """A multicore CPU model."""
+
+    name: str
+    cores: int
+    smt: int                      # hardware threads per core
+    freq_ghz: float
+    flops_per_cycle: float        # per core (vector FMA throughput)
+    l1_kb: float                  # per core
+    l2_kb: float                  # per core
+    l3_mb: float                  # shared
+    line_bytes: int
+    mem_bw_gbs: float
+    mem_latency_ns: float
+    l2_latency_ns: float
+    l3_latency_ns: float
+    fork_overhead_us: float       # omp parallel region entry+exit
+    sched_overhead_us: float      # cost of dispatching one dynamic chunk
+    branch_penalty_ns: float      # misprediction penalty
+    smt_efficiency: float = 0.30  # extra throughput of the 2nd hw thread
+
+    @property
+    def max_threads(self) -> int:
+        return self.cores * self.smt
+
+    @property
+    def l1_bytes(self) -> float:
+        return self.l1_kb * 1024.0
+
+    @property
+    def l2_bytes(self) -> float:
+        return self.l2_kb * 1024.0
+
+    @property
+    def l3_bytes(self) -> float:
+        return self.l3_mb * 1024.0 * 1024.0
+
+    def peak_gflops(self, threads: int) -> float:
+        """Aggregate peak GFLOP/s with ``threads`` software threads."""
+        threads = max(1, min(threads, self.max_threads))
+        full_cores = min(threads, self.cores)
+        extra = max(0, threads - self.cores)
+        effective_cores = full_cores + self.smt_efficiency * extra
+        return effective_cores * self.freq_ghz * self.flops_per_cycle
+
+    def effective_mem_bw(self, threads: int) -> float:
+        """Achievable DRAM bandwidth (GB/s): a single core cannot saturate the
+        memory controller; bandwidth ramps up with threads then saturates."""
+        threads = max(1, min(threads, self.max_threads))
+        single_core_bw = self.mem_bw_gbs * 0.35
+        ramp = min(1.0, 0.35 + 0.18 * (threads - 1))
+        return self.mem_bw_gbs * ramp if threads > 1 else single_core_bw
+
+
+@dataclasses.dataclass(frozen=True)
+class GPUDevice:
+    """An OpenCL accelerator (or CPU-as-OpenCL-device) model."""
+
+    name: str
+    kind: str                     # "cpu" | "gpu"
+    peak_gflops: float
+    mem_bw_gbs: float
+    pcie_bw_gbs: float            # host<->device transfer bandwidth
+    launch_overhead_us: float
+    random_access_penalty: float  # slowdown factor for irregular access
+    divergence_penalty: float     # slowdown factor per branchy work-item
+    preferred_wgsize: int
+    call_overhead_us: float = 0.0  # per dynamic call from within a kernel
+
+
+# ----------------------------------------------------------------------
+# CPU presets (§4.1)
+# ----------------------------------------------------------------------
+COMET_LAKE_8C = MicroArch(
+    name="comet_lake", cores=8, smt=1, freq_ghz=4.7, flops_per_cycle=16.0,
+    l1_kb=32, l2_kb=256, l3_mb=16.0, line_bytes=64, mem_bw_gbs=45.0,
+    mem_latency_ns=70.0, l2_latency_ns=4.0, l3_latency_ns=12.0,
+    fork_overhead_us=6.0, sched_overhead_us=0.35, branch_penalty_ns=3.5,
+)
+
+SKYLAKE_4114 = MicroArch(
+    name="skylake_4114", cores=10, smt=2, freq_ghz=2.2, flops_per_cycle=32.0,
+    l1_kb=32, l2_kb=1024, l3_mb=13.75, line_bytes=64, mem_bw_gbs=60.0,
+    mem_latency_ns=85.0, l2_latency_ns=6.0, l3_latency_ns=18.0,
+    fork_overhead_us=8.0, sched_overhead_us=0.45, branch_penalty_ns=6.0,
+)
+
+BROADWELL_8C = MicroArch(
+    name="broadwell", cores=8, smt=1, freq_ghz=3.2, flops_per_cycle=16.0,
+    l1_kb=32, l2_kb=256, l3_mb=20.0, line_bytes=64, mem_bw_gbs=50.0,
+    mem_latency_ns=80.0, l2_latency_ns=4.5, l3_latency_ns=14.0,
+    fork_overhead_us=7.0, sched_overhead_us=0.40, branch_penalty_ns=4.5,
+)
+
+SANDY_BRIDGE_8C = MicroArch(
+    name="sandy_bridge", cores=8, smt=1, freq_ghz=2.6, flops_per_cycle=8.0,
+    l1_kb=32, l2_kb=256, l3_mb=20.0, line_bytes=64, mem_bw_gbs=35.0,
+    mem_latency_ns=95.0, l2_latency_ns=5.0, l3_latency_ns=16.0,
+    fork_overhead_us=9.0, sched_overhead_us=0.50, branch_penalty_ns=5.5,
+)
+
+_MICROARCHS: Dict[str, MicroArch] = {
+    m.name: m for m in (COMET_LAKE_8C, SKYLAKE_4114, BROADWELL_8C,
+                        SANDY_BRIDGE_8C)
+}
+
+
+def get_microarch(name: str) -> MicroArch:
+    """Look up a CPU preset by name."""
+    try:
+        return _MICROARCHS[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown micro-architecture {name!r}; "
+                       f"known: {sorted(_MICROARCHS)}") from exc
+
+
+# ----------------------------------------------------------------------
+# OpenCL devices (§4.2)
+# ----------------------------------------------------------------------
+CORE_I7_3820 = GPUDevice(
+    name="intel_i7_3820", kind="cpu", peak_gflops=58.0, mem_bw_gbs=26.0,
+    pcie_bw_gbs=1e9, launch_overhead_us=2.0, random_access_penalty=2.0,
+    divergence_penalty=1.05, preferred_wgsize=8, call_overhead_us=0.02,
+)
+
+TAHITI_7970 = GPUDevice(
+    name="amd_tahiti_7970", kind="gpu", peak_gflops=3789.0, mem_bw_gbs=264.0,
+    pcie_bw_gbs=6.0, launch_overhead_us=35.0, random_access_penalty=4.0,
+    divergence_penalty=1.9, preferred_wgsize=256, call_overhead_us=0.6,
+)
+
+GTX_970 = GPUDevice(
+    name="nvidia_gtx_970", kind="gpu", peak_gflops=3494.0, mem_bw_gbs=196.0,
+    pcie_bw_gbs=6.0, launch_overhead_us=28.0, random_access_penalty=3.5,
+    divergence_penalty=1.8, preferred_wgsize=256, call_overhead_us=0.5,
+)

@@ -1,0 +1,133 @@
+"""OpenCL device execution model (heterogeneous device mapping, §4.2).
+
+``simulate_opencl`` estimates the wall time of launching one OpenCL kernel on
+either the CPU or a GPU device, including the effects that decide the mapping
+in the Ben-Nun et al. dataset the paper uses:
+
+* host→device transfer time and kernel-launch overhead (dominant for small
+  inputs → CPU wins),
+* compute / memory-bandwidth rooflines (GPU wins for large regular kernels),
+* irregular-access and branch-divergence penalties (GPU-unfriendly kernels),
+* workgroup-size occupancy effects,
+* per-call overhead of kernels that make many dynamic calls from inside the
+  parallel loop (the paper's ``makea`` corner case: GPU for small inputs,
+  CPU for large ones).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import math
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.frontend.analysis import WorkloadSummary, analyze_spec
+from repro.frontend.spec import KernelSpec
+from repro.simulator.microarch import GPUDevice
+
+
+class DeviceKind(str, enum.Enum):
+    """Target of the heterogeneous mapping decision."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+
+
+@dataclasses.dataclass
+class OpenCLExecution:
+    """Outcome of one simulated OpenCL kernel launch."""
+
+    time_seconds: float
+    breakdown: Dict[str, float]
+    device: str
+
+
+class OpenCLSimulator:
+    """Simulator bound to one OpenCL device."""
+
+    def __init__(self, device: GPUDevice, noise: float = 0.02,
+                 seed: Optional[int] = 77):
+        self.device = device
+        self.noise = float(noise)
+        self._rng = np.random.default_rng(seed)
+
+    def run(self, workload: Union[KernelSpec, WorkloadSummary],
+            transfer_bytes: float, wgsize: int, scale: float = 1.0,
+            rng: Optional[np.random.Generator] = None) -> OpenCLExecution:
+        summary = (workload if isinstance(workload, WorkloadSummary)
+                   else analyze_spec(workload, scale))
+        rng = rng or self._rng
+        dev = self.device
+
+        # ---------------- transfer + launch ----------------------------
+        if dev.kind == "gpu":
+            # inputs go host->device, (smaller) results come back
+            transfer_s = 1.2 * transfer_bytes / (dev.pcie_bw_gbs * 1e9)
+            launch_s = dev.launch_overhead_us * 1e-6
+        else:
+            transfer_s = 0.0
+            launch_s = dev.launch_overhead_us * 1e-6
+
+        # ---------------- occupancy ------------------------------------
+        occupancy = 1.0
+        if dev.kind == "gpu":
+            # small workgroups and too little total parallel work
+            # under-utilise the GPU
+            wg_ratio = min(1.0, wgsize / dev.preferred_wgsize)
+            occupancy *= 0.35 + 0.65 * wg_ratio
+            min_work = 2.0e6
+            occupancy *= min(1.0, summary.total_iterations / min_work) ** 0.5
+            occupancy = max(occupancy, 0.02)
+
+        # ---------------- compute / memory rooflines --------------------
+        compute_s = summary.flops / (dev.peak_gflops * 1e9 * occupancy)
+        int_s = summary.int_ops / (dev.peak_gflops * 2.0 * 1e9 * occupancy)
+
+        # DRAM traffic: regular kernels mostly hit the on-chip caches, so
+        # traffic is dominated by compulsory (working-set) misses; irregular
+        # kernels pay closer to one transaction per access.  GPUs have less
+        # cache per work-item, hence the larger leak coefficient.
+        leak = 0.20 if dev.kind == "cpu" else 0.10
+        traffic_bytes = (summary.working_set_bytes
+                         + summary.mem_bytes * (leak + (1.0 - leak)
+                                                * summary.random_frac))
+        random_penalty = 1.0 + (dev.random_access_penalty - 1.0) * (
+            summary.random_frac + 0.5 * summary.strided_frac)
+        memory_s = traffic_bytes * random_penalty / (dev.mem_bw_gbs * 1e9
+                                                     * occupancy)
+
+        # ---------------- divergence / serialisation --------------------
+        branchiness = min(1.0, summary.branches
+                          / max(1.0, summary.total_iterations))
+        divergence = 1.0 + (dev.divergence_penalty - 1.0) * branchiness
+        # reductions / atomics serialise partially on wide devices
+        if summary.has_atomic and dev.kind == "gpu":
+            divergence *= 1.3
+        kernel_s = max(compute_s + int_s, memory_s) * divergence
+
+        # dynamic calls from inside the kernel (function-call heavy kernels):
+        # cheap on the CPU, expensive on the GPU and growing with input size
+        call_s = summary.calls * dev.call_overhead_us * 1e-6 / max(
+            1.0, summary.parallel_trip ** 0.25)
+
+        total = transfer_s + launch_s + kernel_s + call_s
+        if self.noise > 0:
+            total *= float(np.exp(rng.normal(0.0, self.noise)))
+        return OpenCLExecution(
+            time_seconds=float(total),
+            breakdown={"transfer": transfer_s, "launch": launch_s,
+                       "kernel": kernel_s, "calls": call_s,
+                       "occupancy": occupancy},
+            device=dev.name,
+        )
+
+
+def simulate_opencl(workload: Union[KernelSpec, WorkloadSummary],
+                    device: GPUDevice, transfer_bytes: float, wgsize: int,
+                    scale: float = 1.0, noise: float = 0.02,
+                    seed: Optional[int] = None) -> OpenCLExecution:
+    """One-shot convenience wrapper around :class:`OpenCLSimulator`."""
+    sim = OpenCLSimulator(device, noise=noise, seed=seed)
+    return sim.run(workload, transfer_bytes, wgsize, scale=scale)

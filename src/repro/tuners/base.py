@@ -1,0 +1,80 @@
+"""Black-box tuner interface shared by the search / Bayesian baselines."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.frontend.analysis import WorkloadSummary
+from repro.frontend.openmp import OMPConfig
+from repro.simulator.openmp import OpenMPSimulator
+from repro.tuners.space import SearchSpace
+
+Objective = Callable[[OMPConfig], float]
+
+
+@dataclasses.dataclass
+class TuningResult:
+    """Outcome of one black-box tuning session."""
+
+    best_config: OMPConfig
+    best_time: float
+    evaluations: int
+    history: List[Tuple[OMPConfig, float]]
+
+    def speedup_over(self, reference_time: float) -> float:
+        return reference_time / self.best_time
+
+
+def make_objective(simulator: OpenMPSimulator, summary: WorkloadSummary,
+                   counter: Optional[Dict[str, int]] = None) -> Objective:
+    """Wrap the simulator into a black-box ``config -> seconds`` objective.
+
+    ``counter`` (optional dict with an ``"evals"`` key) tracks how many real
+    executions the tuner consumed — the cost the paper compares in §4.1.4.
+    """
+    def objective(config: OMPConfig) -> float:
+        if counter is not None:
+            counter["evals"] = counter.get("evals", 0) + 1
+        return simulator.run(summary, config).time_seconds
+
+    return objective
+
+
+class BlackBoxTuner:
+    """Base class: explore a :class:`SearchSpace` within an evaluation budget."""
+
+    name = "blackbox"
+
+    def __init__(self, budget: int = 10, seed: int = 0):
+        if budget < 1:
+            raise ValueError("budget must be >= 1")
+        self.budget = int(budget)
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def propose(self, space: SearchSpace, history: List[Tuple[OMPConfig, float]],
+                rng: np.random.Generator) -> OMPConfig:  # pragma: no cover
+        raise NotImplementedError
+
+    def tune(self, objective: Objective, space: SearchSpace) -> TuningResult:
+        """Generic propose/evaluate loop honouring the evaluation budget."""
+        rng = np.random.default_rng(self.seed)
+        history: List[Tuple[OMPConfig, float]] = []
+        seen = set()
+        budget = min(self.budget, len(space))
+        while len(history) < budget:
+            config = self.propose(space, history, rng)
+            if config in seen:
+                # fall back to a random unseen configuration
+                remaining = [c for c in space if c not in seen]
+                if not remaining:
+                    break
+                config = remaining[rng.integers(len(remaining))]
+            seen.add(config)
+            history.append((config, float(objective(config))))
+        best_config, best_time = min(history, key=lambda item: item[1])
+        return TuningResult(best_config=best_config, best_time=best_time,
+                            evaluations=len(history), history=history)

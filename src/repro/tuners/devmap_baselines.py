@@ -1,0 +1,174 @@
+"""Device-mapping baselines of Table 3.
+
+* :class:`StaticMappingBaseline` — always pick the overall-best single device.
+* :class:`GreweBaseline` — Grewe et al. (CGO 2013): a decision tree over
+  hand-crafted static kernel features plus transfer/workgroup size.
+* :class:`DeepTuneBaseline` — DeepTune (PACT 2017): an end-to-end neural
+  model over the token stream; reproduced here as an opcode-sequence
+  embedding (bag of learned token embeddings) followed by an MLP.
+* :class:`Inst2VecBaseline` — inst2vec (NeurIPS 2018): pre-trained statement
+  embeddings averaged over the kernel, followed by an MLP.
+
+All baselines share the ``fit(dataset, indices)`` / ``predict(dataset,
+indices)`` interface of :class:`repro.core.tuner.DeviceMapper` so the Table 3
+experiment can evaluate them uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.datasets.devmap import DevMapDataset, DevMapSample
+from repro.frontend.analysis import analyze_spec
+from repro.kernels import registry
+from repro.ml import DecisionTreeClassifier, GradientBoostingClassifier
+from repro.nn import MLP, AdamW, MinMaxScaler, Tensor, cross_entropy, iterate_minibatches
+
+
+def _grewe_features(sample: DevMapSample) -> np.ndarray:
+    """Static features in the spirit of Grewe et al.: compute/memory ratios
+    plus the runtime transfer and workgroup sizes."""
+    spec = registry.get_kernel(sample.kernel_uid)
+    summary = analyze_spec(spec, sample.scale)
+    comp = summary.flops + summary.int_ops
+    mem = summary.loads + summary.stores
+    return np.array([
+        np.log1p(comp),
+        np.log1p(mem),
+        comp / max(mem, 1.0),
+        np.log1p(sample.transfer_bytes),
+        (comp / max(mem, 1.0)) / max(np.log1p(sample.transfer_bytes), 1.0),
+        np.log1p(sample.wgsize),
+        summary.random_frac,
+        summary.branches / max(summary.total_iterations, 1.0),
+    ])
+
+
+class StaticMappingBaseline:
+    """Predict the majority (overall best) device for every kernel."""
+
+    def __init__(self) -> None:
+        self.label_ = 0
+
+    def fit(self, dataset: DevMapDataset,
+            indices: Optional[Sequence[int]] = None) -> "StaticMappingBaseline":
+        samples = dataset.samples if indices is None else dataset.subset(indices)
+        labels = np.array([s.label for s in samples])
+        self.label_ = int(np.bincount(labels).argmax())
+        return self
+
+    def predict(self, dataset: DevMapDataset, indices: Sequence[int]) -> np.ndarray:
+        return np.full(len(indices), self.label_, dtype=np.int64)
+
+
+class GreweBaseline:
+    """Decision tree over hand-crafted static features."""
+
+    def __init__(self, max_depth: int = 5, seed: int = 0):
+        self.tree = DecisionTreeClassifier(max_depth=max_depth, seed=seed)
+
+    def fit(self, dataset: DevMapDataset,
+            indices: Optional[Sequence[int]] = None) -> "GreweBaseline":
+        samples = dataset.samples if indices is None else dataset.subset(indices)
+        x = np.stack([_grewe_features(s) for s in samples])
+        y = np.array([s.label for s in samples])
+        self.tree.fit(x, y)
+        return self
+
+    def predict(self, dataset: DevMapDataset, indices: Sequence[int]) -> np.ndarray:
+        samples = dataset.subset(indices)
+        x = np.stack([_grewe_features(s) for s in samples])
+        return self.tree.predict(x)
+
+
+class _EmbeddingMLPBaseline:
+    """Shared machinery of DeepTune / inst2vec: fixed per-kernel embedding
+    (plus transfer/wgsize) fed into a small MLP."""
+
+    def __init__(self, hidden: int = 32, epochs: int = 40, lr: float = 5e-3,
+                 seed: int = 0):
+        self.hidden = hidden
+        self.epochs = epochs
+        self.lr = lr
+        self.seed = seed
+        self.scaler = MinMaxScaler()
+        self.model: Optional[MLP] = None
+
+    def _kernel_embedding(self, sample: DevMapSample) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def _features(self, dataset: DevMapDataset,
+                  samples: Sequence[DevMapSample]) -> np.ndarray:
+        emb = np.stack([self._kernel_embedding(s) for s in samples])
+        extra = dataset.extra_features(samples)
+        return np.concatenate([emb, extra], axis=1)
+
+    def fit(self, dataset: DevMapDataset,
+            indices: Optional[Sequence[int]] = None):
+        samples = dataset.samples if indices is None else dataset.subset(indices)
+        x = self.scaler.fit_transform(self._features(dataset, samples))
+        y = np.array([s.label for s in samples])
+        rng = np.random.default_rng(self.seed)
+        self.model = MLP(x.shape[1], [self.hidden], 2,
+                         rng=np.random.default_rng(self.seed))
+        optimizer = AdamW(self.model.parameters(), lr=self.lr)
+        for _ in range(self.epochs):
+            for idx in iterate_minibatches(len(y), 32, rng=rng):
+                logits = self.model(Tensor(x[idx]))
+                loss = cross_entropy(logits, y[idx])
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+        return self
+
+    def predict(self, dataset: DevMapDataset, indices: Sequence[int]) -> np.ndarray:
+        if self.model is None:
+            raise RuntimeError("baseline is not fitted")
+        samples = dataset.subset(indices)
+        x = self.scaler.transform(self._features(dataset, samples))
+        return self.model(Tensor(x)).data.argmax(axis=1)
+
+
+class DeepTuneBaseline(_EmbeddingMLPBaseline):
+    """Token-frequency embedding of the kernel body (DeepTune-style)."""
+
+    def _kernel_embedding(self, sample: DevMapSample) -> np.ndarray:
+        # node-token histogram of the ProGraML graph = opcode token frequencies
+        feats = sample.graph.node_features
+        return feats.mean(axis=0)
+
+
+class Inst2VecBaseline(_EmbeddingMLPBaseline):
+    """Mean of pre-trained statement (IR2Vec seed) embeddings."""
+
+    def _kernel_embedding(self, sample: DevMapSample) -> np.ndarray:
+        norm = np.linalg.norm(sample.vector) + 1e-9
+        return sample.vector / norm
+
+
+class XGBoostLikeBaseline:
+    """Gradient-boosted trees over the IR2Vec program vector (the model the
+    original IR2Vec paper pairs with its embeddings)."""
+
+    def __init__(self, n_estimators: int = 60, max_depth: int = 3, seed: int = 0):
+        self.model = GradientBoostingClassifier(n_estimators=n_estimators,
+                                                max_depth=max_depth, seed=seed)
+
+    def _features(self, dataset: DevMapDataset,
+                  samples: Sequence[DevMapSample]) -> np.ndarray:
+        vec = np.stack([s.vector for s in samples])
+        extra = dataset.extra_features(samples)
+        return np.concatenate([vec, extra], axis=1)
+
+    def fit(self, dataset: DevMapDataset,
+            indices: Optional[Sequence[int]] = None) -> "XGBoostLikeBaseline":
+        samples = dataset.samples if indices is None else dataset.subset(indices)
+        self.model.fit(self._features(dataset, samples),
+                       np.array([s.label for s in samples]))
+        return self
+
+    def predict(self, dataset: DevMapDataset, indices: Sequence[int]) -> np.ndarray:
+        samples = dataset.subset(indices)
+        return self.model.predict(self._features(dataset, samples))

@@ -1,0 +1,28 @@
+"""Exhaustive (oracle) tuner: evaluates every configuration."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.frontend.openmp import OMPConfig
+from repro.tuners.base import BlackBoxTuner, Objective, TuningResult
+from repro.tuners.space import SearchSpace
+
+
+class ExhaustiveTuner(BlackBoxTuner):
+    """Brute force over the whole space — the paper's oracle configurations."""
+
+    name = "oracle"
+
+    def __init__(self):
+        super().__init__(budget=1, seed=0)
+
+    def tune(self, objective: Objective, space: SearchSpace) -> TuningResult:
+        history: List[Tuple[OMPConfig, float]] = [
+            (config, float(objective(config))) for config in space
+        ]
+        best_config, best_time = min(history, key=lambda item: item[1])
+        return TuningResult(best_config=best_config, best_time=best_time,
+                            evaluations=len(history), history=history)

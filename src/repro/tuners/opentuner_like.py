@@ -1,0 +1,138 @@
+"""OpenTuner-style search: an AUC-bandit ensemble of search techniques.
+
+OpenTuner (Ansel et al., PACT 2014) runs several search techniques (random,
+hill climbers, evolutionary mutation, ...) and allocates trials to them with
+an area-under-curve multi-armed bandit.  This module reproduces that design
+over the discrete OpenMP configuration space.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.frontend.openmp import OMPConfig, OMPSchedule
+from repro.tuners.base import BlackBoxTuner
+from repro.tuners.space import SearchSpace
+
+
+def _mutate(config: OMPConfig, space: SearchSpace,
+            rng: np.random.Generator) -> OMPConfig:
+    """Move to a neighbouring configuration (change one parameter)."""
+    threads = sorted({c.num_threads for c in space})
+    chunks = sorted({c.chunk_size for c in space}, key=lambda c: (c is None, c))
+    schedules = list({c.schedule for c in space})
+    choice = rng.integers(3)
+    new_threads, new_schedule, new_chunk = (config.num_threads, config.schedule,
+                                            config.chunk_size)
+    if choice == 0 and len(threads) > 1:
+        i = threads.index(config.num_threads)
+        j = int(np.clip(i + rng.choice([-1, 1]), 0, len(threads) - 1))
+        new_threads = threads[j]
+    elif choice == 1 and len(schedules) > 1:
+        new_schedule = schedules[rng.integers(len(schedules))]
+    elif len(chunks) > 1:
+        new_chunk = chunks[rng.integers(len(chunks))]
+    candidate = OMPConfig(new_threads, new_schedule, new_chunk)
+    return candidate if candidate in set(space.configs) else config
+
+
+class _Technique:
+    """One search technique proposing configurations."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.uses = 0
+        self.credit = 0.0
+
+    def propose(self, space: SearchSpace, history, best, rng) -> OMPConfig:
+        raise NotImplementedError
+
+
+class _RandomTechnique(_Technique):
+    def __init__(self):
+        super().__init__("uniform-random")
+
+    def propose(self, space, history, best, rng):
+        return space[rng.integers(len(space))]
+
+
+class _HillClimb(_Technique):
+    def __init__(self):
+        super().__init__("hill-climb")
+
+    def propose(self, space, history, best, rng):
+        if best is None:
+            return space[rng.integers(len(space))]
+        return _mutate(best, space, rng)
+
+
+class _Evolution(_Technique):
+    """Mutation of a random elite member (simple evolutionary search)."""
+
+    def __init__(self, elite: int = 4):
+        super().__init__("evolution")
+        self.elite = elite
+
+    def propose(self, space, history, best, rng):
+        if not history:
+            return space[rng.integers(len(space))]
+        ranked = sorted(history, key=lambda item: item[1])[:self.elite]
+        parent = ranked[rng.integers(len(ranked))][0]
+        return _mutate(parent, space, rng)
+
+
+class OpenTunerLike(BlackBoxTuner):
+    """AUC-bandit meta-tuner over random / hill-climb / evolutionary search."""
+
+    name = "opentuner"
+
+    def __init__(self, budget: int = 10, seed: int = 0,
+                 exploration: float = 0.3):
+        super().__init__(budget=budget, seed=seed)
+        self.exploration = float(exploration)
+        self.techniques: List[_Technique] = [
+            _RandomTechnique(), _HillClimb(), _Evolution(),
+        ]
+        self.technique_log: List[str] = []
+
+    # ------------------------------------------------------------------
+    def _select_technique(self, rng: np.random.Generator) -> _Technique:
+        total_uses = sum(t.uses for t in self.techniques) + 1
+        scores = []
+        for t in self.techniques:
+            exploit = t.credit / (t.uses + 1e-9) if t.uses else 0.0
+            explore = self.exploration * np.sqrt(2 * np.log(total_uses)
+                                                 / (t.uses + 1e-9)) if t.uses else 1e9
+            scores.append(exploit + explore)
+        return self.techniques[int(np.argmax(scores))]
+
+    def propose(self, space: SearchSpace, history: List[Tuple[OMPConfig, float]],
+                rng: np.random.Generator) -> OMPConfig:
+        best = min(history, key=lambda item: item[1])[0] if history else None
+        technique = self._select_technique(rng)
+        technique.uses += 1
+        self.technique_log.append(technique.name)
+        proposal = technique.propose(space, history, best, rng)
+        # credit assignment: reward the technique if it improved on the best
+        if history:
+            best_time = min(t for _, t in history)
+            self._pending = (technique, best_time)
+        else:
+            self._pending = (technique, None)
+        return proposal
+
+    def tune(self, objective, space):
+        result = super().tune(objective, space)
+        # final AUC-style credit: techniques used early in improvements earn more
+        improvements: Dict[str, float] = {}
+        best = np.inf
+        for name, (_, time) in zip(self.technique_log, result.history):
+            if time < best:
+                improvements[name] = improvements.get(name, 0.0) + (best - time
+                                                                    if np.isfinite(best) else 1.0)
+                best = time
+        for t in self.techniques:
+            t.credit += improvements.get(t.name, 0.0)
+        return result

@@ -1,0 +1,25 @@
+"""Random-search tuner (uniform without replacement)."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.frontend.openmp import OMPConfig
+from repro.tuners.base import BlackBoxTuner
+from repro.tuners.space import SearchSpace
+
+
+class RandomSearchTuner(BlackBoxTuner):
+    """Uniformly sample unseen configurations until the budget is spent."""
+
+    name = "random"
+
+    def propose(self, space: SearchSpace, history: List[Tuple[OMPConfig, float]],
+                rng: np.random.Generator) -> OMPConfig:
+        seen = {config for config, _ in history}
+        remaining = [c for c in space if c not in seen]
+        if not remaining:
+            return space[rng.integers(len(space))]
+        return remaining[rng.integers(len(remaining))]

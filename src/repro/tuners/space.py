@@ -1,0 +1,80 @@
+"""OpenMP configuration search spaces (Table 2)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.frontend.openmp import OMPConfig, OMPSchedule
+from repro.simulator.microarch import MicroArch
+
+#: Table 2 of the paper.
+TABLE2_THREADS = (1, 2, 4, 8, 12, 16, 20)
+TABLE2_SCHEDULES = (OMPSchedule.STATIC, OMPSchedule.DYNAMIC, OMPSchedule.GUIDED)
+TABLE2_CHUNKS = (1, 8, 32, 64, 128, 256, 512)
+
+
+class SearchSpace:
+    """A discrete set of OpenMP configurations with a vector encoding.
+
+    The vector encoding (normalised threads / one-hot schedule / log chunk)
+    is what the surrogate models of the Bayesian tuners operate on.
+    """
+
+    def __init__(self, configs: Sequence[OMPConfig]):
+        if not configs:
+            raise ValueError("empty search space")
+        self.configs: List[OMPConfig] = list(configs)
+        self._index = {c: i for i, c in enumerate(self.configs)}
+        self._max_threads = max(c.num_threads for c in self.configs)
+        self._max_chunk = max((c.chunk_size or 0) for c in self.configs) or 1
+
+    def __len__(self) -> int:
+        return len(self.configs)
+
+    def __iter__(self):
+        return iter(self.configs)
+
+    def __getitem__(self, i: int) -> OMPConfig:
+        return self.configs[i]
+
+    def index_of(self, config: OMPConfig) -> int:
+        return self._index[config]
+
+    def to_vector(self, config: OMPConfig) -> np.ndarray:
+        """Numeric encoding used by GP / random-forest surrogates."""
+        schedule_onehot = [1.0 if config.schedule == s else 0.0
+                           for s in OMPSchedule]
+        chunk = float(config.chunk_size or 0)
+        return np.array([
+            config.num_threads / self._max_threads,
+            *schedule_onehot,
+            np.log1p(chunk) / np.log1p(self._max_chunk),
+        ])
+
+    def design_matrix(self) -> np.ndarray:
+        return np.stack([self.to_vector(c) for c in self.configs])
+
+
+def thread_search_space(arch: MicroArch,
+                        threads: Optional[Sequence[int]] = None) -> SearchSpace:
+    """§4.1.3 space: number of threads only (1..max hardware threads)."""
+    if threads is None:
+        threads = range(1, arch.max_threads + 1)
+    return SearchSpace([OMPConfig(num_threads=t) for t in threads])
+
+
+def full_search_space(threads: Sequence[int] = TABLE2_THREADS,
+                      schedules: Sequence[OMPSchedule] = TABLE2_SCHEDULES,
+                      chunks: Sequence[int] = TABLE2_CHUNKS,
+                      max_threads: Optional[int] = None) -> SearchSpace:
+    """§4.1.4 space (Table 2): threads × schedule × chunk size."""
+    configs = []
+    for t in threads:
+        if max_threads is not None and t > max_threads:
+            continue
+        for s in schedules:
+            for c in chunks:
+                configs.append(OMPConfig(num_threads=t, schedule=s, chunk_size=c))
+    return SearchSpace(configs)

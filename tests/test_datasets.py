@@ -1,0 +1,115 @@
+"""Dataset builder tests (OpenMP tuning and device mapping)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DevMapDatasetBuilder,
+    OpenMPDatasetBuilder,
+    default_input_targets,
+)
+from repro.datasets.devmap import CPU_LABEL, GPU_LABEL
+from repro.frontend.openmp import OMPConfig
+from repro.kernels import registry
+from repro.simulator.microarch import COMET_LAKE_8C, TAHITI_7970
+from repro.tuners.space import thread_search_space
+
+
+class TestInputTargets:
+    def test_default_targets_span_paper_range(self):
+        targets = default_input_targets()
+        assert len(targets) == 30
+        assert targets[0] == pytest.approx(3.5e3)
+        assert targets[-1] == pytest.approx(0.5e9)
+        assert np.all(np.diff(targets) > 0)
+
+
+class TestOpenMPDataset:
+    def test_shape_and_labels(self, small_openmp_dataset):
+        ds = small_openmp_dataset
+        assert len(ds) == len(ds.kernel_uids) * len(ds.input_sizes)
+        assert ds.num_configs == 8
+        labels = ds.labels()
+        assert labels.min() >= 0 and labels.max() < ds.num_configs
+        for sample in ds.samples:
+            assert sample.oracle_time == min(sample.times)
+            assert sample.oracle_speedup >= 1.0 - 1e-9
+
+    def test_counters_collected_at_default(self, small_openmp_dataset):
+        for sample in small_openmp_dataset.samples:
+            assert set(sample.counters) == set(small_openmp_dataset.counter_names)
+            assert all(v >= 0 for v in sample.counters.values())
+
+    def test_counter_matrix_shape(self, small_openmp_dataset):
+        m = small_openmp_dataset.counter_matrix()
+        assert m.shape == (len(small_openmp_dataset), 5)
+
+    def test_kfold_by_kernel_disjoint(self, small_openmp_dataset):
+        ds = small_openmp_dataset
+        for train, val in ds.kfold_by_kernel(k=4):
+            train_kernels = {ds.samples[i].kernel_uid for i in train}
+            val_kernels = {ds.samples[i].kernel_uid for i in val}
+            assert not (train_kernels & val_kernels)
+            assert len(train) + len(val) == len(ds)
+
+    def test_leave_one_application_out(self, small_openmp_dataset):
+        ds = small_openmp_dataset
+        splits = ds.leave_one_application_out()
+        assert len(splits) == len(ds.kernel_uids)
+        for kernel, train, val in splits:
+            assert all(ds.samples[i].kernel_uid == kernel for i in val)
+            assert all(ds.samples[i].kernel_uid != kernel for i in train)
+
+    def test_split_unseen_inputs_holds_out_scales(self, small_openmp_dataset):
+        ds = small_openmp_dataset
+        for train, val in ds.split_unseen_inputs(k=3, holdout_fraction=0.25):
+            train_pairs = {(ds.samples[i].kernel_uid, ds.samples[i].target_bytes)
+                           for i in train}
+            val_pairs = {(ds.samples[i].kernel_uid, ds.samples[i].target_bytes)
+                         for i in val}
+            assert not (train_pairs & val_pairs)
+
+    def test_builder_requires_configs(self):
+        with pytest.raises(ValueError):
+            OpenMPDatasetBuilder(COMET_LAKE_8C, [])
+
+    def test_speedup_of_default_is_one(self, small_openmp_dataset):
+        ds = small_openmp_dataset
+        default_index = next(i for i, c in enumerate(ds.configs)
+                             if c.num_threads == COMET_LAKE_8C.cores)
+        for sample in ds.samples:
+            assert sample.speedup_of(default_index) == pytest.approx(1.0)
+
+
+class TestDevMapDataset:
+    @pytest.fixture(scope="class")
+    def devmap(self, extractor):
+        specs = registry.opencl_kernels()[:20]
+        builder = DevMapDatasetBuilder(TAHITI_7970, extractor=extractor, seed=0)
+        return builder.build(specs, points_per_kernel=3)
+
+    def test_size_and_labels(self, devmap):
+        assert len(devmap) == 60
+        labels = devmap.labels()
+        assert set(np.unique(labels)) <= {CPU_LABEL, GPU_LABEL}
+        for s in devmap.samples:
+            assert s.oracle_time == min(s.cpu_time, s.gpu_time)
+            expected = CPU_LABEL if s.cpu_time <= s.gpu_time else GPU_LABEL
+            assert s.label == expected
+
+    def test_extra_features(self, devmap):
+        extra = devmap.extra_features()
+        assert extra.shape == (len(devmap), 2)
+        assert np.all(np.isfinite(extra)) and np.all(extra >= 0)
+
+    def test_stratified_kfold_balances_classes(self, devmap):
+        labels = devmap.labels()
+        if len(np.unique(labels)) < 2:
+            pytest.skip("degenerate label distribution in tiny subset")
+        for train, val in devmap.stratified_kfold(k=5):
+            assert not (set(train) & set(val))
+            # both classes present in training data whenever globally present
+            assert len(np.unique(labels[train])) == len(np.unique(labels))
+
+    def test_static_mapping_label(self, devmap):
+        assert devmap.static_mapping_label() in (CPU_LABEL, GPU_LABEL)

@@ -1,0 +1,149 @@
+"""Frontend DSL tests: expressions, affine indices, statements, specs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend.expr import (
+    AccessPattern,
+    Affine,
+    Array,
+    BinExpr,
+    CallExpr,
+    CompareExpr,
+    ConstExpr,
+    Dim,
+    IndirectIndex,
+    LoopVar,
+    Scalar,
+    resolve_extent,
+)
+from repro.frontend.spec import KernelSpec, ParallelModel
+from repro.frontend.stmt import Assign, For, If, Reduce, find_parallel_loop, loop_nest_depth
+from repro.ir.types import DataType
+
+
+class TestDims:
+    def test_resolve_basic(self):
+        n = Dim("N")
+        assert n.resolve({"N": 100}) == 100
+        assert (n - 2).resolve({"N": 100}) == 98
+        assert (n // 4).resolve({"N": 100}) == 25
+        assert resolve_extent(7, {}) == 7
+
+    def test_resolve_minimum(self):
+        n = Dim("N")
+        assert (n - 10).resolve({"N": 5}) == 1
+
+    def test_missing_dimension_raises(self):
+        with pytest.raises(KeyError):
+            Dim("M").resolve({"N": 4})
+
+    @given(st.integers(4, 10_000), st.integers(1, 8), st.integers(-3, 3))
+    @settings(max_examples=50, deadline=None)
+    def test_resolution_monotone_in_size(self, size, div, off):
+        d = Dim("N", factor=1.0 / div, offset=off)
+        assert d.resolve({"N": size * 2}) >= d.resolve({"N": size})
+
+
+class TestExpressions:
+    def test_operator_overloading_builds_ast(self):
+        i = LoopVar("i")
+        a = Array("a", (Dim("N"),))
+        expr = a[i] * 2.0 + 1.0
+        assert isinstance(expr, BinExpr) and expr.op == "+"
+        cmp = a[i] > 0.5
+        assert isinstance(cmp, CompareExpr)
+
+    def test_call_expr_validation(self):
+        with pytest.raises(ValueError):
+            CallExpr("not_a_function", 1.0)
+        assert CallExpr("sqrt", 2.0).dtype == DataType.F64
+
+    def test_affine_from_expressions(self):
+        i, j = LoopVar("i"), LoopVar("j")
+        aff = Affine.from_value(i * 3 + j + 5)
+        assert aff.coefficient(i) == 3
+        assert aff.coefficient(j) == 1
+        assert aff.const == 5
+
+    def test_affine_rejects_nonaffine(self):
+        i = LoopVar("i")
+        with pytest.raises(ValueError):
+            Affine.from_value(i * i)
+
+    @given(st.integers(-5, 5), st.integers(-5, 5), st.integers(-10, 10))
+    @settings(max_examples=50, deadline=None)
+    def test_affine_linearity(self, ci, cj, const):
+        i, j = LoopVar("i"), LoopVar("j")
+        aff = Affine.from_value(i * ci + j * cj + const)
+        assert aff.coefficient(i) == ci
+        assert aff.coefficient(j) == cj
+        assert aff.const == const
+
+
+class TestArrays:
+    def test_rank_checking(self):
+        a = Array("a", (Dim("N"), Dim("N")))
+        i = LoopVar("i")
+        with pytest.raises(ValueError):
+            _ = a[i]
+        ref = a[i, i + 1]
+        assert ref.array is a
+
+    def test_access_pattern_classification(self):
+        i, j = LoopVar("i"), LoopVar("j")
+        a = Array("a", (Dim("N"), Dim("N")))
+        x = Array("x", (Dim("N"),))
+        idx = Array("idx", (Dim("N"),), DataType.I64)
+        assert a[i, j].access_pattern(j) == AccessPattern.UNIT_STRIDE
+        assert a[j, i].access_pattern(j) == AccessPattern.STRIDED
+        assert x[i].access_pattern(j) == AccessPattern.INVARIANT
+        assert x[IndirectIndex(idx, i)].access_pattern(i) == AccessPattern.RANDOM
+
+    def test_size_bytes(self):
+        a = Array("a", (Dim("N"), Dim("M")), DataType.F64)
+        assert a.size_bytes({"N": 10, "M": 20}) == 10 * 20 * 8
+
+
+class TestStatements:
+    def test_nest_depth_and_parallel_loop(self):
+        i, j = LoopVar("i"), LoopVar("j")
+        a = Array("a", (Dim("N"), Dim("N")))
+        inner = For(j, Dim("N"), [Assign(a[i, j], 1.0)])
+        outer = For(i, Dim("N"), [inner], parallel=True)
+        assert loop_nest_depth([outer]) == 2
+        assert find_parallel_loop([outer]) is outer
+
+    def test_reduce_validation(self):
+        acc = Scalar("acc")
+        with pytest.raises(ValueError):
+            Reduce(acc, 1.0, op="^")
+
+    def test_assign_target_validation(self):
+        with pytest.raises(TypeError):
+            Assign(ConstExpr(1.0), 2.0)
+
+
+class TestKernelSpec:
+    def test_requires_parallel_loop(self):
+        a = Array("a", (Dim("N"),))
+        i = LoopVar("i")
+        with pytest.raises(ValueError):
+            KernelSpec("k", "suite", [a], [For(i, Dim("N"), [Assign(a[i], 1.0)])],
+                       {"N": 10})
+
+    def test_scaling_and_working_set(self, gemm_spec):
+        small = gemm_spec.working_set_bytes(0.5)
+        large = gemm_spec.working_set_bytes(2.0)
+        assert large > small > 0
+
+    def test_scale_for_bytes_bisection(self, gemm_spec):
+        for target in (1e5, 1e7, 2e8):
+            scale = gemm_spec.scale_for_bytes(target)
+            achieved = gemm_spec.working_set_bytes(scale)
+            assert 0.4 * target < achieved < 2.5 * target
+
+    def test_uid_and_trip_count(self, gemm_spec):
+        assert gemm_spec.uid == "polybench/gemm"
+        assert gemm_spec.parallel_trip_count(1.0) == gemm_spec.base_sizes["N"]

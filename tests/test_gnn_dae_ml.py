@@ -1,0 +1,226 @@
+"""GNN layers, heterogeneous convolution, DAE and classical-ML tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dae import DenoisingAutoencoder, swap_noise
+from repro.frontend import lower_to_ir
+from repro.gnn import (
+    GATConv,
+    GCNConv,
+    GGNNConv,
+    GNNEncoder,
+    GRUCell,
+    HeteroConv,
+    HomogeneousGNNEncoder,
+    global_mean_pool,
+    global_sum_pool,
+    make_conv,
+)
+from repro.graphs import GraphVocabulary, batch_graphs, build_programl_graph, to_hetero_graph
+from repro.kernels import registry
+from repro.ml import (
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    GradientBoostingClassifier,
+    RandomForestRegressor,
+)
+from repro.nn import AdamW, Tensor, cross_entropy
+
+
+@pytest.fixture(scope="module")
+def tiny_graph_batch():
+    vocab = GraphVocabulary()
+    specs = [registry.get_kernel(uid)
+             for uid in ("polybench/gemm", "stream/triad", "rodinia/bfs")]
+    graphs = [to_hetero_graph(build_programl_graph(lower_to_ir(s)), vocab)
+              for s in specs]
+    return vocab, graphs, batch_graphs(graphs)
+
+
+class TestConvLayers:
+    @pytest.mark.parametrize("conv_cls", [GCNConv, GGNNConv, GATConv])
+    def test_forward_shapes(self, conv_cls):
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.standard_normal((6, 5)))
+        edges = np.array([[0, 1, 2, 3, 4], [1, 2, 3, 4, 5]])
+        conv = conv_cls(5, 7, rng=rng)
+        out = conv(x, edges)
+        assert out.shape == (6, 7)
+        assert np.all(np.isfinite(out.data))
+
+    def test_empty_edge_index_handled(self):
+        x = Tensor(np.ones((4, 3)))
+        for kind in ("gcn", "sage", "gat", "ggnn"):
+            conv = make_conv(kind, 3, 2)
+            out = conv(x, np.zeros((2, 0), dtype=np.int64))
+            assert out.shape == (4, 2)
+
+    def test_make_conv_unknown(self):
+        with pytest.raises(ValueError):
+            make_conv("transformer", 3, 3)
+
+    def test_gru_cell_interpolates(self):
+        cell = GRUCell(4, 4)
+        x = Tensor(np.zeros((2, 4)))
+        h = Tensor(np.ones((2, 4)))
+        out = cell(x, h)
+        assert out.shape == (2, 4)
+        assert np.all(np.isfinite(out.data))
+
+    def test_conv_is_trainable(self):
+        rng = np.random.default_rng(1)
+        x = Tensor(rng.standard_normal((8, 4)))
+        edges = np.array([[i for i in range(7)], [i + 1 for i in range(7)]])
+        conv = GGNNConv(4, 4, rng=rng)
+        before = [p.data.copy() for p in conv.parameters()]
+        target = np.array([0, 1] * 4)
+        opt = AdamW(conv.parameters(), lr=0.05)
+        from repro.nn.layers import Linear
+        head = Linear(4, 2, rng=rng)
+        opt2 = AdamW(head.parameters(), lr=0.05)
+        for _ in range(5):
+            loss = cross_entropy(head(conv(x, edges)), target)
+            opt.zero_grad(); opt2.zero_grad()
+            loss.backward()
+            opt.step(); opt2.step()
+        after = [p.data for p in conv.parameters()]
+        assert any(not np.allclose(b, a) for b, a in zip(before, after))
+
+
+class TestHeteroAndPooling:
+    def test_hetero_conv_mixes_relations(self, tiny_graph_batch):
+        vocab, graphs, batch = tiny_graph_batch
+        conv = HeteroConv(vocab.feature_dim, 8)
+        out = conv(Tensor(batch.node_features), batch.edge_index)
+        assert out.shape == (batch.num_nodes, 8)
+
+    def test_hetero_conv_invalid_aggregation(self):
+        with pytest.raises(ValueError):
+            HeteroConv(4, 4, aggregation="median")
+
+    def test_pooling_shapes(self, tiny_graph_batch):
+        _, graphs, batch = tiny_graph_batch
+        x = Tensor(batch.node_features)
+        mean = global_mean_pool(x, batch.graph_index, batch.num_graphs)
+        total = global_sum_pool(x, batch.graph_index, batch.num_graphs)
+        assert mean.shape == (3, batch.node_features.shape[1])
+        assert total.shape == mean.shape
+        # sum pool >= mean pool elementwise magnitude for non-negative features
+        assert np.all(total.data >= mean.data - 1e-9)
+
+    def test_encoders_produce_graph_embeddings(self, tiny_graph_batch):
+        vocab, graphs, batch = tiny_graph_batch
+        hetero = GNNEncoder(vocab.feature_dim, hidden_dim=8, out_dim=6)
+        homo = HomogeneousGNNEncoder(vocab.feature_dim, hidden_dim=8, out_dim=6)
+        e1 = hetero(batch)
+        e2 = homo(batch)
+        assert e1.shape == (3, 6) and e2.shape == (3, 6)
+        # different kernels should get different embeddings
+        assert not np.allclose(e1.data[0], e1.data[2])
+
+    def test_encode_graphs_single(self, tiny_graph_batch):
+        vocab, graphs, _ = tiny_graph_batch
+        enc = GNNEncoder(vocab.feature_dim, hidden_dim=8, out_dim=4)
+        out = enc.encode_graphs(graphs[0])
+        assert out.shape == (1, 4)
+
+
+class TestSwapNoise:
+    def test_rate_zero_is_identity(self):
+        x = np.arange(20.0).reshape(4, 5)
+        np.testing.assert_allclose(swap_noise(x, 0.0), x)
+
+    def test_columns_keep_their_value_multiset(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((50, 3))
+        noisy = swap_noise(x, 0.3, rng)
+        for j in range(3):
+            assert set(np.round(noisy[:, j], 9)) <= set(np.round(x[:, j], 9))
+
+    @given(st.floats(0.0, 0.9))
+    @settings(max_examples=20, deadline=None)
+    def test_corruption_rate_close_to_requested(self, rate):
+        rng = np.random.default_rng(7)
+        x = np.arange(4000, dtype=float).reshape(400, 10)
+        noisy = swap_noise(x, rate, rng)
+        actual = float(np.mean(noisy != x))
+        assert actual <= rate + 0.05
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            swap_noise(np.ones((2, 2)), 1.5)
+
+
+class TestDenoisingAutoencoder:
+    def test_training_reduces_reconstruction_loss(self):
+        rng = np.random.default_rng(0)
+        latent = rng.standard_normal((120, 4))
+        x = latent @ rng.standard_normal((4, 24)) + 0.01 * rng.standard_normal((120, 24))
+        dae = DenoisingAutoencoder(24, hidden_dim=16, code_dim=6, seed=0)
+        losses = dae.fit(x, epochs=12, lr=5e-3)
+        assert losses[-1] < losses[0]
+        codes = dae.encode(x)
+        assert codes.shape == (120, 6)
+        assert np.all((codes >= 0) & (codes <= 1))      # sigmoid code layer
+
+    def test_encode_before_fit_raises(self):
+        dae = DenoisingAutoencoder(8)
+        with pytest.raises(RuntimeError):
+            dae.encode(np.ones((2, 8)))
+
+    def test_dimension_validation(self):
+        dae = DenoisingAutoencoder(8)
+        with pytest.raises(ValueError):
+            dae.fit(np.ones((4, 5)), epochs=1)
+
+
+class TestTrees:
+    def _classification_data(self, n=300, seed=0):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((n, 5))
+        y = ((x[:, 0] + 0.5 * x[:, 1] - x[:, 2]) > 0).astype(int)
+        return x, y
+
+    def test_decision_tree_fits_and_bounds_depth(self):
+        x, y = self._classification_data()
+        tree = DecisionTreeClassifier(max_depth=4).fit(x, y)
+        assert tree.depth() <= 4
+        assert (tree.predict(x) == y).mean() > 0.85
+        proba = tree.predict_proba(x[:10])
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_regressor_reduces_variance(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-2, 2, (200, 2))
+        y = np.where(x[:, 0] > 0, 3.0, -3.0) + 0.1 * rng.standard_normal(200)
+        model = DecisionTreeRegressor(max_depth=3).fit(x, y)
+        pred = model.predict(x)
+        assert np.mean((pred - y) ** 2) < np.var(y) * 0.5
+
+    def test_random_forest_uncertainty(self):
+        rng = np.random.default_rng(2)
+        x = rng.uniform(0, 1, (100, 3))
+        y = x[:, 0] * 2.0
+        forest = RandomForestRegressor(n_estimators=8, max_depth=4).fit(x, y)
+        std = forest.predict_std(x)
+        assert std.shape == (100,)
+        assert np.all(std >= 0)
+
+    def test_gradient_boosting_beats_chance(self):
+        x, y = self._classification_data(seed=3)
+        model = GradientBoostingClassifier(n_estimators=25, max_depth=2).fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.85
+        proba = model.predict_proba(x[:5])
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_gbt_rejects_nonbinary(self):
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier().fit(np.ones((4, 2)),
+                                             np.array([0, 1, 2, 1]))
+
+    def test_tree_input_validation(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.ones((3, 2)), np.array([0, 1]))

@@ -1,0 +1,156 @@
+"""ProGraML-style graph construction and IR2Vec-style embedding tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.embeddings import (
+    IR2VecEncoder,
+    SeedEmbeddingVocabulary,
+    encode_modules,
+    harvest_triplets,
+)
+from repro.embeddings.triplets import entities_and_relations
+from repro.frontend import lower_to_ir
+from repro.graphs import (
+    EdgeFlow,
+    GraphVocabulary,
+    NodeType,
+    batch_graphs,
+    build_programl_graph,
+    to_hetero_graph,
+)
+from repro.kernels import registry
+
+
+@pytest.fixture(scope="module")
+def gemm_module():
+    return lower_to_ir(registry.get_kernel("polybench/gemm"))
+
+
+@pytest.fixture(scope="module")
+def gemm_graph(gemm_module):
+    return build_programl_graph(gemm_module)
+
+
+class TestProGraMLGraph:
+    def test_node_counts(self, gemm_module, gemm_graph):
+        num_insts = gemm_module.num_instructions()
+        inst_nodes = gemm_graph.nodes_of_type(NodeType.INSTRUCTION)
+        assert len(inst_nodes) == num_insts
+        assert len(gemm_graph.nodes_of_type(NodeType.VARIABLE)) > 0
+        assert len(gemm_graph.nodes_of_type(NodeType.CONSTANT)) > 0
+
+    def test_all_three_flows_present(self, gemm_graph):
+        for flow in EdgeFlow:
+            assert len(gemm_graph.edges_of_flow(flow)) > 0
+
+    def test_call_edges_link_fork_to_outlined(self, gemm_graph):
+        call_edges = gemm_graph.edges_of_flow(EdgeFlow.CALL)
+        srcs = {gemm_graph.nodes[e.src].text for e in call_edges}
+        assert "omp.fork" in srcs or "ret" in srcs
+
+    def test_edges_reference_valid_nodes(self, gemm_graph):
+        n = gemm_graph.num_nodes
+        for e in gemm_graph.edges:
+            assert 0 <= e.src < n and 0 <= e.dst < n
+
+    def test_to_networkx(self, gemm_graph):
+        g = gemm_graph.to_networkx()
+        assert g.number_of_nodes() == gemm_graph.num_nodes
+        assert g.number_of_edges() == gemm_graph.num_edges
+
+    def test_invalid_edge_rejected(self, gemm_graph):
+        with pytest.raises(IndexError):
+            gemm_graph.add_edge(0, 10 ** 9, EdgeFlow.DATA)
+
+
+class TestHeteroGraph:
+    def test_tensorisation(self, gemm_graph):
+        vocab = GraphVocabulary()
+        data = to_hetero_graph(gemm_graph, vocab)
+        assert data.node_features.shape == (gemm_graph.num_nodes,
+                                            vocab.feature_dim)
+        assert data.num_edges() == gemm_graph.num_edges
+        # one-hot features: exactly 2 ones per node (token + node type)
+        assert np.allclose(data.node_features.sum(axis=1), 2.0)
+
+    def test_batching_offsets(self):
+        vocab = GraphVocabulary()
+        specs = [registry.get_kernel("polybench/gemm"),
+                 registry.get_kernel("stream/triad")]
+        graphs = [to_hetero_graph(build_programl_graph(lower_to_ir(s)), vocab)
+                  for s in specs]
+        batch = batch_graphs(graphs)
+        assert batch.num_graphs == 2
+        assert batch.num_nodes == sum(g.num_nodes for g in graphs)
+        assert batch.graph_index.max() == 1
+        for rel, edges in batch.edge_index.items():
+            if edges.size:
+                assert edges.max() < batch.num_nodes
+
+    def test_batching_empty_raises(self):
+        with pytest.raises(ValueError):
+            batch_graphs([])
+
+
+class TestVocabulary:
+    def test_unknown_token_maps_to_unk(self):
+        vocab = GraphVocabulary()
+        assert vocab.token_id("never-seen-token") == vocab.token_id(vocab.UNK)
+
+    def test_distinct_opcode_ids(self):
+        vocab = GraphVocabulary()
+        assert vocab.token_id("fadd") != vocab.token_id("load")
+
+
+class TestTriplets:
+    def test_harvest_covers_relations(self, gemm_module):
+        triplets = harvest_triplets([gemm_module])
+        entities, relations = entities_and_relations(triplets)
+        assert set(relations) == {"type_of", "next_inst", "arg"}
+        assert "fmul" in entities and "double" in entities
+        assert len(triplets) > gemm_module.num_instructions()
+
+
+class TestSeedEmbeddings:
+    def test_deterministic_initialisation(self):
+        a = SeedEmbeddingVocabulary(dim=16)
+        b = SeedEmbeddingVocabulary(dim=16)
+        np.testing.assert_allclose(a.vector("fadd"), b.vector("fadd"))
+        assert not np.allclose(a.vector("fadd"), a.vector("load"))
+
+    def test_transe_training_reduces_loss(self, gemm_module):
+        triplets = harvest_triplets([gemm_module])
+        vocab = SeedEmbeddingVocabulary(dim=16)
+        losses = vocab.train(triplets, epochs=6, seed=0)
+        assert len(losses) == 6
+        assert losses[-1] < losses[0]
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            SeedEmbeddingVocabulary(dim=1)
+
+
+class TestIR2VecEncoder:
+    def test_program_vectors_distinguish_kernels(self):
+        encoder = IR2VecEncoder(SeedEmbeddingVocabulary(dim=32))
+        mods = [lower_to_ir(registry.get_kernel(uid))
+                for uid in ("polybench/gemm", "rodinia/bfs", "stream/triad")]
+        vecs = encode_modules(mods, encoder)
+        assert vecs.shape == (3, 32)
+        # pairwise distinct
+        for i in range(3):
+            for j in range(i + 1, 3):
+                assert np.linalg.norm(vecs[i] - vecs[j]) > 1e-3
+
+    def test_flow_aware_differs_from_symbolic(self, gemm_module):
+        vocab = SeedEmbeddingVocabulary(dim=16)
+        flow = IR2VecEncoder(vocab, flow_aware=True).encode_module(gemm_module)
+        sym = IR2VecEncoder(vocab, flow_aware=False).encode_module(gemm_module)
+        assert not np.allclose(flow, sym)
+
+    def test_encoding_finite(self, gemm_module):
+        vec = IR2VecEncoder(SeedEmbeddingVocabulary(dim=24)).encode_module(gemm_module)
+        assert np.all(np.isfinite(vec))

@@ -1,0 +1,67 @@
+"""End-to-end integration tests across the whole pipeline.
+
+These mirror the paper's experiments at miniature scale and assert the
+qualitative *shape* of the results (who wins), not absolute numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.mga import ModalityConfig
+from repro.evaluation.experiments.common import (
+    build_openmp_dataset,
+    dl_tuner_speedups,
+    oracle_speedups,
+    search_tuner_speedups,
+    select_openmp_kernels,
+)
+from repro.evaluation.metrics import geometric_mean
+from repro.simulator.microarch import COMET_LAKE_8C
+from repro.tuners import OpenTunerLike
+from repro.tuners.space import thread_search_space
+
+
+@pytest.fixture(scope="module")
+def mini_experiment():
+    """One small fold of the Fig-4 style experiment."""
+    space = thread_search_space(COMET_LAKE_8C)
+    specs = select_openmp_kernels(10)
+    dataset = build_openmp_dataset(COMET_LAKE_8C, space, specs, num_inputs=4,
+                                   seed=0)
+    train_idx, val_idx = dataset.kfold_by_kernel(k=3, seed=0)[0]
+    mga = dl_tuner_speedups(dataset, train_idx, val_idx, ModalityConfig.mga(),
+                            epochs=25, seed=0)
+    oracle = oracle_speedups(dataset, val_idx)
+    return dataset, train_idx, val_idx, mga, oracle
+
+
+class TestThreadPredictionShape:
+    def test_oracle_dominates_everything(self, mini_experiment):
+        dataset, _, val_idx, mga, oracle = mini_experiment
+        assert np.all(oracle >= mga - 1e-9)
+        assert geometric_mean(oracle) >= 1.0
+
+    def test_mga_beats_default_and_not_catastrophic(self, mini_experiment):
+        _, _, _, mga, oracle = mini_experiment
+        mga_geo = geometric_mean(mga)
+        oracle_geo = geometric_mean(oracle)
+        assert mga_geo >= 1.0              # at least as good as the default
+        assert mga_geo / oracle_geo > 0.6  # a meaningful fraction of the oracle
+
+    def test_mga_close_to_or_above_single_config_search(self, mini_experiment):
+        dataset, _, val_idx, mga, _ = mini_experiment
+        opentuner = search_tuner_speedups(dataset, val_idx, OpenTunerLike,
+                                          budget=6, seed=0)
+        # per-input DL predictions should not lose badly to a per-loop search
+        assert geometric_mean(mga) >= 0.9 * geometric_mean(opentuner)
+
+
+class TestStaticVsDynamicShape:
+    def test_dynamic_features_help(self, mini_experiment):
+        dataset, train_idx, val_idx, mga, _ = mini_experiment
+        static_only = dl_tuner_speedups(dataset, train_idx, val_idx,
+                                        ModalityConfig.mga_static(),
+                                        epochs=25, seed=0)
+        # the paper's Figure-5 claim: removing counters degrades (or at best
+        # matches) the full model
+        assert geometric_mean(mga) >= geometric_mean(static_only) - 0.05

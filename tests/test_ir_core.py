@@ -1,0 +1,146 @@
+"""Unit tests for the miniature IR: types, values, builder, blocks, module."""
+
+import pytest
+
+from repro.ir import (
+    Argument,
+    BasicBlock,
+    Constant,
+    DataType,
+    Function,
+    IRBuilder,
+    Instruction,
+    Module,
+    Opcode,
+    is_float,
+    is_int,
+    is_pointer,
+)
+from repro.ir.types import pointee, pointer_to, sizeof
+from repro.ir.values import GlobalVariable
+
+
+class TestTypes:
+    def test_int_float_pointer_classification(self):
+        assert is_int(DataType.I64) and is_int(DataType.I1)
+        assert is_float(DataType.F64) and is_float(DataType.F32)
+        assert is_pointer(DataType.PTR_F64)
+        assert not is_pointer(DataType.F64)
+        assert not is_int(DataType.F32)
+
+    def test_pointee_roundtrip(self):
+        for scalar in (DataType.I32, DataType.I64, DataType.F32, DataType.F64):
+            assert pointee(pointer_to(scalar)) == scalar
+
+    def test_pointee_of_non_pointer_raises(self):
+        with pytest.raises(ValueError):
+            pointee(DataType.F64)
+
+    def test_sizeof(self):
+        assert sizeof(DataType.F64) == 8
+        assert sizeof(DataType.F32) == 4
+        assert sizeof(DataType.I1) == 1
+        assert sizeof(DataType.PTR_F64) == 8
+        with pytest.raises(ValueError):
+            sizeof(DataType.VOID)
+
+
+class TestValues:
+    def test_constant_types(self):
+        c = Constant(3, DataType.I64)
+        assert c.value == 3 and c.short() == "3"
+        f = Constant(2.5, DataType.F64)
+        assert isinstance(f.value, float)
+        with pytest.raises(ValueError):
+            Constant(1, DataType.PTR_F64)
+
+    def test_values_identity_semantics(self):
+        a = Constant(1)
+        b = Constant(1)
+        assert a != b and a == a
+        assert len({a, b}) == 2
+
+    def test_global_variable_requires_pointer(self):
+        g = GlobalVariable("arr", DataType.PTR_F64, 128)
+        assert g.short() == "@arr"
+        with pytest.raises(ValueError):
+            GlobalVariable("bad", DataType.F64)
+
+
+class TestBuilderAndBlocks:
+    def _make_function(self):
+        f = Function("f", [Argument("p", DataType.PTR_F64)], DataType.VOID)
+        entry = f.add_block("entry")
+        return f, entry, IRBuilder(entry)
+
+    def test_arithmetic_dispatch(self):
+        _, _, b = self._make_function()
+        i = b.add(b.const_int(1), b.const_int(2))
+        assert i.opcode == Opcode.ADD
+        f = b.mul(b.const_float(1.0), b.const_float(2.0))
+        assert f.opcode == Opcode.FMUL
+        mixed = b.add(b.const_float(1.0), b.const_int(2))
+        assert mixed.opcode == Opcode.FADD
+
+    def test_memory_ops_require_pointers(self):
+        f, _, b = self._make_function()
+        ptr = b.gep(f.args[0], b.const_int(4))
+        val = b.load(ptr)
+        assert val.dtype == DataType.F64
+        b.store(val, ptr)
+        with pytest.raises(ValueError):
+            b.load(b.const_int(1))
+        with pytest.raises(ValueError):
+            b.gep(b.const_int(1), b.const_int(0))
+
+    def test_terminator_blocks_appends(self):
+        f, entry, b = self._make_function()
+        exit_block = f.add_block("exit")
+        b.br(exit_block)
+        with pytest.raises(ValueError):
+            b.add(b.const_int(1), b.const_int(1))
+        assert entry.is_terminated
+        assert entry.successors() == [exit_block]
+        assert exit_block.predecessors() == [entry]
+
+    def test_phi_incoming(self):
+        f, entry, b = self._make_function()
+        loop = f.add_block("loop")
+        b.br(loop)
+        b.position_at_end(loop)
+        phi = b.phi(DataType.I64)
+        b.add_incoming(phi, b.const_int(0), entry)
+        assert len(phi.operands) == 1
+        assert phi.metadata["incoming"] == [entry]
+
+    def test_unique_block_labels(self):
+        f, _, _ = self._make_function()
+        b1 = f.add_block("body")
+        b2 = f.add_block("body")
+        assert b1.label != b2.label
+
+
+class TestModule:
+    def test_duplicate_names_rejected(self):
+        m = Module("m")
+        m.add_function(Function("f"))
+        with pytest.raises(ValueError):
+            m.add_function(Function("f"))
+        m.add_global("g", DataType.PTR_F64, 4)
+        with pytest.raises(ValueError):
+            m.add_global("g", DataType.PTR_F64, 4)
+
+    def test_lookup(self):
+        m = Module("m")
+        f = m.add_function(Function("f"))
+        assert m.get_function("f") is f
+        with pytest.raises(KeyError):
+            m.get_function("missing")
+
+    def test_instruction_classification(self):
+        inst = Instruction(Opcode.STORE, DataType.VOID, [])
+        assert inst.is_memory and not inst.has_result
+        call = Instruction(Opcode.CALL, DataType.F64, [], metadata={"callee": "x"})
+        assert call.is_call and call.has_result
+        br = Instruction(Opcode.BR, DataType.VOID, [])
+        assert br.is_terminator

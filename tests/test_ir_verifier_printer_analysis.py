@@ -1,0 +1,98 @@
+"""Verifier, printer and CFG/loop analysis tests over real lowered kernels."""
+
+import pytest
+
+from repro.frontend import lower_to_ir
+from repro.ir import (
+    Argument,
+    DataType,
+    Function,
+    IRBuilder,
+    Module,
+    VerificationError,
+    compute_dominators,
+    instruction_histogram,
+    module_statistics,
+    natural_loops,
+    print_function,
+    print_module,
+    reachable_blocks,
+    verify_function,
+    verify_module,
+)
+from repro.ir.analysis import loop_nest_depth
+from repro.kernels import registry
+
+
+@pytest.fixture(scope="module")
+def gemm_module():
+    return lower_to_ir(registry.get_kernel("polybench/gemm"))
+
+
+class TestVerifier:
+    def test_lowered_kernels_verify(self, gemm_module):
+        assert verify_module(gemm_module) == []
+
+    def test_unterminated_block_detected(self):
+        f = Function("f")
+        f.add_block("entry")
+        errors = verify_function(f)
+        assert any("not terminated" in e for e in errors)
+
+    def test_missing_operand_definition_detected(self):
+        f = Function("f")
+        other = Function("g", [Argument("x", DataType.I64)])
+        entry = f.add_block("entry")
+        b = IRBuilder(entry)
+        b.add(other.args[0], b.const_int(1))   # argument of another function
+        b.ret()
+        errors = verify_function(f)
+        assert any("not defined" in e for e in errors)
+
+    def test_verify_module_raises(self):
+        m = Module("bad")
+        f = Function("f")
+        f.add_block("entry")
+        m.add_function(f)
+        with pytest.raises(VerificationError):
+            verify_module(m)
+
+
+class TestPrinter:
+    def test_print_module_contains_structure(self, gemm_module):
+        text = print_module(gemm_module)
+        assert "define" in text and "phi" in text and "getelementptr" in text
+        assert "@A" in text and "omp.fork" in text
+
+    def test_print_declaration(self):
+        f = Function("ext", [Argument("x", DataType.F64)], DataType.F64)
+        assert print_function(f).startswith("declare")
+
+
+class TestAnalysis:
+    def test_loop_detection_matches_nest_depth(self, gemm_module):
+        outlined = gemm_module.get_function("gemm.omp_outlined")
+        loops = natural_loops(outlined)
+        assert len(loops) == 3            # i, j, k loops
+        assert loop_nest_depth(outlined) == 3
+
+    def test_dominators_entry_dominates_all(self, gemm_module):
+        outlined = gemm_module.get_function("gemm.omp_outlined")
+        dom = compute_dominators(outlined)
+        entry = outlined.entry_block
+        for block in reachable_blocks(outlined):
+            assert entry in dom[block]
+
+    def test_statistics_consistency(self, gemm_module):
+        stats = module_statistics(gemm_module)
+        hist = instruction_histogram(gemm_module)
+        assert stats["num_instructions"] == sum(hist.values())
+        assert 0.0 <= stats["mem_ratio"] <= 1.0
+        assert stats["max_loop_depth"] == 3
+        assert stats["num_calls"] >= 1     # the omp.fork
+
+    def test_reachability(self, gemm_module):
+        for function in gemm_module.defined_functions():
+            reachable = reachable_blocks(function)
+            assert function.entry_block in reachable
+            assert reachable <= set(function.blocks)

@@ -1,0 +1,81 @@
+"""Kernel library / registry tests (Table 1 coverage)."""
+
+import pytest
+
+from repro.frontend.spec import ParallelModel
+from repro.kernels import registry
+from repro.kernels.registry import TABLE1, as_opencl, get_kernel, kernels_for_suite
+
+
+class TestTable1Coverage:
+    def test_all_suites_present(self):
+        expected = {"polybench", "rodinia", "npb", "stream", "dataracebench",
+                    "amdsdk", "nvidiasdk", "parboil", "shoc", "lulesh"}
+        assert expected == set(TABLE1)
+
+    def test_application_counts_match_paper(self):
+        assert len(TABLE1["polybench"]) == 28
+        assert len(TABLE1["rodinia"]) == 17
+        assert len(TABLE1["npb"]) == 7
+        assert len(TABLE1["dataracebench"]) == 7
+        assert len(TABLE1["amdsdk"]) == 12
+        assert len(TABLE1["nvidiasdk"]) == 6
+        assert len(TABLE1["parboil"]) == 6
+        assert len(TABLE1["shoc"]) == 12
+
+    def test_named_applications_exist(self):
+        for name in ("2mm", "trisolv", "gemm", "jacobi-2d"):
+            assert name in TABLE1["polybench"]
+        for name in ("kmeans", "bfs", "lavaMD", "b+tree"):
+            assert name in TABLE1["rodinia"]
+        assert "BlackScholes" in TABLE1["amdsdk"]
+        assert "MersenneTwister" in TABLE1["nvidiasdk"]
+
+
+class TestRegistryAccessors:
+    def test_openmp_kernel_count(self):
+        specs = registry.openmp_kernels()
+        assert len(specs) >= 45          # the paper uses 45 OpenMP loops
+        assert all(s.model == ParallelModel.OPENMP for s in specs)
+
+    def test_opencl_kernel_count(self):
+        specs = registry.opencl_kernels()
+        assert len(specs) >= 80
+        assert all(s.model == ParallelModel.OPENCL for s in specs)
+        suites = {s.suite for s in specs}
+        assert {"amdsdk", "nvidiasdk", "parboil", "shoc", "polybench",
+                "rodinia", "npb"} <= suites
+
+    def test_unique_uids_per_model(self):
+        uids = [s.uid for s in registry.openmp_kernels()]
+        assert len(uids) == len(set(uids))
+
+    def test_get_kernel_roundtrip(self):
+        spec = get_kernel("polybench/gemm")
+        assert spec.name == "gemm" and spec.suite == "polybench"
+        with pytest.raises(KeyError):
+            get_kernel("polybench/not-a-kernel")
+        with pytest.raises(KeyError):
+            get_kernel("nosuite/gemm")
+
+    def test_as_opencl_conversion(self):
+        spec = get_kernel("polybench/gemm")
+        ocl = as_opencl(spec)
+        assert ocl.model == ParallelModel.OPENCL
+        assert ocl.name == spec.name
+        assert as_opencl(ocl) is ocl
+
+    def test_kernels_for_suite(self):
+        poly = kernels_for_suite("polybench")
+        assert len(poly) == 28
+        ocl = kernels_for_suite("polybench", model=ParallelModel.OPENCL)
+        assert all(s.model == ParallelModel.OPENCL for s in ocl)
+        with pytest.raises(KeyError):
+            kernels_for_suite("unknown")
+
+    def test_every_kernel_has_diverse_metadata(self):
+        specs = registry.all_kernels()
+        domains = {s.domain for s in specs}
+        assert len(domains) >= 8          # arithmetic, data mining, fluids, ...
+        depths = {s.loop_depth for s in specs}
+        assert max(depths) >= 3 and min(depths) >= 1

@@ -1,0 +1,164 @@
+"""Autograd engine tests, including hypothesis-driven gradient checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn import (
+    Tensor,
+    as_tensor,
+    concat,
+    cross_entropy,
+    binary_cross_entropy,
+    dropout,
+    gradcheck,
+    log_softmax,
+    mse_loss,
+    segment_mean,
+    softmax,
+    stack_rows,
+)
+
+small_matrix = arrays(np.float64, (3, 4),
+                      elements=st.floats(-2.0, 2.0, allow_nan=False))
+
+
+class TestForward:
+    def test_basic_arithmetic(self):
+        a = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        b = Tensor([[2.0, 0.5], [1.0, 1.0]])
+        np.testing.assert_allclose((a + b).data, [[3, 2.5], [4, 5]])
+        np.testing.assert_allclose((a * b).data, [[2, 1], [3, 4]])
+        np.testing.assert_allclose((a - b).data, [[-1, 1.5], [2, 3]])
+        np.testing.assert_allclose((a / b).data, [[0.5, 4], [3, 4]])
+
+    def test_broadcasting(self):
+        a = Tensor(np.ones((3, 4)), requires_grad=True)
+        b = Tensor(np.arange(4.0), requires_grad=True)
+        out = (a * b).sum()
+        out.backward()
+        assert a.grad.shape == (3, 4)
+        assert b.grad.shape == (4,)
+        np.testing.assert_allclose(b.grad, 3 * np.ones(4))
+
+    def test_softmax_rows_sum_to_one(self):
+        logits = Tensor(np.random.default_rng(0).standard_normal((5, 7)))
+        probs = softmax(logits).data
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(5))
+        assert np.all(probs >= 0)
+
+    def test_log_softmax_consistency(self):
+        logits = Tensor(np.random.default_rng(1).standard_normal((4, 3)))
+        np.testing.assert_allclose(np.exp(log_softmax(logits).data),
+                                   softmax(logits).data, atol=1e-10)
+
+    def test_scalar_backward_requires_scalar(self):
+        t = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(ValueError):
+            t.backward()
+
+
+class TestGradcheck:
+    def test_matmul_chain(self):
+        rng = np.random.default_rng(0)
+        a = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        b = Tensor(rng.standard_normal((4, 2)), requires_grad=True)
+        assert gradcheck(lambda a, b: ((a @ b).tanh() * 3.0).sum(), [a, b])
+
+    def test_activations(self):
+        rng = np.random.default_rng(1)
+        x = Tensor(rng.standard_normal((4, 3)) + 0.1, requires_grad=True)
+        assert gradcheck(lambda x: x.relu().sum(), [x])
+        assert gradcheck(lambda x: x.sigmoid().sum(), [x])
+        assert gradcheck(lambda x: x.leaky_relu(0.1).sum(), [x])
+        assert gradcheck(lambda x: (x * x).exp().sum(), [x])
+
+    def test_reductions_and_reshape(self):
+        rng = np.random.default_rng(2)
+        x = Tensor(rng.standard_normal((4, 6)), requires_grad=True)
+        assert gradcheck(lambda x: x.mean(axis=0).sum(), [x])
+        assert gradcheck(lambda x: x.reshape(2, 12).sum(axis=1).sum(), [x])
+        assert gradcheck(lambda x: x.T.sum(), [x])
+
+    def test_gather_scatter(self):
+        rng = np.random.default_rng(3)
+        x = Tensor(rng.standard_normal((5, 3)), requires_grad=True)
+        idx = np.array([0, 2, 2, 4, 1, 0])
+        assert gradcheck(
+            lambda x: x.index_select(idx).scatter_add(idx, 5).sigmoid().sum(), [x])
+
+    def test_segment_mean_and_concat(self):
+        rng = np.random.default_rng(4)
+        x = Tensor(rng.standard_normal((6, 2)), requires_grad=True)
+        y = Tensor(rng.standard_normal((3, 2)), requires_grad=True)
+        seg = np.array([0, 0, 1, 1, 2, 2])
+        assert gradcheck(
+            lambda x, y: concat([segment_mean(x, seg, 3), y], axis=1).sum(),
+            [x, y])
+
+    def test_cross_entropy_gradient(self):
+        rng = np.random.default_rng(5)
+        logits = Tensor(rng.standard_normal((6, 4)), requires_grad=True)
+        targets = np.array([0, 1, 2, 3, 1, 0])
+        assert gradcheck(lambda l: cross_entropy(l, targets), [logits])
+
+    def test_bce_gradient(self):
+        rng = np.random.default_rng(6)
+        probs = Tensor(rng.uniform(0.2, 0.8, (5, 1)), requires_grad=True)
+        targets = np.array([[1.0], [0.0], [1.0], [1.0], [0.0]])
+        assert gradcheck(lambda p: binary_cross_entropy(p, targets), [probs])
+
+    @given(small_matrix)
+    @settings(max_examples=15, deadline=None)
+    def test_sum_gradient_is_ones(self, data):
+        x = Tensor(data, requires_grad=True)
+        x.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones_like(data))
+
+    @given(small_matrix, small_matrix)
+    @settings(max_examples=15, deadline=None)
+    def test_add_gradient_distributes(self, a_data, b_data):
+        a = Tensor(a_data, requires_grad=True)
+        b = Tensor(b_data, requires_grad=True)
+        ((a + b) * 2.0).sum().backward()
+        np.testing.assert_allclose(a.grad, 2 * np.ones_like(a_data))
+        np.testing.assert_allclose(b.grad, 2 * np.ones_like(b_data))
+
+
+class TestUtilities:
+    def test_reused_tensor_accumulates_grad(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * 3.0 + x * 4.0
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [7.0])
+
+    def test_stack_rows(self):
+        rows = [Tensor(np.arange(3.0), requires_grad=True) for _ in range(4)]
+        out = stack_rows(rows)
+        assert out.shape == (4, 3)
+        out.sum().backward()
+        for r in rows:
+            np.testing.assert_allclose(r.grad, np.ones(3))
+
+    def test_dropout_eval_mode_identity(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((10, 10)))
+        out = dropout(x, 0.5, rng, training=False)
+        np.testing.assert_allclose(out.data, x.data)
+
+    def test_dropout_scales_in_training(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((2000, 10)))
+        out = dropout(x, 0.25, rng, training=True).data
+        assert out.mean() == pytest.approx(1.0, rel=0.05)
+
+    def test_mse_loss_zero_for_identical(self):
+        x = Tensor(np.ones((3, 3)))
+        assert mse_loss(x, np.ones((3, 3))).item() == pytest.approx(0.0)
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor([1.0])
+        assert as_tensor(t) is t
+        assert isinstance(as_tensor(2.0), Tensor)

@@ -1,0 +1,176 @@
+"""Layers, optimisers, scalers and training-utility tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (
+    Adam,
+    AdamW,
+    Dropout,
+    EarlyStopping,
+    GaussRankScaler,
+    Linear,
+    MinMaxScaler,
+    MLP,
+    SGD,
+    Sequential,
+    StandardScaler,
+    Tensor,
+    accuracy,
+    cross_entropy,
+    f1_score,
+    iterate_minibatches,
+    mse_loss,
+    set_seed,
+)
+
+
+class TestLayers:
+    def test_linear_shapes_and_params(self):
+        layer = Linear(5, 3)
+        out = layer(Tensor(np.ones((7, 5))))
+        assert out.shape == (7, 3)
+        assert {p.data.shape for p in layer.parameters()} == {(5, 3), (3,)}
+
+    def test_mlp_construction(self):
+        model = MLP(10, [16, 8], 4, dropout=0.1)
+        out = model(Tensor(np.zeros((2, 10))))
+        assert out.shape == (2, 4)
+        assert model.num_parameters() > 0
+        with pytest.raises(ValueError):
+            MLP(4, [4], 2, activation="swishy")
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Linear(4, 4), Dropout(0.5))
+        model.eval()
+        assert all(not m.training for m in model.layers)
+        model.train()
+        assert all(m.training for m in model.layers)
+
+    def test_state_dict_roundtrip(self):
+        model = MLP(6, [5], 2)
+        state = model.state_dict()
+        model2 = MLP(6, [5], 2, rng=np.random.default_rng(99))
+        model2.load_state_dict(state)
+        x = Tensor(np.random.default_rng(0).standard_normal((3, 6)))
+        np.testing.assert_allclose(model(x).data, model2(x).data)
+
+    def test_load_state_dict_shape_mismatch(self):
+        model = MLP(6, [5], 2)
+        state = model.state_dict()
+        key = next(iter(state))
+        state[key] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+
+class TestOptimisers:
+    def _quadratic_problem(self):
+        target = np.array([3.0, -2.0])
+        w = Tensor(np.zeros(2), requires_grad=True)
+        return w, target
+
+    @pytest.mark.parametrize("optimizer_cls,kwargs", [
+        (SGD, {"lr": 0.1, "momentum": 0.9}),
+        (Adam, {"lr": 0.1}),
+        (AdamW, {"lr": 0.1, "weight_decay": 1e-4}),
+    ])
+    def test_convergence_on_quadratic(self, optimizer_cls, kwargs):
+        w, target = self._quadratic_problem()
+        opt = optimizer_cls([w], **kwargs)
+        for _ in range(200):
+            loss = ((w - Tensor(target)) ** 2).sum()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(w.data, target, atol=0.05)
+
+    def test_optimizer_rejects_empty_params(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_mlp_learns_xor(self):
+        rng = set_seed(0)
+        x = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=float)
+        y = np.array([0, 1, 1, 0])
+        model = MLP(2, [16], 2, rng=np.random.default_rng(3))
+        opt = Adam(model.parameters(), lr=0.05)
+        for _ in range(300):
+            loss = cross_entropy(model(Tensor(x)), y)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        preds = model(Tensor(x)).data.argmax(1)
+        assert accuracy(preds, y) == 1.0
+
+
+class TestScalers:
+    def test_standard_scaler(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(5.0, 3.0, (200, 4))
+        z = StandardScaler().fit_transform(x)
+        np.testing.assert_allclose(z.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(z.std(axis=0), 1.0, atol=1e-9)
+
+    def test_standard_scaler_roundtrip(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(50, 3))
+        scaler = StandardScaler().fit(x)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(x)),
+                                   x, atol=1e-10)
+
+    def test_minmax_scaler_clips_unseen(self):
+        x = np.array([[0.0], [10.0]])
+        scaler = MinMaxScaler().fit(x)
+        out = scaler.transform(np.array([[-5.0], [5.0], [20.0]]))
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_unfitted_scalers_raise(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.ones((2, 2)))
+        with pytest.raises(RuntimeError):
+            MinMaxScaler().transform(np.ones((2, 2)))
+        with pytest.raises(RuntimeError):
+            GaussRankScaler().transform(np.ones((2, 2)))
+
+    def test_gauss_rank_produces_normal_like_output(self):
+        rng = np.random.default_rng(2)
+        x = rng.exponential(2.0, size=(500, 2))     # heavily skewed input
+        z = GaussRankScaler().fit_transform(x)
+        assert abs(float(np.mean(z))) < 0.15
+        assert 0.7 < float(np.std(z)) < 1.3
+
+    @given(st.integers(10, 200))
+    @settings(max_examples=20, deadline=None)
+    def test_gauss_rank_is_monotone(self, n):
+        x = np.random.default_rng(n).uniform(size=(n, 1))
+        scaler = GaussRankScaler().fit(x)
+        z = scaler.transform(np.sort(x, axis=0))
+        assert np.all(np.diff(z[:, 0]) >= -1e-12)
+
+
+class TestTrainingUtilities:
+    def test_minibatches_cover_all_indices(self):
+        batches = list(iterate_minibatches(103, 10, shuffle=True,
+                                           rng=np.random.default_rng(0)))
+        all_idx = np.concatenate(batches)
+        assert sorted(all_idx.tolist()) == list(range(103))
+        with pytest.raises(ValueError):
+            list(iterate_minibatches(10, 0))
+
+    def test_early_stopping(self):
+        stopper = EarlyStopping(patience=2)
+        assert not stopper.step(1.0)
+        assert not stopper.step(0.5)
+        assert not stopper.step(0.6)
+        assert stopper.step(0.7)
+
+    def test_metrics(self):
+        y = np.array([0, 1, 1, 0, 1])
+        p = np.array([0, 1, 0, 0, 1])
+        assert accuracy(p, y) == pytest.approx(0.8)
+        assert 0.0 < f1_score(p, y) <= 1.0
+        assert f1_score(y, y) == pytest.approx(1.0)
+        assert accuracy(np.array([]), np.array([])) == 0.0

@@ -1,0 +1,93 @@
+"""PAPI-like profiling, counter selection and portability rescaling tests."""
+
+import numpy as np
+import pytest
+
+from repro.frontend.openmp import OMPConfig
+from repro.profiling import (
+    PAPI_PRESET_COUNTERS,
+    PAPIProfiler,
+    SELECTED_COUNTERS,
+    pearson_correlation,
+    rescale_counters,
+    select_counters,
+)
+from repro.simulator.microarch import BROADWELL_8C, COMET_LAKE_8C, SANDY_BRIDGE_8C
+
+
+class TestPAPIProfiler:
+    def test_profile_returns_requested_events(self, gemm_spec):
+        profiler = PAPIProfiler(COMET_LAKE_8C, noise=0.0)
+        record = profiler.profile(gemm_spec, scale=1.0,
+                                  events=SELECTED_COUNTERS)
+        assert set(record.counters) == set(SELECTED_COUNTERS)
+        assert record.time_seconds > 0
+        assert record.runs_needed == 2          # five counters, four per run
+
+    def test_unknown_event_rejected(self, gemm_spec):
+        profiler = PAPIProfiler(COMET_LAKE_8C)
+        with pytest.raises(KeyError):
+            profiler.profile(gemm_spec, events=["PAPI_NOT_A_COUNTER"])
+
+    def test_profile_many_grid(self, gemm_spec):
+        profiler = PAPIProfiler(COMET_LAKE_8C, noise=0.0)
+        records = profiler.profile_many(gemm_spec, scales=[0.5, 1.0],
+                                        configs=[OMPConfig(1), OMPConfig(8)])
+        assert len(records) == 4
+
+    def test_counters_grow_with_input_size(self, gemm_spec):
+        profiler = PAPIProfiler(COMET_LAKE_8C, noise=0.0)
+        small = profiler.profile(gemm_spec, scale=0.5)
+        large = profiler.profile(gemm_spec, scale=1.5)
+        assert large.counters["PAPI_L1_DCM"] > small.counters["PAPI_L1_DCM"]
+        assert large.counters["PAPI_BR_INS"] > small.counters["PAPI_BR_INS"]
+
+
+class TestCounterSelection:
+    def test_pearson_basics(self):
+        x = np.arange(10.0)
+        assert pearson_correlation(x, 2 * x + 1) == pytest.approx(1.0)
+        assert pearson_correlation(x, -x) == pytest.approx(-1.0)
+        assert pearson_correlation(x, np.ones(10)) == 0.0
+        with pytest.raises(ValueError):
+            pearson_correlation(x, np.ones(3))
+
+    def test_select_counters_returns_k_most_correlated(self, small_specs):
+        profiler = PAPIProfiler(COMET_LAKE_8C, noise=0.0)
+        records = []
+        for spec in small_specs[:4]:
+            for scale_target in (1e5, 1e7, 1e8):
+                scale = spec.scale_for_bytes(scale_target)
+                records.append(profiler.profile(spec, scale=scale))
+        selected = select_counters(records, k=5)
+        assert len(selected) == 5
+        assert len(set(selected)) == 5
+        assert set(selected) <= set(PAPI_PRESET_COUNTERS)
+
+    def test_select_counters_empty_raises(self):
+        with pytest.raises(ValueError):
+            select_counters([], k=5)
+
+
+class TestPortabilityRescaling:
+    def test_cache_ratio_scaling(self):
+        counters = {"PAPI_L1_DCM": 100.0, "PAPI_L2_DCM": 50.0,
+                    "PAPI_L3_LDM": 10.0, "PAPI_BR_MSP": 5.0,
+                    "PAPI_TOT_CYC": 1e6}
+        out = rescale_counters(counters, source=COMET_LAKE_8C,
+                               target=SANDY_BRIDGE_8C)
+        # L1/L2 same size -> unchanged; L3 is 20MB vs 16MB -> scaled up
+        assert out["PAPI_L1_DCM"] == pytest.approx(100.0)
+        assert out["PAPI_L3_LDM"] == pytest.approx(10.0 * 20.0 / 16.0)
+        # branch mispredictions are normalised per reference cycle
+        assert out["PAPI_BR_MSP"] == pytest.approx(5.0 / 1e6 * 1e6)
+
+    def test_rescaling_does_not_mutate_input(self):
+        counters = {"PAPI_L1_DCM": 1.0}
+        rescale_counters(counters, COMET_LAKE_8C, BROADWELL_8C)
+        assert counters["PAPI_L1_DCM"] == 1.0
+
+    def test_identity_when_same_arch(self):
+        counters = {"PAPI_L1_DCM": 3.0, "PAPI_L3_LDM": 2.0}
+        out = rescale_counters(counters, COMET_LAKE_8C, COMET_LAKE_8C)
+        assert out == pytest.approx(counters)

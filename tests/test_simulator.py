@@ -1,0 +1,183 @@
+"""Performance-simulator tests: machine models, cache model, OpenMP, OpenCL."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend import analyze_spec
+from repro.frontend.openmp import OMPConfig, OMPSchedule
+from repro.kernels import registry
+from repro.simulator import (
+    BROADWELL_8C,
+    COMET_LAKE_8C,
+    CORE_I7_3820,
+    GTX_970,
+    SANDY_BRIDGE_8C,
+    SKYLAKE_4114,
+    TAHITI_7970,
+    OpenCLSimulator,
+    OpenMPSimulator,
+    estimate_cache_traffic,
+    get_microarch,
+    simulate_opencl,
+    simulate_openmp,
+)
+
+
+class TestMicroArch:
+    def test_presets_lookup(self):
+        assert get_microarch("comet_lake") is COMET_LAKE_8C
+        with pytest.raises(KeyError):
+            get_microarch("zen4")
+
+    def test_skylake_has_smt(self):
+        assert SKYLAKE_4114.max_threads == 20
+        assert COMET_LAKE_8C.max_threads == 8
+
+    def test_peak_flops_monotone_in_threads(self):
+        for arch in (COMET_LAKE_8C, SKYLAKE_4114):
+            peaks = [arch.peak_gflops(t) for t in range(1, arch.max_threads + 1)]
+            assert all(b >= a for a, b in zip(peaks, peaks[1:]))
+
+    def test_memory_bandwidth_saturates(self):
+        bw = [COMET_LAKE_8C.effective_mem_bw(t) for t in range(1, 9)]
+        assert bw[-1] <= COMET_LAKE_8C.mem_bw_gbs + 1e-9
+        assert bw[0] < bw[3]
+
+    def test_cache_size_ordering(self):
+        for arch in (COMET_LAKE_8C, BROADWELL_8C, SANDY_BRIDGE_8C, SKYLAKE_4114):
+            assert arch.l1_bytes < arch.l2_bytes < arch.l3_bytes
+
+
+class TestCacheModel:
+    def test_miss_hierarchy_is_consistent(self, small_specs):
+        for spec in small_specs:
+            w = analyze_spec(spec, 1.0)
+            t = estimate_cache_traffic(w, COMET_LAKE_8C, threads=4,
+                                       chunk_iterations=64)
+            assert t.accesses >= t.l1_misses >= t.l2_misses >= t.l3_misses >= 0
+
+    def test_larger_working_set_more_misses(self, gemm_spec):
+        small = estimate_cache_traffic(analyze_spec(gemm_spec, 0.3),
+                                       COMET_LAKE_8C, 4, 64)
+        large = estimate_cache_traffic(analyze_spec(gemm_spec, 2.0),
+                                       COMET_LAKE_8C, 4, 64)
+        assert large.l3_misses / max(large.accesses, 1) >= \
+            small.l3_misses / max(small.accesses, 1)
+
+    def test_random_access_misses_more(self, gemm_spec, bfs_spec):
+        w_reg = analyze_spec(gemm_spec, 1.0)
+        w_irr = analyze_spec(bfs_spec, 1.0)
+        reg = estimate_cache_traffic(w_reg, COMET_LAKE_8C, 4, 64)
+        irr = estimate_cache_traffic(w_irr, COMET_LAKE_8C, 4, 64)
+        assert (irr.l1_misses / irr.accesses) > (reg.l1_misses / reg.accesses)
+
+    def test_tiny_chunks_hurt_locality(self, gemm_spec):
+        w = analyze_spec(gemm_spec, 1.0)
+        tiny = estimate_cache_traffic(w, COMET_LAKE_8C, 4, chunk_iterations=1)
+        big = estimate_cache_traffic(w, COMET_LAKE_8C, 4, chunk_iterations=256)
+        assert tiny.l1_misses >= big.l1_misses
+
+
+class TestOpenMPSimulator:
+    def test_time_positive_and_reproducible(self, kmeans_spec):
+        sim = OpenMPSimulator(COMET_LAKE_8C, noise=0.0)
+        r1 = sim.run(kmeans_spec, OMPConfig(4), scale=1.0)
+        r2 = sim.run(kmeans_spec, OMPConfig(4), scale=1.0)
+        assert r1.time_seconds > 0
+        assert r1.time_seconds == pytest.approx(r2.time_seconds)
+
+    def test_parallelism_helps_large_compute_kernel(self):
+        spec = registry.get_kernel("npb/EP")
+        sim = OpenMPSimulator(COMET_LAKE_8C, noise=0.0)
+        w = analyze_spec(spec, 1.0)
+        t1 = sim.run(w, OMPConfig(1)).time_seconds
+        t8 = sim.run(w, OMPConfig(8)).time_seconds
+        assert t8 < t1 / 3.0
+
+    def test_tiny_input_prefers_few_threads(self):
+        spec = registry.get_kernel("stream/triad")
+        scale = spec.scale_for_bytes(4e3)
+        sim = OpenMPSimulator(COMET_LAKE_8C, noise=0.0)
+        w = analyze_spec(spec, scale)
+        t1 = sim.run(w, OMPConfig(1)).time_seconds
+        t8 = sim.run(w, OMPConfig(8)).time_seconds
+        assert t1 < t8
+
+    def test_counters_present_and_positive(self, kmeans_spec):
+        from repro.profiling import PAPI_PRESET_COUNTERS
+        result = simulate_openmp(kmeans_spec, OMPConfig(8), COMET_LAKE_8C,
+                                 noise=0.0)
+        for name in PAPI_PRESET_COUNTERS:
+            assert name in result.counters
+            assert result.counters[name] >= 0.0
+
+    def test_dynamic_schedule_helps_imbalanced_loops(self):
+        spec = registry.get_kernel("polybench/lu")      # triangular, imbalanced
+        sim = OpenMPSimulator(SKYLAKE_4114, noise=0.0)
+        w = analyze_spec(spec, 1.5)
+        static = sim.run(w, OMPConfig(10, OMPSchedule.STATIC, None)).time_seconds
+        dynamic = sim.run(w, OMPConfig(10, OMPSchedule.DYNAMIC, 32)).time_seconds
+        assert dynamic < static
+
+    def test_atomic_updates_scale_sublinearly(self):
+        spec = registry.get_kernel("dataracebench/DRB093")
+        sim = OpenMPSimulator(COMET_LAKE_8C, noise=0.0)
+        w = analyze_spec(spec, 0.5)
+        r2 = sim.run(w, OMPConfig(2))
+        r8 = sim.run(w, OMPConfig(8))
+        # contention keeps the atomic cost from scaling 4x when going 2->8
+        assert r8.breakdown["sync_overhead"] > r2.breakdown["sync_overhead"] / 4.0
+        assert r8.breakdown["sync_overhead"] < r2.breakdown["sync_overhead"]
+
+    def test_breakdown_sums_close_to_total(self, gemm_spec):
+        sim = OpenMPSimulator(COMET_LAKE_8C, noise=0.0)
+        result = sim.run(gemm_spec, OMPConfig(4), scale=1.0)
+        parts = sum(result.breakdown.values())
+        # serial_advantage and slack multipliers make this approximate
+        assert parts == pytest.approx(result.time_seconds, rel=0.6)
+
+    @given(st.integers(1, 8))
+    @settings(max_examples=8, deadline=None)
+    def test_any_thread_count_valid(self, threads):
+        spec = registry.get_kernel("stream/add")
+        result = simulate_openmp(spec, OMPConfig(threads), COMET_LAKE_8C,
+                                 noise=0.0)
+        assert np.isfinite(result.time_seconds) and result.time_seconds > 0
+
+
+class TestOpenCLSimulator:
+    def test_small_input_prefers_cpu(self):
+        spec = registry.get_kernel("nvidiasdk/MatrixMul")
+        scale = spec.scale_for_bytes(64e3)
+        w = analyze_spec(spec, scale)
+        cpu = simulate_opencl(w, CORE_I7_3820, 0.7 * w.working_set_bytes, 64,
+                              noise=0.0)
+        gpu = simulate_opencl(w, TAHITI_7970, 0.7 * w.working_set_bytes, 256,
+                              noise=0.0)
+        assert cpu.time_seconds < gpu.time_seconds
+
+    def test_large_compute_kernel_prefers_gpu(self):
+        spec = registry.get_kernel("amdsdk/BinomialOption")
+        scale = spec.scale_for_bytes(128e6)
+        w = analyze_spec(spec, scale)
+        cpu = simulate_opencl(w, CORE_I7_3820, 0.7 * w.working_set_bytes, 64,
+                              noise=0.0)
+        gpu = simulate_opencl(w, TAHITI_7970, 0.7 * w.working_set_bytes, 256,
+                              noise=0.0)
+        assert gpu.time_seconds < cpu.time_seconds
+
+    def test_transfer_dominates_breakdown_for_streaming(self):
+        spec = registry.get_kernel("stream/triad")
+        from repro.kernels.registry import as_opencl
+        w = analyze_spec(as_opencl(spec), 1.0)
+        gpu = simulate_opencl(w, GTX_970, w.working_set_bytes, 256, noise=0.0)
+        assert gpu.breakdown["transfer"] > gpu.breakdown["kernel"]
+
+    def test_workgroup_size_occupancy(self):
+        spec = registry.get_kernel("shoc/GEMM")
+        w = analyze_spec(spec, 1.0)
+        small_wg = simulate_opencl(w, TAHITI_7970, 1e6, 8, noise=0.0)
+        big_wg = simulate_opencl(w, TAHITI_7970, 1e6, 256, noise=0.0)
+        assert big_wg.time_seconds <= small_wg.time_seconds

@@ -1,0 +1,156 @@
+"""Search-space and black-box tuner tests (oracle, random, OpenTuner-like,
+ytopt-like, BLISS-like) plus the GP surrogate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend.analysis import analyze_spec
+from repro.frontend.openmp import OMPConfig, OMPSchedule
+from repro.kernels import registry
+from repro.simulator.microarch import COMET_LAKE_8C, SKYLAKE_4114
+from repro.simulator.openmp import OpenMPSimulator
+from repro.tuners import (
+    BLISSTuner,
+    ExhaustiveTuner,
+    GaussianProcess,
+    OpenTunerLike,
+    RandomSearchTuner,
+    SearchSpace,
+    YtoptTuner,
+    full_search_space,
+    make_objective,
+    thread_search_space,
+)
+
+
+class TestSearchSpace:
+    def test_thread_space(self):
+        space = thread_search_space(COMET_LAKE_8C)
+        assert len(space) == 8
+        assert all(c.schedule == OMPSchedule.STATIC for c in space)
+
+    def test_full_space_matches_table2(self):
+        space = full_search_space()
+        assert len(space) == 7 * 3 * 7
+        threads = {c.num_threads for c in space}
+        assert threads == {1, 2, 4, 8, 12, 16, 20}
+
+    def test_full_space_respects_max_threads(self):
+        space = full_search_space(max_threads=8)
+        assert max(c.num_threads for c in space) == 8
+
+    def test_vector_encoding_in_unit_range(self):
+        space = full_search_space()
+        mat = space.design_matrix()
+        assert mat.shape == (len(space), 5)
+        assert mat.min() >= 0.0 and mat.max() <= 1.0 + 1e-9
+
+    def test_index_roundtrip(self):
+        space = full_search_space()
+        for i in (0, 10, len(space) - 1):
+            assert space.index_of(space[i]) == i
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(ValueError):
+            SearchSpace([])
+
+
+def _lookup_objective(space, times):
+    def objective(config):
+        return float(times[space.index_of(config)])
+    return objective
+
+
+@pytest.fixture(scope="module")
+def small_space_times():
+    """A deterministic synthetic objective over the Table-2 space."""
+    space = full_search_space(threads=(1, 2, 4, 8), chunks=(1, 32, 256))
+    rng = np.random.default_rng(42)
+    times = rng.uniform(1.0, 10.0, len(space))
+    times[17] = 0.5      # a unique global optimum
+    return space, times
+
+
+class TestTuners:
+    def test_exhaustive_finds_global_optimum(self, small_space_times):
+        space, times = small_space_times
+        result = ExhaustiveTuner().tune(_lookup_objective(space, times), space)
+        assert result.best_time == pytest.approx(times.min())
+        assert result.evaluations == len(space)
+
+    @pytest.mark.parametrize("tuner_cls", [RandomSearchTuner, OpenTunerLike,
+                                           YtoptTuner, BLISSTuner])
+    def test_budget_respected_and_improves_over_first_guess(self, tuner_cls,
+                                                            small_space_times):
+        space, times = small_space_times
+        tuner = tuner_cls(budget=12, seed=3)
+        result = tuner.tune(_lookup_objective(space, times), space)
+        assert result.evaluations <= 12
+        assert result.best_time <= result.history[0][1] + 1e-12
+        assert result.best_time <= np.median(times)
+
+    def test_bayesian_beats_random_on_structured_objective(self):
+        """On a smooth objective the GP surrogate should need fewer evals."""
+        space = full_search_space(threads=(1, 2, 4, 8, 12, 16, 20))
+        vectors = space.design_matrix()
+        optimum = vectors[97]
+        times = 1.0 + 5.0 * np.linalg.norm(vectors - optimum, axis=1) ** 2
+        budget = 15
+        random_best = RandomSearchTuner(budget=budget, seed=0).tune(
+            _lookup_objective(space, times), space).best_time
+        ytopt_best = YtoptTuner(budget=budget, seed=0).tune(
+            _lookup_objective(space, times), space).best_time
+        assert ytopt_best <= random_best + 1e-9
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            RandomSearchTuner(budget=0)
+
+    def test_make_objective_counts_evaluations(self, gemm_spec):
+        sim = OpenMPSimulator(COMET_LAKE_8C, noise=0.0)
+        summary = analyze_spec(gemm_spec, 1.0)
+        counter = {}
+        objective = make_objective(sim, summary, counter)
+        space = thread_search_space(COMET_LAKE_8C)
+        RandomSearchTuner(budget=5, seed=0).tune(objective, space)
+        assert counter["evals"] == 5
+
+    def test_tuning_result_speedup(self, small_space_times):
+        space, times = small_space_times
+        result = ExhaustiveTuner().tune(_lookup_objective(space, times), space)
+        assert result.speedup_over(reference_time=times[0]) == pytest.approx(
+            times[0] / times.min())
+
+
+class TestGaussianProcess:
+    def test_interpolates_training_points(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(size=(20, 3))
+        y = np.sin(x[:, 0] * 3) + x[:, 1]
+        gp = GaussianProcess(length_scale=0.4).fit(x, y)
+        mean, std = gp.predict(x)
+        assert np.allclose(mean, y, atol=0.1)
+        assert np.all(std >= 0)
+
+    def test_uncertainty_grows_away_from_data(self):
+        x = np.zeros((5, 2))
+        y = np.zeros(5)
+        gp = GaussianProcess(length_scale=0.3).fit(x, y)
+        _, near = gp.predict(np.zeros((1, 2)))
+        _, far = gp.predict(np.ones((1, 2)) * 5.0)
+        assert far[0] > near[0]
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            GaussianProcess().predict(np.ones((1, 2)))
+
+    @given(st.integers(5, 30))
+    @settings(max_examples=10, deadline=None)
+    def test_loglikelihood_finite(self, n):
+        rng = np.random.default_rng(n)
+        x = rng.uniform(size=(n, 2))
+        y = rng.uniform(size=n)
+        gp = GaussianProcess().fit(x, y)
+        assert np.isfinite(gp.log_likelihood(x, y))
