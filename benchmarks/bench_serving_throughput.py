@@ -1,0 +1,84 @@
+"""Serving throughput: batched+cached `InferenceEngine` vs naive per-request
+`MGATuner.tune` on an identical request stream (JSON metrics printed)."""
+
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.core import MGATuner
+from repro.datasets import OpenMPDatasetBuilder
+from repro.kernels import registry
+from repro.serve import InferenceEngine
+from repro.simulator.microarch import COMET_LAKE_8C
+from repro.tuners import thread_search_space
+
+TRAIN_KERNELS = 8
+TRAIN_INPUTS = 3
+EPOCHS = 8
+SERVE_KERNELS = 6          # unseen kernels served after training
+SERVE_SCALES = (0.5, 2.0)
+NUM_REQUESTS = 96
+CLIENT_THREADS = 8
+
+
+def run() -> dict:
+    arch = COMET_LAKE_8C
+    space = list(thread_search_space(arch))
+    specs = registry.openmp_kernels()
+    tuner = MGATuner(arch, space, seed=0, gnn_hidden=12, gnn_out=12,
+                     dae_hidden=24, dae_code=8, mlp_hidden=16)
+    dataset = OpenMPDatasetBuilder(arch, space, seed=0).build(
+        specs[:TRAIN_KERNELS], np.geomspace(1e5, 2e8, TRAIN_INPUTS))
+    tuner.fit(dataset, epochs=EPOCHS, dae_epochs=EPOCHS)
+
+    # the request stream: repeated (kernel, scale) pairs, as a service sees
+    # when many jobs tune the same hot kernels
+    served = specs[TRAIN_KERNELS:TRAIN_KERNELS + SERVE_KERNELS]
+    pairs = [(spec, scale) for spec in served for scale in SERVE_SCALES]
+    rng = np.random.default_rng(7)
+    requests = [pairs[i] for i in rng.integers(0, len(pairs),
+                                               size=NUM_REQUESTS)]
+
+    start = time.perf_counter()
+    naive = [tuner.tune(spec, scale=scale) for spec, scale in requests]
+    naive_seconds = time.perf_counter() - start
+
+    with InferenceEngine(tuner, max_batch_size=32, max_wait_ms=2.0) as engine:
+        start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=CLIENT_THREADS) as pool:
+            batched = list(pool.map(
+                lambda req: engine.tune(req[0], scale=req[1]), requests))
+        batched_seconds = time.perf_counter() - start
+        stats = engine.stats()
+
+    agreement = float(np.mean([a[0] == b[0]
+                               for a, b in zip(naive, batched)]))
+    return {
+        "requests": NUM_REQUESTS,
+        "naive_seconds": naive_seconds,
+        "batched_seconds": batched_seconds,
+        "naive_rps": NUM_REQUESTS / naive_seconds,
+        "batched_rps": NUM_REQUESTS / batched_seconds,
+        "speedup": naive_seconds / batched_seconds,
+        "prediction_agreement": agreement,
+        "cache_hit_rate": stats["cache_hit_rate"],
+        "result_cache_hit_rate": stats["result_cache_hit_rate"],
+        "memoized_responses": stats["memoized_responses"],
+        "mean_batch_size": stats["mean_batch_size"],
+        "max_batch_size_seen": stats["max_batch_size_seen"],
+        "mean_latency_ms": stats["mean_latency_ms"],
+    }
+
+
+def test_serving_throughput(once, capsys):
+    result = once(run)
+    with capsys.disabled():
+        print()
+        print("serving throughput (batched+cached engine vs naive tune):")
+        print(json.dumps(result, indent=2))
+    assert result["prediction_agreement"] == 1.0
+    assert result["mean_batch_size"] > 1.0          # batching actually engaged
+    assert result["memoized_responses"] > 0         # repeats hit the caches
+    assert result["speedup"] >= 2.0

@@ -7,13 +7,16 @@ construction, IR2Vec-style embeddings, a multicore/accelerator performance
 simulator with PAPI-like counters, a numpy autograd deep-learning stack
 (dense / GNN / DAE), classical ML models, baseline auto-tuners, dataset
 builders and an evaluation harness regenerating every table and figure of the
-paper.
+paper.  The :mod:`repro.serve` subsystem turns trained tuners into versioned
+on-disk artifacts behind a batched inference service (model registry +
+``python -m repro.serve`` CLI).
 
 Typical entry points
 --------------------
 >>> from repro import kernels
 >>> spec = kernels.polybench.gemm()
 >>> from repro.core import MGATuner
+>>> from repro.serve import ModelRegistry, TuningService
 """
 
 __version__ = "1.0.0"
@@ -34,4 +37,5 @@ __all__ = [
     "tuners",
     "datasets",
     "evaluation",
+    "serve",
 ]

@@ -88,6 +88,14 @@ class MGAModel(Module):
                  mlp_hidden: int = 32, dropout: float = 0.05,
                  seed: int = 0):
         super().__init__()
+        self._config = dict(
+            graph_feature_dim=int(graph_feature_dim), vector_dim=int(vector_dim),
+            extra_dim=int(extra_dim), num_classes=int(num_classes),
+            modalities=dataclasses.asdict(modalities), gnn_hidden=gnn_hidden,
+            gnn_out=gnn_out, gnn_layers=gnn_layers, conv_type=conv_type,
+            hetero=hetero, dae_hidden=dae_hidden, dae_code=dae_code,
+            mlp_hidden=mlp_hidden, dropout=dropout, seed=seed,
+        )
         self.modalities = modalities
         self.num_classes = int(num_classes)
         self.extra_dim = int(extra_dim)
@@ -116,6 +124,36 @@ class MGAModel(Module):
                         dropout=dropout, rng=rng)
         self.fused_dim = fused_dim
         self._fitted = False
+
+    # ------------------------------------------------------------------
+    # persistence (see :mod:`repro.serve.artifacts` for the on-disk format)
+    # ------------------------------------------------------------------
+    def get_config(self) -> Dict:
+        """JSON-serialisable constructor arguments of this model."""
+        return dict(self._config)
+
+    @classmethod
+    def from_config(cls, config: Dict) -> "MGAModel":
+        """Rebuild an architecturally identical (untrained) model."""
+        config = dict(config)
+        modalities = config.pop("modalities", None)
+        if isinstance(modalities, dict):
+            modalities = ModalityConfig(**modalities)
+        return cls(modalities=modalities or ModalityConfig.mga(), **config)
+
+    def extra_state(self):
+        state = {"fitted": np.array(float(self._fitted))}
+        for key, value in self.extra_scaler.get_state().items():
+            state[f"extra_scaler.{key}"] = value
+        return state
+
+    def load_extra_state(self, state) -> None:
+        if "fitted" in state:
+            self._fitted = bool(float(np.asarray(state["fitted"])))
+        scaler_state = {key[len("extra_scaler."):]: value
+                        for key, value in state.items()
+                        if key.startswith("extra_scaler.")}
+        self.extra_scaler.set_state(scaler_state)
 
     # ------------------------------------------------------------------
     # feature assembly

@@ -6,6 +6,11 @@
   static modalities plus performance counters profiled under the default
   configuration (the paper's "two runs at inference" cost model).
 * :class:`DeviceMapper` — OpenCL heterogeneous device mapping (§4.2).
+
+Both tuners round-trip through the :mod:`repro.serve` subsystem
+(``tuner.save(path)`` / ``MGATuner.load(path)``) so a model trained in one
+process can be published to a :class:`repro.serve.ModelRegistry` and served
+from another.
 """
 
 from __future__ import annotations
@@ -109,6 +114,18 @@ class MGATuner:
         index = int(self.model.predict([graph], vector[None, :], extra)[0])
         return self.configs[index], dict(record.counters)
 
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Write a versioned on-disk artifact (see :mod:`repro.serve`)."""
+        from repro.serve.artifacts import save_artifact
+        save_artifact(path, self)
+
+    @classmethod
+    def load(cls, path) -> "MGATuner":
+        """Load a tuner saved with :meth:`save` (integrity-checked)."""
+        from repro.serve.artifacts import load_artifact_as
+        return load_artifact_as(path, cls)
+
 
 class DeviceMapper:
     """OpenCL CPU/GPU mapper (the §4.2 task)."""
@@ -134,6 +151,8 @@ class DeviceMapper:
             **train_kwargs) -> Dict[str, List[float]]:
         samples = (dataset.samples if train_indices is None
                    else dataset.subset(list(train_indices)))
+        if not samples:
+            raise ValueError("no training samples")
         graphs, vectors, extra = self._sample_features(dataset, samples)
         labels = dataset.labels(samples)
         self.model = MGAModel(
@@ -154,3 +173,30 @@ class DeviceMapper:
         samples = dataset.subset(list(indices))
         graphs, vectors, extra = self._sample_features(dataset, samples)
         return self.model.predict(graphs, vectors, extra)
+
+    # ------------------------------------------------------------------
+    def map_device(self, spec: KernelSpec, transfer_bytes: float,
+                   wgsize: int) -> int:
+        """Map one unseen kernel invocation to CPU (0) or GPU (1).
+
+        The extra features mirror :meth:`DevMapDataset.extra_features`:
+        log-scaled transfer and workgroup sizes.
+        """
+        if self.model is None:
+            raise RuntimeError("mapper is not fitted")
+        graph, vector = self.extractor.extract(spec)
+        extra = np.array([[np.log1p(float(transfer_bytes)),
+                           np.log1p(float(wgsize))]])
+        return int(self.model.predict([graph], vector[None, :], extra)[0])
+
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Write a versioned on-disk artifact (see :mod:`repro.serve`)."""
+        from repro.serve.artifacts import save_artifact
+        save_artifact(path, self)
+
+    @classmethod
+    def load(cls, path) -> "DeviceMapper":
+        """Load a mapper saved with :meth:`save` (integrity-checked)."""
+        from repro.serve.artifacts import load_artifact_as
+        return load_artifact_as(path, cls)

@@ -45,6 +45,21 @@ class DenoisingAutoencoder(Module):
         return self.decoder(self.encoder(x))
 
     # ------------------------------------------------------------------
+    def extra_state(self):
+        state = {"fitted": np.array(float(self._fitted))}
+        for key, value in self.scaler.get_state().items():
+            state[f"scaler.{key}"] = value
+        return state
+
+    def load_extra_state(self, state) -> None:
+        if "fitted" in state:
+            self._fitted = bool(float(np.asarray(state["fitted"])))
+        scaler_state = {key[len("scaler."):]: value
+                        for key, value in state.items()
+                        if key.startswith("scaler.")}
+        self.scaler.set_state(scaler_state)
+
+    # ------------------------------------------------------------------
     def fit(self, vectors: np.ndarray, epochs: int = 40, lr: float = 1e-2,
             batch_size: int = 64, weight_decay: float = 1e-4) -> List[float]:
         """Self-supervised training; returns the per-epoch reconstruction loss."""

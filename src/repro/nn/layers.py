@@ -30,6 +30,14 @@ class Module:
             _collect_named(value, f"{prefix}{name}", named)
         return named
 
+    def named_modules(self, prefix: str = "") -> Dict[str, "Module"]:
+        """All sub-modules (including ``self`` under ``prefix``), by path."""
+        named: Dict[str, Module] = {prefix: self}
+        for name, value in self.__dict__.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            _collect_named_modules(value, child_prefix, named)
+        return named
+
     def zero_grad(self) -> None:
         for p in self.parameters():
             p.zero_grad()
@@ -55,8 +63,26 @@ class Module:
         return self.forward(*args, **kwargs)
 
     # ------------------------------------------------------------------
+    def extra_state(self) -> Dict[str, np.ndarray]:
+        """Non-parameter arrays (fitted scalers, flags) to persist.
+
+        Subclasses override this (and :meth:`load_extra_state`) so that
+        ``state_dict`` captures everything a save→load round trip needs for
+        bit-identical predictions, not just the trainable weights.
+        """
+        return {}
+
+    def load_extra_state(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore what :meth:`extra_state` produced; ignore unknown keys."""
+
     def state_dict(self) -> Dict[str, np.ndarray]:
-        return {name: p.data.copy() for name, p in self.named_parameters().items()}
+        state = {name: p.data.copy()
+                 for name, p in self.named_parameters().items()}
+        for prefix, module in self.named_modules().items():
+            for key, value in module.extra_state().items():
+                full = f"{prefix}.{key}" if prefix else key
+                state[full] = np.asarray(value)
+        return state
 
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
         named = self.named_parameters()
@@ -68,6 +94,19 @@ class Module:
             if value.shape != param.data.shape:
                 raise ValueError(f"shape mismatch for {name}")
             param.data = value.copy()
+        # route the non-parameter keys to the deepest module whose path
+        # prefixes them (the module that produced them in extra_state)
+        modules = self.named_modules()
+        extra: Dict[str, Dict[str, np.ndarray]] = {}
+        for key in set(state) - set(named):
+            owner, rest = "", key
+            for prefix in modules:
+                if prefix and key.startswith(prefix + ".") \
+                        and len(prefix) > len(owner):
+                    owner, rest = prefix, key[len(prefix) + 1:]
+            extra.setdefault(owner, {})[rest] = state[key]
+        for prefix, sub in extra.items():
+            modules[prefix].load_extra_state(sub)
 
 
 def _collect_parameters(value, seen) -> List[Tensor]:
@@ -102,6 +141,17 @@ def _collect_named(value, prefix: str, out: Dict[str, Tensor]) -> None:
     elif isinstance(value, dict):
         for key, item in value.items():
             _collect_named(item, f"{prefix}.{key}", out)
+
+
+def _collect_named_modules(value, prefix: str, out: Dict[str, "Module"]) -> None:
+    if isinstance(value, Module):
+        out.update(value.named_modules(prefix=prefix))
+    elif isinstance(value, (list, tuple)):
+        for i, item in enumerate(value):
+            _collect_named_modules(item, f"{prefix}.{i}", out)
+    elif isinstance(value, dict):
+        for key, item in value.items():
+            _collect_named_modules(item, f"{prefix}.{key}", out)
 
 
 def _collect_modules(value) -> List["Module"]:

@@ -3,11 +3,15 @@
 The paper scales the IR2Vec code vectors with Gaussian rank scaling before
 the denoising autoencoder, and normalises performance counters / transfer and
 workgroup sizes into [0, 1] before fusion.
+
+Every scaler exposes ``get_state`` / ``set_state`` returning plain numpy
+arrays so fitted scalers can travel inside model state dicts and the
+:mod:`repro.serve.artifacts` on-disk format.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 from scipy.special import erfinv
@@ -40,6 +44,16 @@ class StandardScaler:
             raise RuntimeError("scaler is not fitted")
         return np.asarray(x) * self.std_ + self.mean_
 
+    def get_state(self) -> Dict[str, np.ndarray]:
+        if self.mean_ is None:
+            return {}
+        return {"mean": self.mean_.copy(), "std": self.std_.copy()}
+
+    def set_state(self, state: Dict[str, np.ndarray]) -> None:
+        if "mean" in state:
+            self.mean_ = np.asarray(state["mean"], dtype=np.float64)
+            self.std_ = np.asarray(state["std"], dtype=np.float64)
+
 
 class MinMaxScaler:
     """Scale each feature into [0, 1] (constant features map to 0)."""
@@ -63,6 +77,16 @@ class MinMaxScaler:
 
     def fit_transform(self, x: np.ndarray) -> np.ndarray:
         return self.fit(x).transform(x)
+
+    def get_state(self) -> Dict[str, np.ndarray]:
+        if self.min_ is None:
+            return {}
+        return {"min": self.min_.copy(), "range": self.range_.copy()}
+
+    def set_state(self, state: Dict[str, np.ndarray]) -> None:
+        if "min" in state:
+            self.min_ = np.asarray(state["min"], dtype=np.float64)
+            self.range_ = np.asarray(state["range"], dtype=np.float64)
 
 
 class GaussRankScaler:
@@ -99,3 +123,15 @@ class GaussRankScaler:
 
     def fit_transform(self, x: np.ndarray) -> np.ndarray:
         return self.fit(x).transform(x)
+
+    def get_state(self) -> Dict[str, np.ndarray]:
+        if self.sorted_ is None:
+            return {}
+        # the per-column reference arrays all have the training-set length,
+        # so the whole fitted state stacks into one [n_features, n] matrix
+        return {"sorted": np.stack(self.sorted_, axis=0)}
+
+    def set_state(self, state: Dict[str, np.ndarray]) -> None:
+        if "sorted" in state:
+            matrix = np.asarray(state["sorted"], dtype=np.float64)
+            self.sorted_ = [matrix[j].copy() for j in range(matrix.shape[0])]

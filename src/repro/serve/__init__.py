@@ -1,0 +1,50 @@
+"""Model persistence, registry and batched serving for trained tuners.
+
+The serving subsystem takes a trained tuner from "in-memory object" to
+"deployable artifact behind a batched service":
+
+* :mod:`repro.serve.artifacts` — versioned save/load round trip (weights,
+  fitted scalers, modality/arch/config-space metadata) with SHA-256
+  integrity checks;
+* :mod:`repro.serve.registry` — :class:`ModelRegistry`, a named + versioned
+  model store over a directory tree;
+* :mod:`repro.serve.engine` — :class:`InferenceEngine`, thread-safe
+  micro-batching of concurrent requests into single
+  :meth:`~repro.core.mga.MGAModel.predict` calls with an LRU cache of static
+  features;
+* :mod:`repro.serve.service` — :class:`TuningService`, the request/response
+  façade with per-model routing and latency/throughput counters;
+* ``python -m repro.serve`` — a small CLI to publish and query models.
+"""
+
+from repro.serve.artifacts import (
+    ArtifactError,
+    load_artifact,
+    read_manifest,
+    save_artifact,
+)
+from repro.serve.engine import InferenceEngine, PendingResult
+from repro.serve.registry import ModelRegistry, ModelVersion
+from repro.serve.service import (
+    MapRequest,
+    MapResponse,
+    TuneRequest,
+    TuneResponse,
+    TuningService,
+)
+
+__all__ = [
+    "ArtifactError",
+    "save_artifact",
+    "load_artifact",
+    "read_manifest",
+    "ModelRegistry",
+    "ModelVersion",
+    "InferenceEngine",
+    "PendingResult",
+    "TuningService",
+    "TuneRequest",
+    "TuneResponse",
+    "MapRequest",
+    "MapResponse",
+]

@@ -1,0 +1,171 @@
+"""Command line interface: ``python -m repro.serve <command>``.
+
+Commands
+--------
+``publish-demo``  train a small demo tuner/mapper and publish it
+``list``          enumerate registry contents
+``info``          print a published version's manifest
+``tune``          tune one kernel with a published OpenMP tuner
+``map``           map one kernel with a published device mapper
+
+Machine-readable output: every command prints one JSON document to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.serve.artifacts import ArtifactError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Publish and query MGA tuner models.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("publish-demo",
+                          help="train a small tuner and publish it")
+    demo.add_argument("--root", required=True, help="registry root directory")
+    demo.add_argument("--name", default="demo-openmp", help="model name")
+    demo.add_argument("--task", choices=("openmp", "devmap"), default="openmp")
+    demo.add_argument("--kernels", type=int, default=8,
+                      help="number of training kernels")
+    demo.add_argument("--inputs", type=int, default=3,
+                      help="input sizes per kernel (openmp task)")
+    demo.add_argument("--epochs", type=int, default=10)
+    demo.add_argument("--seed", type=int, default=0)
+
+    lst = sub.add_parser("list", help="list registry contents")
+    lst.add_argument("--root", required=True)
+
+    info = sub.add_parser("info", help="show a published version's manifest")
+    info.add_argument("--root", required=True)
+    info.add_argument("name")
+    info.add_argument("--version", type=int, default=None)
+
+    tune = sub.add_parser("tune", help="tune one kernel")
+    tune.add_argument("--root", required=True)
+    tune.add_argument("--model", required=True)
+    tune.add_argument("--version", type=int, default=None)
+    tune.add_argument("--kernel", required=True,
+                      help="kernel uid, e.g. polybench/gemm")
+    tune.add_argument("--scale", type=float, default=None)
+    tune.add_argument("--target-bytes", type=float, default=None)
+
+    mapper = sub.add_parser("map", help="map one kernel to CPU/GPU")
+    mapper.add_argument("--root", required=True)
+    mapper.add_argument("--model", required=True)
+    mapper.add_argument("--version", type=int, default=None)
+    mapper.add_argument("--kernel", required=True)
+    mapper.add_argument("--transfer-bytes", type=float, required=True)
+    mapper.add_argument("--wgsize", type=int, default=64)
+    return parser
+
+
+# ----------------------------------------------------------------------
+def _cmd_publish_demo(args) -> int:
+    from repro.core import DeviceMapper, MGATuner
+    from repro.datasets import DevMapDatasetBuilder, OpenMPDatasetBuilder
+    from repro.kernels import registry as kernels
+    from repro.serve.registry import ModelRegistry
+    from repro.simulator.microarch import COMET_LAKE_8C, TAHITI_7970
+    from repro.tuners import thread_search_space
+
+    model_registry = ModelRegistry(args.root)
+    small = dict(gnn_hidden=12, gnn_out=12, dae_hidden=24, dae_code=8,
+                 mlp_hidden=16)
+    if args.task == "openmp":
+        arch = COMET_LAKE_8C
+        space = list(thread_search_space(arch))
+        specs = kernels.openmp_kernels()[:args.kernels]
+        dataset = OpenMPDatasetBuilder(arch, space, seed=args.seed).build(
+            specs, np.geomspace(1e5, 2e8, args.inputs))
+        tuner = MGATuner(arch, space, seed=args.seed, **small)
+        tuner.fit(dataset, epochs=args.epochs, dae_epochs=args.epochs)
+        published = model_registry.publish(
+            args.name, tuner,
+            metadata={"task": "openmp", "arch": arch.name,
+                      "train_samples": len(dataset),
+                      "num_configs": dataset.num_configs})
+    else:
+        specs = kernels.opencl_kernels()[:args.kernels]
+        dataset = DevMapDatasetBuilder(TAHITI_7970, seed=args.seed).build(
+            specs, points_per_kernel=3)
+        mapper = DeviceMapper(seed=args.seed, **small)
+        mapper.fit(dataset, epochs=args.epochs, dae_epochs=args.epochs)
+        published = model_registry.publish(
+            args.name, mapper,
+            metadata={"task": "devmap", "gpu": dataset.gpu_name,
+                      "train_samples": len(dataset)})
+    print(json.dumps({"published": published.ref, "path": published.path,
+                      "kind": published.kind,
+                      "metadata": published.metadata}, indent=2))
+    return 0
+
+
+def _cmd_list(args) -> int:
+    from repro.serve.registry import ModelRegistry
+
+    entries = ModelRegistry(args.root).describe()
+    print(json.dumps([{"name": e.name, "version": e.version, "kind": e.kind,
+                       "metadata": e.metadata} for e in entries], indent=2))
+    return 0
+
+
+def _cmd_info(args) -> int:
+    from repro.serve.registry import ModelRegistry
+
+    manifest = ModelRegistry(args.root).info(args.name, args.version)
+    manifest = dict(manifest)
+    manifest.pop("config", None)      # large; `load` reads it, humans rarely do
+    print(json.dumps(manifest, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    from repro.serve.registry import ModelRegistry
+    from repro.serve.service import TuneRequest, TuningService
+
+    with TuningService(ModelRegistry(args.root)) as service:
+        response = service.tune(TuneRequest(
+            model=args.model, version=args.version, kernel=args.kernel,
+            scale=args.scale, target_bytes=args.target_bytes))
+        print(json.dumps(dataclasses.asdict(response), indent=2))
+    return 0
+
+
+def _cmd_map(args) -> int:
+    from repro.serve.registry import ModelRegistry
+    from repro.serve.service import MapRequest, TuningService
+
+    with TuningService(ModelRegistry(args.root)) as service:
+        response = service.map_device(MapRequest(
+            model=args.model, version=args.version, kernel=args.kernel,
+            transfer_bytes=args.transfer_bytes, wgsize=args.wgsize))
+        print(json.dumps(dataclasses.asdict(response), indent=2))
+    return 0
+
+
+_COMMANDS = {
+    "publish-demo": _cmd_publish_demo,
+    "list": _cmd_list,
+    "info": _cmd_info,
+    "tune": _cmd_tune,
+    "map": _cmd_map,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ArtifactError, KeyError, ValueError, TypeError, OSError) as exc:
+        print(json.dumps({"error": str(exc)}), file=sys.stderr)
+        return 1

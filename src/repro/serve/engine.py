@@ -1,0 +1,347 @@
+"""Thread-safe batched inference over a fitted tuner or device mapper.
+
+Concurrent ``tune`` / ``map_device`` requests are micro-batched: a worker
+thread gathers everything queued within a short window (``max_wait_ms``, up
+to ``max_batch_size``) and issues **one** :meth:`MGAModel.predict` call for
+the whole batch, which amortises graph batching and the per-call numpy
+overhead across requests.
+
+Static features are memoised in an LRU cache: the ProGraML graph, the IR2Vec
+vector and — for OpenMP tuning — the default-configuration profiling counters
+are identical across repeated requests for the same (kernel, input size), so
+only the first request pays for lowering, graph construction, encoding and
+the simulated profiling runs.
+
+Because the model is deterministic given those features, the *final* response
+is memoised too (``memoize_results``): a repeat of an already-answered
+(kernel, input size) request returns without touching the model at all, the
+way any serving layer fronts a pure function with a response cache.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.tuner import DeviceMapper, MGATuner
+from repro.frontend.openmp import OMPConfig, default_omp_config
+from repro.frontend.spec import KernelSpec
+from repro.profiling import PAPIProfiler
+
+
+class _LRUCache:
+    """A small thread-safe least-recently-used cache with hit statistics."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self._data: "collections.OrderedDict" = collections.OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key):
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self.hits += 1
+                return self._data[key]
+            self.misses += 1
+            return None
+
+    def put(self, key, value) -> None:
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+
+class PendingResult:
+    """Handle for one queued request; ``result()`` blocks until completion."""
+
+    __slots__ = ("_event", "_value", "_error", "submitted_at", "completed_at")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._value = None
+        self._error: Optional[BaseException] = None
+        self.submitted_at = time.perf_counter()
+        self.completed_at: Optional[float] = None
+
+    def _finish(self, value=None, error: Optional[BaseException] = None) -> None:
+        self._value = value
+        self._error = error
+        self.completed_at = time.perf_counter()
+        self._event.set()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None):
+        if not self._event.wait(timeout):
+            raise TimeoutError("request did not complete in time")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    @property
+    def latency_seconds(self) -> float:
+        if self.completed_at is None:
+            raise RuntimeError("request not completed")
+        return self.completed_at - self.submitted_at
+
+
+class _Request:
+    __slots__ = ("graph", "vector", "extra", "finalize", "pending")
+
+    def __init__(self, graph, vector, extra, finalize, pending):
+        self.graph = graph
+        self.vector = vector
+        self.extra = extra
+        self.finalize = finalize          # index -> response value
+        self.pending = pending
+
+
+class InferenceEngine:
+    """Batched, cached serving front-end for one fitted tuner/mapper."""
+
+    def __init__(self, predictor: Union[MGATuner, DeviceMapper],
+                 max_batch_size: int = 32, max_wait_ms: float = 2.0,
+                 cache_size: int = 512, memoize_results: bool = True):
+        if not isinstance(predictor, (MGATuner, DeviceMapper)):
+            raise TypeError("predictor must be an MGATuner or DeviceMapper")
+        if predictor.model is None:
+            raise ValueError("predictor is not fitted")
+        self.predictor = predictor
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_s = float(max_wait_ms) / 1e3
+        self.cache = _LRUCache(cache_size)
+        self.results = _LRUCache(cache_size) if memoize_results else None
+        self._queue: "collections.deque[_Request]" = collections.deque()
+        self._cond = threading.Condition()
+        self._running = True
+        self._stats_lock = threading.Lock()
+        self._requests = 0
+        self._errors = 0
+        self._memoized = 0
+        self._batches = 0
+        self._batched_requests = 0
+        self._max_batch_seen = 0
+        self._latency_sum = 0.0
+        self._worker = threading.Thread(target=self._serve_loop,
+                                        name="repro-serve-engine", daemon=True)
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    # request preparation (runs on the caller's thread, cache-memoised)
+    # ------------------------------------------------------------------
+    def _tune_features(self, spec: KernelSpec, scale: float):
+        tuner = self.predictor
+        key = ("tune", spec.uid, spec.model.value, float(scale))
+        cached = self.cache.get(key)
+        if cached is None:
+            profiler = PAPIProfiler(tuner.arch)
+            record = profiler.profile(
+                spec, scale=scale, config=default_omp_config(tuner.arch.cores),
+                events=tuner.counter_names)
+            graph, vector = tuner.extractor.extract(spec)
+            extra = np.array([record.counters[name]
+                              for name in tuner.counter_names])
+            cached = (graph, vector, extra, dict(record.counters))
+            self.cache.put(key, cached)
+        return cached
+
+    def _map_features(self, spec: KernelSpec):
+        key = ("map", spec.uid, spec.model.value)
+        cached = self.cache.get(key)
+        if cached is None:
+            cached = self.predictor.extractor.extract(spec)
+            self.cache.put(key, cached)
+        return cached
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def submit_tune(self, spec: KernelSpec, scale: float = 1.0) -> PendingResult:
+        """Queue one OpenMP tuning request; returns immediately."""
+        if not isinstance(self.predictor, MGATuner):
+            raise TypeError("this engine serves a DeviceMapper, not a tuner")
+        pending = PendingResult()
+        key = ("tune", spec.uid, spec.model.value, float(scale))
+        if self._try_memoized(key, pending):
+            return pending
+        graph, vector, extra, counters = self._tune_features(spec, scale)
+        configs = self.predictor.configs
+
+        def finalize(index: int):
+            if self.results is not None:
+                self.results.put(key, (index, counters))
+            return configs[index], dict(counters)
+
+        self._enqueue(_Request(graph, vector, extra, finalize, pending))
+        return pending
+
+    def tune(self, spec: KernelSpec, scale: float = 1.0
+             ) -> Tuple[OMPConfig, Dict[str, float]]:
+        """Blocking :meth:`MGATuner.tune` equivalent (batched under the hood)."""
+        return self.submit_tune(spec, scale).result()
+
+    def submit_map(self, spec: KernelSpec, transfer_bytes: float,
+                   wgsize: int) -> PendingResult:
+        """Queue one CPU/GPU mapping request; returns immediately."""
+        if not isinstance(self.predictor, DeviceMapper):
+            raise TypeError("this engine serves an MGATuner, not a mapper")
+        pending = PendingResult()
+        key = ("map", spec.uid, spec.model.value, float(transfer_bytes),
+               int(wgsize))
+        if self._try_memoized(key, pending):
+            return pending
+        graph, vector = self._map_features(spec)
+        extra = np.array([np.log1p(float(transfer_bytes)),
+                          np.log1p(float(wgsize))])
+
+        def finalize(index: int):
+            if self.results is not None:
+                self.results.put(key, (index, None))
+            return index
+
+        self._enqueue(_Request(graph, vector, extra, finalize, pending))
+        return pending
+
+    def map_device(self, spec: KernelSpec, transfer_bytes: float,
+                   wgsize: int) -> int:
+        """Blocking :meth:`DeviceMapper.map_device` equivalent."""
+        return self.submit_map(spec, transfer_bytes, wgsize).result()
+
+    def tune_many(self, requests: Sequence[Tuple[KernelSpec, float]]
+                  ) -> List[Tuple[OMPConfig, Dict[str, float]]]:
+        """Submit many (spec, scale) requests at once and wait for all."""
+        handles = [self.submit_tune(spec, scale) for spec, scale in requests]
+        return [h.result() for h in handles]
+
+    # ------------------------------------------------------------------
+    def _try_memoized(self, key, pending: PendingResult) -> bool:
+        """Answer from the response cache if this exact request was served."""
+        if self.results is None:
+            return False
+        hit = self.results.get(key)
+        if hit is None:
+            return False
+        index, counters = hit
+        if key[0] == "tune":
+            value = (self.predictor.configs[index], dict(counters))
+        else:
+            value = index
+        pending._finish(value=value)
+        with self._stats_lock:
+            self._requests += 1
+            self._memoized += 1
+            self._latency_sum += pending.latency_seconds
+        return True
+
+    def _enqueue(self, request: _Request) -> None:
+        with self._cond:
+            if not self._running:
+                raise RuntimeError("engine is closed")
+            self._queue.append(request)
+            self._cond.notify_all()
+        with self._stats_lock:
+            self._requests += 1
+
+    def _serve_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and self._running:
+                    self._cond.wait()
+                if not self._queue and not self._running:
+                    return
+                # gather a micro-batch: wait (briefly) for co-arriving work
+                deadline = time.perf_counter() + self.max_wait_s
+                while len(self._queue) < self.max_batch_size and self._running:
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(remaining)
+                batch = [self._queue.popleft()
+                         for _ in range(min(len(self._queue),
+                                            self.max_batch_size))]
+            self._run_batch(batch)
+
+    def _run_batch(self, batch: List[_Request]) -> None:
+        try:
+            graphs = [r.graph for r in batch]
+            vectors = np.stack([r.vector for r in batch])
+            extra = np.stack([r.extra for r in batch])
+            indices = self.predictor.model.predict(graphs, vectors, extra)
+        except BaseException as exc:           # pragma: no cover - defensive
+            for request in batch:
+                request.pending._finish(error=exc)
+            with self._stats_lock:
+                self._errors += len(batch)
+            return
+        for request, index in zip(batch, indices):
+            try:
+                request.pending._finish(value=request.finalize(int(index)))
+            except BaseException as exc:       # pragma: no cover - defensive
+                request.pending._finish(error=exc)
+        with self._stats_lock:
+            self._batches += 1
+            self._batched_requests += len(batch)
+            self._max_batch_seen = max(self._max_batch_seen, len(batch))
+            self._latency_sum += sum(r.pending.latency_seconds for r in batch)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, float]:
+        """Counters for monitoring: batching, caching and latency."""
+        with self._stats_lock:
+            completed = self._batched_requests + self._memoized
+            lookups = self.cache.hits + self.cache.misses
+            result_lookups = (self.results.hits + self.results.misses
+                              if self.results is not None else 0)
+            return {
+                "requests": self._requests,
+                "completed": completed,
+                "errors": self._errors,
+                "batches": self._batches,
+                "mean_batch_size": self._batched_requests / max(1, self._batches),
+                "max_batch_size_seen": self._max_batch_seen,
+                "cache_hits": self.cache.hits,
+                "cache_misses": self.cache.misses,
+                "cache_hit_rate": self.cache.hits / max(1, lookups),
+                "cache_entries": len(self.cache),
+                "memoized_responses": self._memoized,
+                "result_cache_hit_rate": (self.results.hits
+                                          / max(1, result_lookups)
+                                          if self.results is not None else 0.0),
+                "mean_latency_ms": 1e3 * self._latency_sum / max(1, completed),
+            }
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop the worker; outstanding queued requests fail."""
+        with self._cond:
+            if not self._running:
+                return
+            self._running = False
+            leftover = list(self._queue)
+            self._queue.clear()
+            self._cond.notify_all()
+        self._worker.join()
+        for request in leftover:
+            request.pending._finish(error=RuntimeError("engine is closed"))
+
+    def __enter__(self) -> "InferenceEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,217 @@
+"""Request/response façade over the registry and the batched engines.
+
+:class:`TuningService` is the deployable entry point: it owns a
+:class:`~repro.serve.registry.ModelRegistry`, lazily loads each requested
+``model`` (name, optional version) into a per-model
+:class:`~repro.serve.engine.InferenceEngine`, resolves kernels by their
+``suite/name`` uid through :mod:`repro.kernels`, and keeps service-level
+latency/throughput counters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.tuner import DeviceMapper, MGATuner
+from repro.kernels import registry as kernel_registry
+from repro.serve.engine import InferenceEngine
+from repro.serve.registry import ModelRegistry
+
+
+@dataclasses.dataclass(frozen=True)
+class TuneRequest:
+    """One OpenMP tuning request.
+
+    At most one of ``scale`` / ``target_bytes`` sizes the input (setting both
+    is rejected; neither means ``scale=1.0``).  With ``target_bytes`` the
+    scale solving the kernel's working-set equation is used (the natural
+    remote-caller interface: "this kernel at 32 MB").
+    """
+
+    model: str
+    kernel: str                       # kernel uid, e.g. "polybench/gemm"
+    scale: Optional[float] = None
+    target_bytes: Optional[float] = None
+    version: Optional[int] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class TuneResponse:
+    model: str
+    version: int
+    kernel: str
+    scale: float
+    config_label: str                 # e.g. "t8/static/cauto"
+    num_threads: int
+    schedule: str
+    chunk_size: Optional[int]
+    counters: Dict[str, float]
+    latency_ms: float
+
+
+@dataclasses.dataclass(frozen=True)
+class MapRequest:
+    """One OpenCL CPU/GPU device-mapping request."""
+
+    model: str
+    kernel: str
+    transfer_bytes: float
+    wgsize: int
+    version: Optional[int] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class MapResponse:
+    model: str
+    version: int
+    kernel: str
+    device: str                       # "cpu" | "gpu"
+    label: int
+    latency_ms: float
+
+
+class TuningService:
+    """Route tuning/mapping requests to registry-published models."""
+
+    def __init__(self, registry: ModelRegistry, max_batch_size: int = 32,
+                 max_wait_ms: float = 2.0, cache_size: int = 512):
+        self.registry = registry
+        self.max_batch_size = max_batch_size
+        self.max_wait_ms = max_wait_ms
+        self.cache_size = cache_size
+        self._engines: Dict[Tuple[str, int], InferenceEngine] = {}
+        self._loading: Dict[Tuple[str, int], threading.Lock] = {}
+        self._lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._requests = 0
+        self._errors = 0
+        self._latency_sum = 0.0
+        self._per_model: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def engine(self, model: str, version: Optional[int] = None
+               ) -> Tuple[InferenceEngine, int]:
+        """The (cached) engine serving one published model version.
+
+        Returns the engine together with the concrete version it serves, so
+        responses report the version that actually answered.  Artifact
+        loading happens outside the service-wide lock (under a per-version
+        lock), so a cold load never stalls requests to warm models.
+        """
+        resolved = version if version is not None \
+            else self.registry.latest(model)
+        if resolved is None:
+            raise KeyError(f"model {model!r} has no published versions")
+        key = (model, int(resolved))
+        with self._lock:
+            engine = self._engines.get(key)
+            if engine is not None:
+                return engine, key[1]
+            load_lock = self._loading.setdefault(key, threading.Lock())
+        with load_lock:
+            with self._lock:
+                engine = self._engines.get(key)
+            if engine is None:
+                predictor = self.registry.load(model, key[1])
+                engine = InferenceEngine(
+                    predictor, max_batch_size=self.max_batch_size,
+                    max_wait_ms=self.max_wait_ms, cache_size=self.cache_size)
+                with self._lock:
+                    self._engines[key] = engine
+                    self._loading.pop(key, None)
+        return engine, key[1]
+
+    @staticmethod
+    def _resolve_kernel(uid: str):
+        return kernel_registry.get_kernel(uid)
+
+    def _record(self, model: str, started: float, failed: bool) -> float:
+        latency_ms = 1e3 * (time.perf_counter() - started)
+        with self._stats_lock:
+            self._requests += 1
+            self._errors += int(failed)
+            self._latency_sum += latency_ms
+            self._per_model[model] = self._per_model.get(model, 0) + 1
+        return latency_ms
+
+    # ------------------------------------------------------------------
+    def tune(self, request: TuneRequest) -> TuneResponse:
+        """Tune one kernel with a published :class:`MGATuner`."""
+        started = time.perf_counter()
+        try:
+            if request.scale is not None and request.target_bytes is not None:
+                raise ValueError("set only one of scale / target_bytes")
+            engine, version = self.engine(request.model, request.version)
+            if not isinstance(engine.predictor, MGATuner):
+                raise TypeError(f"model {request.model!r} is not an OpenMP "
+                                f"tuner")
+            spec = self._resolve_kernel(request.kernel)
+            if request.scale is not None:
+                scale = float(request.scale)
+            elif request.target_bytes is not None:
+                scale = spec.scale_for_bytes(float(request.target_bytes))
+            else:
+                scale = 1.0
+            config, counters = engine.tune(spec, scale)
+        except BaseException:
+            self._record(request.model, started, failed=True)
+            raise
+        latency_ms = self._record(request.model, started, failed=False)
+        return TuneResponse(
+            model=request.model, version=version, kernel=request.kernel,
+            scale=scale, config_label=config.label(),
+            num_threads=config.num_threads, schedule=config.schedule.value,
+            chunk_size=config.chunk_size, counters=counters,
+            latency_ms=latency_ms)
+
+    def map_device(self, request: MapRequest) -> MapResponse:
+        """Map one kernel with a published :class:`DeviceMapper`."""
+        started = time.perf_counter()
+        try:
+            engine, version = self.engine(request.model, request.version)
+            if not isinstance(engine.predictor, DeviceMapper):
+                raise TypeError(f"model {request.model!r} is not a device "
+                                f"mapper")
+            spec = self._resolve_kernel(request.kernel)
+            label = engine.map_device(spec, request.transfer_bytes,
+                                      request.wgsize)
+        except BaseException:
+            self._record(request.model, started, failed=True)
+            raise
+        latency_ms = self._record(request.model, started, failed=False)
+        return MapResponse(
+            model=request.model, version=version, kernel=request.kernel,
+            device="cpu" if label == 0 else "gpu", label=label,
+            latency_ms=latency_ms)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Service-level counters plus the per-engine batching/cache stats."""
+        with self._stats_lock:
+            snapshot: Dict[str, Any] = {
+                "requests": self._requests,
+                "errors": self._errors,
+                "mean_latency_ms": self._latency_sum / max(1, self._requests),
+                "per_model_requests": dict(self._per_model),
+            }
+        with self._lock:
+            snapshot["engines"] = {
+                f"{name}@{version}": engine.stats()
+                for (name, version), engine in self._engines.items()
+            }
+        return snapshot
+
+    def close(self) -> None:
+        with self._lock:
+            engines, self._engines = list(self._engines.values()), {}
+        for engine in engines:
+            engine.close()
+
+    def __enter__(self) -> "TuningService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

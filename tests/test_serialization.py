@@ -1,0 +1,115 @@
+"""State-dict round trips: scalers, modules and the full MGA model.
+
+The satellite requirement: after ``state_dict`` → fresh model →
+``load_state_dict``, predictions must be bit-identical, for every
+:class:`ModalityConfig` ablation variant (the extra state plumbing carries
+the fitted min-max and Gauss-rank scalers alongside the weights).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import MGAModel, ModalityConfig
+from repro.dae import DenoisingAutoencoder
+from repro.nn import GaussRankScaler, MinMaxScaler, MLP, StandardScaler
+
+ALL_VARIANTS = [
+    ("mga", ModalityConfig.mga()),
+    ("mga_static", ModalityConfig.mga_static()),
+    ("programl", ModalityConfig.programl()),
+    ("programl_static", ModalityConfig.programl_static()),
+    ("ir2vec", ModalityConfig.ir2vec()),
+    ("ir2vec_static", ModalityConfig.ir2vec_static()),
+    ("dynamic_only", ModalityConfig.dynamic_only()),
+]
+
+
+class TestScalerState:
+    def test_minmax_round_trip(self, rng):
+        x = rng.normal(size=(20, 4)) * 50
+        scaler = MinMaxScaler().fit(x)
+        clone = MinMaxScaler()
+        clone.set_state(scaler.get_state())
+        np.testing.assert_array_equal(scaler.transform(x), clone.transform(x))
+
+    def test_standard_round_trip(self, rng):
+        x = rng.normal(size=(20, 4))
+        scaler = StandardScaler().fit(x)
+        clone = StandardScaler()
+        clone.set_state(scaler.get_state())
+        np.testing.assert_array_equal(scaler.transform(x), clone.transform(x))
+
+    def test_gaussrank_round_trip(self, rng):
+        x = rng.normal(size=(30, 3))
+        scaler = GaussRankScaler().fit(x)
+        clone = GaussRankScaler()
+        clone.set_state(scaler.get_state())
+        unseen = rng.normal(size=(7, 3))
+        np.testing.assert_array_equal(scaler.transform(unseen),
+                                      clone.transform(unseen))
+
+    def test_unfitted_state_is_empty(self):
+        assert MinMaxScaler().get_state() == {}
+        assert GaussRankScaler().get_state() == {}
+
+
+class TestModuleStateDict:
+    def test_missing_parameter_raises(self):
+        mlp = MLP(4, [3], 2)
+        state = mlp.state_dict()
+        state.pop(sorted(state)[0])
+        with pytest.raises(KeyError):
+            MLP(4, [3], 2).load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        state = MLP(4, [3], 2).state_dict()
+        with pytest.raises(ValueError):
+            MLP(4, [5], 2).load_state_dict(state)
+
+    def test_dae_extra_state_restores_scaler_and_flag(self, rng):
+        vectors = rng.normal(size=(24, 6))
+        dae = DenoisingAutoencoder(6, hidden_dim=8, code_dim=3, seed=0)
+        dae.fit(vectors, epochs=2)
+        state = dae.state_dict()
+        assert any(key.startswith("scaler.") for key in state)
+
+        clone = DenoisingAutoencoder(6, hidden_dim=8, code_dim=3, seed=1)
+        clone.load_state_dict(state)
+        unseen = rng.normal(size=(5, 6))
+        np.testing.assert_array_equal(dae.encode(unseen), clone.encode(unseen))
+
+
+class TestMGAModelRoundTrip:
+    @pytest.mark.parametrize("name,modalities", ALL_VARIANTS,
+                             ids=[n for n, _ in ALL_VARIANTS])
+    def test_bit_identical_predictions(self, small_openmp_dataset, name,
+                                       modalities):
+        ds = small_openmp_dataset
+        graphs = [s.graph for s in ds.samples]
+        vectors = np.stack([s.vector for s in ds.samples])
+        extra = ds.counter_matrix()
+        labels = ds.labels()
+        model = MGAModel(graph_feature_dim=graphs[0].feature_dim,
+                         vector_dim=vectors.shape[1], extra_dim=extra.shape[1],
+                         num_classes=ds.num_configs, modalities=modalities,
+                         gnn_hidden=8, gnn_out=8, dae_hidden=16, dae_code=6,
+                         mlp_hidden=12, seed=0)
+        model.fit(graphs, vectors, extra, labels, epochs=2, dae_epochs=2)
+
+        state = model.state_dict()
+        clone = MGAModel.from_config(model.get_config())
+        assert clone.modalities == modalities
+        clone.load_state_dict(state)
+
+        reference = model.predict_proba(graphs, vectors, extra)
+        restored = clone.predict_proba(graphs, vectors, extra)
+        np.testing.assert_array_equal(reference, restored)
+
+    def test_unfitted_clone_refuses_predict(self, small_openmp_dataset):
+        ds = small_openmp_dataset
+        model = MGAModel(ds.samples[0].graph.feature_dim, 32, 5,
+                         ds.num_configs)
+        clone = MGAModel.from_config(model.get_config())
+        with pytest.raises(RuntimeError):
+            clone.predict([ds.samples[0].graph],
+                          ds.samples[0].vector[None, :], np.zeros((1, 5)))
