@@ -1,0 +1,61 @@
+"""Shared benchmark harness: wall-clock timing + machine-readable artifacts.
+
+Benchmarks that want their results tracked across PRs call
+:func:`write_bench_json`, which drops a ``BENCH_<name>.json`` file at the
+repository root with the payload plus machine/timestamp metadata.  CI runs
+the quick modes of these benchmarks so performance regressions show up in
+the trajectory, not just in anecdotes.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def time_call(fn: Callable[[], object], repeats: int = 3,
+              warmup: int = 1) -> Dict[str, Union[float, List[float]]]:
+    """Time ``fn()`` after ``warmup`` throwaway runs; returns best/mean/all."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    for _ in range(warmup):
+        fn()
+    times: List[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return {
+        "best_s": min(times),
+        "mean_s": sum(times) / len(times),
+        "times_s": times,
+    }
+
+
+def machine_info() -> Dict[str, str]:
+    return {
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+    }
+
+
+def write_bench_json(name: str, payload: Dict,
+                     directory: Optional[Path] = None) -> Path:
+    """Write ``BENCH_<name>.json`` (repo root by default); returns the path."""
+    out_dir = Path(directory) if directory is not None else REPO_ROOT
+    path = out_dir / f"BENCH_{name}.json"
+    document = {
+        "benchmark": name,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "machine": machine_info(),
+    }
+    document.update(payload)
+    path.write_text(json.dumps(document, indent=2) + "\n")
+    return path

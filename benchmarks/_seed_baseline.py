@@ -1,0 +1,500 @@
+"""Frozen snapshot of the seed training implementation, for benchmarking.
+
+This module preserves the original (pre-vectorisation) hot path verbatim so
+``bench_training_throughput`` can measure the fast path against what the
+code actually replaced, not against a reconstruction running on the new
+engine: the reallocating gradient accumulation, the recursive backward
+topological sort, the element-wise ``np.add.at`` scatters, the per-gate GRU
+matmuls with two ``concat`` copies per step, and the per-minibatch
+block-diagonal batch rebuild + frozen-modality re-encode.
+
+It is used only by benchmarks; the library itself never imports it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graphs.hetero import RELATIONS, batch_graphs
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    if grad.shape == shape:
+        return grad
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    for axis, dim in enumerate(shape):
+        if dim == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class SeedTensor:
+    """The seed's float64 tensor: reallocating grads, recursive backward."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+
+    def __init__(self, data, requires_grad: bool = False,
+                 parents: Tuple["SeedTensor", ...] = (),
+                 backward: Optional[Callable[[np.ndarray], None]] = None):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad)
+        self._backward = backward
+        self._parents = parents
+
+    @property
+    def shape(self):
+        return self.data.shape
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        grad = np.asarray(grad, dtype=np.float64)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    @staticmethod
+    def _make(data, parents, backward) -> "SeedTensor":
+        requires = any(p.requires_grad for p in parents)
+        return SeedTensor(data, requires_grad=requires, parents=parents,
+                          backward=backward if requires else None)
+
+    def __add__(self, other) -> "SeedTensor":
+        other = as_seed_tensor(other)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad, other.shape))
+
+        return SeedTensor._make(self.data + other.data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "SeedTensor":
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(-grad)
+
+        return SeedTensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other) -> "SeedTensor":
+        return self + (-as_seed_tensor(other))
+
+    def __mul__(self, other) -> "SeedTensor":
+        other = as_seed_tensor(other)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad * other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad * self.data, other.shape))
+
+        return SeedTensor._make(self.data * other.data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "SeedTensor":
+        other = as_seed_tensor(other)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad / other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(
+                    -grad * self.data / (other.data ** 2), other.shape))
+
+        return SeedTensor._make(self.data / other.data, (self, other), backward)
+
+    def matmul(self, other: "SeedTensor") -> "SeedTensor":
+        other = as_seed_tensor(other)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad @ other.data.T)
+            if other.requires_grad:
+                other._accumulate(self.data.T @ grad)
+
+        return SeedTensor._make(self.data @ other.data, (self, other), backward)
+
+    __matmul__ = matmul
+
+    def sum(self, axis=None, keepdims: bool = False) -> "SeedTensor":
+        def backward(grad):
+            if not self.requires_grad:
+                return
+            g = np.asarray(grad)
+            if axis is None:
+                self._accumulate(np.full(self.shape, float(g)))
+            else:
+                if not keepdims:
+                    g = np.expand_dims(g, axis)
+                self._accumulate(np.broadcast_to(g, self.shape).copy())
+
+        return SeedTensor._make(self.data.sum(axis=axis, keepdims=keepdims),
+                                (self,), backward)
+
+    def relu(self) -> "SeedTensor":
+        mask = (self.data > 0).astype(np.float64)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * mask)
+
+        return SeedTensor._make(self.data * mask, (self,), backward)
+
+    def sigmoid(self) -> "SeedTensor":
+        out_data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * out_data * (1.0 - out_data))
+
+        return SeedTensor._make(out_data, (self,), backward)
+
+    def tanh(self) -> "SeedTensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * (1.0 - out_data ** 2))
+
+        return SeedTensor._make(out_data, (self,), backward)
+
+    def exp(self) -> "SeedTensor":
+        out_data = np.exp(np.clip(self.data, -60.0, 60.0))
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * out_data)
+
+        return SeedTensor._make(out_data, (self,), backward)
+
+    def log(self) -> "SeedTensor":
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad / np.maximum(self.data, 1e-12))
+
+        return SeedTensor._make(np.log(np.maximum(self.data, 1e-12)), (self,),
+                                backward)
+
+    def index_select(self, index: np.ndarray) -> "SeedTensor":
+        index = np.asarray(index, dtype=np.int64)
+
+        def backward(grad):
+            if self.requires_grad:
+                acc = np.zeros_like(self.data)
+                np.add.at(acc, index, grad)
+                self._accumulate(acc)
+
+        return SeedTensor._make(self.data[index], (self,), backward)
+
+    def scatter_add(self, index: np.ndarray, num_rows: int) -> "SeedTensor":
+        index = np.asarray(index, dtype=np.int64)
+        out_data = np.zeros((num_rows,) + self.data.shape[1:], dtype=np.float64)
+        np.add.at(out_data, index, self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad[index])
+
+        return SeedTensor._make(out_data, (self,), backward)
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        if grad is None:
+            grad = np.ones_like(self.data)
+        topo: List[SeedTensor] = []
+        visited = set()
+
+        def visit(t: "SeedTensor") -> None:
+            if id(t) in visited:
+                return
+            visited.add(id(t))
+            for parent in t._parents:
+                visit(parent)
+            topo.append(t)
+
+        visit(self)
+        self._accumulate(np.asarray(grad, dtype=np.float64))
+        for tensor in reversed(topo):
+            if tensor._backward is not None and tensor.grad is not None:
+                tensor._backward(tensor.grad)
+
+
+def as_seed_tensor(value) -> SeedTensor:
+    if isinstance(value, SeedTensor):
+        return value
+    return SeedTensor(value)
+
+
+def seed_concat(tensors: Sequence[SeedTensor], axis: int = 1) -> SeedTensor:
+    tensors = [as_seed_tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad):
+        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if t.requires_grad:
+                slicer = [slice(None)] * grad.ndim
+                slicer[axis] = slice(start, stop)
+                t._accumulate(grad[tuple(slicer)])
+
+    return SeedTensor._make(data, tuple(tensors), backward)
+
+
+def seed_segment_mean(x: SeedTensor, segment_ids: np.ndarray,
+                      num_segments: int) -> SeedTensor:
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    counts = np.bincount(segment_ids, minlength=num_segments).astype(np.float64)
+    counts = np.maximum(counts, 1.0)
+    sums = x.scatter_add(segment_ids, num_segments)
+    return sums * SeedTensor(1.0 / counts[:, None])
+
+
+# ----------------------------------------------------------------------
+# seed layers / optimiser (only what the MGA training loop touches)
+# ----------------------------------------------------------------------
+def _xavier(shape, rng) -> np.ndarray:
+    limit = np.sqrt(6.0 / (shape[0] + shape[-1]))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+class SeedLinear:
+    def __init__(self, in_features: int, out_features: int,
+                 rng: np.random.Generator):
+        self.weight = SeedTensor(_xavier((in_features, out_features), rng),
+                                 requires_grad=True)
+        self.bias = SeedTensor(np.zeros(out_features), requires_grad=True)
+
+    def __call__(self, x: SeedTensor) -> SeedTensor:
+        return x @ self.weight + self.bias
+
+    def parameters(self) -> List[SeedTensor]:
+        return [self.weight, self.bias]
+
+
+class SeedGRUCell:
+    """Seed GRU: one Linear per gate, two ``concat`` copies per step."""
+
+    def __init__(self, input_dim: int, hidden_dim: int,
+                 rng: np.random.Generator):
+        self.w_z = SeedLinear(input_dim + hidden_dim, hidden_dim, rng)
+        self.w_r = SeedLinear(input_dim + hidden_dim, hidden_dim, rng)
+        self.w_h = SeedLinear(input_dim + hidden_dim, hidden_dim, rng)
+
+    def __call__(self, x: SeedTensor, h: SeedTensor) -> SeedTensor:
+        xh = seed_concat([x, h], axis=1)
+        z = self.w_z(xh).sigmoid()
+        r = self.w_r(xh).sigmoid()
+        xrh = seed_concat([x, r * h], axis=1)
+        h_tilde = self.w_h(xrh).tanh()
+        one = SeedTensor(1.0)
+        return (one - z) * h + z * h_tilde
+
+    def parameters(self) -> List[SeedTensor]:
+        return (self.w_z.parameters() + self.w_r.parameters()
+                + self.w_h.parameters())
+
+
+class SeedGGNNConv:
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator,
+                 num_steps: int = 2):
+        self.project = SeedLinear(in_dim, out_dim, rng)
+        self.message = SeedLinear(out_dim, out_dim, rng)
+        self.gru = SeedGRUCell(out_dim, out_dim, rng)
+        self.num_steps = num_steps
+
+    def __call__(self, x: SeedTensor, edge_index: np.ndarray) -> SeedTensor:
+        num_nodes = x.shape[0]
+        h = self.project(x)
+        if edge_index.size == 0:
+            return h
+        src, dst = edge_index[0], edge_index[1]
+        deg = np.maximum(np.bincount(dst, minlength=num_nodes), 1.0)
+        deg_in = SeedTensor((1.0 / deg)[:, None])
+        for _ in range(self.num_steps):
+            msgs = self.message(h).index_select(src)
+            agg = msgs.scatter_add(dst, num_nodes) * deg_in
+            h = self.gru(agg, h)
+        return h
+
+    def parameters(self) -> List[SeedTensor]:
+        return (self.project.parameters() + self.message.parameters()
+                + self.gru.parameters())
+
+
+class SeedHeteroGNNEncoder:
+    """Seed hetero encoder: one GGNN per relation per layer + mean pooling."""
+
+    def __init__(self, in_dim: int, hidden_dim: int, out_dim: int,
+                 num_layers: int, rng: np.random.Generator):
+        self.input_proj = SeedLinear(in_dim, hidden_dim, rng)
+        self.layers = [
+            {rel: SeedGGNNConv(hidden_dim, hidden_dim, rng)
+             for rel in RELATIONS}
+            for _ in range(num_layers)
+        ]
+        self.output_proj = SeedLinear(hidden_dim, out_dim, rng)
+
+    def __call__(self, batch) -> SeedTensor:
+        h = self.input_proj(SeedTensor(batch.node_features)).relu()
+        for layer in self.layers:
+            outputs = []
+            for rel in RELATIONS:
+                edges = batch.edge_index.get(rel)
+                if edges is None or edges.size == 0:
+                    continue
+                outputs.append(layer[rel](h, edges))
+            total = outputs[0]
+            for out in outputs[1:]:
+                total = total + out
+            h = (total * SeedTensor(1.0 / len(outputs))).relu()
+        pooled = seed_segment_mean(h, batch.graph_index, batch.num_graphs)
+        return self.output_proj(pooled)
+
+    def parameters(self) -> List[SeedTensor]:
+        params = self.input_proj.parameters() + self.output_proj.parameters()
+        for layer in self.layers:
+            for conv in layer.values():
+                params += conv.parameters()
+        return params
+
+
+class SeedMLPHead:
+    def __init__(self, in_dim: int, hidden: int, out_dim: int,
+                 dropout: float, rng: np.random.Generator):
+        self.fc1 = SeedLinear(in_dim, hidden, rng)
+        self.fc2 = SeedLinear(hidden, out_dim, rng)
+        self.dropout = dropout
+        self._rng = np.random.default_rng(0)
+
+    def __call__(self, x: SeedTensor) -> SeedTensor:
+        h = self.fc1(x).relu()
+        if self.dropout > 0:
+            mask = ((self._rng.random(h.shape) >= self.dropout)
+                    .astype(np.float64) / (1.0 - self.dropout))
+            h = h * SeedTensor(mask)
+        return self.fc2(h)
+
+    def parameters(self) -> List[SeedTensor]:
+        return self.fc1.parameters() + self.fc2.parameters()
+
+
+def seed_cross_entropy(logits: SeedTensor, targets: np.ndarray,
+                       class_weights) -> SeedTensor:
+    n, c = logits.shape
+    shifted = logits - SeedTensor(logits.data.max(axis=1, keepdims=True))
+    log_probs = shifted - shifted.exp().sum(axis=1, keepdims=True).log()
+    onehot = np.zeros((n, c))
+    onehot[np.arange(n), targets] = 1.0
+    if class_weights is not None:
+        onehot *= np.asarray(class_weights)[targets][:, None]
+    picked = log_probs * SeedTensor(onehot)
+    return -(picked.sum() * (1.0 / n))
+
+
+class SeedAdamW:
+    """Seed Adam: fresh zero-state allocation probed on every step."""
+
+    def __init__(self, parameters: List[SeedTensor], lr: float = 1e-2,
+                 betas=(0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 1e-3):
+        self.parameters = parameters
+        self.lr, self.eps = lr, eps
+        self.beta1, self.beta2 = betas
+        self.weight_decay = weight_decay
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+        self._t = 0
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+    def step(self) -> None:
+        self._t += 1
+        for p in self.parameters:
+            if p.grad is None:
+                continue
+            grad = p.grad
+            m = self._m.get(id(p), np.zeros_like(p.data))
+            v = self._v.get(id(p), np.zeros_like(p.data))
+            m = self.beta1 * m + (1 - self.beta1) * grad
+            v = self.beta2 * v + (1 - self.beta2) * grad ** 2
+            self._m[id(p)] = m
+            self._v[id(p)] = v
+            m_hat = m / (1 - self.beta1 ** self._t)
+            v_hat = v / (1 - self.beta2 ** self._t)
+            update = m_hat / (np.sqrt(v_hat) + self.eps)
+            update = update + self.weight_decay * p.data
+            p.data = p.data - self.lr * update
+
+
+class SeedMGATrainer:
+    """The seed ``MGAModel.fit`` epoch loop over pre-fitted frozen modalities.
+
+    Per minibatch, exactly like the seed: rebuild the block-diagonal batch,
+    re-encode the (frozen) DAE codes, re-scale the (frozen) extra features,
+    run the hetero GNN + fused head, and update with the reallocating Adam.
+    """
+
+    def __init__(self, graph_feature_dim: int, num_classes: int, dae, scaler,
+                 prepare_extra, gnn_hidden: int = 24, gnn_out: int = 24,
+                 gnn_layers: int = 2, mlp_hidden: int = 32,
+                 dropout: float = 0.05, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        self.gnn = SeedHeteroGNNEncoder(graph_feature_dim, gnn_hidden, gnn_out,
+                                        gnn_layers, rng)
+        fused_dim = gnn_out + dae.code_dim + scaler.min_.shape[0]
+        self.head = SeedMLPHead(fused_dim, mlp_hidden, num_classes, dropout, rng)
+        self.dae = dae
+        self.scaler = scaler
+        self.prepare_extra = prepare_extra
+        self.num_classes = num_classes
+        self.seed = seed
+
+    def fit(self, graphs, vectors, extra, labels, epochs: int,
+            batch_size: int = 32, lr: float = 1e-2) -> List[float]:
+        labels = np.asarray(labels, dtype=np.int64)
+        counts = np.bincount(labels, minlength=self.num_classes).astype(float)
+        weights = np.where(counts > 0,
+                           counts.sum() / np.maximum(counts, 1.0), 0.0)
+        class_weights = weights / max(weights.max(), 1e-12)
+        params = self.head.parameters() + self.gnn.parameters()
+        optimizer = SeedAdamW(params, lr=lr)
+        rng = np.random.default_rng(self.seed + 17)
+        n = len(labels)
+        history = []
+        for _ in range(epochs):
+            indices = np.arange(n)
+            rng.shuffle(indices)
+            epoch_loss, batches = 0.0, 0
+            for start in range(0, n, batch_size):
+                idx = indices[start:start + batch_size]
+                batch = batch_graphs([graphs[i] for i in idx])
+                fused = seed_concat([
+                    self.gnn(batch),
+                    SeedTensor(self.dae.encode(vectors[idx])),
+                    SeedTensor(self.scaler.transform(
+                        self.prepare_extra(extra[idx]))),
+                ], axis=1)
+                logits = self.head(fused)
+                loss = seed_cross_entropy(logits, labels[idx], class_weights)
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                epoch_loss += loss.item()
+                batches += 1
+            history.append(epoch_loss / max(1, batches))
+        return history

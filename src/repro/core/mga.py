@@ -22,9 +22,15 @@ import numpy as np
 
 from repro.dae import DenoisingAutoencoder
 from repro.gnn import GNNEncoder, HomogeneousGNNEncoder
-from repro.graphs import HeteroGraphData, batch_graphs
+from repro.graphs import (
+    BatchedHeteroGraph,
+    GraphBatchCache,
+    HeteroGraphData,
+    batch_graphs,
+)
 from repro.nn import (
     AdamW,
+    EarlyStopping,
     MinMaxScaler,
     MLP,
     Tensor,
@@ -86,8 +92,11 @@ class MGAModel(Module):
                  conv_type: str = "ggnn", hetero: bool = True,
                  dae_hidden: int = 48, dae_code: int = 16,
                  mlp_hidden: int = 32, dropout: float = 0.05,
-                 seed: int = 0):
+                 seed: int = 0, dtype: str = "float32"):
         super().__init__()
+        self._dtype = np.dtype(dtype)
+        if self._dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise ValueError("dtype must be float32 or float64")
         self._config = dict(
             graph_feature_dim=int(graph_feature_dim), vector_dim=int(vector_dim),
             extra_dim=int(extra_dim), num_classes=int(num_classes),
@@ -95,6 +104,7 @@ class MGAModel(Module):
             gnn_out=gnn_out, gnn_layers=gnn_layers, conv_type=conv_type,
             hetero=hetero, dae_hidden=dae_hidden, dae_code=dae_code,
             mlp_hidden=mlp_hidden, dropout=dropout, seed=seed,
+            dtype=self._dtype.name,
         )
         self.modalities = modalities
         self.num_classes = int(num_classes)
@@ -113,7 +123,8 @@ class MGAModel(Module):
         self.dae: Optional[DenoisingAutoencoder] = None
         if modalities.use_vector:
             self.dae = DenoisingAutoencoder(vector_dim, hidden_dim=dae_hidden,
-                                            code_dim=dae_code, seed=seed)
+                                            code_dim=dae_code, seed=seed,
+                                            dtype=self._dtype.name)
             fused_dim += dae_code
         self.extra_scaler = MinMaxScaler()
         if modalities.use_extra:
@@ -123,7 +134,15 @@ class MGAModel(Module):
         self.head = MLP(fused_dim, [mlp_hidden], num_classes, activation="relu",
                         dropout=dropout, rng=rng)
         self.fused_dim = fused_dim
+        # parameters are drawn in float64 (so float64 mode is bit-identical
+        # to the seed initialisation), then cast down for float32 training
+        self.to_dtype(self._dtype)
         self._fitted = False
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Compute dtype of the model (float32 fast path or float64)."""
+        return self._dtype
 
     # ------------------------------------------------------------------
     # persistence (see :mod:`repro.serve.artifacts` for the on-disk format)
@@ -163,17 +182,23 @@ class MGAModel(Module):
         """Counters / sizes span decades: compress with log1p before scaling."""
         return np.log1p(np.maximum(np.asarray(extra, dtype=np.float64), 0.0))
 
+    def _scaled_extra(self, extra: np.ndarray) -> np.ndarray:
+        scaled = self.extra_scaler.transform(self.prepare_extra(extra))
+        return scaled.astype(self._dtype, copy=False)
+
     def _fuse(self, graphs: Sequence[HeteroGraphData], vectors: np.ndarray,
-              extra: np.ndarray) -> Tensor:
+              extra: np.ndarray,
+              batch: Optional[BatchedHeteroGraph] = None) -> Tensor:
         parts: List[Tensor] = []
         if self.modalities.use_graph:
-            batch = batch_graphs(list(graphs))
+            if batch is None:
+                batch = batch_graphs(list(graphs))
             parts.append(self.gnn(batch))
         if self.modalities.use_vector:
-            parts.append(Tensor(self.dae.encode(vectors)))
+            codes = self.dae.encode(vectors).astype(self._dtype, copy=False)
+            parts.append(Tensor(codes))
         if self.modalities.use_extra:
-            scaled = self.extra_scaler.transform(self.prepare_extra(extra))
-            parts.append(Tensor(scaled))
+            parts.append(Tensor(self._scaled_extra(extra)))
         if len(parts) == 1:
             return parts[0]
         return concat(parts, axis=1)
@@ -183,8 +208,28 @@ class MGAModel(Module):
             extra: np.ndarray, labels: np.ndarray, epochs: int = 40,
             lr: float = 1e-2, weight_decay: float = 1e-3, batch_size: int = 32,
             dae_epochs: int = 30, class_balance: bool = True,
-            verbose: bool = False) -> Dict[str, List[float]]:
-        """Train the model; returns the loss history."""
+            verbose: bool = False, patience: Optional[int] = None,
+            cache_batches: bool = True,
+            precompute_frozen: bool = True) -> Dict[str, List[float]]:
+        """Train the model; returns the loss history.
+
+        The fast path (both flags default on) does two things the naive loop
+        does not:
+
+        * ``precompute_frozen`` — the DAE and the extra-feature scaler are
+          frozen after pre-training, so their codes / scaled features are
+          computed once for the whole training set instead of re-encoded for
+          every minibatch of every epoch.
+        * ``cache_batches`` — the minibatch partition is drawn once and only
+          the *visit order* is reshuffled per epoch, so each block-diagonal
+          graph batch (plus its sorted edge layouts) is built exactly once
+          and reused across epochs (keyed on the minibatch index tuple).
+
+        Setting both to ``False`` reproduces the seed training loop
+        (identical rng consumption), which together with ``dtype="float64"``
+        gives numerically seed-equivalent training for the figure
+        experiments.  ``patience`` enables early stopping on the epoch loss.
+        """
         labels = np.asarray(labels, dtype=np.int64)
         vectors = np.asarray(vectors, dtype=np.float64)
         extra = np.asarray(extra, dtype=np.float64)
@@ -209,13 +254,51 @@ class MGAModel(Module):
             params = params + self.gnn.parameters()
         optimizer = AdamW(params, lr=lr, weight_decay=weight_decay)
         rng = np.random.default_rng(self.seed + 17)
-        history: Dict[str, List[float]] = {"loss": []}
         graphs = list(graphs)
+
+        # frozen modalities: encode / scale the whole training set once
+        codes = scaled_extra = None
+        if precompute_frozen:
+            if self.modalities.use_vector:
+                codes = self.dae.encode(vectors).astype(self._dtype,
+                                                        copy=False)
+            if self.modalities.use_extra:
+                scaled_extra = self._scaled_extra(extra)
+
+        batch_cache = (GraphBatchCache(graphs)
+                       if cache_batches and self.modalities.use_graph else None)
+        fixed_batches: Optional[List[np.ndarray]] = None
+        if cache_batches:
+            fixed_batches = list(iterate_minibatches(n, batch_size, rng=rng))
+
+        stopper = (EarlyStopping(patience=patience)
+                   if patience is not None else None)
+        history: Dict[str, List[float]] = {"loss": []}
         for epoch in range(epochs):
+            if fixed_batches is not None:
+                epoch_batches = [fixed_batches[j]
+                                 for j in rng.permutation(len(fixed_batches))]
+            else:
+                epoch_batches = iterate_minibatches(n, batch_size, rng=rng)
             epoch_loss, batches = 0.0, 0
-            for idx in iterate_minibatches(n, batch_size, rng=rng):
-                fused = self._fuse([graphs[i] for i in idx], vectors[idx],
-                                   extra[idx])
+            for idx in epoch_batches:
+                parts: List[Tensor] = []
+                if self.modalities.use_graph:
+                    batch = (batch_cache.get(idx) if batch_cache is not None
+                             else batch_graphs([graphs[i] for i in idx]))
+                    parts.append(self.gnn(batch))
+                if self.modalities.use_vector:
+                    if codes is not None:
+                        parts.append(Tensor(codes[idx]))
+                    else:
+                        parts.append(Tensor(
+                            self.dae.encode(vectors[idx]).astype(
+                                self._dtype, copy=False)))
+                if self.modalities.use_extra:
+                    parts.append(Tensor(scaled_extra[idx]
+                                        if scaled_extra is not None
+                                        else self._scaled_extra(extra[idx])))
+                fused = parts[0] if len(parts) == 1 else concat(parts, axis=1)
                 logits = self.head(fused)
                 loss = cross_entropy(logits, labels[idx],
                                      class_weights=class_weights)
@@ -228,23 +311,40 @@ class MGAModel(Module):
             if verbose:
                 print(f"epoch {epoch + 1}/{epochs}: loss="
                       f"{history['loss'][-1]:.4f}")
+            if stopper is not None and stopper.step(history["loss"][-1]):
+                break
         self._fitted = True
         return history
 
     # ------------------------------------------------------------------
-    def predict_proba(self, graphs: Sequence[HeteroGraphData],
-                      vectors: np.ndarray, extra: np.ndarray) -> np.ndarray:
+    def predict_logits(self, graphs: Sequence[HeteroGraphData],
+                       vectors: np.ndarray, extra: np.ndarray,
+                       batch: Optional[BatchedHeteroGraph] = None) -> np.ndarray:
+        """Raw classifier logits in eval mode (float64).
+
+        ``batch`` optionally supplies an already block-diagonal
+        :class:`BatchedHeteroGraph` for ``graphs`` (the serving engine caches
+        these), skipping the per-call batch construction.
+        """
         if not self._fitted:
             raise RuntimeError("MGAModel.predict called before fit")
         self.eval()
         fused = self._fuse(list(graphs), np.asarray(vectors, dtype=np.float64),
-                           np.asarray(extra, dtype=np.float64))
+                           np.asarray(extra, dtype=np.float64), batch=batch)
         logits = self.head(fused).data
+        self.train()
+        return logits.astype(np.float64, copy=False)
+
+    def predict_proba(self, graphs: Sequence[HeteroGraphData],
+                      vectors: np.ndarray, extra: np.ndarray,
+                      batch: Optional[BatchedHeteroGraph] = None) -> np.ndarray:
+        logits = self.predict_logits(graphs, vectors, extra, batch=batch)
         logits = logits - logits.max(axis=1, keepdims=True)
         exp = np.exp(logits)
-        self.train()
         return exp / exp.sum(axis=1, keepdims=True)
 
     def predict(self, graphs: Sequence[HeteroGraphData], vectors: np.ndarray,
-                extra: np.ndarray) -> np.ndarray:
-        return self.predict_proba(graphs, vectors, extra).argmax(axis=1)
+                extra: np.ndarray,
+                batch: Optional[BatchedHeteroGraph] = None) -> np.ndarray:
+        return self.predict_proba(graphs, vectors, extra,
+                                  batch=batch).argmax(axis=1)

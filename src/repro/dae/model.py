@@ -24,7 +24,8 @@ class DenoisingAutoencoder(Module):
     """
 
     def __init__(self, in_dim: int, hidden_dim: int = 48, code_dim: int = 24,
-                 swap_rate: float = 0.10, seed: int = 0):
+                 swap_rate: float = 0.10, seed: int = 0,
+                 dtype: str = "float32"):
         super().__init__()
         if in_dim < 1:
             raise ValueError("in_dim must be positive")
@@ -33,11 +34,13 @@ class DenoisingAutoencoder(Module):
         self.code_dim = code_dim
         self.swap_rate = float(swap_rate)
         self._rng = rng
+        self._dtype = np.dtype(dtype)
         self.scaler = GaussRankScaler()
         self.encoder = Sequential(Linear(in_dim, hidden_dim, rng=rng), Sigmoid(),
                                   Linear(hidden_dim, code_dim, rng=rng), Sigmoid())
         self.decoder = Sequential(Linear(code_dim, hidden_dim, rng=rng), Sigmoid(),
                                   Linear(hidden_dim, in_dim, rng=rng))
+        self.to_dtype(self._dtype)
         self._fitted = False
 
     # ------------------------------------------------------------------
@@ -66,7 +69,8 @@ class DenoisingAutoencoder(Module):
         vectors = np.asarray(vectors, dtype=np.float64)
         if vectors.ndim != 2 or vectors.shape[1] != self.in_dim:
             raise ValueError(f"expected [n, {self.in_dim}] training matrix")
-        scaled = self.scaler.fit_transform(vectors)
+        scaled = self.scaler.fit_transform(vectors).astype(self._dtype,
+                                                           copy=False)
         optimizer = AdamW(self.parameters(), lr=lr, weight_decay=weight_decay)
         losses: List[float] = []
         for _ in range(epochs):
@@ -76,7 +80,8 @@ class DenoisingAutoencoder(Module):
                                                  rng=self._rng):
                 clean = scaled[batch_idx]
                 noisy = swap_noise(clean, self.swap_rate, self._rng)
-                recon = self.forward(Tensor(noisy))
+                recon = self.forward(Tensor(noisy.astype(self._dtype,
+                                                         copy=False)))
                 loss = mse_loss(recon, clean)
                 optimizer.zero_grad()
                 loss.backward()
@@ -92,16 +97,18 @@ class DenoisingAutoencoder(Module):
         """Compressed representation of (possibly unseen) code vectors."""
         if not self._fitted:
             raise RuntimeError("DenoisingAutoencoder.encode called before fit")
-        scaled = self.scaler.transform(np.asarray(vectors, dtype=np.float64))
-        return self.encoder(Tensor(scaled)).data
+        return self.encoder(Tensor(self._scaled(vectors))).data
 
     def encode_tensor(self, vectors: np.ndarray) -> Tensor:
         """Differentiable encoding (used when fine-tuning end-to-end)."""
-        scaled = self.scaler.transform(np.asarray(vectors, dtype=np.float64))
-        return self.encoder(Tensor(scaled))
+        return self.encoder(Tensor(self._scaled(vectors)))
 
     def reconstruction_error(self, vectors: np.ndarray) -> float:
         """Mean squared reconstruction error on clean inputs."""
-        scaled = self.scaler.transform(np.asarray(vectors, dtype=np.float64))
+        scaled = self._scaled(vectors)
         recon = self.forward(Tensor(scaled))
         return float(np.mean((recon.data - scaled) ** 2))
+
+    def _scaled(self, vectors: np.ndarray) -> np.ndarray:
+        scaled = self.scaler.transform(np.asarray(vectors, dtype=np.float64))
+        return scaled.astype(self._dtype, copy=False)

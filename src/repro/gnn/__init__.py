@@ -7,13 +7,22 @@ and mean-aggregates the per-relation outputs, and global pooling to obtain a
 graph-level embedding.
 """
 
-from repro.gnn.conv import GATConv, GCNConv, GGNNConv, GRUCell, SAGEConv, make_conv
+from repro.gnn.conv import (
+    FusedGRUCell,
+    GATConv,
+    GCNConv,
+    GGNNConv,
+    GRUCell,
+    SAGEConv,
+    make_conv,
+)
 from repro.gnn.hetero import HeteroConv
 from repro.gnn.pool import global_mean_pool, global_sum_pool
 from repro.gnn.encoder import GNNEncoder, HomogeneousGNNEncoder
 
 __all__ = [
     "GRUCell",
+    "FusedGRUCell",
     "GCNConv",
     "SAGEConv",
     "GATConv",

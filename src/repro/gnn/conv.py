@@ -2,19 +2,30 @@
 
 All layers share the interface ``forward(x, edge_index) -> Tensor`` where
 ``x`` is the ``[num_nodes, in_dim]`` node-feature tensor and ``edge_index``
-is a ``[2, num_edges]`` integer array of (source, destination) pairs for one
-relation.
+is either a ``[2, num_edges]`` integer array of (source, destination) pairs
+for one relation or a precomputed
+:class:`~repro.graphs.hetero.EdgeLayout`.  Passing a layout (what the
+batched training path does) lets every gather/scatter reuse the sorted
+CSR-style edge order instead of re-deriving it per call.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
+from repro.graphs.hetero import EdgeLayout
 from repro.nn import init
-from repro.nn.autograd import Tensor, concat
+from repro.nn.autograd import (
+    Tensor,
+    concat,
+    fast_segment_ops_enabled,
+    _segment_sum_data,
+)
 from repro.nn.layers import Linear, Module
+
+EdgeIndexLike = Union[np.ndarray, EdgeLayout]
 
 
 def _degrees(index: np.ndarray, num_nodes: int) -> np.ndarray:
@@ -22,8 +33,23 @@ def _degrees(index: np.ndarray, num_nodes: int) -> np.ndarray:
     return np.maximum(deg, 1.0)
 
 
+def _as_layout(edge_index: EdgeIndexLike, num_nodes: int) -> EdgeLayout:
+    """Wrap a raw edge-index array into an (ephemeral) :class:`EdgeLayout`."""
+    if isinstance(edge_index, EdgeLayout):
+        return edge_index
+    edge_index = np.asarray(edge_index, dtype=np.int64)
+    if edge_index.size == 0:
+        edge_index = edge_index.reshape(2, 0)
+    return EdgeLayout(edge_index, num_nodes)
+
+
 class GRUCell(Module):
-    """Gated recurrent unit cell (used by the gated graph convolution)."""
+    """Reference gated recurrent unit cell (one Linear per gate).
+
+    Kept as the numerical reference for :class:`FusedGRUCell`; the GGNN
+    convolution uses the fused variant, which computes the same function with
+    one third of the (bigger) matmuls and no per-step ``concat`` copies.
+    """
 
     def __init__(self, input_dim: int, hidden_dim: int,
                  rng: Optional[np.random.Generator] = None):
@@ -39,8 +65,149 @@ class GRUCell(Module):
         r = self.w_r(xh).sigmoid()
         xrh = concat([x, r * h], axis=1)
         h_tilde = self.w_h(xrh).tanh()
-        one = Tensor(1.0)
-        return (one - z) * h + z * h_tilde
+        return (1.0 - z) * h + z * h_tilde
+
+    def fused(self) -> "FusedGRUCell":
+        """A :class:`FusedGRUCell` computing the identical function."""
+        fused = FusedGRUCell.__new__(FusedGRUCell)
+        Module.__init__(fused)
+        fused._assemble(self.w_z.in_features - self.w_z.out_features,
+                        self.w_z.out_features,
+                        self.w_z.weight.data, self.w_r.weight.data,
+                        self.w_h.weight.data,
+                        self.w_z.bias.data, self.w_r.bias.data,
+                        self.w_h.bias.data)
+        return fused
+
+
+class FusedGRUCell(Module):
+    """GRU cell with the three gate matmuls fused.
+
+    The update/reset/candidate gates of the textbook cell all multiply the
+    same ``x`` (and ``h``), so their weight matrices are stored column-wise
+    concatenated and applied in single wide matmuls::
+
+        gx = x @ [Wz_x | Wr_x | Wh_x] + [bz | br | bh]     # one [n, 3h] matmul
+        gh = h @ [Wz_h | Wr_h]                             # one [n, 2h] matmul
+        z, r = sigmoid(gx[:, :2h] + gh)                    # split columns
+        h~ = tanh(gx[:, 2h:] + (r * h) @ Wh_h)
+        h' = (1 - z) * h + z * h~
+
+    Initialisation draws the *same* three Xavier matrices, in the same rng
+    order, as the unfused :class:`GRUCell`, so a fused cell is numerically
+    interchangeable with the reference one (up to matmul-split rounding).
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        w_z = init.xavier_uniform((input_dim + hidden_dim, hidden_dim), rng)
+        w_r = init.xavier_uniform((input_dim + hidden_dim, hidden_dim), rng)
+        w_h = init.xavier_uniform((input_dim + hidden_dim, hidden_dim), rng)
+        zeros = np.zeros(hidden_dim)
+        self._assemble(input_dim, hidden_dim, w_z, w_r, w_h,
+                       zeros, zeros, zeros)
+
+    def _assemble(self, input_dim: int, hidden_dim: int,
+                  w_z: np.ndarray, w_r: np.ndarray, w_h: np.ndarray,
+                  b_z: np.ndarray, b_r: np.ndarray, b_h: np.ndarray) -> None:
+        i, h = int(input_dim), int(hidden_dim)
+        dtype = np.asarray(w_z).dtype
+        self.input_dim = i
+        self.hidden_dim = h
+        self.w_x = Tensor(np.concatenate([w_z[:i], w_r[:i], w_h[:i]], axis=1),
+                          requires_grad=True, name="w_x")
+        self.w_h_zr = Tensor(np.concatenate([w_z[i:], w_r[i:]], axis=1),
+                             requires_grad=True, name="w_h_zr")
+        self.w_h_h = Tensor(np.ascontiguousarray(w_h[i:]),
+                            requires_grad=True, name="w_h_h")
+        self.bias = Tensor(np.concatenate([b_z, b_r, b_h]).astype(dtype,
+                                                                  copy=False),
+                           requires_grad=True, name="bias")
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        """One GRU update as a single fused graph node.
+
+        The whole cell (two wide matmuls, gate sigmoids, candidate tanh,
+        convex update) runs in plain numpy with a hand-derived backward
+        closure, so a cell step costs one autograd node instead of ~14.
+        """
+        nh = self.hidden_dim
+        w_x, w_h_zr, w_h_h, bias = self.w_x, self.w_h_zr, self.w_h_h, self.bias
+        x_data, h_data = x.data, h.data
+        gx = x_data @ w_x.data
+        gx += bias.data                                     # [n, 3h]
+        gh = h_data @ w_h_zr.data                           # [n, 2h]
+        pre = gx[:, :2 * nh] + gh
+        s = 1.0 / (1.0 + np.exp(-np.clip(pre, -60.0, 60.0)))
+        z, r = s[:, :nh], s[:, nh:]
+        c = r * h_data                                      # reset-gated state
+        t = np.tanh(gx[:, 2 * nh:] + c @ w_h_h.data)        # candidate
+        one_minus_z = 1.0 - z
+        out = one_minus_z * h_data + z * t
+
+        def backward(grad: np.ndarray) -> None:
+            dt = grad * z
+            dm = dt * (1.0 - t * t)                         # pre-tanh grad
+            dc = dm @ w_h_h.data.T
+            ds = np.empty_like(s)                           # [n, 2h]
+            ds[:, :nh] = grad * (t - h_data)                # dL/dz
+            ds[:, nh:] = dc * h_data                        # dL/dr
+            dpre = ds * s * (1.0 - s)                       # pre-sigmoid grad
+            dgx = np.concatenate([dpre, dm], axis=1)        # [n, 3h]
+            if x.requires_grad:
+                x._accumulate_owned(dgx @ w_x.data.T)
+            if h.requires_grad:
+                dh = grad * one_minus_z
+                dh += dc * r
+                dh += dpre @ w_h_zr.data.T
+                h._accumulate_owned(dh)
+            if w_x.requires_grad:
+                w_x._accumulate_owned(x_data.T @ dgx)
+            if w_h_zr.requires_grad:
+                w_h_zr._accumulate_owned(h_data.T @ dpre)
+            if w_h_h.requires_grad:
+                w_h_h._accumulate_owned(c.T @ dm)
+            if bias.requires_grad:
+                bias._accumulate_owned(dgx.sum(axis=0))
+
+        return Tensor._make(out, (x, h, w_x, w_h_zr, w_h_h, bias), backward)
+
+
+def _mean_aggregator(layout: EdgeLayout, dtype):
+    """Fused mean-aggregation op over edges pre-sorted by destination.
+
+    Forward gathers the per-edge messages directly in destination order,
+    reduces each contiguous run with one ``np.add.reduceat`` and scales by
+    the reciprocal in-degree — one autograd node for what is otherwise a
+    gather node, a scatter node and a broadcast multiply.  All index arrays
+    are loop invariants of the layout, so the returned closure is hoisted
+    out of the GGNN ``num_steps`` unrolling.
+    """
+    src_sorted, dst_sorted, src_sorted_layout = layout.by_dst
+    dst_layout = layout.dst_layout
+    starts, segments = dst_layout.starts, dst_layout.segments
+    num_nodes = layout.num_nodes
+    inv_deg = layout.inv_in_deg_as(dtype)                    # [n, 1]
+
+    def aggregate(msg: Tensor) -> Tensor:
+        gathered = msg.data[src_sorted]                      # [E, dim]
+        sums = np.zeros((num_nodes,) + gathered.shape[1:],
+                        dtype=gathered.dtype)
+        if starts.size:
+            sums[segments] = np.add.reduceat(gathered, starts, axis=0)
+        out = sums * inv_deg
+
+        def backward(grad: np.ndarray) -> None:
+            if msg.requires_grad:
+                per_edge = (grad * inv_deg)[dst_sorted]      # [E, dim]
+                msg._accumulate_owned(_segment_sum_data(
+                    per_edge, src_sorted, num_nodes, src_sorted_layout))
+
+        return Tensor._make(out, (msg,), backward)
+
+    return aggregate
 
 
 class GCNConv(Module):
@@ -51,20 +218,19 @@ class GCNConv(Module):
         super().__init__()
         self.linear = Linear(in_dim, out_dim, rng=rng)
 
-    def forward(self, x: Tensor, edge_index: np.ndarray) -> Tensor:
+    def forward(self, x: Tensor, edge_index: EdgeIndexLike) -> Tensor:
         num_nodes = x.shape[0]
         h = self.linear(x)
-        if edge_index.size == 0:
+        layout = _as_layout(edge_index, num_nodes)
+        if layout.num_edges == 0:
             return h
-        src, dst = edge_index[0], edge_index[1]
-        deg_out = _degrees(src, num_nodes)
-        deg_in = _degrees(dst, num_nodes)
-        norm = 1.0 / np.sqrt(deg_out[src] * deg_in[dst])
-        messages = h.index_select(src) * Tensor(norm[:, None])
-        aggregated = messages.scatter_add(dst, num_nodes)
+        edge_norm, self_norm = layout.gcn_norm_as(h.data.dtype)
+        messages = (h.index_select(layout.src, layout=layout.src_layout)
+                    * Tensor(edge_norm))
+        aggregated = messages.scatter_add(layout.dst, num_nodes,
+                                          layout=layout.dst_layout)
         # self connection with its own normalisation
-        self_norm = Tensor((1.0 / deg_in)[:, None])
-        return aggregated + h * self_norm
+        return aggregated + h * Tensor(self_norm)
 
 
 class SAGEConv(Module):
@@ -76,14 +242,15 @@ class SAGEConv(Module):
         self.linear_self = Linear(in_dim, out_dim, rng=rng)
         self.linear_neigh = Linear(in_dim, out_dim, rng=rng)
 
-    def forward(self, x: Tensor, edge_index: np.ndarray) -> Tensor:
+    def forward(self, x: Tensor, edge_index: EdgeIndexLike) -> Tensor:
         num_nodes = x.shape[0]
-        if edge_index.size == 0:
+        layout = _as_layout(edge_index, num_nodes)
+        if layout.num_edges == 0:
             return self.linear_self(x)
-        src, dst = edge_index[0], edge_index[1]
-        deg_in = _degrees(dst, num_nodes)
-        neigh_sum = x.index_select(src).scatter_add(dst, num_nodes)
-        neigh_mean = neigh_sum * Tensor((1.0 / deg_in)[:, None])
+        neigh_sum = (x.index_select(layout.src, layout=layout.src_layout)
+                     .scatter_add(layout.dst, num_nodes,
+                                  layout=layout.dst_layout))
+        neigh_mean = neigh_sum * Tensor(layout.inv_in_deg_as(x.data.dtype))
         return self.linear_self(x) + self.linear_neigh(neigh_mean)
 
 
@@ -101,22 +268,27 @@ class GATConv(Module):
                               requires_grad=True, name="att_dst")
         self.leaky_slope = leaky_slope
 
-    def forward(self, x: Tensor, edge_index: np.ndarray) -> Tensor:
+    def forward(self, x: Tensor, edge_index: EdgeIndexLike) -> Tensor:
         num_nodes = x.shape[0]
         h = self.linear(x)
-        if edge_index.size == 0:
+        layout = _as_layout(edge_index, num_nodes)
+        if layout.num_edges == 0:
             return h
-        src, dst = edge_index[0], edge_index[1]
+        src_layout, dst_layout = layout.src_layout, layout.dst_layout
         alpha_src = (h @ self.att_src)        # [n, 1]
         alpha_dst = (h @ self.att_dst)
-        e = (alpha_src.index_select(src)
-             + alpha_dst.index_select(dst)).leaky_relu(self.leaky_slope)
+        e = (alpha_src.index_select(layout.src, layout=src_layout)
+             + alpha_dst.index_select(layout.dst, layout=dst_layout)
+             ).leaky_relu(self.leaky_slope)
         # softmax over incoming edges of each destination node
-        e_exp = (e - Tensor(float(e.data.max()))).exp()
-        denom = e_exp.scatter_add(dst, num_nodes)          # [n, 1]
-        att = e_exp / (denom.index_select(dst) + 1e-12)
-        messages = h.index_select(src) * att
-        aggregated = messages.scatter_add(dst, num_nodes)
+        e_exp = (e - float(e.data.max())).exp()
+        denom = e_exp.scatter_add(layout.dst, num_nodes,
+                                  layout=dst_layout)          # [n, 1]
+        att = e_exp / (denom.index_select(layout.dst, layout=dst_layout)
+                       + 1e-12)
+        messages = h.index_select(layout.src, layout=src_layout) * att
+        aggregated = messages.scatter_add(layout.dst, num_nodes,
+                                          layout=dst_layout)
         return aggregated + h
 
 
@@ -126,7 +298,9 @@ class GGNNConv(Module):
 
     This is the per-relation convolution the paper selects for the
     heterogeneous GNN ("each homogeneous sub-network ... is a Gated Graph
-    Convolutional Network with a mean aggregation scheme").
+    Convolutional Network with a mean aggregation scheme").  The degree
+    normalisation and the sorted edge layout are loop invariant, so both are
+    hoisted out of the ``num_steps`` unrolling.
     """
 
     def __init__(self, in_dim: int, out_dim: int, num_steps: int = 2,
@@ -135,19 +309,26 @@ class GGNNConv(Module):
         rng = rng or np.random.default_rng(0)
         self.project = Linear(in_dim, out_dim, rng=rng)
         self.message = Linear(out_dim, out_dim, rng=rng)
-        self.gru = GRUCell(out_dim, out_dim, rng=rng)
+        self.gru = FusedGRUCell(out_dim, out_dim, rng=rng)
         self.num_steps = int(num_steps)
 
-    def forward(self, x: Tensor, edge_index: np.ndarray) -> Tensor:
+    def forward(self, x: Tensor, edge_index: EdgeIndexLike) -> Tensor:
         num_nodes = x.shape[0]
         h = self.project(x)
-        if edge_index.size == 0:
+        layout = _as_layout(edge_index, num_nodes)
+        if layout.num_edges == 0:
             return h
-        src, dst = edge_index[0], edge_index[1]
-        deg_in = Tensor((1.0 / _degrees(dst, num_nodes))[:, None])
+        if fast_segment_ops_enabled():
+            aggregate = _mean_aggregator(layout, h.data.dtype)
+            for _ in range(self.num_steps):
+                h = self.gru(aggregate(self.message(h)), h)
+            return h
+        # reference path: gather in edge order, np.add.at scatter (seed math)
+        src, dst = layout.src, layout.dst
+        deg_in = Tensor(layout.inv_in_deg_as(h.data.dtype))
         for _ in range(self.num_steps):
             msgs = self.message(h).index_select(src)
-            agg = msgs.scatter_add(dst, num_nodes) * deg_in   # mean aggregation
+            agg = msgs.scatter_add(dst, num_nodes) * deg_in  # mean aggregation
             h = self.gru(agg, h)
         return h
 

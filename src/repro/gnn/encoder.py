@@ -38,10 +38,15 @@ class GNNEncoder(Module):
 
     # ------------------------------------------------------------------
     def forward(self, batch: BatchedHeteroGraph) -> Tensor:
-        h = self.input_proj(Tensor(batch.node_features)).relu()
+        # the sorted edge layouts and the pooling layout are batch
+        # invariants: built once per batch, shared by every layer and step
+        layouts = batch.relation_layouts()
+        features = batch.features_as(self.input_proj.weight.data.dtype)
+        h = self.input_proj(Tensor(features)).relu()
         for layer in self.layers:
-            h = layer(h, batch.edge_index).relu()
-        pooled = global_mean_pool(h, batch.graph_index, batch.num_graphs)
+            h = layer(h, layouts).relu()
+        pooled = global_mean_pool(h, batch.graph_index, batch.num_graphs,
+                                  layout=batch.pool_layout())
         return self.output_proj(pooled)
 
     def encode_graphs(self, graphs) -> Tensor:
@@ -70,12 +75,11 @@ class HomogeneousGNNEncoder(Module):
         self.out_dim = out_dim
 
     def forward(self, batch: BatchedHeteroGraph) -> Tensor:
-        merged = np.concatenate([e for e in batch.edge_index.values() if e.size],
-                                axis=1) if any(e.size for e in
-                                               batch.edge_index.values()) \
-            else np.zeros((2, 0), dtype=np.int64)
-        h = self.input_proj(Tensor(batch.node_features)).relu()
+        merged = batch.merged_layout()
+        features = batch.features_as(self.input_proj.weight.data.dtype)
+        h = self.input_proj(Tensor(features)).relu()
         for layer in self.layers:
             h = layer(h, merged).relu()
-        pooled = global_mean_pool(h, batch.graph_index, batch.num_graphs)
+        pooled = global_mean_pool(h, batch.graph_index, batch.num_graphs,
+                                  layout=batch.pool_layout())
         return self.output_proj(pooled)

@@ -7,7 +7,7 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from repro.gnn.conv import make_conv
-from repro.graphs.hetero import RELATIONS
+from repro.graphs.hetero import EdgeLayout, RELATIONS
 from repro.nn.autograd import Tensor
 from repro.nn.layers import Module
 
@@ -37,10 +37,15 @@ class HeteroConv(Module):
         }
 
     def forward(self, x: Tensor, edge_index: Dict[str, np.ndarray]) -> Tensor:
+        """``edge_index`` maps each relation to a ``[2, E]`` array or a
+        precomputed :class:`~repro.graphs.hetero.EdgeLayout`."""
         outputs = []
         for rel in self.relations:
             edges = edge_index.get(rel)
-            if edges is None or edges.size == 0:
+            if edges is None:
+                continue
+            if (edges.num_edges if isinstance(edges, EdgeLayout)
+                    else edges.size) == 0:
                 continue
             outputs.append(self.convs[rel](x, edges))
         if not outputs:

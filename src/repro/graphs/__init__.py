@@ -18,6 +18,8 @@ from repro.graphs.programl import (
 from repro.graphs.vocab import GraphVocabulary
 from repro.graphs.hetero import (
     BatchedHeteroGraph,
+    EdgeLayout,
+    GraphBatchCache,
     HeteroGraphData,
     RELATIONS,
     batch_graphs,
@@ -33,6 +35,8 @@ __all__ = [
     "GraphVocabulary",
     "HeteroGraphData",
     "BatchedHeteroGraph",
+    "EdgeLayout",
+    "GraphBatchCache",
     "RELATIONS",
     "to_hetero_graph",
     "batch_graphs",

@@ -10,12 +10,13 @@ batch used during training (with a ``graph_index`` vector for pooling).
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.graphs.programl import EdgeFlow, ProGraMLGraph
 from repro.graphs.vocab import GraphVocabulary
+from repro.nn.autograd import SegmentLayout
 
 #: Relation names, in canonical order.
 RELATIONS = (EdgeFlow.CONTROL.value, EdgeFlow.DATA.value, EdgeFlow.CALL.value)
@@ -71,6 +72,108 @@ def to_hetero_graph(graph: ProGraMLGraph,
     return data
 
 
+class EdgeLayout:
+    """CSR-style sorted layout of one relation's edges over a node set.
+
+    Wraps a ``[2, num_edges]`` edge-index array together with lazily computed
+    :class:`~repro.nn.autograd.SegmentLayout` sort orders for the source and
+    destination columns, plus the degree normalisations the convolutions
+    need.  Everything here is loop invariant for a fixed graph/batch, so it
+    is computed at most once and reused across every message-passing step of
+    every epoch.
+    """
+
+    __slots__ = ("src", "dst", "num_nodes", "_src_layout", "_dst_layout",
+                 "_inv_in_deg", "_gcn_norm", "_by_dst", "_cast")
+
+    def __init__(self, edge_index: np.ndarray, num_nodes: int):
+        edge_index = np.asarray(edge_index, dtype=np.int64)
+        self.src = edge_index[0]
+        self.dst = edge_index[1]
+        self.num_nodes = int(num_nodes)
+        self._src_layout: Optional[SegmentLayout] = None
+        self._dst_layout: Optional[SegmentLayout] = None
+        self._inv_in_deg: Optional[np.ndarray] = None
+        self._gcn_norm: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._by_dst: Optional[Tuple[np.ndarray, np.ndarray, SegmentLayout]] = None
+        self._cast: Dict[str, np.ndarray] = {}
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.src.size)
+
+    @property
+    def src_layout(self) -> SegmentLayout:
+        """Sorted-segment layout over source ids (gather backward)."""
+        if self._src_layout is None:
+            self._src_layout = SegmentLayout(self.src, self.num_nodes)
+        return self._src_layout
+
+    @property
+    def dst_layout(self) -> SegmentLayout:
+        """Sorted-segment layout over destination ids (scatter forward)."""
+        if self._dst_layout is None:
+            self._dst_layout = SegmentLayout(self.dst, self.num_nodes)
+        return self._dst_layout
+
+    @property
+    def inv_in_deg(self) -> np.ndarray:
+        """``[num_nodes, 1]`` reciprocal in-degree (>= 1), float64."""
+        if self._inv_in_deg is None:
+            deg = np.maximum(self.dst_layout.counts, 1.0)
+            self._inv_in_deg = (1.0 / deg)[:, None]
+        return self._inv_in_deg
+
+    @property
+    def by_dst(self) -> Tuple[np.ndarray, np.ndarray, SegmentLayout]:
+        """Edges re-sorted by destination: ``(src, dst, src_layout)``.
+
+        With edges pre-sorted by destination, a scatter-style mean
+        aggregation can ``np.add.reduceat`` straight over the gathered
+        messages — no per-operation re-sort gather.  The returned
+        ``src_layout`` is the sorted-``src`` segment layout the backward
+        pass scatters through.
+        """
+        if self._by_dst is None:
+            order = self.dst_layout.order
+            src = self.src[order]
+            dst = self.dst[order]
+            self._by_dst = (src, dst, SegmentLayout(src, self.num_nodes))
+        return self._by_dst
+
+    def inv_in_deg_as(self, dtype) -> np.ndarray:
+        """:attr:`inv_in_deg` cast to ``dtype``, memoised."""
+        dtype = np.dtype(dtype)
+        key = f"inv_in_deg:{dtype.str}"
+        cached = self._cast.get(key)
+        if cached is None:
+            cached = self.inv_in_deg.astype(dtype, copy=False)
+            self._cast[key] = cached
+        return cached
+
+    def gcn_norm_as(self, dtype) -> Tuple[np.ndarray, np.ndarray]:
+        """:attr:`gcn_norm` cast to ``dtype``, memoised."""
+        dtype = np.dtype(dtype)
+        key = f"gcn_norm:{dtype.str}"
+        cached = self._cast.get(key)
+        if cached is None:
+            edge_norm, self_norm = self.gcn_norm
+            cached = (edge_norm.astype(dtype, copy=False),
+                      self_norm.astype(dtype, copy=False))
+            self._cast[key] = cached
+        return cached
+
+    @property
+    def gcn_norm(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-edge symmetric norm ``[E, 1]`` and per-node self norm ``[n, 1]``."""
+        if self._gcn_norm is None:
+            deg_out = np.maximum(self.src_layout.counts, 1.0).astype(np.float64)
+            deg_in = np.maximum(self.dst_layout.counts, 1.0).astype(np.float64)
+            edge_norm = 1.0 / np.sqrt(deg_out[self.src] * deg_in[self.dst])
+            self._gcn_norm = (edge_norm[:, None], (1.0 / deg_in)[:, None])
+        return self._gcn_norm
+
+
 @dataclasses.dataclass
 class BatchedHeteroGraph:
     """Block-diagonal batch of several :class:`HeteroGraphData`."""
@@ -80,10 +183,53 @@ class BatchedHeteroGraph:
     edge_index: Dict[str, np.ndarray]         # relation -> [2, total_edges]
     graph_index: np.ndarray                   # [total_nodes] graph id per node
     num_graphs: int
+    # lazily built, memoised per batch (see relation_layouts / pool_layout)
+    _cache: Dict[str, object] = dataclasses.field(
+        default_factory=dict, repr=False, compare=False)
 
     @property
     def num_nodes(self) -> int:
         return int(self.node_features.shape[0])
+
+    def relation_layouts(self) -> Dict[str, EdgeLayout]:
+        """Per-relation :class:`EdgeLayout`, built once per batch."""
+        layouts = self._cache.get("relations")
+        if layouts is None:
+            layouts = {rel: EdgeLayout(edges, self.num_nodes)
+                       for rel, edges in self.edge_index.items()}
+            self._cache["relations"] = layouts
+        return layouts
+
+    def merged_layout(self) -> EdgeLayout:
+        """All relations flattened into one :class:`EdgeLayout`."""
+        layout = self._cache.get("merged")
+        if layout is None:
+            parts = [e for e in self.edge_index.values() if e.size]
+            merged = (np.concatenate(parts, axis=1) if parts
+                      else np.zeros((2, 0), dtype=np.int64))
+            layout = EdgeLayout(merged, self.num_nodes)
+            self._cache["merged"] = layout
+        return layout
+
+    def pool_layout(self) -> SegmentLayout:
+        """Sorted-segment layout of ``graph_index`` for global pooling."""
+        layout = self._cache.get("pool")
+        if layout is None:
+            layout = SegmentLayout(self.graph_index, self.num_graphs)
+            self._cache["pool"] = layout
+        return layout
+
+    def features_as(self, dtype) -> np.ndarray:
+        """Node features cast to ``dtype``, memoised per batch."""
+        dtype = np.dtype(dtype)
+        if self.node_features.dtype == dtype:
+            return self.node_features
+        key = ("features", dtype.str)
+        cast = self._cache.get(key)
+        if cast is None:
+            cast = self.node_features.astype(dtype)
+            self._cache[key] = cast
+        return cast
 
 
 def batch_graphs(graphs: Sequence[HeteroGraphData]) -> BatchedHeteroGraph:
@@ -122,3 +268,33 @@ def batch_graphs(graphs: Sequence[HeteroGraphData]) -> BatchedHeteroGraph:
         graph_index=np.concatenate(graph_index, axis=0),
         num_graphs=len(graphs),
     )
+
+
+class GraphBatchCache:
+    """Memoised :func:`batch_graphs` over a fixed graph list.
+
+    Training touches the same minibatches every epoch (the partition is fixed,
+    only the visit order is shuffled), so the block-diagonal batch — and the
+    edge/pooling layouts hanging off it — is built exactly once per distinct
+    index tuple instead of once per epoch.
+    """
+
+    def __init__(self, graphs: Sequence[HeteroGraphData]):
+        self.graphs = list(graphs)
+        self._cache: Dict[Tuple[int, ...], BatchedHeteroGraph] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, indices: Sequence[int]) -> BatchedHeteroGraph:
+        key = tuple(int(i) for i in indices)
+        batch = self._cache.get(key)
+        if batch is None:
+            self.misses += 1
+            batch = batch_graphs([self.graphs[i] for i in key])
+            self._cache[key] = batch
+        else:
+            self.hits += 1
+        return batch
+
+    def __len__(self) -> int:
+        return len(self._cache)

@@ -5,7 +5,23 @@ reverse-mode engine, :mod:`repro.nn.layers` for the module system and
 :mod:`repro.nn.optim` for SGD / Adam / AdamW (the paper trains with AdamW).
 """
 
-from repro.nn.autograd import Tensor, as_tensor, concat, dropout, gradcheck, segment_mean, stack_rows
+from repro.nn.autograd import (
+    SegmentLayout,
+    Tensor,
+    as_tensor,
+    concat,
+    default_dtype,
+    dropout,
+    fast_segment_ops_enabled,
+    get_default_dtype,
+    gradcheck,
+    segment_mean,
+    segment_sum,
+    set_default_dtype,
+    set_fast_segment_ops,
+    stack_rows,
+    use_fast_segment_ops,
+)
 from repro.nn.functional import (
     accuracy,
     binary_cross_entropy,
@@ -31,12 +47,20 @@ from repro.nn.training import EarlyStopping, iterate_minibatches, set_seed
 
 __all__ = [
     "Tensor",
+    "SegmentLayout",
     "as_tensor",
     "concat",
     "stack_rows",
     "segment_mean",
+    "segment_sum",
     "dropout",
     "gradcheck",
+    "default_dtype",
+    "get_default_dtype",
+    "set_default_dtype",
+    "fast_segment_ops_enabled",
+    "set_fast_segment_ops",
+    "use_fast_segment_ops",
     "softmax",
     "log_softmax",
     "cross_entropy",

@@ -5,15 +5,151 @@ define-by-run :class:`Tensor` supporting the operations needed by the MGA
 models (dense layers, gated graph convolutions, attention, autoencoders and
 the fused classifier).  Gradients are verified against finite differences in
 the test suite (``tests/nn/test_autograd.py``).
+
+Performance notes
+-----------------
+
+The engine is tuned for the training fast path:
+
+* tensors carry a float dtype (float32 or float64).  Incoming float arrays
+  keep their dtype; everything else is coerced to the configurable default
+  (:func:`set_default_dtype`).  Python scalars are "weak" operands, as in
+  PyTorch: ``x * 0.5`` never promotes a float32 graph to float64.
+* gradient accumulation is in place (``grad += g``) after the first
+  contribution, instead of reallocating ``grad + g`` per edge.
+* :meth:`Tensor.backward` uses an iterative topological sort, so deep graphs
+  (e.g. a GGNN unrolled for many steps, or a 2000-op chain) cannot overflow
+  the Python recursion limit.
+* segment reductions (the message-passing primitives) can run over a
+  precomputed :class:`SegmentLayout`: the index is sorted once and every
+  scatter becomes a gather + ``np.add.reduceat`` over contiguous runs,
+  replacing the element-wise ``np.ufunc.at`` loop.  The naive ``np.add.at``
+  path is kept behind :func:`set_fast_segment_ops` as a numerical reference.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+import contextlib
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 ArrayLike = Union[np.ndarray, float, int, Sequence[float]]
+
+_FLOAT_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+#: Dtype used when coercing non-float data into tensors and by the parameter
+#: initialisers.  float64 preserves the seed numerics; training stacks opt
+#: into float32 per model (``MGAModel(dtype="float32")``) for speed.
+_DEFAULT_DTYPE = np.dtype(np.float64)
+
+#: When True (default), segment reductions use the sorted
+#: gather + ``np.add.reduceat`` kernels; when False they fall back to the
+#: original ``np.add.at`` scatter, kept as a bit-for-bit seed reference.
+_FAST_SEGMENT_OPS = True
+
+
+def set_default_dtype(dtype) -> None:
+    """Set the dtype used for non-float inputs and parameter initialisation."""
+    global _DEFAULT_DTYPE
+    dtype = np.dtype(dtype)
+    if dtype not in _FLOAT_DTYPES:
+        raise ValueError("default dtype must be float32 or float64")
+    _DEFAULT_DTYPE = dtype
+
+
+def get_default_dtype() -> np.dtype:
+    """The current default float dtype (see :func:`set_default_dtype`)."""
+    return _DEFAULT_DTYPE
+
+
+@contextlib.contextmanager
+def default_dtype(dtype) -> Iterator[None]:
+    """Context manager that temporarily overrides the default dtype."""
+    previous = _DEFAULT_DTYPE
+    set_default_dtype(dtype)
+    try:
+        yield
+    finally:
+        set_default_dtype(previous)
+
+
+def set_fast_segment_ops(enabled: bool) -> None:
+    """Toggle the sorted-segment (reduceat) kernels globally."""
+    global _FAST_SEGMENT_OPS
+    _FAST_SEGMENT_OPS = bool(enabled)
+
+
+def fast_segment_ops_enabled() -> bool:
+    return _FAST_SEGMENT_OPS
+
+
+@contextlib.contextmanager
+def use_fast_segment_ops(enabled: bool) -> Iterator[None]:
+    """Context manager variant of :func:`set_fast_segment_ops`."""
+    previous = _FAST_SEGMENT_OPS
+    set_fast_segment_ops(enabled)
+    try:
+        yield
+    finally:
+        set_fast_segment_ops(previous)
+
+
+# ----------------------------------------------------------------------
+# sorted-segment reductions
+# ----------------------------------------------------------------------
+class SegmentLayout:
+    """Precomputed sort order for repeated segment reductions over one index.
+
+    Sorting ``index`` once (stable, so ties keep their original order) turns
+    every subsequent scatter-add over it into ``data[order]`` followed by one
+    ``np.add.reduceat`` across the contiguous runs — a CSR-style layout that
+    vectorises across feature columns instead of looping per element the way
+    ``np.add.at`` does.  Layouts are cached per batched graph, so the sort is
+    paid once per batch, not once per operation per epoch.
+    """
+
+    __slots__ = ("index", "num_segments", "order", "starts", "segments",
+                 "counts")
+
+    def __init__(self, index: np.ndarray, num_segments: int):
+        index = np.asarray(index, dtype=np.int64)
+        self.index = index
+        self.num_segments = int(num_segments)
+        order = np.argsort(index, kind="stable")
+        sorted_index = index[order]
+        if sorted_index.size:
+            run_start = np.empty(sorted_index.size, dtype=bool)
+            run_start[0] = True
+            np.not_equal(sorted_index[1:], sorted_index[:-1],
+                         out=run_start[1:])
+            starts = np.flatnonzero(run_start)
+            segments = sorted_index[starts]
+        else:
+            starts = np.zeros(0, dtype=np.int64)
+            segments = np.zeros(0, dtype=np.int64)
+        self.order = order
+        self.starts = starts
+        self.segments = segments
+        self.counts = np.bincount(index, minlength=self.num_segments)
+
+
+def _segment_sum_data(data: np.ndarray, index: np.ndarray, num_segments: int,
+                      layout: Optional[SegmentLayout]) -> np.ndarray:
+    """Sum rows of ``data`` into ``num_segments`` buckets given by ``index``."""
+    data = np.asarray(data)
+    out = np.zeros((num_segments,) + data.shape[1:], dtype=data.dtype)
+    if index.size == 0:
+        return out
+    if _FAST_SEGMENT_OPS:
+        if layout is None:
+            layout = SegmentLayout(index, num_segments)
+        if layout.starts.size:
+            out[layout.segments] = np.add.reduceat(
+                data[layout.order], layout.starts, axis=0)
+        return out
+    np.add.at(out, index, data)
+    return out
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -38,8 +174,13 @@ class Tensor:
     def __init__(self, data: ArrayLike, requires_grad: bool = False,
                  parents: Tuple["Tensor", ...] = (),
                  backward: Optional[Callable[[np.ndarray], None]] = None,
-                 name: str = ""):
-        self.data = np.asarray(data, dtype=np.float64)
+                 name: str = "", dtype=None):
+        arr = np.asarray(data)
+        if dtype is not None:
+            arr = arr.astype(np.dtype(dtype), copy=False)
+        elif arr.dtype not in _FLOAT_DTYPES:
+            arr = arr.astype(_DEFAULT_DTYPE)
+        self.data = arr
         self.grad: Optional[np.ndarray] = None
         self.requires_grad = bool(requires_grad)
         self._backward = backward
@@ -57,6 +198,10 @@ class Tensor:
     def ndim(self) -> int:
         return self.data.ndim
 
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
     def numpy(self) -> np.ndarray:
         return self.data
 
@@ -70,11 +215,26 @@ class Tensor:
         self.grad = None
 
     def _accumulate(self, grad: np.ndarray) -> None:
-        grad = np.asarray(grad, dtype=np.float64)
         if self.grad is None:
-            self.grad = grad.copy()
+            # always copy: the incoming array may be shared with another
+            # parent's gradient (e.g. both operands of `a + a`)
+            self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
         else:
-            self.grad = self.grad + grad
+            # in-place accumulation: no reallocation per contribution
+            self.grad += grad
+
+    def _accumulate_owned(self, grad: np.ndarray) -> None:
+        """Accumulate a gradient array the caller guarantees is fresh.
+
+        Backward closures that just allocated ``grad`` (a matmul product, an
+        element-wise product, a reduction ...) hand over ownership instead of
+        paying :meth:`_accumulate`'s defensive copy.  Never pass an array
+        that aliases the child's gradient or another tensor's buffer.
+        """
+        if self.grad is None:
+            self.grad = grad
+        else:
+            self.grad += grad
 
     def __repr__(self) -> str:
         return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad})"
@@ -94,13 +254,23 @@ class Tensor:
     # arithmetic
     # ------------------------------------------------------------------
     def __add__(self, other) -> "Tensor":
+        if isinstance(other, (int, float)):
+            # weak scalar: keeps the tensor dtype, needs no graph node for
+            # the constant and no unbroadcast in the backward pass
+            def backward(grad: np.ndarray) -> None:
+                if self.requires_grad:
+                    self._accumulate(grad)
+
+            return Tensor._make(self.data + other, (self,), backward)
         other = as_tensor(other)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(_unbroadcast(grad, self.shape))
+                g = _unbroadcast(grad, self.shape)
+                (self._accumulate if g is grad else self._accumulate_owned)(g)
             if other.requires_grad:
-                other._accumulate(_unbroadcast(grad, other.shape))
+                g = _unbroadcast(grad, other.shape)
+                (other._accumulate if g is grad else other._accumulate_owned)(g)
 
         return Tensor._make(self.data + other.data, (self, other), backward)
 
@@ -109,37 +279,62 @@ class Tensor:
     def __neg__(self) -> "Tensor":
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(-grad)
+                self._accumulate_owned(-grad)
 
         return Tensor._make(-self.data, (self,), backward)
 
     def __sub__(self, other) -> "Tensor":
+        if isinstance(other, (int, float)):
+            return self + (-other)
         return self + (-as_tensor(other))
 
     def __rsub__(self, other) -> "Tensor":
+        if isinstance(other, (int, float)):
+            def backward(grad: np.ndarray) -> None:
+                if self.requires_grad:
+                    self._accumulate_owned(-grad)
+
+            return Tensor._make(other - self.data, (self,), backward)
         return as_tensor(other) + (-self)
 
     def __mul__(self, other) -> "Tensor":
+        if isinstance(other, (int, float)):
+            scale = other
+
+            def backward(grad: np.ndarray) -> None:
+                if self.requires_grad:
+                    self._accumulate_owned(grad * scale)
+
+            return Tensor._make(self.data * scale, (self,), backward)
         other = as_tensor(other)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(_unbroadcast(grad * other.data, self.shape))
+                self._accumulate_owned(_unbroadcast(grad * other.data,
+                                                    self.shape))
             if other.requires_grad:
-                other._accumulate(_unbroadcast(grad * self.data, other.shape))
+                other._accumulate_owned(_unbroadcast(grad * self.data,
+                                                     other.shape))
 
         return Tensor._make(self.data * other.data, (self, other), backward)
 
     __rmul__ = __mul__
 
     def __truediv__(self, other) -> "Tensor":
+        if isinstance(other, (int, float)):
+            def backward(grad: np.ndarray) -> None:
+                if self.requires_grad:
+                    self._accumulate_owned(grad / other)
+
+            return Tensor._make(self.data / other, (self,), backward)
         other = as_tensor(other)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(_unbroadcast(grad / other.data, self.shape))
+                self._accumulate_owned(_unbroadcast(grad / other.data,
+                                                    self.shape))
             if other.requires_grad:
-                other._accumulate(_unbroadcast(
+                other._accumulate_owned(_unbroadcast(
                     -grad * self.data / (other.data ** 2), other.shape))
 
         return Tensor._make(self.data / other.data, (self, other), backward)
@@ -149,7 +344,8 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * exponent * self.data ** (exponent - 1.0))
+                self._accumulate_owned(
+                    grad * exponent * self.data ** (exponent - 1.0))
 
         return Tensor._make(self.data ** exponent, (self,), backward)
 
@@ -158,13 +354,36 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad @ other.data.T)
+                self._accumulate_owned(grad @ other.data.T)
             if other.requires_grad:
-                other._accumulate(self.data.T @ grad)
+                other._accumulate_owned(self.data.T @ grad)
 
         return Tensor._make(self.data @ other.data, (self, other), backward)
 
     __matmul__ = matmul
+
+    def linear(self, weight: "Tensor",
+               bias: Optional["Tensor"] = None) -> "Tensor":
+        """Fused affine map ``self @ weight + bias`` (one graph node).
+
+        Equivalent to ``self @ weight + bias`` but with a single backward
+        closure; the bias is added in place on the freshly allocated matmul
+        output, so the values are identical to the two-node form.
+        """
+        out = self.data @ weight.data
+        if bias is not None:
+            out += bias.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate_owned(grad @ weight.data.T)
+            if weight.requires_grad:
+                weight._accumulate_owned(self.data.T @ grad)
+            if bias is not None and bias.requires_grad:
+                bias._accumulate_owned(grad.sum(axis=0))
+
+        parents = (self, weight) if bias is None else (self, weight, bias)
+        return Tensor._make(out, parents, backward)
 
     # ------------------------------------------------------------------
     # reductions / shaping
@@ -175,11 +394,12 @@ class Tensor:
                 return
             g = np.asarray(grad)
             if axis is None:
-                self._accumulate(np.full(self.shape, float(g)))
+                self._accumulate_owned(np.full(self.shape, float(g),
+                                               dtype=self.data.dtype))
             else:
                 if not keepdims:
                     g = np.expand_dims(g, axis)
-                self._accumulate(np.broadcast_to(g, self.shape).copy())
+                self._accumulate_owned(np.broadcast_to(g, self.shape).copy())
 
         return Tensor._make(self.data.sum(axis=axis, keepdims=keepdims),
                             (self,), backward)
@@ -208,24 +428,36 @@ class Tensor:
 
         return Tensor._make(self.data.T, (self,), backward)
 
+    def slice_cols(self, start: int, stop: int) -> "Tensor":
+        """Columns ``[start:stop)`` of a 2-D tensor (differentiable view)."""
+        start, stop = int(start), int(stop)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                g = np.zeros_like(self.data)
+                g[:, start:stop] = grad
+                self._accumulate_owned(g)
+
+        return Tensor._make(self.data[:, start:stop], (self,), backward)
+
     # ------------------------------------------------------------------
     # nonlinearities
     # ------------------------------------------------------------------
     def relu(self) -> "Tensor":
-        mask = (self.data > 0).astype(np.float64)
+        mask = (self.data > 0).astype(self.data.dtype)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * mask)
+                self._accumulate_owned(grad * mask)
 
         return Tensor._make(self.data * mask, (self,), backward)
 
     def leaky_relu(self, slope: float = 0.01) -> "Tensor":
-        mask = np.where(self.data > 0, 1.0, slope)
+        mask = np.where(self.data > 0, 1.0, slope).astype(self.data.dtype)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * mask)
+                self._accumulate_owned(grad * mask)
 
         return Tensor._make(self.data * mask, (self,), backward)
 
@@ -234,7 +466,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * out_data * (1.0 - out_data))
+                self._accumulate_owned(grad * out_data * (1.0 - out_data))
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -243,7 +475,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * (1.0 - out_data ** 2))
+                self._accumulate_owned(grad * (1.0 - out_data ** 2))
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -252,14 +484,14 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * out_data)
+                self._accumulate_owned(grad * out_data)
 
         return Tensor._make(out_data, (self,), backward)
 
     def log(self) -> "Tensor":
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad / np.maximum(self.data, 1e-12))
+                self._accumulate_owned(grad / np.maximum(self.data, 1e-12))
 
         return Tensor._make(np.log(np.maximum(self.data, 1e-12)), (self,),
                             backward)
@@ -267,27 +499,33 @@ class Tensor:
     # ------------------------------------------------------------------
     # indexing / scatter-gather (the message-passing primitives)
     # ------------------------------------------------------------------
-    def index_select(self, index: np.ndarray) -> "Tensor":
-        """Gather rows: ``out[i] = self[index[i]]``."""
+    def index_select(self, index: np.ndarray,
+                     layout: Optional[SegmentLayout] = None) -> "Tensor":
+        """Gather rows: ``out[i] = self[index[i]]``.
+
+        ``layout`` is an optional precomputed :class:`SegmentLayout` over
+        ``index`` (with ``num_segments == len(self)``) used to vectorise the
+        scatter in the backward pass.
+        """
         index = np.asarray(index, dtype=np.int64)
+        num_rows = self.data.shape[0]
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                acc = np.zeros_like(self.data)
-                np.add.at(acc, index, grad)
-                self._accumulate(acc)
+                self._accumulate_owned(_segment_sum_data(grad, index, num_rows,
+                                                         layout))
 
         return Tensor._make(self.data[index], (self,), backward)
 
-    def scatter_add(self, index: np.ndarray, num_rows: int) -> "Tensor":
+    def scatter_add(self, index: np.ndarray, num_rows: int,
+                    layout: Optional[SegmentLayout] = None) -> "Tensor":
         """Scatter rows: ``out[index[i]] += self[i]`` with ``num_rows`` rows."""
         index = np.asarray(index, dtype=np.int64)
-        out_data = np.zeros((num_rows,) + self.data.shape[1:], dtype=np.float64)
-        np.add.at(out_data, index, self.data)
+        out_data = _segment_sum_data(self.data, index, int(num_rows), layout)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad[index])
+                self._accumulate_owned(np.asarray(grad)[index])
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -300,19 +538,24 @@ class Tensor:
             if self.data.size != 1:
                 raise ValueError("backward() without grad requires a scalar")
             grad = np.ones_like(self.data)
+        # iterative post-order DFS: same visit order as the recursive
+        # version, but immune to RecursionError on deep graphs (a tensor
+        # whose parents don't require grad heads a dead subgraph — skip it)
         topo: List[Tensor] = []
-        visited = set()
-
-        def visit(t: Tensor) -> None:
-            if id(t) in visited:
-                return
-            visited.add(id(t))
-            for parent in t._parents:
-                visit(parent)
-            topo.append(t)
-
-        visit(self)
-        self._accumulate(np.asarray(grad, dtype=np.float64))
+        visited = {id(self)}
+        stack: List[Tuple[Tensor, int]] = [(self, 0)]
+        while stack:
+            node, next_parent = stack[-1]
+            if next_parent < len(node._parents):
+                stack[-1] = (node, next_parent + 1)
+                parent = node._parents[next_parent]
+                if parent.requires_grad and id(parent) not in visited:
+                    visited.add(id(parent))
+                    stack.append((parent, 0))
+            else:
+                topo.append(node)
+                stack.pop()
+        self._accumulate(np.asarray(grad, dtype=self.data.dtype))
         # children appear after their parents in `topo`, so the reversed walk
         # guarantees a node's output gradient is complete before its
         # _backward distributes it to the parents
@@ -361,13 +604,24 @@ def stack_rows(tensors: Sequence[Tensor]) -> Tensor:
     return Tensor._make(data, tuple(tensors), backward)
 
 
-def segment_mean(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+def segment_sum(x: Tensor, segment_ids: np.ndarray, num_segments: int,
+                layout: Optional[SegmentLayout] = None) -> Tensor:
+    """Sum of rows of ``x`` grouped by ``segment_ids``."""
+    return x.scatter_add(np.asarray(segment_ids, dtype=np.int64),
+                         num_segments, layout=layout)
+
+
+def segment_mean(x: Tensor, segment_ids: np.ndarray, num_segments: int,
+                 layout: Optional[SegmentLayout] = None) -> Tensor:
     """Mean of rows of ``x`` grouped by ``segment_ids`` (empty segments → 0)."""
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
-    counts = np.bincount(segment_ids, minlength=num_segments).astype(np.float64)
+    if layout is not None:
+        counts = layout.counts.astype(np.float64)
+    else:
+        counts = np.bincount(segment_ids, minlength=num_segments).astype(np.float64)
     counts = np.maximum(counts, 1.0)
-    sums = x.scatter_add(segment_ids, num_segments)
-    inv = Tensor(1.0 / counts[:, None])
+    sums = x.scatter_add(segment_ids, num_segments, layout=layout)
+    inv = Tensor((1.0 / counts[:, None]).astype(sums.data.dtype, copy=False))
     return sums * inv
 
 
@@ -376,32 +630,40 @@ def dropout(x: Tensor, rate: float, rng: np.random.Generator,
     """Inverted dropout."""
     if not training or rate <= 0.0:
         return x
-    mask = (rng.random(x.shape) >= rate).astype(np.float64) / (1.0 - rate)
+    mask = (rng.random(x.shape) >= rate).astype(x.data.dtype) / (1.0 - rate)
     return x * Tensor(mask)
 
 
 def gradcheck(func: Callable[..., Tensor], inputs: Sequence[Tensor],
               eps: float = 1e-6, atol: float = 1e-4) -> bool:
-    """Finite-difference gradient check of ``func`` w.r.t. ``inputs``."""
+    """Finite-difference gradient check of ``func`` w.r.t. ``inputs``.
+
+    Inputs are promoted to float64 in place (finite differences with a 1e-6
+    step are meaningless at float32 precision), and tensors created inside
+    ``func`` default to float64 for the duration of the check.
+    """
+    inputs = list(inputs)
     for t in inputs:
+        t.data = np.asarray(t.data, dtype=np.float64)
         t.zero_grad()
-    output = func(*inputs)
-    output.backward()
-    for tensor in inputs:
-        if not tensor.requires_grad:
-            continue
-        analytic = tensor.grad if tensor.grad is not None else np.zeros_like(tensor.data)
-        numeric = np.zeros_like(tensor.data)
-        flat = tensor.data.reshape(-1)
-        num_flat = numeric.reshape(-1)
-        for i in range(flat.size):
-            original = flat[i]
-            flat[i] = original + eps
-            plus = func(*inputs).data.sum()
-            flat[i] = original - eps
-            minus = func(*inputs).data.sum()
-            flat[i] = original
-            num_flat[i] = (plus - minus) / (2 * eps)
-        if not np.allclose(analytic, numeric, atol=atol, rtol=1e-3):
-            return False
+    with default_dtype(np.float64):
+        output = func(*inputs)
+        output.backward()
+        for tensor in inputs:
+            if not tensor.requires_grad:
+                continue
+            analytic = tensor.grad if tensor.grad is not None else np.zeros_like(tensor.data)
+            numeric = np.zeros_like(tensor.data)
+            flat = tensor.data.reshape(-1)
+            num_flat = numeric.reshape(-1)
+            for i in range(flat.size):
+                original = flat[i]
+                flat[i] = original + eps
+                plus = func(*inputs).data.sum()
+                flat[i] = original - eps
+                minus = func(*inputs).data.sum()
+                flat[i] = original
+                num_flat[i] = (plus - minus) / (2 * eps)
+            if not np.allclose(analytic, numeric, atol=atol, rtol=1e-3):
+                return False
     return True

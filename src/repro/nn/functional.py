@@ -34,10 +34,10 @@ def cross_entropy(logits: Tensor, targets: np.ndarray,
     if targets.min() < 0 or targets.max() >= c:
         raise ValueError("target class out of range")
     log_probs = log_softmax(logits, axis=1)
-    onehot = np.zeros((n, c))
+    onehot = np.zeros((n, c), dtype=log_probs.data.dtype)
     onehot[np.arange(n), targets] = 1.0
     if class_weights is not None:
-        onehot *= np.asarray(class_weights)[targets][:, None]
+        onehot *= np.asarray(class_weights, dtype=onehot.dtype)[targets][:, None]
     picked = log_probs * Tensor(onehot)
     return -(picked.sum() * (1.0 / n))
 

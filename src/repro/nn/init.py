@@ -1,4 +1,10 @@
-"""Parameter initialisation schemes."""
+"""Parameter initialisation schemes.
+
+All initialisers draw in float64 (so seeded draws are reproducible across
+dtype settings) and cast to the autograd default dtype
+(:func:`repro.nn.autograd.set_default_dtype`); models with an explicit
+``dtype`` argument cast again via ``Module.to_dtype``.
+"""
 
 from __future__ import annotations
 
@@ -6,19 +12,23 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.nn.autograd import get_default_dtype
+
 
 def xavier_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
     """Glorot/Xavier uniform initialisation."""
     fan_in, fan_out = shape[0], shape[-1]
     limit = np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-limit, limit, size=shape)
+    return rng.uniform(-limit, limit, size=shape).astype(get_default_dtype(),
+                                                         copy=False)
 
 
 def kaiming_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
     """He/Kaiming uniform initialisation (ReLU gain)."""
     fan_in = shape[0]
     limit = np.sqrt(6.0 / fan_in)
-    return rng.uniform(-limit, limit, size=shape)
+    return rng.uniform(-limit, limit, size=shape).astype(get_default_dtype(),
+                                                         copy=False)
 
 
 def orthogonal(shape: Tuple[int, int], rng: np.random.Generator) -> np.ndarray:
@@ -26,4 +36,5 @@ def orthogonal(shape: Tuple[int, int], rng: np.random.Generator) -> np.ndarray:
     a = rng.standard_normal(shape)
     q, r = np.linalg.qr(a if shape[0] >= shape[1] else a.T)
     q = q * np.sign(np.diag(r))
-    return q if shape[0] >= shape[1] else q.T
+    result = q if shape[0] >= shape[1] else q.T
+    return result.astype(get_default_dtype(), copy=False)

@@ -7,7 +7,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 import numpy as np
 
 from repro.nn import init
-from repro.nn.autograd import Tensor, dropout as dropout_fn
+from repro.nn.autograd import Tensor, dropout as dropout_fn, get_default_dtype
 
 
 class Module:
@@ -55,6 +55,13 @@ class Module:
     def num_parameters(self) -> int:
         return int(sum(p.data.size for p in self.parameters()))
 
+    def to_dtype(self, dtype) -> "Module":
+        """Cast every parameter to ``dtype`` (float32 / float64) in place."""
+        dtype = np.dtype(dtype)
+        for p in self.parameters():
+            p.data = p.data.astype(dtype, copy=False)
+        return self
+
     # ------------------------------------------------------------------
     def forward(self, *args, **kwargs):
         raise NotImplementedError
@@ -93,7 +100,9 @@ class Module:
             value = np.asarray(state[name])
             if value.shape != param.data.shape:
                 raise ValueError(f"shape mismatch for {name}")
-            param.data = value.copy()
+            # keep the module's declared dtype (e.g. loading a float64
+            # artifact into a float32 model casts rather than promotes)
+            param.data = value.astype(param.data.dtype, copy=True)
         # route the non-parameter keys to the deepest module whose path
         # prefixes them (the module that produced them in extra_state)
         modules = self.named_modules()
@@ -183,14 +192,11 @@ class Linear(Module):
         rng = rng or np.random.default_rng(0)
         self.weight = Tensor(init.xavier_uniform((in_features, out_features), rng),
                              requires_grad=True, name="weight")
-        self.bias = (Tensor(np.zeros(out_features), requires_grad=True,
-                            name="bias") if bias else None)
+        self.bias = (Tensor(np.zeros(out_features, dtype=get_default_dtype()),
+                            requires_grad=True, name="bias") if bias else None)
 
     def forward(self, x: Tensor) -> Tensor:
-        out = x @ self.weight
-        if self.bias is not None:
-            out = out + self.bias
-        return out
+        return x.linear(self.weight, self.bias)
 
 
 class ReLU(Module):

@@ -50,10 +50,13 @@ class SGD(Optimizer):
                 grad = grad + self.weight_decay * p.data
             if self.momentum:
                 v = self._velocity.get(id(p))
-                v = self.momentum * v + grad if v is not None else grad
-                self._velocity[id(p)] = v
+                if v is None:
+                    v = self._velocity[id(p)] = grad.copy()
+                else:
+                    v *= self.momentum
+                    v += grad
                 grad = v
-            p.data = p.data - self.lr * grad
+            p.data -= self.lr * grad
 
 
 class Adam(Optimizer):
@@ -79,18 +82,27 @@ class Adam(Optimizer):
             grad = p.grad
             if self.weight_decay and not self.decoupled:
                 grad = grad + self.weight_decay * p.data
-            m = self._m.get(id(p), np.zeros_like(p.data))
-            v = self._v.get(id(p), np.zeros_like(p.data))
-            m = self.beta1 * m + (1 - self.beta1) * grad
-            v = self.beta2 * v + (1 - self.beta2) * grad ** 2
-            self._m[id(p)] = m
-            self._v[id(p)] = v
+            # allocate state only on the first step for each parameter, then
+            # update the moment buffers in place
+            m = self._m.get(id(p))
+            if m is None:
+                m = self._m[id(p)] = np.zeros_like(p.data)
+            v = self._v.get(id(p))
+            if v is None:
+                v = self._v[id(p)] = np.zeros_like(p.data)
+            m *= self.beta1
+            m += (1 - self.beta1) * grad
+            v *= self.beta2
+            v += (1 - self.beta2) * grad ** 2
             m_hat = m / (1 - self.beta1 ** self._t)
             v_hat = v / (1 - self.beta2 ** self._t)
-            update = m_hat / (np.sqrt(v_hat) + self.eps)
+            np.sqrt(v_hat, out=v_hat)
+            v_hat += self.eps
+            update = m_hat
+            update /= v_hat
             if self.weight_decay and self.decoupled:
-                update = update + self.weight_decay * p.data
-            p.data = p.data - self.lr * update
+                update += self.weight_decay * p.data
+            p.data -= self.lr * update
 
 
 class AdamW(Adam):

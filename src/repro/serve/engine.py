@@ -30,6 +30,7 @@ import numpy as np
 from repro.core.tuner import DeviceMapper, MGATuner
 from repro.frontend.openmp import OMPConfig, default_omp_config
 from repro.frontend.spec import KernelSpec
+from repro.graphs import batch_graphs
 from repro.profiling import PAPIProfiler
 
 
@@ -127,6 +128,15 @@ class InferenceEngine:
         self.max_wait_s = float(max_wait_ms) / 1e3
         self.cache = _LRUCache(cache_size)
         self.results = _LRUCache(cache_size) if memoize_results else None
+        # block-diagonal graph batches (and their sorted edge layouts) are
+        # deterministic per graph tuple: repeated micro-batches of the same
+        # hot kernels skip batch construction entirely.  The key is the
+        # *ordered* id tuple (batching is order sensitive), so entries only
+        # pay off for recurring compositions — keep the capacity small to
+        # bound the retained batches under non-repeating traffic
+        self._batch_cache = _LRUCache(min(cache_size, 64))
+        self._batch_hits = 0
+        self._batch_misses = 0
         self._queue: "collections.deque[_Request]" = collections.deque()
         self._cond = threading.Condition()
         self._running = True
@@ -277,12 +287,35 @@ class InferenceEngine:
                                             self.max_batch_size))]
             self._run_batch(batch)
 
+    def _batched_graph(self, graphs):
+        """Memoised ``batch_graphs`` keyed on the identity of the graph tuple.
+
+        The per-request feature cache returns the *same* graph objects for
+        repeated (kernel, input) requests, so identical micro-batches recur;
+        the stored graph list keeps the ids alive, and the identity re-check
+        guards against id reuse after an eviction.
+        """
+        key = tuple(id(g) for g in graphs)
+        hit = self._batch_cache.get(key)
+        if hit is not None and all(a is b for a, b in zip(hit[0], graphs)):
+            with self._stats_lock:
+                self._batch_hits += 1
+            return hit[1]
+        batched = batch_graphs(graphs)
+        self._batch_cache.put(key, (list(graphs), batched))
+        with self._stats_lock:
+            self._batch_misses += 1
+        return batched
+
     def _run_batch(self, batch: List[_Request]) -> None:
         try:
             graphs = [r.graph for r in batch]
             vectors = np.stack([r.vector for r in batch])
             extra = np.stack([r.extra for r in batch])
-            indices = self.predictor.model.predict(graphs, vectors, extra)
+            model = self.predictor.model
+            batched = (self._batched_graph(graphs)
+                       if model.modalities.use_graph else None)
+            indices = model.predict(graphs, vectors, extra, batch=batched)
         except BaseException as exc:           # pragma: no cover - defensive
             for request in batch:
                 request.pending._finish(error=exc)
@@ -323,6 +356,9 @@ class InferenceEngine:
                 "result_cache_hit_rate": (self.results.hits
                                           / max(1, result_lookups)
                                           if self.results is not None else 0.0),
+                "batch_cache_hit_rate": (
+                    self._batch_hits
+                    / max(1, self._batch_hits + self._batch_misses)),
                 "mean_latency_ms": 1e3 * self._latency_sum / max(1, completed),
             }
 

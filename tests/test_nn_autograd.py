@@ -7,18 +7,23 @@ from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
 from repro.nn import (
+    SegmentLayout,
     Tensor,
     as_tensor,
     concat,
     cross_entropy,
     binary_cross_entropy,
+    default_dtype,
     dropout,
+    get_default_dtype,
     gradcheck,
     log_softmax,
     mse_loss,
     segment_mean,
+    segment_sum,
     softmax,
     stack_rows,
+    use_fast_segment_ops,
 )
 
 small_matrix = arrays(np.float64, (3, 4),
@@ -127,7 +132,126 @@ class TestGradcheck:
         np.testing.assert_allclose(b.grad, 2 * np.ones_like(b_data))
 
 
+class TestSegmentOps:
+    """The sorted-segment (reduceat) kernels vs the np.add.at reference."""
+
+    def test_segment_sum_fast_matches_naive(self):
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal((80, 5))
+        index = rng.integers(0, 13, 80).astype(np.int64)
+        upstream = rng.standard_normal((13, 5))
+        results = {}
+        for fast in (False, True):
+            with use_fast_segment_ops(fast):
+                x = Tensor(data.copy(), requires_grad=True)
+                layout = SegmentLayout(index, 13) if fast else None
+                out = segment_sum(x, index, 13, layout=layout)
+                out.backward(upstream)
+                results[fast] = (out.data, x.grad)
+        np.testing.assert_allclose(results[True][0], results[False][0],
+                                   atol=1e-12)
+        np.testing.assert_allclose(results[True][1], results[False][1],
+                                   atol=1e-12)
+
+    def test_index_select_backward_fast_matches_naive(self):
+        rng = np.random.default_rng(1)
+        data = rng.standard_normal((15, 4))
+        index = rng.integers(0, 15, 60).astype(np.int64)
+        upstream = rng.standard_normal((60, 4))
+        grads = {}
+        for fast in (False, True):
+            with use_fast_segment_ops(fast):
+                x = Tensor(data.copy(), requires_grad=True)
+                layout = SegmentLayout(index, 15) if fast else None
+                x.index_select(index, layout=layout).backward(upstream)
+                grads[fast] = x.grad
+        np.testing.assert_allclose(grads[True], grads[False], atol=1e-12)
+
+    def test_gradcheck_segment_ops_with_layout(self):
+        rng = np.random.default_rng(2)
+        x = Tensor(rng.standard_normal((7, 3)), requires_grad=True)
+        seg = np.array([2, 0, 0, 1, 2, 2, 1])
+        layout = SegmentLayout(seg, 3)
+        with use_fast_segment_ops(True):
+            assert gradcheck(
+                lambda x: segment_sum(x, seg, 3, layout=layout).sigmoid().sum(),
+                [x])
+            assert gradcheck(
+                lambda x: segment_mean(x, seg, 3, layout=layout).tanh().sum(),
+                [x])
+
+    def test_empty_and_missing_segments(self):
+        x = Tensor(np.ones((3, 2)))
+        out = segment_sum(x, np.array([0, 0, 3]), 5)
+        np.testing.assert_allclose(out.data,
+                                   [[2, 2], [0, 0], [0, 0], [1, 1], [0, 0]])
+        empty = segment_mean(Tensor(np.zeros((0, 2))), np.zeros(0, np.int64), 2)
+        np.testing.assert_allclose(empty.data, np.zeros((2, 2)))
+
+    def test_segment_layout_runs(self):
+        layout = SegmentLayout(np.array([3, 1, 1, 3, 0]), 5)
+        np.testing.assert_array_equal(layout.counts, [1, 2, 0, 2, 0])
+        np.testing.assert_array_equal(layout.segments, [0, 1, 3])
+        np.testing.assert_array_equal(layout.starts, [0, 1, 3])
+
+
+class TestDtypes:
+    def test_float32_graph_stays_float32(self):
+        x = Tensor(np.ones((3, 4), dtype=np.float32), requires_grad=True)
+        w = Tensor(np.ones((4, 2), dtype=np.float32), requires_grad=True)
+        b = Tensor(np.zeros(2, dtype=np.float32), requires_grad=True)
+        out = (x.linear(w, b) * 0.5 + 1.0).sigmoid().relu()
+        assert out.data.dtype == np.float32
+        out.sum().backward()
+        assert x.grad.dtype == np.float32
+        assert w.grad.dtype == np.float32
+
+    def test_float_arrays_keep_their_dtype(self):
+        assert Tensor(np.ones(3, dtype=np.float32)).data.dtype == np.float32
+        assert Tensor(np.ones(3)).data.dtype == np.float64
+        assert Tensor(np.ones(3), dtype="float32").data.dtype == np.float32
+
+    def test_default_dtype_coerces_non_float(self):
+        assert get_default_dtype() == np.float64
+        assert Tensor(np.array([1, 2])).data.dtype == np.float64
+        with default_dtype(np.float32):
+            assert Tensor(np.array([1, 2])).data.dtype == np.float32
+        assert Tensor(np.array([1, 2])).data.dtype == np.float64
+
+    def test_gradcheck_promotes_float32_inputs(self):
+        x = Tensor(np.random.default_rng(0).standard_normal((3, 3))
+                   .astype(np.float32), requires_grad=True)
+        assert gradcheck(lambda x: (x * x).sum(), [x])
+
+
+class TestFusedOps:
+    def test_linear_matches_two_node_form(self):
+        rng = np.random.default_rng(3)
+        x = Tensor(rng.standard_normal((5, 4)), requires_grad=True)
+        w = Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+        b = Tensor(rng.standard_normal(3), requires_grad=True)
+        fused = x.linear(w, b)
+        reference = x @ w + b
+        np.testing.assert_array_equal(fused.data, reference.data)
+        assert gradcheck(lambda x, w, b: x.linear(w, b).tanh().sum(), [x, w, b])
+
+    def test_slice_cols_gradcheck(self):
+        x = Tensor(np.random.default_rng(4).standard_normal((4, 6)),
+                   requires_grad=True)
+        assert gradcheck(
+            lambda x: (x.slice_cols(1, 4) * x.slice_cols(3, 6)).sum(), [x])
+
+
 class TestUtilities:
+    def test_deep_chain_does_not_overflow_recursion(self):
+        # the seed's recursive topo sort overflowed Python's stack here
+        x = Tensor(np.ones(4), requires_grad=True)
+        y = x
+        for _ in range(2000):
+            y = y * 1.0
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones(4))
+
     def test_reused_tensor_accumulates_grad(self):
         x = Tensor(np.array([2.0]), requires_grad=True)
         y = x * 3.0 + x * 4.0

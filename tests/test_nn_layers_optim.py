@@ -91,6 +91,23 @@ class TestOptimisers:
         with pytest.raises(ValueError):
             SGD([], lr=0.1)
 
+    def test_adam_state_allocated_once_and_updated_in_place(self):
+        w = Tensor(np.zeros(4), requires_grad=True)
+        opt = Adam([w], lr=0.1)
+        buffers = None
+        for step in range(3):
+            loss = ((w - Tensor(np.ones(4))) ** 2).sum()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            if step == 0:
+                buffers = (opt._m[id(w)], opt._v[id(w)])
+        # the moment buffers must be reused (updated in place), not
+        # reallocated via a zeros_like default on every step
+        assert opt._m[id(w)] is buffers[0]
+        assert opt._v[id(w)] is buffers[1]
+        assert np.all(buffers[1] > 0)
+
     def test_mlp_learns_xor(self):
         rng = set_seed(0)
         x = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=float)
