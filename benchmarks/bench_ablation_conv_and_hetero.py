@@ -5,10 +5,12 @@
 
 The paper reports GGNN as the best per-relation convolution and motivates the
 heterogeneous design; here we check that all variants train and report their
-validation speedups side by side.
+validation speedups side by side.  The miniature needs enough data/epochs for
+the ranking to stabilise (12 kernels x 4 inputs, 40 epochs — at smaller
+scales the variants are statistically indistinguishable and the GGNN-vs-best
+check is a coin flip); ``REPRO_BENCH_QUICK=1`` shrinks it to a smoke test
+that only checks every variant trains to a usable model.
 """
-
-import numpy as np
 
 from repro.core.mga import ModalityConfig
 from repro.core.tuner import MGATuner
@@ -17,21 +19,24 @@ from repro.evaluation.metrics import geometric_mean
 from repro.simulator.microarch import COMET_LAKE_8C
 from repro.tuners.space import thread_search_space
 
+from conftest import QUICK
 
-def _speedup(dataset, train_idx, val_idx, **kwargs):
+
+def _speedup(dataset, train_idx, val_idx, epochs, **kwargs):
     tuner = MGATuner(dataset.arch, dataset.configs,
                      modalities=ModalityConfig.programl(), seed=0, **kwargs)
-    tuner.fit(dataset, train_indices=train_idx, epochs=15)
+    tuner.fit(dataset, train_indices=train_idx, epochs=epochs)
     preds = tuner.predict_indices(dataset, val_idx)
     return geometric_mean([dataset.samples[i].speedup_of(int(p))
                            for i, p in zip(val_idx, preds)])
 
 
 def test_ablation_conv_type_and_heterogeneity(once, capsys):
+    num_kernels, num_inputs, epochs = (6, 2, 5) if QUICK else (12, 4, 40)
     space = thread_search_space(COMET_LAKE_8C)
-    specs = select_openmp_kernels(10)
-    dataset = build_openmp_dataset(COMET_LAKE_8C, space, specs, num_inputs=3,
-                                   seed=0)
+    specs = select_openmp_kernels(num_kernels)
+    dataset = build_openmp_dataset(COMET_LAKE_8C, space, specs,
+                                   num_inputs=num_inputs, seed=0)
     train_idx, val_idx = dataset.kfold_by_kernel(k=3, seed=0)[0]
     oracle = geometric_mean([dataset.samples[i].oracle_speedup for i in val_idx])
 
@@ -39,9 +44,10 @@ def test_ablation_conv_type_and_heterogeneity(once, capsys):
         rows = {}
         for conv in ("ggnn", "gcn", "sage", "gat"):
             rows[f"hetero-{conv}"] = _speedup(dataset, train_idx, val_idx,
-                                              conv_type=conv)
+                                              epochs, conv_type=conv)
         rows["homogeneous-ggnn"] = _speedup(dataset, train_idx, val_idx,
-                                            conv_type="ggnn", hetero=False)
+                                            epochs, conv_type="ggnn",
+                                            hetero=False)
         return rows
 
     rows = once(run_all)
@@ -52,4 +58,5 @@ def test_ablation_conv_type_and_heterogeneity(once, capsys):
             print(f"    {name:<20} {value:5.2f}x")
     for value in rows.values():
         assert value > 0.8          # every variant produces usable predictions
-    assert rows["hetero-ggnn"] >= 0.85 * max(rows.values())
+    if not QUICK:
+        assert rows["hetero-ggnn"] >= 0.85 * max(rows.values())

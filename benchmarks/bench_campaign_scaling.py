@@ -1,0 +1,108 @@
+"""Campaign scaling: multiprocess evaluation fan-out vs the serial loop.
+
+Runs the same random-search campaign (same seeds, same batch schedule) over
+the Table-2 configuration space at increasing worker counts and reports the
+wall-clock speedup.  The objective is the simulator with
+``walltime_scale=1`` — every evaluation *occupies* the simulated execution
+time (capped), which is the cost structure of a real campaign: the search
+process waits on kernel executions, and a worker pool overlaps those waits.
+Because every measurement's RNG is seeded per configuration, the histories
+at every worker count are byte-identical — the speedup is pure overlap, not
+a different search trajectory.
+
+Writes ``BENCH_campaign_scaling.json`` at the repository root.  Run directly
+(``python benchmarks/bench_campaign_scaling.py [--quick]``) or through
+pytest.
+"""
+
+import argparse
+import json
+
+from repro.simulator.microarch import SKYLAKE_4114
+from repro.tuners import (
+    RandomSearchTuner,
+    SimObjectiveSpec,
+    TuningCampaign,
+    full_search_space,
+)
+
+from _harness import write_bench_json
+
+#: gemm simulates in 0.6-15 ms depending on the configuration; scaling the
+#: occupancy up until (nearly) every evaluation saturates the cap gives each
+#: one a uniform ~30 ms of wall time, so the measured speedup reflects
+#: evaluation overlap rather than luck in how slow/fast configurations land
+#: on workers.
+WALLTIME_SCALE = 20.0
+WALLTIME_CAP = 0.030
+
+
+def _run_campaign(workers: int, budget: int, batch_size: int,
+                  repeats: int) -> TuningCampaign:
+    space = full_search_space(max_threads=SKYLAKE_4114.max_threads)
+    spec = SimObjectiveSpec(kernel_uid="polybench/gemm", arch=SKYLAKE_4114,
+                            scale=1.0, seed=99, repeats=repeats,
+                            walltime_scale=WALLTIME_SCALE,
+                            walltime_cap=WALLTIME_CAP)
+    campaign = TuningCampaign(RandomSearchTuner(budget=budget, seed=11),
+                              space, spec, workers=workers,
+                              batch_size=batch_size)
+    campaign.run()
+    return campaign
+
+
+def run(budget: int = 64, batch_size: int = 8, repeats: int = 2,
+        worker_counts=(1, 2, 4)) -> dict:
+    results = {}
+    reference_history = None
+    for workers in worker_counts:
+        campaign = _run_campaign(workers, budget, batch_size, repeats)
+        if reference_history is None:
+            reference_history = campaign.history
+        elif campaign.history != reference_history:
+            raise AssertionError(
+                f"history at workers={workers} diverged from workers="
+                f"{worker_counts[0]} — campaign is not order-independent")
+        results[workers] = campaign.wall_seconds
+    serial = results[worker_counts[0]]
+    return {
+        "objective": {"kernel": "polybench/gemm", "arch": SKYLAKE_4114.name,
+                      "repeats": repeats, "walltime_scale": WALLTIME_SCALE,
+                      "walltime_cap_s": WALLTIME_CAP},
+        "budget": budget,
+        "batch_size": batch_size,
+        "histories_identical": True,
+        "workers": {
+            str(w): {"wall_s": results[w], "speedup": serial / results[w]}
+            for w in worker_counts
+        },
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small budget, workers 1-2, no speedup assert "
+                             "(CI smoke mode)")
+    args = parser.parse_args()
+
+    if args.quick:
+        payload = run(budget=16, batch_size=4, repeats=1,
+                      worker_counts=(1, 2))
+    else:
+        payload = run()
+    path = write_bench_json("campaign_scaling", payload)
+    print(json.dumps(payload, indent=2))
+    print(f"\nwrote {path}")
+
+    if not args.quick:
+        speedup4 = payload["workers"]["4"]["speedup"]
+        assert speedup4 >= 2.0, (
+            f"expected >=2x wall-clock speedup at 4 workers, got "
+            f"{speedup4:.2f}x")
+        print(f"4-worker speedup {speedup4:.2f}x (>= 2x required)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

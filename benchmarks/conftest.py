@@ -1,12 +1,24 @@
 """Benchmark configuration: every experiment runs once (no repetition) since
-each "iteration" is a full (miniature) reproduction of a paper experiment."""
+each "iteration" is a full (miniature) reproduction of a paper experiment.
+
+``REPRO_BENCH_QUICK=1`` switches the pytest benchmarks into smoke mode:
+drastically reduced dataset sizes / epochs and relaxed (or skipped) quality
+assertions.  CI runs that mode on every push so a benchmark that stops
+importing, crashing or converging is caught immediately instead of rotting.
+"""
+
+import os
 
 import pytest
+
+#: quick/smoke mode flag consumed by the individual benchmark files
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") == "1"
 
 
 def pytest_benchmark_update_machine_info(config, machine_info):
     machine_info["note"] = ("MGA-tuner reproduction benchmarks; timings are "
-                            "harness wall-clock, experiment outputs are printed")
+                            "harness wall-clock, experiment outputs are printed"
+                            + ("; QUICK smoke mode" if QUICK else ""))
 
 
 @pytest.fixture

@@ -15,18 +15,20 @@ from another.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.features import StaticFeatureExtractor
 from repro.core.mga import MGAModel, ModalityConfig
-from repro.datasets.devmap import DevMapDataset, DevMapSample
-from repro.datasets.openmp import OpenMPSample, OpenMPTuningDataset
 from repro.frontend.openmp import OMPConfig, default_omp_config
 from repro.frontend.spec import KernelSpec
 from repro.profiling import PAPIProfiler
 from repro.simulator.microarch import MicroArch
+
+if TYPE_CHECKING:  # annotation-only: keeps repro.core importable standalone
+    from repro.datasets.devmap import DevMapDataset, DevMapSample
+    from repro.datasets.openmp import OpenMPSample, OpenMPTuningDataset
 
 
 class MGATuner:

@@ -48,6 +48,19 @@ class OMPConfig:
         chunk = self.chunk_size if self.chunk_size is not None else "auto"
         return f"t{self.num_threads}/{self.schedule.value}/c{chunk}"
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (see :meth:`from_dict`)."""
+        return {"num_threads": self.num_threads,
+                "schedule": self.schedule.value,
+                "chunk_size": self.chunk_size}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "OMPConfig":
+        return cls(num_threads=int(data["num_threads"]),
+                   schedule=OMPSchedule(data["schedule"]),
+                   chunk_size=(None if data["chunk_size"] is None
+                               else int(data["chunk_size"])))
+
 
 def default_omp_config(num_cores: int) -> OMPConfig:
     """The paper's baseline: all hardware threads, static schedule, auto chunk."""

@@ -26,6 +26,8 @@ from repro.serve.artifacts import (
 from repro.serve.engine import InferenceEngine, PendingResult
 from repro.serve.registry import ModelRegistry, ModelVersion
 from repro.serve.service import (
+    CampaignRequest,
+    CampaignResponse,
     MapRequest,
     MapResponse,
     TuneRequest,
@@ -47,4 +49,6 @@ __all__ = [
     "TuneResponse",
     "MapRequest",
     "MapResponse",
+    "CampaignRequest",
+    "CampaignResponse",
 ]

@@ -15,6 +15,9 @@ An artifact is a directory with two files:
 :class:`MGATuner` and :class:`DeviceMapper`; loading in a fresh process
 reproduces bit-identical predictions because every fitted component (weights,
 min-max and Gauss-rank scaler states, seed-embedding vectors) is persisted.
+:class:`~repro.tuners.campaign.TuningCampaign` checkpoints reuse the same
+container (kind ``tuning_campaign``) via :func:`write_artifact_dir` /
+:func:`read_artifact_dir`.
 """
 
 from __future__ import annotations
@@ -32,7 +35,7 @@ import repro
 from repro.core.features import StaticFeatureExtractor
 from repro.core.mga import MGAModel, ModalityConfig
 from repro.core.tuner import DeviceMapper, MGATuner
-from repro.frontend.openmp import OMPConfig, OMPSchedule
+from repro.frontend.openmp import OMPConfig
 from repro.simulator.microarch import MicroArch
 
 FORMAT_NAME = "repro.serve.artifact"
@@ -43,6 +46,7 @@ ARRAYS_FILE = "arrays.npz"
 KIND_MODEL = "mga_model"
 KIND_TUNER = "mga_tuner"
 KIND_MAPPER = "device_mapper"
+KIND_CAMPAIGN = "tuning_campaign"
 
 
 class ArtifactError(RuntimeError):
@@ -97,16 +101,11 @@ def _rebuild_extractor(config: Dict[str, Any],
 
 
 def _config_to_dict(config: OMPConfig) -> Dict[str, Any]:
-    return {"num_threads": config.num_threads,
-            "schedule": config.schedule.value,
-            "chunk_size": config.chunk_size}
+    return config.to_dict()
 
 
 def _config_from_dict(data: Dict[str, Any]) -> OMPConfig:
-    return OMPConfig(num_threads=int(data["num_threads"]),
-                     schedule=OMPSchedule(data["schedule"]),
-                     chunk_size=(None if data["chunk_size"] is None
-                                 else int(data["chunk_size"])))
+    return OMPConfig.from_dict(data)
 
 
 # ----------------------------------------------------------------------
@@ -151,22 +150,16 @@ def _mapper_payload(mapper: DeviceMapper):
     return config, arrays
 
 
-def save_artifact(path: Union[str, os.PathLike], obj,
-                  metadata: Optional[Dict[str, Any]] = None) -> str:
-    """Serialise a model/tuner/mapper into an artifact directory.
+def write_artifact_dir(path: Union[str, os.PathLike], kind: str,
+                       config: Dict[str, Any], arrays: Dict[str, np.ndarray],
+                       metadata: Optional[Dict[str, Any]] = None) -> str:
+    """Low-level artifact writer: manifest + sha256-checked array payload.
 
-    Returns the artifact path.  ``metadata`` (JSON-serialisable) is stored
-    verbatim in the manifest and surfaced by the registry listings.
+    Writes straight into ``path`` (created if missing).  Callers that need
+    crash consistency stage into a temp directory and rename — see
+    :meth:`repro.serve.registry.ModelRegistry.publish` and
+    :meth:`repro.tuners.campaign.TuningCampaign.checkpoint`.
     """
-    if isinstance(obj, MGATuner):
-        kind, (config, arrays) = KIND_TUNER, _tuner_payload(obj)
-    elif isinstance(obj, DeviceMapper):
-        kind, (config, arrays) = KIND_MAPPER, _mapper_payload(obj)
-    elif isinstance(obj, MGAModel):
-        kind, (config, arrays) = KIND_MODEL, _model_payload(obj)
-    else:
-        raise TypeError(f"cannot serialise objects of type {type(obj).__name__}")
-
     path = os.fspath(path)
     os.makedirs(path, exist_ok=True)
     arrays_path = os.path.join(path, ARRAYS_FILE)
@@ -185,6 +178,24 @@ def save_artifact(path: Union[str, os.PathLike], obj,
     with open(os.path.join(path, MANIFEST_FILE), "w", encoding="utf-8") as fh:
         json.dump(manifest, fh, indent=2, sort_keys=True)
     return path
+
+
+def save_artifact(path: Union[str, os.PathLike], obj,
+                  metadata: Optional[Dict[str, Any]] = None) -> str:
+    """Serialise a model/tuner/mapper into an artifact directory.
+
+    Returns the artifact path.  ``metadata`` (JSON-serialisable) is stored
+    verbatim in the manifest and surfaced by the registry listings.
+    """
+    if isinstance(obj, MGATuner):
+        kind, (config, arrays) = KIND_TUNER, _tuner_payload(obj)
+    elif isinstance(obj, DeviceMapper):
+        kind, (config, arrays) = KIND_MAPPER, _mapper_payload(obj)
+    elif isinstance(obj, MGAModel):
+        kind, (config, arrays) = KIND_MODEL, _model_payload(obj)
+    else:
+        raise TypeError(f"cannot serialise objects of type {type(obj).__name__}")
+    return write_artifact_dir(path, kind, config, arrays, metadata=metadata)
 
 
 # ----------------------------------------------------------------------
@@ -230,16 +241,25 @@ def _restore_model(config: Optional[Dict[str, Any]],
     return model
 
 
-def load_artifact(path: Union[str, os.PathLike]):
-    """Load an artifact directory back into its original object type."""
+def read_artifact_dir(path: Union[str, os.PathLike]):
+    """Low-level artifact reader: ``(manifest, arrays)``, integrity-checked."""
     path = os.fspath(path)
     manifest = read_manifest(path)
-    arrays = _load_arrays(path, manifest)
+    return manifest, _load_arrays(path, manifest)
+
+
+def load_artifact(path: Union[str, os.PathLike]):
+    """Load an artifact directory back into its original object type."""
+    manifest, arrays = read_artifact_dir(path)
     config = manifest["config"]
     kind = manifest["kind"]
 
     if kind == KIND_MODEL:
         return _restore_model(config["model"], arrays)
+
+    if kind == KIND_CAMPAIGN:
+        from repro.tuners.campaign import restore_campaign
+        return restore_campaign(config, arrays)
 
     modalities = ModalityConfig(**config["modalities"])
     extractor = _rebuild_extractor(config["extractor"], arrays)

@@ -7,6 +7,7 @@ Commands
 ``info``          print a published version's manifest
 ``tune``          tune one kernel with a published OpenMP tuner
 ``map``           map one kernel with a published device mapper
+``campaign``      run/resume a parallel black-box search campaign
 
 Machine-readable output: every command prints one JSON document to stdout.
 """
@@ -66,6 +67,43 @@ def _build_parser() -> argparse.ArgumentParser:
     mapper.add_argument("--kernel", required=True)
     mapper.add_argument("--transfer-bytes", type=float, required=True)
     mapper.add_argument("--wgsize", type=int, default=64)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="run a parallel black-box search campaign on the simulator")
+    # search-defining flags default to None so the resume path can tell
+    # "explicitly passed" (an error: the checkpoint owns these) from
+    # "omitted" (CampaignRequest supplies the defaults)
+    campaign.add_argument("--kernel", default=None,
+                          help="kernel uid, e.g. polybench/gemm "
+                               "(not allowed with --resume)")
+    campaign.add_argument("--tuner", default=None,
+                          help="strategy: random/oracle/opentuner/ytopt/bliss "
+                               "(default random)")
+    campaign.add_argument("--budget", type=int, default=None,
+                          help="evaluation budget (default 20; oracle "
+                               "ignores it)")
+    campaign.add_argument("--arch", default=None,
+                          help="micro-architecture preset name "
+                               "(default skylake_4114)")
+    campaign.add_argument("--space", choices=("full", "threads"),
+                          default=None, help="(default full)")
+    campaign.add_argument("--scale", type=float, default=None)
+    campaign.add_argument("--noise", type=float, default=None)
+    campaign.add_argument("--repeats", type=int, default=None,
+                          help="simulated measurements per configuration")
+    campaign.add_argument("--seed", type=int, default=None,
+                          help="search seed (proposals)")
+    campaign.add_argument("--sim-seed", type=int, default=None,
+                          help="measurement seed (simulator noise)")
+    campaign.add_argument("--batch-size", type=int, default=None,
+                          help="proposals per ask/tell round (default 8)")
+    campaign.add_argument("--workers", type=int, default=1,
+                          help="evaluation worker processes")
+    campaign.add_argument("--checkpoint", default=None,
+                          help="directory to checkpoint campaign state into")
+    campaign.add_argument("--resume", default=None,
+                          help="checkpoint directory to continue from")
     return parser
 
 
@@ -153,12 +191,36 @@ def _cmd_map(args) -> int:
     return 0
 
 
+def _cmd_campaign(args) -> int:
+    from repro.serve.service import CampaignRequest, TuningService
+
+    search_flags = {name: getattr(args, name) for name in
+                    ("kernel", "tuner", "budget", "arch", "space", "scale",
+                     "noise", "repeats", "seed", "sim_seed", "batch_size")}
+    if args.resume is not None:
+        conflicting = sorted(k for k, v in search_flags.items()
+                             if v is not None)
+        if conflicting:
+            raise ValueError(
+                "these flags define the search and come from the checkpoint; "
+                "they cannot be combined with --resume: "
+                + ", ".join("--" + c.replace("_", "-") for c in conflicting))
+    request = CampaignRequest(
+        workers=args.workers, checkpoint=args.checkpoint, resume=args.resume,
+        **{k: v for k, v in search_flags.items() if v is not None})
+    with TuningService() as service:
+        response = service.run_campaign(request)
+        print(json.dumps(dataclasses.asdict(response), indent=2))
+    return 0
+
+
 _COMMANDS = {
     "publish-demo": _cmd_publish_demo,
     "list": _cmd_list,
     "info": _cmd_info,
     "tune": _cmd_tune,
     "map": _cmd_map,
+    "campaign": _cmd_campaign,
 }
 
 

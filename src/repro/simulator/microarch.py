@@ -134,6 +134,20 @@ def get_microarch(name: str) -> MicroArch:
                        f"known: {sorted(_MICROARCHS)}") from exc
 
 
+def microarch_to_config(arch: MicroArch) -> Dict:
+    """JSON-serialisable form of any :class:`MicroArch` (preset or custom)."""
+    return dataclasses.asdict(arch)
+
+
+def microarch_from_config(config) -> MicroArch:
+    """Rebuild a :class:`MicroArch` from a preset name or a full field dict."""
+    if isinstance(config, str):
+        return get_microarch(config)
+    if isinstance(config, MicroArch):
+        return config
+    return MicroArch(**config)
+
+
 # ----------------------------------------------------------------------
 # OpenCL devices (§4.2)
 # ----------------------------------------------------------------------

@@ -29,7 +29,11 @@ from repro.frontend.analysis import WorkloadSummary, analyze_spec
 from repro.frontend.openmp import OMPConfig, OMPSchedule
 from repro.frontend.spec import KernelSpec
 from repro.simulator.cache import CacheTraffic, estimate_cache_traffic
-from repro.simulator.microarch import MicroArch
+from repro.simulator.microarch import (
+    MicroArch,
+    microarch_from_config,
+    microarch_to_config,
+)
 
 #: Baseline fraction of branches mispredicted even for perfectly predictable
 #: loop back-edges.
@@ -60,7 +64,25 @@ class OpenMPSimulator:
                  seed: Optional[int] = 1234):
         self.arch = arch
         self.noise = float(noise)
+        self.seed = seed
         self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def get_config(self) -> Dict:
+        """JSON-serialisable parameters rebuilding an equivalent simulator.
+
+        The internal RNG position is *not* captured; a reconstructed
+        simulator restarts its noise stream from ``seed`` (callers that need
+        order-independent determinism pass an explicit ``rng`` to
+        :meth:`run`, as the campaign workers do).
+        """
+        return {"arch": microarch_to_config(self.arch), "noise": self.noise,
+                "seed": self.seed}
+
+    @classmethod
+    def from_config(cls, config: Dict) -> "OpenMPSimulator":
+        return cls(microarch_from_config(config["arch"]),
+                   noise=float(config["noise"]), seed=config["seed"])
 
     # ------------------------------------------------------------------
     def run(self, workload: Union[KernelSpec, WorkloadSummary],

@@ -16,6 +16,12 @@ from repro.tuners.exhaustive import ExhaustiveTuner
 from repro.tuners.random_search import RandomSearchTuner
 from repro.tuners.opentuner_like import OpenTunerLike
 from repro.tuners.bayesian import BLISSTuner, GaussianProcess, YtoptTuner
+from repro.tuners.campaign import (
+    SimObjectiveSpec,
+    TUNER_CLASSES,
+    TuningCampaign,
+    make_tuner,
+)
 from repro.tuners.devmap_baselines import (
     DeepTuneBaseline,
     GreweBaseline,
@@ -40,4 +46,8 @@ __all__ = [
     "GreweBaseline",
     "DeepTuneBaseline",
     "Inst2VecBaseline",
+    "SimObjectiveSpec",
+    "TUNER_CLASSES",
+    "TuningCampaign",
+    "make_tuner",
 ]

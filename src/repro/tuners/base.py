@@ -1,9 +1,22 @@
-"""Black-box tuner interface shared by the search / Bayesian baselines."""
+"""Black-box tuner interface shared by the search / Bayesian baselines.
+
+Tuners expose two equivalent driving modes:
+
+* :meth:`BlackBoxTuner.tune` — the classic serial propose/evaluate loop;
+* the batch-synchronous *ask/tell* split (:meth:`BlackBoxTuner.ask` /
+  :meth:`BlackBoxTuner.tell`) used by
+  :class:`~repro.tuners.campaign.TuningCampaign` to fan evaluations out to a
+  worker pool: propose ``k`` configurations, evaluate them (possibly in
+  parallel), then observe all ``k`` results at once.
+
+``tune`` is implemented on top of ask/tell with ``k=1``, so both modes walk
+the search space identically for a given seed.
+"""
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -26,6 +39,21 @@ class TuningResult:
 
     def speedup_over(self, reference_time: float) -> float:
         return reference_time / self.best_time
+
+
+def sample_without_replacement(remaining: List[OMPConfig],
+                               rng: np.random.Generator,
+                               k: int) -> List[OMPConfig]:
+    """Draw up to ``k`` distinct members of ``remaining`` (mutates the list).
+
+    Shared by every tuner's batch ``ask`` warm-up path; the draw order is
+    part of the campaign determinism contract, so there is exactly one
+    implementation.
+    """
+    batch: List[OMPConfig] = []
+    for _ in range(min(k, len(remaining))):
+        batch.append(remaining.pop(int(rng.integers(len(remaining)))))
+    return batch
 
 
 def make_objective(simulator: OpenMPSimulator, summary: WorkloadSummary,
@@ -59,22 +87,73 @@ class BlackBoxTuner:
                 rng: np.random.Generator) -> OMPConfig:  # pragma: no cover
         raise NotImplementedError
 
+    def effective_budget(self, space: SearchSpace) -> int:
+        """Evaluations this tuner will spend on ``space``."""
+        return min(self.budget, len(space))
+
+    # ------------------------------------------------------------------
+    # batch-synchronous interface
+    # ------------------------------------------------------------------
+    def ask(self, space: SearchSpace, history: List[Tuple[OMPConfig, float]],
+            rng: np.random.Generator, k: int = 1) -> List[OMPConfig]:
+        """Propose up to ``k`` distinct unevaluated configurations.
+
+        The default implementation calls :meth:`propose` ``k`` times and
+        falls back to a uniform unseen configuration whenever a proposal
+        repeats one already evaluated or already in the batch (the same
+        dedup rule the serial loop always applied).  Returns fewer than
+        ``k`` configurations only when the space is exhausted.
+        """
+        seen = {config for config, _ in history}
+        batch: List[OMPConfig] = []
+        for _ in range(k):
+            config = self.propose(space, history, rng)
+            if config in seen or config in batch:
+                remaining = [c for c in space
+                             if c not in seen and c not in batch]
+                if not remaining:
+                    break
+                config = remaining[rng.integers(len(remaining))]
+            batch.append(config)
+        return batch
+
+    def tell(self, batch: List[Tuple[OMPConfig, float]],
+             history: List[Tuple[OMPConfig, float]]) -> None:
+        """Observe one evaluated batch (``history`` already includes it)."""
+
+    def finalize(self, result: TuningResult) -> None:
+        """Hook run once after a session (credit assignment etc.)."""
+
+    # ------------------------------------------------------------------
+    # checkpointable internal state (beyond history / RNG, which the
+    # campaign itself owns)
+    # ------------------------------------------------------------------
+    def get_config(self) -> Dict[str, Any]:
+        """JSON-serialisable constructor arguments."""
+        return {"budget": self.budget, "seed": self.seed}
+
+    def get_state(self) -> Dict[str, Any]:
+        """JSON-serialisable mutable search state (default: stateless)."""
+        return {}
+
+    def set_state(self, state: Dict[str, Any]) -> None:
+        """Restore state captured by :meth:`get_state`."""
+
+    # ------------------------------------------------------------------
     def tune(self, objective: Objective, space: SearchSpace) -> TuningResult:
         """Generic propose/evaluate loop honouring the evaluation budget."""
         rng = np.random.default_rng(self.seed)
         history: List[Tuple[OMPConfig, float]] = []
-        seen = set()
-        budget = min(self.budget, len(space))
+        budget = self.effective_budget(space)
         while len(history) < budget:
-            config = self.propose(space, history, rng)
-            if config in seen:
-                # fall back to a random unseen configuration
-                remaining = [c for c in space if c not in seen]
-                if not remaining:
-                    break
-                config = remaining[rng.integers(len(remaining))]
-            seen.add(config)
-            history.append((config, float(objective(config))))
+            batch = self.ask(space, history, rng, k=1)
+            if not batch:
+                break
+            evaluated = [(config, float(objective(config))) for config in batch]
+            history.extend(evaluated)
+            self.tell(evaluated, history)
         best_config, best_time = min(history, key=lambda item: item[1])
-        return TuningResult(best_config=best_config, best_time=best_time,
-                            evaluations=len(history), history=history)
+        result = TuningResult(best_config=best_config, best_time=best_time,
+                              evaluations=len(history), history=history)
+        self.finalize(result)
+        return result

@@ -19,7 +19,7 @@ from scipy.linalg import cho_factor, cho_solve
 
 from repro.frontend.openmp import OMPConfig
 from repro.ml import RandomForestRegressor
-from repro.tuners.base import BlackBoxTuner
+from repro.tuners.base import BlackBoxTuner, sample_without_replacement
 from repro.tuners.space import SearchSpace
 
 
@@ -81,6 +81,13 @@ def expected_improvement(mean: np.ndarray, std: np.ndarray,
     return improvement * norm.cdf(z) + std * norm.pdf(z)
 
 
+def _top_k(remaining: List[OMPConfig], scores: np.ndarray,
+           k: int) -> List[OMPConfig]:
+    """The ``k`` highest-scoring candidates, best first (deterministic)."""
+    order = np.argsort(-scores, kind="stable")[:k]
+    return [remaining[int(i)] for i in order]
+
+
 class YtoptTuner(BlackBoxTuner):
     """GP + expected-improvement surrogate loop (ytopt-style)."""
 
@@ -92,6 +99,20 @@ class YtoptTuner(BlackBoxTuner):
         self.init_points = int(init_points)
         self.length_scale = length_scale
 
+    def get_config(self):
+        return {**super().get_config(), "init_points": self.init_points,
+                "length_scale": self.length_scale}
+
+    def _acquisition(self, space: SearchSpace,
+                     history: List[Tuple[OMPConfig, float]],
+                     remaining: List[OMPConfig]) -> np.ndarray:
+        x = np.stack([space.to_vector(c) for c, _ in history])
+        y = np.log(np.array([t for _, t in history]))
+        gp = GaussianProcess(length_scale=self.length_scale).fit(x, y)
+        candidates = np.stack([space.to_vector(c) for c in remaining])
+        mean, std = gp.predict(candidates)
+        return expected_improvement(mean, std, best=float(y.min()))
+
     def propose(self, space: SearchSpace, history: List[Tuple[OMPConfig, float]],
                 rng: np.random.Generator) -> OMPConfig:
         seen = {config for config, _ in history}
@@ -100,13 +121,20 @@ class YtoptTuner(BlackBoxTuner):
             return space[rng.integers(len(space))]
         if len(history) < self.init_points:
             return remaining[rng.integers(len(remaining))]
-        x = np.stack([space.to_vector(c) for c, _ in history])
-        y = np.log(np.array([t for _, t in history]))
-        gp = GaussianProcess(length_scale=self.length_scale).fit(x, y)
-        candidates = np.stack([space.to_vector(c) for c in remaining])
-        mean, std = gp.predict(candidates)
-        ei = expected_improvement(mean, std, best=float(y.min()))
+        ei = self._acquisition(space, history, remaining)
         return remaining[int(np.argmax(ei))]
+
+    def ask(self, space: SearchSpace, history: List[Tuple[OMPConfig, float]],
+            rng: np.random.Generator, k: int = 1) -> List[OMPConfig]:
+        """Batch proposals: random during warm-up, then the top-k EI."""
+        seen = {config for config, _ in history}
+        remaining = [c for c in space if c not in seen]
+        if not remaining:
+            return []
+        if len(history) < self.init_points:
+            return sample_without_replacement(remaining, rng, k)
+        ei = self._acquisition(space, history, remaining)
+        return _top_k(remaining, ei, k)
 
 
 class BLISSTuner(BlackBoxTuner):
@@ -118,6 +146,9 @@ class BLISSTuner(BlackBoxTuner):
         super().__init__(budget=budget, seed=seed)
         self.init_points = int(init_points)
 
+    def get_config(self):
+        return {**super().get_config(), "init_points": self.init_points}
+
     def _pool(self) -> List[object]:
         return [
             GaussianProcess(length_scale=0.25),
@@ -126,14 +157,10 @@ class BLISSTuner(BlackBoxTuner):
             RandomForestRegressor(n_estimators=12, max_depth=4, seed=self.seed),
         ]
 
-    def propose(self, space: SearchSpace, history: List[Tuple[OMPConfig, float]],
-                rng: np.random.Generator) -> OMPConfig:
-        seen = {config for config, _ in history}
-        remaining = [c for c in space if c not in seen]
-        if not remaining:
-            return space[rng.integers(len(space))]
-        if len(history) < self.init_points:
-            return remaining[rng.integers(len(remaining))]
+    def _acquisition(self, space: SearchSpace,
+                     history: List[Tuple[OMPConfig, float]],
+                     remaining: List[OMPConfig]) -> Optional[np.ndarray]:
+        """EI from the pool member that best explains the last observation."""
         x = np.stack([space.to_vector(c) for c, _ in history])
         y = np.log(np.array([t for _, t in history]))
         candidates = np.stack([space.to_vector(c) for c in remaining])
@@ -159,6 +186,31 @@ class BLISSTuner(BlackBoxTuner):
                     best_pred = ei
             except Exception:           # singular kernels etc: skip that model
                 continue
+        return best_pred
+
+    def propose(self, space: SearchSpace, history: List[Tuple[OMPConfig, float]],
+                rng: np.random.Generator) -> OMPConfig:
+        seen = {config for config, _ in history}
+        remaining = [c for c in space if c not in seen]
+        if not remaining:
+            return space[rng.integers(len(space))]
+        if len(history) < self.init_points:
+            return remaining[rng.integers(len(remaining))]
+        best_pred = self._acquisition(space, history, remaining)
         if best_pred is None:
             return remaining[rng.integers(len(remaining))]
         return remaining[int(np.argmax(best_pred))]
+
+    def ask(self, space: SearchSpace, history: List[Tuple[OMPConfig, float]],
+            rng: np.random.Generator, k: int = 1) -> List[OMPConfig]:
+        """Batch proposals: random during warm-up, then the pool's top-k EI."""
+        seen = {config for config, _ in history}
+        remaining = [c for c in space if c not in seen]
+        if not remaining:
+            return []
+        if len(history) < self.init_points:
+            return sample_without_replacement(remaining, rng, k)
+        best_pred = self._acquisition(space, history, remaining)
+        if best_pred is None:
+            return sample_without_replacement(remaining, rng, k)
+        return _top_k(remaining, best_pred, k)

@@ -1,0 +1,389 @@
+"""Parallel tuning campaigns: multiprocess search with checkpoint/resume.
+
+A *campaign* drives one black-box tuner over one search space with the
+batch-synchronous ask/evaluate/tell split of :class:`~repro.tuners.base.
+BlackBoxTuner`: the tuner proposes ``batch_size`` configurations, a
+:class:`multiprocessing.Pool` evaluates them concurrently, and the results
+are observed in proposal order.  Three properties make this safe to
+parallelise and to interrupt:
+
+* **Picklable objectives** — instead of closures, workers receive a
+  :class:`SimObjectiveSpec` (kernel uid + micro-architecture + simulator
+  parameters) and rebuild the simulator once per process.
+* **Order-independent evaluations** — each configuration's measurement RNG
+  is seeded from ``(spec.seed, configuration index)``, so a result does not
+  depend on which worker produced it or in which order: ``workers=1`` and
+  ``workers=N`` campaigns produce byte-identical histories.
+* **Checkpointing** — after every ``checkpoint_every`` batches the campaign
+  persists history, tuner state and the proposal RNG state as a
+  :mod:`repro.serve` artifact (sha256-integrity checked, staged + renamed so
+  an interrupted write never corrupts the previous checkpoint), and
+  :meth:`TuningCampaign.resume` continues exactly where the campaign
+  stopped.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import shutil
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.frontend.analysis import analyze_spec
+from repro.frontend.openmp import OMPConfig
+from repro.tuners.base import BlackBoxTuner, TuningResult
+from repro.tuners.bayesian import BLISSTuner, YtoptTuner
+from repro.tuners.exhaustive import ExhaustiveTuner
+from repro.tuners.opentuner_like import OpenTunerLike
+from repro.tuners.random_search import RandomSearchTuner
+from repro.tuners.space import SearchSpace
+
+#: Strategies a campaign (or a checkpoint) can name.
+TUNER_CLASSES: Dict[str, type] = {
+    cls.name: cls for cls in (RandomSearchTuner, ExhaustiveTuner,
+                              OpenTunerLike, YtoptTuner, BLISSTuner)
+}
+
+#: Default proposal batch size.  A fixed constant (not ``workers``) so the
+#: proposal schedule — and therefore the history — is identical no matter
+#: how many workers evaluate it.
+DEFAULT_BATCH_SIZE = 8
+
+
+def make_tuner(name: str, config: Optional[Dict[str, Any]] = None,
+               **overrides) -> BlackBoxTuner:
+    """Instantiate a registered tuner strategy from its JSON config."""
+    try:
+        cls = TUNER_CLASSES[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown tuner strategy {name!r}; "
+                       f"known: {sorted(TUNER_CLASSES)}") from exc
+    kwargs = dict(config or {})
+    kwargs.update(overrides)
+    return cls(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# picklable objective
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class SimObjectiveSpec:
+    """Picklable description of a simulator-backed tuning objective.
+
+    ``repeats`` measurements are taken per configuration (their median is
+    the objective value), mirroring how real campaigns re-run a kernel to
+    tame measurement noise.  ``walltime_scale`` optionally makes each
+    evaluation *occupy* wall-clock time proportional to the simulated
+    execution (capped at ``walltime_cap`` seconds): this models the real
+    cost structure of autotuning — the search process waits on kernel
+    executions — and is what a worker pool overlaps.
+    """
+
+    kernel_uid: str
+    arch: Any                          # MicroArch (picklable dataclass)
+    scale: float = 1.0
+    noise: float = 0.015
+    seed: int = 1234
+    repeats: int = 1
+    walltime_scale: float = 0.0
+    walltime_cap: float = 0.05
+
+    def build(self) -> "SimObjective":
+        return SimObjective(self)
+
+    def to_config(self) -> Dict[str, Any]:
+        from repro.simulator.microarch import microarch_to_config
+        data = dataclasses.asdict(self)
+        data["arch"] = microarch_to_config(self.arch)
+        return data
+
+    @classmethod
+    def from_config(cls, data: Dict[str, Any]) -> "SimObjectiveSpec":
+        from repro.simulator.microarch import microarch_from_config
+        data = dict(data)
+        data["arch"] = microarch_from_config(data["arch"])
+        return cls(**data)
+
+
+class SimObjective:
+    """A built objective: summary + simulator, evaluated per configuration.
+
+    ``key`` is the configuration's index in the campaign's search space; it
+    seeds the per-evaluation RNG so results are a pure function of
+    (spec, configuration) — independent of evaluation order and worker.
+    """
+
+    def __init__(self, spec: SimObjectiveSpec):
+        from repro.kernels import registry
+        from repro.simulator.openmp import OpenMPSimulator
+
+        self.spec = spec
+        kernel = registry.get_kernel(spec.kernel_uid)
+        self.summary = analyze_spec(kernel, spec.scale)
+        self.simulator = OpenMPSimulator(spec.arch, noise=spec.noise,
+                                         seed=spec.seed)
+
+    def __call__(self, config: OMPConfig, key: int) -> float:
+        rng = np.random.default_rng([int(self.spec.seed) & 0x7FFFFFFF, key])
+        times = [self.simulator.run(self.summary, config, rng=rng).time_seconds
+                 for _ in range(max(1, self.spec.repeats))]
+        value = float(np.median(times))
+        if self.spec.walltime_scale > 0.0:
+            time.sleep(min(value * self.spec.walltime_scale * len(times),
+                           self.spec.walltime_cap))
+        return value
+
+
+# ----------------------------------------------------------------------
+# worker-pool plumbing (module level so it pickles under spawn too)
+# ----------------------------------------------------------------------
+_WORKER_OBJECTIVE: Optional[SimObjective] = None
+
+
+def _init_worker(spec: SimObjectiveSpec) -> None:
+    global _WORKER_OBJECTIVE
+    _WORKER_OBJECTIVE = spec.build()
+
+
+def _evaluate_in_worker(args: Tuple[OMPConfig, int]) -> float:
+    config, key = args
+    assert _WORKER_OBJECTIVE is not None, "worker pool not initialised"
+    return _WORKER_OBJECTIVE(config, key)
+
+
+# ----------------------------------------------------------------------
+# checkpoint payload
+# ----------------------------------------------------------------------
+def _campaign_payload(campaign: "TuningCampaign"):
+    config = {
+        "objective": campaign.objective_spec.to_config(),
+        "space": campaign.space.to_config(),
+        "tuner_name": campaign.tuner.name,
+        "tuner_config": campaign.tuner.get_config(),
+        "tuner_state": campaign.tuner.get_state(),
+        "rng_state": campaign._rng.bit_generator.state,
+        "batch_size": campaign.batch_size,
+        "batches": campaign.batches,
+    }
+    indices = np.array([campaign.space.index_of(c)
+                        for c, _ in campaign.history], dtype=np.int64)
+    times = np.array([t for _, t in campaign.history], dtype=np.float64)
+    arrays = {"history.indices": indices, "history.times": times}
+    return config, arrays
+
+
+def restore_campaign(config: Dict[str, Any], arrays: Dict[str, np.ndarray],
+                     **overrides) -> "TuningCampaign":
+    """Rebuild a campaign from a checkpoint payload (see ``load_artifact``).
+
+    ``overrides`` are forwarded to the :class:`TuningCampaign` constructor —
+    ``workers`` in particular may differ from the interrupted run without
+    affecting the history (evaluations are order-independent).
+    """
+    spec = SimObjectiveSpec.from_config(config["objective"])
+    space = SearchSpace.from_config(config["space"])
+    tuner = make_tuner(config["tuner_name"], config["tuner_config"])
+    tuner.set_state(config["tuner_state"])
+    kwargs = {"batch_size": int(config["batch_size"])}
+    kwargs.update(overrides)
+    campaign = TuningCampaign(tuner, space, spec, **kwargs)
+    campaign._rng.bit_generator.state = config["rng_state"]
+    indices = arrays["history.indices"]
+    times = arrays["history.times"]
+    campaign.history = [(space[int(i)], float(t))
+                        for i, t in zip(indices, times)]
+    campaign.batches = int(config.get("batches", 0))
+    # the loaded artifact IS the latest checkpoint: don't rewrite identical
+    # state when a resumed campaign turns out to be already finished
+    campaign._checkpointed_batches = campaign.batches
+    return campaign
+
+
+# ----------------------------------------------------------------------
+# the orchestrator
+# ----------------------------------------------------------------------
+class TuningCampaign:
+    """Batch-synchronous, optionally multiprocess tuning session."""
+
+    def __init__(self, tuner: BlackBoxTuner, space: SearchSpace,
+                 objective_spec: SimObjectiveSpec, workers: int = 1,
+                 batch_size: Optional[int] = None,
+                 checkpoint_path: Optional[str] = None,
+                 checkpoint_every: int = 1,
+                 mp_start_method: Optional[str] = None):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.tuner = tuner
+        self.space = space
+        self.objective_spec = objective_spec
+        self.workers = int(workers)
+        self.batch_size = (DEFAULT_BATCH_SIZE if batch_size is None
+                           else int(batch_size))
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.checkpoint_path = (os.fspath(checkpoint_path)
+                                if checkpoint_path is not None else None)
+        self.checkpoint_every = max(1, int(checkpoint_every))
+        self.mp_start_method = mp_start_method
+        self.history: List[Tuple[OMPConfig, float]] = []
+        self.batches = 0
+        self.wall_seconds = 0.0
+        self._rng = np.random.default_rng(tuner.seed)
+        self._inline_objective: Optional[SimObjective] = None
+        self._checkpointed_batches = -1   # batches count at the last write
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _previous_path(path: str) -> str:
+        """Where :meth:`checkpoint` parks the old state during the swap."""
+        parent, base = os.path.split(os.path.abspath(path))
+        return os.path.join(parent, f".previous-{base}")
+
+    @classmethod
+    def resume(cls, path, **overrides) -> "TuningCampaign":
+        """Load a checkpoint written by a previous (interrupted) campaign.
+
+        Falls back to the rename-aside copy if the campaign was killed in
+        the middle of the checkpoint swap itself.
+        """
+        from repro.serve.artifacts import ArtifactError, load_artifact
+        try:
+            campaign = load_artifact(path)
+        except (ArtifactError, OSError):
+            fallback = cls._previous_path(os.fspath(path))
+            if not os.path.isdir(fallback):
+                raise
+            campaign = load_artifact(fallback)
+        if not isinstance(campaign, TuningCampaign):
+            raise TypeError(f"{os.fspath(path)!r} is not a campaign "
+                            f"checkpoint")
+        for key, value in overrides.items():
+            if key == "workers":
+                if int(value) < 1:
+                    raise ValueError("workers must be >= 1")
+                campaign.workers = int(value)
+            elif key == "checkpoint_path":
+                campaign.checkpoint_path = (os.fspath(value)
+                                            if value is not None else None)
+            elif key == "checkpoint_every":
+                campaign.checkpoint_every = max(1, int(value))
+            elif key == "mp_start_method":
+                campaign.mp_start_method = value
+            else:
+                raise TypeError(f"cannot override {key!r} on resume")
+        if campaign.checkpoint_path is None:
+            campaign.checkpoint_path = os.fspath(path)
+        if (os.path.abspath(campaign.checkpoint_path)
+                != os.path.abspath(os.fspath(path))):
+            # resuming into a different checkpoint location: the loaded
+            # state has not been written there yet
+            campaign._checkpointed_batches = -1
+        return campaign
+
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> Optional[str]:
+        """Write the current campaign state (replace-on-success).
+
+        The new state is staged next to the final path; the previous
+        checkpoint is renamed aside (not deleted) before the staging dir
+        takes its place, so at every instant either the final path or the
+        ``.previous-*`` copy holds a complete, loadable checkpoint —
+        :meth:`resume` knows to fall back to it.
+        """
+        if self.checkpoint_path is None:
+            return None
+        from repro.serve.artifacts import KIND_CAMPAIGN, write_artifact_dir
+        final = os.path.abspath(self.checkpoint_path)
+        parent = os.path.dirname(final)
+        os.makedirs(parent, exist_ok=True)
+        staging = os.path.join(parent,
+                               f".staging-{os.path.basename(final)}")
+        previous = self._previous_path(final)
+        if os.path.exists(staging):
+            shutil.rmtree(staging)
+        config, arrays = _campaign_payload(self)
+        try:
+            write_artifact_dir(staging, KIND_CAMPAIGN, config, arrays)
+            if os.path.exists(final):
+                if os.path.exists(previous):
+                    shutil.rmtree(previous)
+                os.rename(final, previous)
+            os.rename(staging, final)
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        shutil.rmtree(previous, ignore_errors=True)
+        self._checkpointed_batches = self.batches
+        return final
+
+    # ------------------------------------------------------------------
+    def _evaluate_batch(self, batch: List[OMPConfig], pool) -> List[float]:
+        payload = [(config, self.space.index_of(config)) for config in batch]
+        if pool is None:
+            if self._inline_objective is None:
+                self._inline_objective = self.objective_spec.build()
+            objective = self._inline_objective
+            return [objective(config, key) for config, key in payload]
+        return list(pool.map(_evaluate_in_worker, payload))
+
+    def run(self, max_evals: Optional[int] = None) -> TuningResult:
+        """Drive the campaign to its budget (or ``max_evals`` more evals).
+
+        Returns the :class:`TuningResult` over everything evaluated so far.
+        With ``max_evals`` the campaign stops early after that many
+        additional evaluations *rounded up to whole batches*, so the batch
+        schedule (and hence every proposal) matches the uninterrupted run —
+        the checkpoint then lets :meth:`resume` finish the rest exactly.
+        """
+        budget = self.tuner.effective_budget(self.space)
+        batches_limit = None
+        if max_evals is not None:
+            batches_limit = self.batches + max(
+                1, -(-int(max_evals) // self.batch_size))  # ceil division
+        started = time.perf_counter()
+        pool = None
+        exhausted = False
+        try:
+            if self.workers > 1 and len(self.history) < budget:
+                ctx = (multiprocessing.get_context(self.mp_start_method)
+                       if self.mp_start_method else multiprocessing)
+                pool = ctx.Pool(self.workers, initializer=_init_worker,
+                                initargs=(self.objective_spec,))
+            while len(self.history) < budget and (
+                    batches_limit is None or self.batches < batches_limit):
+                k = min(self.batch_size, budget - len(self.history))
+                batch = self.tuner.ask(self.space, self.history, self._rng, k)
+                if not batch:
+                    exhausted = True
+                    break
+                times = self._evaluate_batch(batch, pool)
+                evaluated = list(zip(batch, [float(t) for t in times]))
+                self.history.extend(evaluated)
+                self.tuner.tell(evaluated, self.history)
+                self.batches += 1
+                if self.batches % self.checkpoint_every == 0:
+                    self.checkpoint()
+        finally:
+            if pool is not None:
+                pool.close()
+                pool.join()
+        self.wall_seconds += time.perf_counter() - started
+        if self.batches != self._checkpointed_batches:
+            self.checkpoint()
+        if not self.history:
+            raise RuntimeError("campaign produced no evaluations")
+        best_config, best_time = min(self.history, key=lambda item: item[1])
+        result = TuningResult(best_config=best_config, best_time=best_time,
+                              evaluations=len(self.history),
+                              history=list(self.history))
+        if exhausted or len(self.history) >= budget:
+            self.tuner.finalize(result)
+        return result
+
+    @property
+    def finished(self) -> bool:
+        return len(self.history) >= self.tuner.effective_budget(self.space)

@@ -7,7 +7,7 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.frontend.openmp import OMPConfig
-from repro.tuners.base import BlackBoxTuner, Objective, TuningResult
+from repro.tuners.base import BlackBoxTuner
 from repro.tuners.space import SearchSpace
 
 
@@ -19,10 +19,14 @@ class ExhaustiveTuner(BlackBoxTuner):
     def __init__(self):
         super().__init__(budget=1, seed=0)
 
-    def tune(self, objective: Objective, space: SearchSpace) -> TuningResult:
-        history: List[Tuple[OMPConfig, float]] = [
-            (config, float(objective(config))) for config in space
-        ]
-        best_config, best_time = min(history, key=lambda item: item[1])
-        return TuningResult(best_config=best_config, best_time=best_time,
-                            evaluations=len(history), history=history)
+    def effective_budget(self, space: SearchSpace) -> int:
+        return len(space)
+
+    def ask(self, space: SearchSpace, history: List[Tuple[OMPConfig, float]],
+            rng: np.random.Generator, k: int = 1) -> List[OMPConfig]:
+        """The next ``k`` configurations in space order."""
+        done = len(history)
+        return [space[i] for i in range(done, min(done + k, len(space)))]
+
+    def get_config(self):
+        return {}

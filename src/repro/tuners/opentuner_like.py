@@ -8,12 +8,12 @@ over the discrete OpenMP configuration space.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.frontend.openmp import OMPConfig, OMPSchedule
-from repro.tuners.base import BlackBoxTuner
+from repro.tuners.base import BlackBoxTuner, TuningResult
 from repro.tuners.space import SearchSpace
 
 
@@ -22,7 +22,9 @@ def _mutate(config: OMPConfig, space: SearchSpace,
     """Move to a neighbouring configuration (change one parameter)."""
     threads = sorted({c.num_threads for c in space})
     chunks = sorted({c.chunk_size for c in space}, key=lambda c: (c is None, c))
-    schedules = list({c.schedule for c in space})
+    # sorted, not set order: proposals must not depend on per-process hash
+    # randomisation or checkpoint/resume across processes diverges
+    schedules = sorted({c.schedule for c in space}, key=lambda s: s.value)
     choice = rng.integers(3)
     new_threads, new_schedule, new_chunk = (config.num_threads, config.schedule,
                                             config.chunk_size)
@@ -114,17 +116,9 @@ class OpenTunerLike(BlackBoxTuner):
         technique = self._select_technique(rng)
         technique.uses += 1
         self.technique_log.append(technique.name)
-        proposal = technique.propose(space, history, best, rng)
-        # credit assignment: reward the technique if it improved on the best
-        if history:
-            best_time = min(t for _, t in history)
-            self._pending = (technique, best_time)
-        else:
-            self._pending = (technique, None)
-        return proposal
+        return technique.propose(space, history, best, rng)
 
-    def tune(self, objective, space):
-        result = super().tune(objective, space)
+    def finalize(self, result: TuningResult) -> None:
         # final AUC-style credit: techniques used early in improvements earn more
         improvements: Dict[str, float] = {}
         best = np.inf
@@ -135,4 +129,24 @@ class OpenTunerLike(BlackBoxTuner):
                 best = time
         for t in self.techniques:
             t.credit += improvements.get(t.name, 0.0)
-        return result
+
+    # ------------------------------------------------------------------
+    def get_config(self) -> Dict[str, Any]:
+        return {**super().get_config(), "exploration": self.exploration}
+
+    def get_state(self) -> Dict[str, Any]:
+        """Bandit state: per-technique uses/credit plus the selection log."""
+        return {
+            "technique_log": list(self.technique_log),
+            "techniques": {t.name: {"uses": t.uses, "credit": t.credit}
+                           for t in self.techniques},
+        }
+
+    def set_state(self, state: Dict[str, Any]) -> None:
+        self.technique_log = list(state.get("technique_log", []))
+        stats = state.get("techniques", {})
+        for t in self.techniques:
+            entry = stats.get(t.name)
+            if entry is not None:
+                t.uses = int(entry["uses"])
+                t.credit = float(entry["credit"])

@@ -7,7 +7,7 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.frontend.openmp import OMPConfig
-from repro.tuners.base import BlackBoxTuner
+from repro.tuners.base import BlackBoxTuner, sample_without_replacement
 from repro.tuners.space import SearchSpace
 
 
@@ -23,3 +23,10 @@ class RandomSearchTuner(BlackBoxTuner):
         if not remaining:
             return space[rng.integers(len(space))]
         return remaining[rng.integers(len(remaining))]
+
+    def ask(self, space: SearchSpace, history: List[Tuple[OMPConfig, float]],
+            rng: np.random.Generator, k: int = 1) -> List[OMPConfig]:
+        """Draw ``k`` distinct unseen configurations in one pass."""
+        seen = {config for config, _ in history}
+        remaining = [c for c in space if c not in seen]
+        return sample_without_replacement(remaining, rng, k)

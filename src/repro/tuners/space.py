@@ -26,7 +26,10 @@ class SearchSpace:
         if not configs:
             raise ValueError("empty search space")
         self.configs: List[OMPConfig] = list(configs)
-        self._index = {c: i for i, c in enumerate(self.configs)}
+        # first occurrence wins, so index_of is stable under duplicates
+        self._index = {}
+        for i, c in enumerate(self.configs):
+            self._index.setdefault(c, i)
         self._max_threads = max(c.num_threads for c in self.configs)
         self._max_chunk = max((c.chunk_size or 0) for c in self.configs) or 1
 
@@ -55,6 +58,15 @@ class SearchSpace:
 
     def design_matrix(self) -> np.ndarray:
         return np.stack([self.to_vector(c) for c in self.configs])
+
+    # ------------------------------------------------------------------
+    def to_config(self) -> List[dict]:
+        """JSON-serialisable form preserving configuration order."""
+        return [c.to_dict() for c in self.configs]
+
+    @classmethod
+    def from_config(cls, data: Sequence[dict]) -> "SearchSpace":
+        return cls([OMPConfig.from_dict(d) for d in data])
 
 
 def thread_search_space(arch: MicroArch,

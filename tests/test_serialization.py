@@ -1,10 +1,13 @@
-"""State-dict round trips: scalers, modules and the full MGA model.
+"""State-dict round trips: scalers, modules and the full MGA model —
+plus on-disk artifact integrity for campaign checkpoints.
 
 The satellite requirement: after ``state_dict`` → fresh model →
 ``load_state_dict``, predictions must be bit-identical, for every
 :class:`ModalityConfig` ablation variant (the extra state plumbing carries
 the fitted min-max and Gauss-rank scalers alongside the weights).
 """
+
+import os
 
 import numpy as np
 import pytest
@@ -113,3 +116,85 @@ class TestMGAModelRoundTrip:
         with pytest.raises(RuntimeError):
             clone.predict([ds.samples[0].graph],
                           ds.samples[0].vector[None, :], np.zeros((1, 5)))
+
+
+class TestCampaignCheckpointArtifacts:
+    """On-disk integrity of campaign checkpoints (repro.serve artifacts)."""
+
+    @staticmethod
+    def _campaign(checkpoint_path, max_evals=8):
+        from repro.simulator.microarch import COMET_LAKE_8C
+        from repro.tuners import (SimObjectiveSpec, TuningCampaign,
+                                  full_search_space, make_tuner)
+        space = full_search_space(threads=(1, 2, 4, 8), chunks=(1, 32, 256))
+        spec = SimObjectiveSpec(kernel_uid="polybench/atax",
+                                arch=COMET_LAKE_8C, scale=0.2, seed=5)
+        campaign = TuningCampaign(make_tuner("random", budget=16, seed=1),
+                                  space, spec, batch_size=4,
+                                  checkpoint_path=os.fspath(checkpoint_path))
+        if max_evals:
+            campaign.run(max_evals=max_evals)
+        return campaign
+
+    def test_checkpoint_save_load_integrity(self, tmp_path):
+        from repro.serve.artifacts import load_artifact, read_manifest
+        from repro.tuners import TuningCampaign
+        ck = tmp_path / "ck"
+        campaign = self._campaign(ck)
+        manifest = read_manifest(ck)
+        assert manifest["kind"] == "tuning_campaign"
+        restored = load_artifact(ck)
+        assert isinstance(restored, TuningCampaign)
+        assert restored.history == campaign.history
+        assert restored.space.configs == campaign.space.configs
+        assert restored.objective_spec == campaign.objective_spec
+        assert restored.tuner.get_config() == campaign.tuner.get_config()
+
+    def test_sha256_mismatch_raises(self, tmp_path):
+        from repro.serve.artifacts import ArtifactError, load_artifact
+        ck = tmp_path / "ck"
+        self._campaign(ck)
+        arrays = ck / "arrays.npz"
+        payload = bytearray(arrays.read_bytes())
+        payload[-1] ^= 0xFF
+        arrays.write_bytes(bytes(payload))
+        with pytest.raises(ArtifactError, match="integrity"):
+            load_artifact(ck)
+
+    def test_partial_write_keeps_previous_checkpoint(self, tmp_path,
+                                                     monkeypatch):
+        """A crash mid-save must neither corrupt the previous checkpoint nor
+        leave staging litter behind."""
+        import repro.serve.artifacts as artifacts
+        from repro.serve.artifacts import load_artifact
+        ck = tmp_path / "ck"
+        campaign = self._campaign(ck)
+        before = load_artifact(ck).history
+
+        real_savez = np.savez
+
+        def exploding_savez(path, **arrays):
+            real_savez(path, **arrays)      # bytes hit the disk...
+            raise OSError("disk full")      # ...but the save "crashes"
+
+        monkeypatch.setattr(artifacts.np, "savez", exploding_savez)
+        with pytest.raises(OSError):
+            campaign.run(max_evals=4)
+        monkeypatch.undo()
+
+        assert load_artifact(ck).history == before     # old state intact
+        staging = [p for p in os.listdir(tmp_path)
+                   if p.startswith(".staging")]
+        assert staging == []                           # temp dirs cleaned up
+
+    def test_registry_publish_cleans_staging_on_failure(self, tmp_path,
+                                                        monkeypatch):
+        from repro.serve.registry import ModelRegistry
+        registry = ModelRegistry(tmp_path / "reg")
+        with pytest.raises(TypeError):
+            registry.publish("broken", object())
+        model_dir = tmp_path / "reg" / "broken"
+        leftovers = ([p for p in os.listdir(model_dir)
+                      if p.startswith(".staging")]
+                     if model_dir.exists() else [])
+        assert leftovers == []

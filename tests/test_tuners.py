@@ -57,6 +57,71 @@ class TestSearchSpace:
             SearchSpace([])
 
 
+def _random_configs(rng, n, allow_duplicates=False):
+    threads = [int(t) for t in rng.integers(1, 33, size=n)]
+    schedules = [list(OMPSchedule)[int(i)] for i in rng.integers(0, 3, size=n)]
+    chunks = [None if rng.random() < 0.3 else int(c)
+              for c in rng.integers(1, 513, size=n)]
+    configs = [OMPConfig(t, s, c) for t, s, c in zip(threads, schedules, chunks)]
+    if not allow_duplicates:
+        configs = list(dict.fromkeys(configs))
+    return configs
+
+
+class TestSearchSpaceRoundTrips:
+    """index_of / to_vector / design_matrix consistency on arbitrary spaces."""
+
+    @given(st.integers(0, 1000), st.integers(1, 40))
+    @settings(max_examples=30, deadline=None)
+    def test_index_roundtrip_randomized(self, seed, n):
+        rng = np.random.default_rng(seed)
+        space = SearchSpace(_random_configs(rng, n))
+        for i, config in enumerate(space):
+            assert space.index_of(config) == i
+            assert space[i] == config
+
+    @given(st.integers(0, 1000), st.integers(1, 40))
+    @settings(max_examples=30, deadline=None)
+    def test_design_matrix_matches_to_vector(self, seed, n):
+        rng = np.random.default_rng(seed)
+        space = SearchSpace(_random_configs(rng, n))
+        mat = space.design_matrix()
+        assert mat.shape == (len(space), 5)
+        for i, config in enumerate(space):
+            np.testing.assert_array_equal(mat[i], space.to_vector(config))
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_serialization_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        space = SearchSpace(_random_configs(rng, 20))
+        clone = SearchSpace.from_config(space.to_config())
+        assert clone.configs == space.configs
+        np.testing.assert_array_equal(clone.design_matrix(),
+                                      space.design_matrix())
+
+    def test_duplicate_configs_resolve_to_first_occurrence(self):
+        config = OMPConfig(4, OMPSchedule.DYNAMIC, 32)
+        other = OMPConfig(8, OMPSchedule.STATIC, None)
+        space = SearchSpace([config, other, config, config])
+        assert len(space) == 4                      # duplicates are kept
+        assert space.index_of(config) == 0          # lookup is stable
+        assert space.index_of(other) == 1
+        assert space[space.index_of(config)] == config
+        assert space.design_matrix().shape == (4, 5)
+
+    def test_single_config_space(self):
+        config = OMPConfig(1, OMPSchedule.GUIDED, None)
+        space = SearchSpace([config])
+        assert len(space) == 1
+        assert space.index_of(config) == 0
+        vec = space.to_vector(config)
+        assert vec.shape == (5,)
+        assert np.all(np.isfinite(vec))
+        clone = SearchSpace.from_config(space.to_config())
+        assert clone.configs == [config]
+
+
 def _lookup_objective(space, times):
     def objective(config):
         return float(times[space.index_of(config)])
