@@ -2,19 +2,23 @@
 """Author a custom kernel in the loop-nest DSL and study it end to end.
 
 Shows the full substrate: DSL -> IR -> ProGraML-style graph -> IR2Vec-style
-vector -> simulated execution on two micro-architectures with PAPI-style
-counters, plus a thread sweep to find the best configuration on each machine.
+vector -> simulated execution with PAPI-style counters.  The thread-sweep
+study then runs through the unified pipeline: the ``fig1`` experiment spec
+accepts any micro-architecture (a preset name or a full parameter dict), so
+a user-defined machine slots straight into the declarative flow — no script
+required.
 """
+
+import dataclasses
 
 import numpy as np
 
 from repro.embeddings import IR2VecEncoder
 from repro.frontend import Array, Assign, Dim, For, KernelSpec, LoopVar, Reduce, analyze_spec, lower_to_ir
-from repro.frontend.openmp import OMPConfig
 from repro.graphs import build_programl_graph
 from repro.ir import print_module
-from repro.profiling import PAPIProfiler, SELECTED_COUNTERS
-from repro.simulator import BROADWELL_8C, COMET_LAKE_8C, OpenMPSimulator
+from repro.pipeline import run_experiment
+from repro.simulator import COMET_LAKE_8C
 
 
 def build_kernel() -> KernelSpec:
@@ -33,6 +37,12 @@ def build_kernel() -> KernelSpec:
     return KernelSpec("blocked-dot", suite="custom", arrays=[x, y, out],
                       body=body, base_sizes={"N": 2_000_000},
                       domain="user example")
+
+
+def build_microarch() -> dict:
+    """A user-defined 12-core machine, derived from the Comet Lake preset."""
+    return dict(dataclasses.asdict(COMET_LAKE_8C),
+                name="custom_12c", cores=12, l3_mb=24.0, mem_bw_gbs=55.0)
 
 
 def main() -> None:
@@ -54,19 +64,16 @@ def main() -> None:
           f"{summary.mem_bytes / 1e6:.1f} MB of accesses, "
           f"arithmetic intensity {summary.arithmetic_intensity:.3f} flops/byte")
 
-    for arch in (COMET_LAKE_8C, BROADWELL_8C):
-        simulator = OpenMPSimulator(arch, noise=0.0)
-        times = {t: simulator.run(summary, OMPConfig(t)).time_seconds
-                 for t in range(1, arch.max_threads + 1)}
-        best = min(times, key=times.get)
-        profiler = PAPIProfiler(arch, noise=0.0)
-        record = profiler.profile(spec, scale=1.0, events=SELECTED_COUNTERS)
-        print(f"\n{arch.name}: best thread count = {best} "
-              f"({times[best] * 1e3:.2f} ms vs "
-              f"{times[arch.max_threads] * 1e3:.2f} ms at {arch.max_threads} threads)")
-        print("  counters @ default config: "
-              + ", ".join(f"{k.split('_', 1)[1]}={v:.2e}"
-                          for k, v in record.counters.items()))
+    # the thread-sweep study of Figure 1, on the custom machine, through the
+    # declarative pipeline — experiment parameters accept custom microarchs
+    custom_arch = build_microarch()
+    run = run_experiment(
+        "fig1",
+        overrides={"arch": custom_arch, "max_kernels": 6, "num_inputs": 3},
+        cache_dir=None,
+    )
+    print(f"\n=== fig1 on the custom {custom_arch['name']} machine ===")
+    print(run.text)
 
 
 if __name__ == "__main__":

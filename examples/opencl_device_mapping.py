@@ -1,54 +1,38 @@
 #!/usr/bin/env python
 """OpenCL heterogeneous device mapping (the §4.2 task).
 
-Builds the device-mapping dataset for the AMD Tahiti 7970 + i7-3820 pair,
-trains the multimodal MGA mapper and the Grewe et al. decision-tree baseline,
-and reports accuracy / F1 / speedup over the static mapping.
+Runs the ``table3`` experiment spec — stratified cross-validation of the
+multimodal MGA mapper against the Grewe et al. and static-mapping baselines
+on the AMD Tahiti 7970 + i7-3820 pair — at reduced scale through the
+unified pipeline.
+
+Shell equivalent::
+
+    python -m repro run table3 \
+        --set 'gpus=["amd_tahiti_7970"]' --set max_kernels=60 \
+        --set folds=5 --set epochs=10 \
+        --set 'include_baselines=["Static mapping", "Grewe et al."]'
 """
 
-from repro.core import DeviceMapper
-from repro.datasets import DevMapDatasetBuilder
-from repro.evaluation.metrics import geometric_mean
-from repro.kernels import registry
-from repro.nn import accuracy, f1_score
-from repro.simulator import TAHITI_7970
-from repro.tuners import GreweBaseline, StaticMappingBaseline
+from repro.pipeline import run_experiment
 
 
 def main() -> None:
-    specs = registry.opencl_kernels()[:60]
-    builder = DevMapDatasetBuilder(TAHITI_7970, seed=0)
-    dataset = builder.build(specs, points_per_kernel=3)
-    labels = dataset.labels()
-    print(f"device-mapping dataset: {len(dataset)} points, "
-          f"{100 * labels.mean():.0f}% GPU-labelled "
-          f"(device: {dataset.gpu_name})")
-
-    train_idx, val_idx = dataset.stratified_kfold(k=5, seed=0)[0]
-    y_true = labels[val_idx]
-    static_label = dataset.static_mapping_label()
-
-    def speedup_over_static(preds):
-        ref = [dataset.samples[i].time_of(static_label) for i in val_idx]
-        got = [dataset.samples[i].time_of(int(p)) for i, p in zip(val_idx, preds)]
-        return geometric_mean([r / g for r, g in zip(ref, got)])
-
-    results = {}
-    static = StaticMappingBaseline().fit(dataset, train_idx)
-    results["Static mapping"] = static.predict(dataset, val_idx)
-    grewe = GreweBaseline(seed=0).fit(dataset, train_idx)
-    results["Grewe et al."] = grewe.predict(dataset, val_idx)
-    mga = DeviceMapper(seed=0)
-    mga.fit(dataset, train_indices=train_idx, epochs=25)
-    results["MGA"] = mga.predict(dataset, val_idx)
-
-    print(f"\n{'approach':<16}{'accuracy %':>12}{'F1':>8}{'speedup/static':>16}")
-    for name, preds in results.items():
-        print(f"{name:<16}{100 * accuracy(preds, y_true):12.1f}"
-              f"{f1_score(preds, y_true):8.2f}"
-              f"{speedup_over_static(preds):16.2f}")
-    print(f"{'Oracle':<16}{100.0:12.1f}{1.0:8.2f}"
-          f"{speedup_over_static(y_true):16.2f}")
+    run = run_experiment(
+        "table3",
+        overrides={
+            "gpus": ["amd_tahiti_7970"],
+            "max_kernels": 60,
+            "folds": 5,
+            "epochs": 10,
+            "include_baselines": ["Static mapping", "Grewe et al."],
+        },
+        cache_dir=None,
+    )
+    for stage in run.stages:
+        print(f"stage {stage.name:<10} {stage.kind:<16} {stage.seconds:6.2f}s")
+    print()
+    print(run.text)
 
 
 if __name__ == "__main__":

@@ -1,68 +1,32 @@
 #!/usr/bin/env python
 """Tune threads, scheduling policy and chunk size (the Table-2 search space).
 
-Reproduces the §4.1.4 workflow at small scale on the Skylake 10c/20t model:
-leave-one-application-out training, then a comparison of the MGA prediction
-against the OpenTuner-like and Bayesian baselines for the held-out kernel.
+Runs the ``fig7`` experiment spec — leave-one-application-out validation of
+the MGA tuner against the OpenTuner-like and Bayesian baselines over the
+full Table-2 space on the Skylake 10c/20t model — at reduced scale through
+the unified pipeline.  The black-box searches fan out over ``workers=2``
+campaign sessions; the results are identical at any worker count.
+
+Shell equivalent::
+
+    python -m repro run fig7 --workers 2 \
+        --set max_apps=4 --set num_inputs=2 --set epochs=6 --set budget=6
 """
 
-import numpy as np
-
-from repro.core import MGATuner
-from repro.datasets import OpenMPDatasetBuilder
-from repro.evaluation.metrics import geometric_mean
-from repro.kernels import registry
-from repro.simulator import SKYLAKE_4114
-from repro.tuners import BLISSTuner, OpenTunerLike, SearchSpace, YtoptTuner, full_search_space
+from repro.pipeline import run_experiment
 
 
 def main() -> None:
-    arch = SKYLAKE_4114
-    space = full_search_space(max_threads=arch.max_threads)
-    print(f"search space: {len(space)} configurations "
-          f"(threads x schedule x chunk, Table 2)")
-
-    held_out = "polybench/2mm"
-    train_specs = [registry.get_kernel(f"polybench/{n}")
-                   for n in ("gemm", "lu", "syrk", "jacobi-2d", "mvt",
-                             "correlation", "trmm", "bicg")]
-    builder = OpenMPDatasetBuilder(arch, list(space), seed=0)
-    dataset = builder.build(train_specs, np.geomspace(1e6, 3e8, 4))
-
-    tuner = MGATuner(arch, list(space), seed=0)
-    tuner.fit(dataset, epochs=25)
-
-    # evaluate on the held-out application across several input sizes
-    target = registry.get_kernel(held_out)
-    eval_builder = OpenMPDatasetBuilder(arch, list(space), seed=1)
-    eval_ds = eval_builder.build([target], np.geomspace(1e6, 3e8, 4))
-
-    predictions = tuner.predict_indices(eval_ds, list(range(len(eval_ds))))
-    mga_speedups = [eval_ds.samples[i].speedup_of(int(p))
-                    for i, p in enumerate(predictions)]
-    oracle_speedups = [s.oracle_speedup for s in eval_ds.samples]
-
-    # search tuners get one tuning session on the median input
-    reference = eval_ds.samples[len(eval_ds) // 2]
-    lookup = SearchSpace(eval_ds.configs)
-
-    def objective(config):
-        return float(reference.times[lookup.index_of(config)])
-
-    rows = [("MGA (per-input prediction)", geometric_mean(mga_speedups))]
-    for name, factory in (("OpenTuner", OpenTunerLike), ("ytopt", YtoptTuner),
-                          ("BLISS", BLISSTuner)):
-        result = factory(budget=10, seed=0).tune(objective, lookup)
-        chosen = lookup.index_of(result.best_config)
-        speedups = [s.speedup_of(chosen) for s in eval_ds.samples]
-        rows.append((f"{name} (single config, 10 evals)",
-                     geometric_mean(speedups)))
-    rows.append(("Oracle", geometric_mean(oracle_speedups)))
-
-    print(f"\ngeometric-mean speedup over the default configuration "
-          f"for held-out {held_out}:")
-    for name, value in rows:
-        print(f"  {name:<32} {value:5.2f}x")
+    run = run_experiment(
+        "fig7",
+        overrides={"max_apps": 4, "num_inputs": 2, "epochs": 6, "budget": 6},
+        workers=2,
+        cache_dir=None,
+    )
+    for stage in run.stages:
+        print(f"stage {stage.name:<10} {stage.kind:<16} {stage.seconds:6.2f}s")
+    print()
+    print(run.text)
 
 
 if __name__ == "__main__":

@@ -9,7 +9,9 @@ simulator with PAPI-like counters, a numpy autograd deep-learning stack
 builders and an evaluation harness regenerating every table and figure of the
 paper.  The :mod:`repro.serve` subsystem turns trained tuners into versioned
 on-disk artifacts behind a batched inference service (model registry +
-``python -m repro.serve`` CLI).
+``python -m repro.serve`` CLI), and :mod:`repro.pipeline` runs every
+figure/table as a declarative, stage-cached experiment spec
+(``python -m repro run <experiment>``).
 
 Typical entry points
 --------------------
@@ -17,6 +19,7 @@ Typical entry points
 >>> spec = kernels.polybench.gemm()
 >>> from repro.core import MGATuner
 >>> from repro.serve import ModelRegistry, TuningService
+>>> from repro.pipeline import run_experiment
 """
 
 __version__ = "1.0.0"
@@ -38,4 +41,5 @@ __all__ = [
     "datasets",
     "evaluation",
     "serve",
+    "pipeline",
 ]

@@ -1,10 +1,15 @@
-"""Experiment runners regenerating every table and figure of the paper.
+"""Experiment specs regenerating every table and figure of the paper.
 
-Each module exposes a ``run(...)`` function whose keyword arguments control
-the problem size (number of kernels, input sizes, training epochs, tuner
-budgets) so the same code serves both quick benchmark runs and full
-reproductions, and a ``format_result(...)`` helper that prints the rows /
-series the paper reports.
+Each module declares one :class:`~repro.pipeline.spec.ExperimentSpec` —
+typed stages (dataset build, DL training, black-box search, report) over
+experiment-level parameters — and registers it with
+:mod:`repro.pipeline.registry`, plus a ``format_result(...)`` helper that
+prints the rows / series the paper reports.
+
+The uniform entry point is ``python -m repro run <experiment>`` (or
+:func:`repro.pipeline.run_experiment`), which adds stage caching and
+multiprocess tuning fan-out.  The per-module ``run(**overrides)`` functions
+are thin legacy shims over the same pipeline and will eventually go away.
 """
 
 from repro.evaluation.experiments import common

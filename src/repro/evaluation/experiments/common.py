@@ -100,6 +100,42 @@ def dl_tuner_speedups(dataset: OpenMPTuningDataset, train_idx: Sequence[int],
                      for i, p in zip(val_idx, predictions)])
 
 
+def kernel_groups(dataset: OpenMPTuningDataset,
+                  val_idx: Sequence[int]) -> List[tuple]:
+    """``(kernel_uid, sample indices)`` groups of a validation set, sorted."""
+    per_kernel: Dict[str, List[int]] = {}
+    for i in val_idx:
+        per_kernel.setdefault(dataset.samples[i].kernel_uid, []).append(i)
+    return sorted(per_kernel.items())
+
+
+def reference_times(dataset: OpenMPTuningDataset,
+                    indices: Sequence[int]) -> np.ndarray:
+    """``[refs, configs]`` time grid over a loop's small/median/large inputs.
+
+    The tuner optimises the loop's overall runtime across representative
+    input sizes, as a user-driven tuning session would; the resulting single
+    configuration is then applied everywhere.
+    """
+    indices_sorted = sorted(indices, key=lambda i: dataset.samples[i].scale)
+    ref_ids = sorted({indices_sorted[0], indices_sorted[len(indices_sorted) // 2],
+                      indices_sorted[-1]})
+    return np.stack([dataset.samples[i].times for i in ref_ids])
+
+
+def assign_group_speedups(dataset: OpenMPTuningDataset,
+                          val_idx: Sequence[int], groups: Sequence[tuple],
+                          chosen: Sequence[int]) -> np.ndarray:
+    """Per-sample speedups when each kernel group uses its chosen config."""
+    speedups = np.zeros(len(val_idx))
+    position = {i: pos for pos, i in enumerate(val_idx)}
+    for (kernel, indices), config_index in zip(groups, chosen):
+        for i in indices:
+            speedups[position[i]] = dataset.samples[i].speedup_of(
+                int(config_index))
+    return speedups
+
+
 def search_tuner_speedups(dataset: OpenMPTuningDataset, val_idx: Sequence[int],
                           tuner_factory, budget: int = 10,
                           seed: int = 0) -> np.ndarray:
@@ -109,34 +145,26 @@ def search_tuner_speedups(dataset: OpenMPTuningDataset, val_idx: Sequence[int],
     the paper) they tune each loop once — on a reference input — and the
     configuration they settle on is then used for every input size of that
     loop.  The per-input DL tuners predict a configuration per (loop, input).
+
+    Each per-loop session is driven through a ``batch_size=1``
+    :class:`~repro.tuners.campaign.TuningCampaign` over a
+    :class:`~repro.tuners.campaign.LookupObjectiveSpec`, which walks the
+    space exactly like the serial ``tuner.tune`` loop this function used to
+    hand-roll — same proposals, same history, same chosen configuration.
     """
+    from repro.tuners.campaign import LookupObjectiveSpec, TuningCampaign
+
     space = SearchSpace(dataset.configs)
-    per_kernel: Dict[str, List[int]] = {}
-    for i in val_idx:
-        per_kernel.setdefault(dataset.samples[i].kernel_uid, []).append(i)
-
-    speedups = np.zeros(len(val_idx))
-    position = {i: pos for pos, i in enumerate(val_idx)}
-    for j, (kernel, indices) in enumerate(sorted(per_kernel.items())):
-        # the tuner optimises the loop's overall runtime across representative
-        # input sizes (small / median / large), as a user-driven tuning session
-        # would; the resulting single configuration is then applied everywhere
-        indices_sorted = sorted(indices, key=lambda i: dataset.samples[i].scale)
-        ref_ids = sorted({indices_sorted[0], indices_sorted[len(indices_sorted) // 2],
-                          indices_sorted[-1]})
-        ref_times = np.stack([dataset.samples[i].times for i in ref_ids])
-
-        def objective(config, _times=ref_times, _space=space):
-            column = _times[:, _space.index_of(config)]
-            return float(np.exp(np.mean(np.log(np.maximum(column, 1e-15)))))
-
+    groups = kernel_groups(dataset, val_idx)
+    chosen: List[int] = []
+    for j, (kernel, indices) in enumerate(groups):
         tuner: BlackBoxTuner = tuner_factory(budget=budget, seed=seed + j)
-        result = tuner.tune(objective, space)
-        chosen = space.index_of(result.best_config)
-        for i in indices:
-            sample = dataset.samples[i]
-            speedups[position[i]] = sample.speedup_of(chosen)
-    return speedups
+        campaign = TuningCampaign(
+            tuner, space, LookupObjectiveSpec(reference_times(dataset, indices)),
+            workers=1, batch_size=1)
+        result = campaign.run()
+        chosen.append(space.index_of(result.best_config))
+    return assign_group_speedups(dataset, val_idx, groups, chosen)
 
 
 def oracle_speedups(dataset: OpenMPTuningDataset,

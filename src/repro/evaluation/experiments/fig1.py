@@ -4,26 +4,28 @@
 8-core Comet Lake system; (b) distribution of the best thread count over all
 loops and input sizes (≈64% of combinations need a non-default thread count
 in the paper).
+
+Declared as the ``fig1`` experiment spec; ``run_fig1a``/``run_fig1b`` are
+legacy shims kept for backward compatibility.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional
 
-import numpy as np
-
-from repro.evaluation.experiments.common import build_openmp_dataset, select_openmp_kernels
-from repro.frontend.analysis import analyze_spec
-from repro.frontend.openmp import OMPConfig
-from repro.kernels import registry
-from repro.simulator.microarch import COMET_LAKE_8C, MicroArch
-from repro.simulator.openmp import OpenMPSimulator
-from repro.tuners.space import thread_search_space
+from repro.pipeline.registry import register_experiment
+from repro.pipeline.runner import run_legacy
+from repro.pipeline.spec import BuildDataset, ExperimentSpec, Report, ref, stage_impl
+from repro.simulator.microarch import COMET_LAKE_8C, MicroArch, microarch_from_config
 
 
-def run_fig1a(arch: MicroArch = COMET_LAKE_8C, scale: float = 2.0,
-              max_threads: Optional[int] = None) -> Dict[int, float]:
-    """Execution time of kmeans per thread count."""
+def _fig1a(arch: MicroArch, scale: float,
+           max_threads: Optional[int]) -> Dict[int, float]:
+    from repro.frontend.analysis import analyze_spec
+    from repro.frontend.openmp import OMPConfig
+    from repro.kernels import registry
+    from repro.simulator.openmp import OpenMPSimulator
+
     spec = registry.get_kernel("rodinia/kmeans")
     summary = analyze_spec(spec, scale)
     simulator = OpenMPSimulator(arch, noise=0.0)
@@ -32,22 +34,72 @@ def run_fig1a(arch: MicroArch = COMET_LAKE_8C, scale: float = 2.0,
             for t in range(1, max_threads + 1)}
 
 
-def run_fig1b(arch: MicroArch = COMET_LAKE_8C, max_kernels: int = 45,
-              num_inputs: int = 10, seed: int = 0) -> Dict[str, object]:
-    """Distribution of best thread counts across loops × inputs."""
-    space = thread_search_space(arch)
-    specs = select_openmp_kernels(max_kernels)
-    dataset = build_openmp_dataset(arch, space, specs, num_inputs=num_inputs,
-                                   seed=seed)
-    best_threads = [dataset.configs[s.label].num_threads for s in dataset.samples]
+@stage_impl("fig1.report")
+def _report(ctx, inputs, *, arch, scale, max_threads):
+    arch = microarch_from_config(arch)
+    dataset = inputs["dataset"]
+    best_threads = [dataset.configs[s.label].num_threads
+                    for s in dataset.samples]
     counts = {t: best_threads.count(t) for t in sorted(set(best_threads))}
     default = arch.max_threads
     non_default = sum(v for t, v in counts.items() if t != default)
     return {
-        "histogram": counts,
-        "percent_non_default": 100.0 * non_default / max(1, len(best_threads)),
-        "num_combinations": len(best_threads),
+        "fig1a": _fig1a(arch, scale, max_threads),
+        "fig1b": {
+            "histogram": counts,
+            "percent_non_default":
+                100.0 * non_default / max(1, len(best_threads)),
+            "num_combinations": len(best_threads),
+        },
     }
+
+
+SPEC = ExperimentSpec(
+    name="fig1",
+    title="Motivation: kmeans thread sweep + best-thread distribution (Fig. 1)",
+    description="Execution time of kmeans per thread count, and the "
+                "distribution of oracle thread counts over loops × inputs.",
+    params={
+        "arch": "comet_lake",
+        "scale": 2.0,
+        "max_threads": None,
+        "max_kernels": 45,
+        "num_inputs": 10,
+        "seed": 0,
+    },
+    stages=(
+        BuildDataset(impl="openmp.dataset", name="dataset", params={
+            "arch": ref("arch"),
+            "space": {"type": "threads"},
+            "kernels": {"select": "openmp", "max": ref("max_kernels")},
+            "targets": {"num": ref("num_inputs")},
+            "seed": ref("seed"),
+        }),
+        Report(impl="fig1.report", name="report", inputs=("dataset",),
+               params={"arch": ref("arch"), "scale": ref("scale"),
+                       "max_threads": ref("max_threads")}),
+    ),
+    quick={"max_kernels": 6, "num_inputs": 3},
+)
+
+
+# ----------------------------------------------------------------------
+# legacy entry points (deprecated: use ``python -m repro run fig1``)
+# ----------------------------------------------------------------------
+def run_fig1a(arch: MicroArch = COMET_LAKE_8C, scale: float = 2.0,
+              max_threads: Optional[int] = None) -> Dict[int, float]:
+    """Execution time of kmeans per thread count."""
+    return _fig1a(microarch_from_config(arch), scale, max_threads)
+
+
+def run_fig1b(**overrides) -> Dict[str, object]:
+    """Distribution of best thread counts across loops × inputs.
+
+    Accepts the ``fig1`` spec parameters (``arch``, ``max_kernels``,
+    ``num_inputs``, ``seed``, ...) as keyword overrides and delegates to the
+    pipeline.
+    """
+    return run_legacy("fig1", overrides)["fig1b"]
 
 
 def format_result(fig1a: Dict[int, float], fig1b: Dict[str, object]) -> str:
@@ -63,3 +115,10 @@ def format_result(fig1a: Dict[int, float], fig1b: Dict[str, object]) -> str:
                  f"{fig1b['percent_non_default']:.1f}% of combinations "
                  f"(paper: ~64%)")
     return "\n".join(lines)
+
+
+def _format_pipeline_result(result: Dict[str, object]) -> str:
+    return format_result(result["fig1a"], result["fig1b"])
+
+
+register_experiment(SPEC, _format_pipeline_result)

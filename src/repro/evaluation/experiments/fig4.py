@@ -4,39 +4,57 @@ Per fold: geometric-mean speedup over the default configuration for Default /
 ytopt / OpenTuner / BLISS / PROGRAML / IR2Vec / MGA / Oracle, normalised by
 the oracle speedup.  Expected shape (paper): MGA is the closest to the oracle
 (≥0.95 in most folds), followed by IR2Vec, PROGRAML, then the search tuners.
+
+Declared as the ``fig4`` experiment spec (dataset → search → DL → report);
+``run()`` is a legacy shim over the pipeline.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.evaluation.experiments.common import (
     ApproachResult,
-    build_openmp_dataset,
-    evaluate_fold,
+    default_speedups,
     format_normalized_table,
     normalized_table,
-    select_openmp_kernels,
+    oracle_speedups,
 )
-from repro.simulator.microarch import COMET_LAKE_8C, MicroArch
-from repro.tuners.space import thread_search_space
+from repro.pipeline.registry import register_experiment
+from repro.pipeline.runner import run_legacy
+from repro.pipeline.spec import (
+    BuildDataset,
+    ExperimentSpec,
+    Report,
+    TrainModels,
+    TuneCandidates,
+    ref,
+    stage_impl,
+)
+from repro.pipeline.stages import SEARCH_DISPLAY_ORDER, resolve_splits
+
+_DL_ORDER = ("MGA", "IR2Vec", "PROGRAML")
+_SPLIT = {"type": "kfold_kernel", "k": ref("folds"), "seed": ref("seed")}
 
 
-def run(arch: MicroArch = COMET_LAKE_8C, max_kernels: int = 45,
-        num_inputs: int = 10, folds: int = 5, epochs: int = 25,
-        budget: int = 10, include_search: bool = True,
-        seed: int = 0) -> Dict[str, object]:
-    """Run the thread-prediction experiment; returns fold results and tables."""
-    space = thread_search_space(arch)
-    specs = select_openmp_kernels(max_kernels)
-    dataset = build_openmp_dataset(arch, space, specs, num_inputs=num_inputs,
-                                   seed=seed)
+@stage_impl("fig4.report")
+def _report(ctx, inputs, *, split, include_search):
+    dataset = inputs["dataset"]
+    search = inputs["search"]["speedups"]
+    dl = inputs["dl"]["speedups"]
+    _, splits = resolve_splits(dataset, split)
     fold_results: List[Dict[str, ApproachResult]] = []
-    for train_idx, val_idx in dataset.kfold_by_kernel(k=folds, seed=seed):
-        fold_results.append(evaluate_fold(dataset, train_idx, val_idx,
-                                          include_search=include_search,
-                                          epochs=epochs, budget=budget,
-                                          seed=seed))
+    for fold, (_, val_idx) in enumerate(splits):
+        result = {"Default": ApproachResult("Default",
+                                            default_speedups(val_idx))}
+        if include_search:
+            for name in SEARCH_DISPLAY_ORDER:
+                result[name] = ApproachResult(name, search[name][fold])
+        for name in _DL_ORDER:
+            result[name] = ApproachResult(name, dl[name][fold])
+        result["Oracle"] = ApproachResult("Oracle",
+                                          oracle_speedups(dataset, val_idx))
+        fold_results.append(result)
     table = normalized_table(fold_results)
     absolute = {name: [fold[name].geomean for fold in fold_results]
                 for name in fold_results[0]}
@@ -48,6 +66,59 @@ def run(arch: MicroArch = COMET_LAKE_8C, max_kernels: int = 45,
     }
 
 
+SPEC = ExperimentSpec(
+    name="fig4",
+    title="OpenMP thread prediction, 5-fold cross-validation (Figure 4)",
+    description="Normalised geomean speedups of every approach per "
+                "unseen-loop fold on the Comet Lake thread space.",
+    params={
+        "arch": "comet_lake",
+        "max_kernels": 45,
+        "num_inputs": 10,
+        "folds": 5,
+        "epochs": 25,
+        "budget": 10,
+        "include_search": True,
+        "seed": 0,
+    },
+    stages=(
+        BuildDataset(impl="openmp.dataset", name="dataset", params={
+            "arch": ref("arch"),
+            "space": {"type": "threads"},
+            "kernels": {"select": "openmp", "max": ref("max_kernels")},
+            "targets": {"num": ref("num_inputs")},
+            "seed": ref("seed"),
+        }),
+        TuneCandidates(impl="openmp.search_speedups", name="search",
+                       inputs=("dataset",), params={
+                           "split": _SPLIT,
+                           "budget": ref("budget"),
+                           "seed": ref("seed"),
+                           "enabled": ref("include_search"),
+                       }),
+        TrainModels(impl="openmp.dl_speedups", name="dl",
+                    inputs=("dataset",), params={
+                        "split": _SPLIT,
+                        "approaches": list(_DL_ORDER),
+                        "epochs": ref("epochs"),
+                        "seed": ref("seed"),
+                    }),
+        Report(impl="fig4.report", name="report",
+               inputs=("dataset", "search", "dl"), params={
+                   "split": _SPLIT,
+                   "include_search": ref("include_search"),
+               }),
+    ),
+    quick={"max_kernels": 6, "num_inputs": 3, "folds": 2, "epochs": 4,
+           "budget": 4},
+)
+
+
+def run(**overrides) -> Dict[str, object]:
+    """Legacy shim: run the ``fig4`` spec (accepts its parameters as kwargs)."""
+    return run_legacy("fig4", overrides)
+
+
 def format_result(result: Dict[str, object]) -> str:
     lines = ["Figure 4: thread prediction (normalised speedups per fold)"]
     lines.append(format_normalized_table(result["normalized"]))
@@ -57,3 +128,6 @@ def format_result(result: Dict[str, object]) -> str:
         row = ", ".join(f"{v:.2f}x" for v in values)
         lines.append(f"  {name:<12} {row}")
     return "\n".join(lines)
+
+
+register_experiment(SPEC, format_result)

@@ -4,26 +4,30 @@ Leave-one-application-out validation over PolyBench + Rodinia + LULESH on the
 Skylake 10c/20t system with the Table-2 search space.  Expected shape: MGA
 normalised speedups ≥0.95 for most applications and above ytopt / OpenTuner /
 BLISS for most applications; ``trisolv`` remains the worst case.
+
+Declared as the ``fig7`` experiment spec; ``run()`` is a legacy shim.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
-import numpy as np
-
-from repro.core.mga import ModalityConfig
-from repro.evaluation.experiments.common import (
-    build_openmp_dataset,
-    dl_tuner_speedups,
-    oracle_speedups,
-    search_tuner_speedups,
-)
+from repro.evaluation.experiments.common import oracle_speedups
 from repro.evaluation.metrics import geometric_mean
-from repro.kernels import registry
-from repro.simulator.microarch import SKYLAKE_4114, MicroArch
-from repro.tuners import BLISSTuner, OpenTunerLike, YtoptTuner
-from repro.tuners.space import full_search_space
+from repro.pipeline.registry import register_experiment
+from repro.pipeline.runner import run_legacy
+from repro.pipeline.spec import (
+    BuildDataset,
+    ExperimentSpec,
+    Report,
+    TrainModels,
+    TuneCandidates,
+    ref,
+    stage_impl,
+)
+from repro.pipeline.stages import SEARCH_DISPLAY_ORDER, resolve_splits
+
+_SPLIT = {"type": "loao"}
 
 
 def default_applications(max_apps: Optional[int] = None) -> List[str]:
@@ -40,29 +44,20 @@ def default_applications(max_apps: Optional[int] = None) -> List[str]:
     return apps[:max_apps] if max_apps else apps
 
 
-def run(arch: MicroArch = SKYLAKE_4114, max_apps: Optional[int] = None,
-        num_inputs: int = 6, epochs: int = 20, budget: int = 10,
-        include_search: bool = True, seed: int = 0,
-        chunks: Sequence[int] = (1, 8, 32, 64, 128, 256, 512),
-        threads: Sequence[int] = (1, 2, 4, 8, 12, 16, 20)) -> Dict[str, object]:
-    space = full_search_space(threads=threads, chunks=chunks,
-                              max_threads=arch.max_threads)
-    specs = [registry.get_kernel(uid) for uid in default_applications(max_apps)]
-    dataset = build_openmp_dataset(arch, space, specs, num_inputs=num_inputs,
-                                   seed=seed)
+@stage_impl("fig7.report")
+def _report(ctx, inputs, *, split, include_search):
+    dataset = inputs["dataset"]
+    search = inputs["search"]["speedups"]
+    dl = inputs["dl"]["speedups"]
+    labels, splits = resolve_splits(dataset, split)
     per_app: Dict[str, Dict[str, float]] = {}
-    for kernel, train_idx, val_idx in dataset.leave_one_application_out():
+    for fold, (kernel, (_, val_idx)) in enumerate(zip(labels, splits)):
         oracle = geometric_mean(oracle_speedups(dataset, val_idx))
         row: Dict[str, float] = {"Oracle": oracle}
-        row["MGA"] = geometric_mean(dl_tuner_speedups(
-            dataset, train_idx, val_idx, ModalityConfig.mga(), epochs=epochs,
-            seed=seed))
+        row["MGA"] = geometric_mean(dl["MGA"][fold])
         if include_search:
-            for name, factory in (("ytopt", YtoptTuner),
-                                  ("OpenTuner", OpenTunerLike),
-                                  ("BLISS", BLISSTuner)):
-                row[name] = geometric_mean(search_tuner_speedups(
-                    dataset, val_idx, factory, budget=budget, seed=seed))
+            for name in SEARCH_DISPLAY_ORDER:
+                row[name] = geometric_mean(search[name][fold])
         per_app[kernel] = row
 
     mga_norm = [row["MGA"] / row["Oracle"] for row in per_app.values()
@@ -74,9 +69,63 @@ def run(arch: MicroArch = SKYLAKE_4114, max_apps: Optional[int] = None,
         "apps_above_095": sum(1 for v in mga_norm if v >= 0.95),
         "apps_above_085": sum(1 for v in mga_norm if v >= 0.85),
         "num_apps": len(per_app),
-        "search_space_size": len(space),
+        "search_space_size": dataset.num_configs,
     }
     return {"per_app": per_app, "summary": summary, "dataset": dataset}
+
+
+SPEC = ExperimentSpec(
+    name="fig7",
+    title="Larger search space, leave-one-application-out (Fig. 7 / Table 2)",
+    description="MGA vs the search tuners over the Table-2 "
+                "threads × schedule × chunk space on Skylake.",
+    params={
+        "arch": "skylake_4114",
+        "max_apps": None,
+        "num_inputs": 6,
+        "epochs": 20,
+        "budget": 10,
+        "include_search": True,
+        "seed": 0,
+        "chunks": [1, 8, 32, 64, 128, 256, 512],
+        "threads": [1, 2, 4, 8, 12, 16, 20],
+    },
+    stages=(
+        BuildDataset(impl="openmp.dataset", name="dataset", params={
+            "arch": ref("arch"),
+            "space": {"type": "full", "threads": ref("threads"),
+                      "chunks": ref("chunks")},
+            "kernels": {"select": "applications", "max": ref("max_apps")},
+            "targets": {"num": ref("num_inputs")},
+            "seed": ref("seed"),
+        }),
+        TuneCandidates(impl="openmp.search_speedups", name="search",
+                       inputs=("dataset",), params={
+                           "split": _SPLIT,
+                           "budget": ref("budget"),
+                           "seed": ref("seed"),
+                           "enabled": ref("include_search"),
+                       }),
+        TrainModels(impl="openmp.dl_speedups", name="dl",
+                    inputs=("dataset",), params={
+                        "split": _SPLIT,
+                        "approaches": ["MGA"],
+                        "epochs": ref("epochs"),
+                        "seed": ref("seed"),
+                    }),
+        Report(impl="fig7.report", name="report",
+               inputs=("dataset", "search", "dl"), params={
+                   "split": _SPLIT,
+                   "include_search": ref("include_search"),
+               }),
+    ),
+    quick={"max_apps": 4, "num_inputs": 2, "epochs": 4, "budget": 4},
+)
+
+
+def run(**overrides) -> Dict[str, object]:
+    """Legacy shim: run the ``fig7`` spec (accepts its parameters as kwargs)."""
+    return run_legacy("fig7", overrides)
 
 
 def format_result(result: Dict[str, object]) -> str:
@@ -94,3 +143,6 @@ def format_result(result: Dict[str, object]) -> str:
                  f"{s['apps_above_095']}/{s['num_apps']} apps ≥0.95 normalised, "
                  f"{s['apps_above_085']}/{s['num_apps']} ≥0.85")
     return "\n".join(lines)
+
+
+register_experiment(SPEC, format_result)

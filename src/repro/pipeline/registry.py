@@ -1,0 +1,100 @@
+"""Registry of every figure/table experiment spec.
+
+Experiment modules register their spec (plus a result formatter) at import
+time; this module knows which module defines which experiment so specs can
+be looked up lazily by name — importing :mod:`repro.pipeline` stays cheap.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.pipeline.spec import ExperimentSpec, has_stage_impl
+
+#: experiment name -> defining module (import order is the paper's order)
+EXPERIMENT_MODULES: Dict[str, str] = {
+    "fig1": "repro.evaluation.experiments.fig1",
+    "fig4": "repro.evaluation.experiments.fig4",
+    "fig5": "repro.evaluation.experiments.fig5",
+    "fig6": "repro.evaluation.experiments.fig6",
+    "fig7": "repro.evaluation.experiments.fig7",
+    "fig8": "repro.evaluation.experiments.fig8",
+    "fig9": "repro.evaluation.experiments.fig9",
+    "table3": "repro.evaluation.experiments.table3",
+    "tuning_time": "repro.evaluation.experiments.tuning_time",
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class RegisteredExperiment:
+    """A spec plus the callable that renders its result for humans."""
+
+    spec: ExperimentSpec
+    formatter: Callable[[Any], str]
+
+
+_EXPERIMENTS: Dict[str, RegisteredExperiment] = {}
+
+
+def register_experiment(spec: ExperimentSpec,
+                        formatter: Callable[[Any], str]
+                        ) -> RegisteredExperiment:
+    """Validate and register a spec (idempotent per name)."""
+    spec.validate()
+    entry = RegisteredExperiment(spec=spec, formatter=formatter)
+    _EXPERIMENTS[spec.name] = entry
+    return entry
+
+
+def experiment_names() -> List[str]:
+    """Every known experiment name (no imports triggered)."""
+    return list(EXPERIMENT_MODULES)
+
+
+def get_experiment(name: str) -> RegisteredExperiment:
+    """The registered entry for ``name``, importing its module on demand."""
+    if name not in _EXPERIMENTS:
+        module = EXPERIMENT_MODULES.get(name)
+        if module is None:
+            raise KeyError(f"unknown experiment {name!r}; "
+                           f"known: {sorted(EXPERIMENT_MODULES)}")
+        importlib.import_module(module)
+    if name not in _EXPERIMENTS:
+        raise RuntimeError(f"module {EXPERIMENT_MODULES[name]!r} did not "
+                           f"register experiment {name!r}")
+    return _EXPERIMENTS[name]
+
+
+def get_spec(name: str) -> ExperimentSpec:
+    return get_experiment(name).spec
+
+
+def load_all() -> Dict[str, RegisteredExperiment]:
+    """Import every experiment module and return the full registry."""
+    for name in EXPERIMENT_MODULES:
+        get_experiment(name)
+    return dict(_EXPERIMENTS)
+
+
+def describe(name: Optional[str] = None) -> List[Dict[str, Any]]:
+    """Listing rows for the CLI: name, title, stages, parameters."""
+    names = [name] if name is not None else experiment_names()
+    rows = []
+    for exp_name in names:
+        spec = get_experiment(exp_name).spec
+        rows.append({
+            "name": spec.name,
+            "title": spec.title,
+            "description": spec.description,
+            "params": dict(spec.params),
+            "quick": dict(spec.quick),
+            "stages": [
+                {"name": s.name, "kind": s.kind, "impl": s.impl,
+                 "cacheable": s.cacheable, "inputs": list(s.inputs),
+                 "registered": has_stage_impl(s.impl)}
+                for s in spec.stages
+            ],
+        })
+    return rows

@@ -1,0 +1,273 @@
+"""Declarative experiment specifications.
+
+An :class:`ExperimentSpec` is pure data: experiment-level parameters (the
+knobs a caller may override), a sequence of typed stages, and a ``quick``
+profile of parameter overrides for smoke runs.  Stages come in four kinds —
+:class:`BuildDataset`, :class:`TrainModels`, :class:`TuneCandidates` and
+:class:`Report` — and reference a registered *implementation* by name plus a
+JSON parameter tree in which ``{"$": "param"}`` nodes are substituted with
+the experiment-level parameter of that name at run time.
+
+Because specs are data, they round-trip through ``to_config``/``from_config``
+(the PR-3 serialisation convention), hash stably for stage caching, and can
+be listed/described by the ``python -m repro`` CLI without executing
+anything.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, ClassVar, Dict, List, Mapping, Tuple
+
+PARAM_REF_KEY = "$"
+
+
+# ----------------------------------------------------------------------
+# stage implementation registry
+# ----------------------------------------------------------------------
+_STAGE_IMPLS: Dict[str, Callable] = {}
+
+
+def stage_impl(name: str) -> Callable[[Callable], Callable]:
+    """Register a stage implementation under ``name``.
+
+    Implementations have the signature ``fn(ctx, inputs, **params)`` where
+    ``ctx`` is a :class:`~repro.pipeline.runner.StageContext`, ``inputs``
+    maps upstream stage names to their outputs, and ``params`` is the
+    stage's resolved parameter tree.
+    """
+    def decorate(fn: Callable) -> Callable:
+        if name in _STAGE_IMPLS and _STAGE_IMPLS[name] is not fn:
+            raise ValueError(f"stage implementation {name!r} already "
+                             f"registered")
+        _STAGE_IMPLS[name] = fn
+        return fn
+    return decorate
+
+
+def get_stage_impl(name: str) -> Callable:
+    if name not in _STAGE_IMPLS:
+        # the shared implementations register on first use, keeping
+        # `import repro.pipeline` free of the DL/tuner/dataset stack
+        import importlib
+        importlib.import_module("repro.pipeline.stages")
+    try:
+        return _STAGE_IMPLS[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown stage implementation {name!r}; "
+                       f"known: {sorted(_STAGE_IMPLS)}") from exc
+
+
+def has_stage_impl(name: str) -> bool:
+    try:
+        get_stage_impl(name)
+    except KeyError:
+        return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# typed stages
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class StageSpec:
+    """One pipeline stage: a named call of a registered implementation."""
+
+    impl: str
+    name: str = ""
+    params: Mapping[str, Any] = dataclasses.field(default_factory=dict)
+    inputs: Tuple[str, ...] = ()
+
+    kind: ClassVar[str] = "stage"
+    cacheable: ClassVar[bool] = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            object.__setattr__(self, "name", self.impl.rsplit(".", 1)[-1])
+        object.__setattr__(self, "inputs", tuple(self.inputs))
+        object.__setattr__(self, "params", dict(self.params))
+
+    # ------------------------------------------------------------------
+    def resolve_params(self, experiment_params: Mapping[str, Any]
+                       ) -> Dict[str, Any]:
+        """Substitute ``{"$": name}`` references with experiment params."""
+        return {key: _resolve_refs(value, experiment_params, self.name)
+                for key, value in self.params.items()}
+
+    def to_config(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "impl": self.impl,
+            "name": self.name,
+            "params": dict(self.params),
+            "inputs": list(self.inputs),
+        }
+
+    @staticmethod
+    def from_config(data: Mapping[str, Any]) -> "StageSpec":
+        cls = STAGE_KINDS[data["kind"]]
+        return cls(impl=data["impl"], name=data.get("name", ""),
+                   params=dict(data.get("params", {})),
+                   inputs=tuple(data.get("inputs", ())))
+
+
+@dataclasses.dataclass(frozen=True)
+class BuildDataset(StageSpec):
+    """Simulate / assemble a dataset (the most expensive, most reusable stage)."""
+
+    kind: ClassVar[str] = "build_dataset"
+    cacheable: ClassVar[bool] = True
+
+
+@dataclasses.dataclass(frozen=True)
+class TrainModels(StageSpec):
+    """Train DL tuners / mappers and collect their predictions."""
+
+    kind: ClassVar[str] = "train_models"
+    cacheable: ClassVar[bool] = True
+
+
+@dataclasses.dataclass(frozen=True)
+class TuneCandidates(StageSpec):
+    """Run black-box search (through :class:`TuningCampaign` sessions)."""
+
+    kind: ClassVar[str] = "tune_candidates"
+    cacheable: ClassVar[bool] = True
+
+
+@dataclasses.dataclass(frozen=True)
+class Report(StageSpec):
+    """Assemble the experiment result from upstream stage outputs.
+
+    Reports are cheap and may return arbitrary objects (datasets, trained
+    models), so they are never cached.
+    """
+
+    kind: ClassVar[str] = "report"
+    cacheable: ClassVar[bool] = False
+
+
+STAGE_KINDS: Dict[str, type] = {
+    cls.kind: cls for cls in (BuildDataset, TrainModels, TuneCandidates,
+                              Report)
+}
+
+
+def _resolve_refs(tree: Any, params: Mapping[str, Any], stage: str) -> Any:
+    if isinstance(tree, Mapping):
+        if set(tree) == {PARAM_REF_KEY}:
+            ref = tree[PARAM_REF_KEY]
+            if ref not in params:
+                raise KeyError(f"stage {stage!r} references unknown "
+                               f"experiment parameter {ref!r}")
+            return params[ref]
+        return {k: _resolve_refs(v, params, stage) for k, v in tree.items()}
+    if isinstance(tree, (list, tuple)):
+        return [_resolve_refs(v, params, stage) for v in tree]
+    return tree
+
+
+def ref(name: str) -> Dict[str, str]:
+    """Shorthand for a ``{"$": name}`` parameter reference."""
+    return {PARAM_REF_KEY: name}
+
+
+# ----------------------------------------------------------------------
+# the experiment spec
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class ExperimentSpec:
+    """A figure/table experiment as declarative data."""
+
+    name: str
+    title: str
+    description: str = ""
+    params: Mapping[str, Any] = dataclasses.field(default_factory=dict)
+    stages: Tuple[StageSpec, ...] = ()
+    quick: Mapping[str, Any] = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", dict(self.params))
+        object.__setattr__(self, "stages", tuple(self.stages))
+        object.__setattr__(self, "quick", dict(self.quick))
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        if not self.stages:
+            raise ValueError(f"experiment {self.name!r} has no stages")
+        seen: List[str] = []
+        for stage in self.stages:
+            if stage.name in seen:
+                raise ValueError(f"duplicate stage name {stage.name!r} in "
+                                 f"experiment {self.name!r}")
+            for dep in stage.inputs:
+                if dep not in seen:
+                    raise ValueError(
+                        f"stage {stage.name!r} of {self.name!r} depends on "
+                        f"{dep!r}, which is not an earlier stage")
+            seen.append(stage.name)
+        if self.stages[-1].kind != Report.kind:
+            raise ValueError(f"experiment {self.name!r} must end with a "
+                             f"Report stage")
+        unknown = set(self.quick) - set(self.params)
+        if unknown:
+            raise ValueError(f"quick profile of {self.name!r} overrides "
+                             f"unknown parameters {sorted(unknown)}")
+        by_name = {s.name: s for s in self.stages}
+        for stage in self.stages:
+            if stage.cacheable and any(not by_name[d].cacheable
+                                       for d in stage.inputs):
+                raise ValueError(
+                    f"cacheable stage {stage.name!r} of {self.name!r} "
+                    f"depends on an uncacheable stage")
+            if not has_stage_impl(stage.impl):
+                raise ValueError(
+                    f"stage {stage.name!r} of {self.name!r} references "
+                    f"unregistered implementation {stage.impl!r}")
+            # every {"$": ...} reference must name an experiment parameter
+            stage.resolve_params(self.params)
+
+    # ------------------------------------------------------------------
+    def stage(self, name: str) -> StageSpec:
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise KeyError(f"experiment {self.name!r} has no stage {name!r}")
+
+    def resolve(self, overrides: Mapping[str, Any] = None,
+                quick: bool = False) -> Dict[str, Any]:
+        """Final experiment parameters: defaults <- quick <- overrides."""
+        resolved = dict(self.params)
+        if quick:
+            resolved.update(self.quick)
+        if overrides:
+            unknown = set(overrides) - set(self.params)
+            if unknown:
+                raise TypeError(
+                    f"unknown parameter(s) {sorted(unknown)} for experiment "
+                    f"{self.name!r}; accepted: {sorted(self.params)}")
+            resolved.update(overrides)
+        return resolved
+
+    # ------------------------------------------------------------------
+    def to_config(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "title": self.title,
+            "description": self.description,
+            "params": dict(self.params),
+            "stages": [stage.to_config() for stage in self.stages],
+            "quick": dict(self.quick),
+        }
+
+    @classmethod
+    def from_config(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+        return cls(
+            name=data["name"],
+            title=data["title"],
+            description=data.get("description", ""),
+            params=dict(data.get("params", {})),
+            stages=tuple(StageSpec.from_config(s)
+                         for s in data.get("stages", ())),
+            quick=dict(data.get("quick", {})),
+        )

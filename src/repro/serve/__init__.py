@@ -20,7 +20,9 @@ The serving subsystem takes a trained tuner from "in-memory object" to
 from repro.serve.artifacts import (
     ArtifactError,
     load_artifact,
+    payload_for,
     read_manifest,
+    restore_payload,
     save_artifact,
 )
 from repro.serve.engine import InferenceEngine, PendingResult
@@ -39,6 +41,8 @@ __all__ = [
     "ArtifactError",
     "save_artifact",
     "load_artifact",
+    "payload_for",
+    "restore_payload",
     "read_manifest",
     "ModelRegistry",
     "ModelVersion",

@@ -47,6 +47,7 @@ KIND_MODEL = "mga_model"
 KIND_TUNER = "mga_tuner"
 KIND_MAPPER = "device_mapper"
 KIND_CAMPAIGN = "tuning_campaign"
+KIND_STAGE = "pipeline_stage"
 
 
 class ArtifactError(RuntimeError):
@@ -180,6 +181,25 @@ def write_artifact_dir(path: Union[str, os.PathLike], kind: str,
     return path
 
 
+def payload_for(obj) -> tuple:
+    """``(kind, config, arrays)`` payload of a serialisable object.
+
+    The building block shared by :func:`save_artifact` and the experiment
+    pipeline's stage codec (which embeds model payloads inside cached stage
+    outputs instead of standalone artifact directories).
+    """
+    if isinstance(obj, MGATuner):
+        config, arrays = _tuner_payload(obj)
+        return KIND_TUNER, config, arrays
+    if isinstance(obj, DeviceMapper):
+        config, arrays = _mapper_payload(obj)
+        return KIND_MAPPER, config, arrays
+    if isinstance(obj, MGAModel):
+        config, arrays = _model_payload(obj)
+        return KIND_MODEL, config, arrays
+    raise TypeError(f"cannot serialise objects of type {type(obj).__name__}")
+
+
 def save_artifact(path: Union[str, os.PathLike], obj,
                   metadata: Optional[Dict[str, Any]] = None) -> str:
     """Serialise a model/tuner/mapper into an artifact directory.
@@ -187,14 +207,7 @@ def save_artifact(path: Union[str, os.PathLike], obj,
     Returns the artifact path.  ``metadata`` (JSON-serialisable) is stored
     verbatim in the manifest and surfaced by the registry listings.
     """
-    if isinstance(obj, MGATuner):
-        kind, (config, arrays) = KIND_TUNER, _tuner_payload(obj)
-    elif isinstance(obj, DeviceMapper):
-        kind, (config, arrays) = KIND_MAPPER, _mapper_payload(obj)
-    elif isinstance(obj, MGAModel):
-        kind, (config, arrays) = KIND_MODEL, _model_payload(obj)
-    else:
-        raise TypeError(f"cannot serialise objects of type {type(obj).__name__}")
+    kind, config, arrays = payload_for(obj)
     return write_artifact_dir(path, kind, config, arrays, metadata=metadata)
 
 
@@ -251,15 +264,22 @@ def read_artifact_dir(path: Union[str, os.PathLike]):
 def load_artifact(path: Union[str, os.PathLike]):
     """Load an artifact directory back into its original object type."""
     manifest, arrays = read_artifact_dir(path)
-    config = manifest["config"]
-    kind = manifest["kind"]
+    return restore_payload(manifest["kind"], manifest["config"], arrays)
 
+
+def restore_payload(kind: str, config: Dict[str, Any],
+                    arrays: Dict[str, np.ndarray]):
+    """Inverse of :func:`payload_for` (plus the campaign/stage kinds)."""
     if kind == KIND_MODEL:
         return _restore_model(config["model"], arrays)
 
     if kind == KIND_CAMPAIGN:
         from repro.tuners.campaign import restore_campaign
         return restore_campaign(config, arrays)
+
+    if kind == KIND_STAGE:
+        from repro.pipeline.codec import decode_value
+        return decode_value(config["output"], arrays)
 
     modalities = ModalityConfig(**config["modalities"])
     extractor = _rebuild_extractor(config["extractor"], arrays)

@@ -168,3 +168,25 @@ GTX_970 = GPUDevice(
     pcie_bw_gbs=6.0, launch_overhead_us=28.0, random_access_penalty=3.5,
     divergence_penalty=1.8, preferred_wgsize=256, call_overhead_us=0.5,
 )
+
+_GPU_DEVICES: Dict[str, GPUDevice] = {
+    d.name: d for d in (CORE_I7_3820, TAHITI_7970, GTX_970)
+}
+
+
+def get_gpu_device(name: str) -> GPUDevice:
+    """Look up an OpenCL device preset by name."""
+    try:
+        return _GPU_DEVICES[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown OpenCL device {name!r}; "
+                       f"known: {sorted(_GPU_DEVICES)}") from exc
+
+
+def gpu_from_config(config) -> GPUDevice:
+    """Rebuild a :class:`GPUDevice` from a preset name or a full field dict."""
+    if isinstance(config, str):
+        return get_gpu_device(config)
+    if isinstance(config, GPUDevice):
+        return config
+    return GPUDevice(**config)

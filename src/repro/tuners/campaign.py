@@ -138,6 +138,99 @@ class SimObjective:
         return value
 
 
+@dataclasses.dataclass(frozen=True, eq=False)
+class LookupObjectiveSpec:
+    """Picklable objective over a pre-measured ``[refs, configs]`` time grid.
+
+    The experiment pipeline's search stages tune against execution times the
+    dataset build already measured: the objective value of configuration
+    ``key`` is the geometric mean of its column over the reference inputs.
+    Lookup grids live in memory only, so campaigns over them cannot be
+    checkpointed (there is nothing durable to point a resume at).
+    """
+
+    times: np.ndarray
+    floor: float = 1e-15
+
+    def build(self) -> "_LookupObjective":
+        return _LookupObjective(self.times, self.floor)
+
+    def to_config(self):
+        raise NotImplementedError(
+            "lookup objectives are in-memory only; campaigns over them "
+            "cannot be checkpointed — use SimObjectiveSpec for that")
+
+
+class _LookupObjective:
+    def __init__(self, times: np.ndarray, floor: float):
+        self.times = times
+        self.floor = floor
+
+    def __call__(self, config: OMPConfig, key: int) -> float:
+        column = self.times[:, key]
+        return float(np.exp(np.mean(np.log(np.maximum(column, self.floor)))))
+
+
+# ----------------------------------------------------------------------
+# one-shot campaign sessions (the pipeline's tuning fan-out unit)
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True, eq=False)
+class SearchSession:
+    """A picklable description of one self-contained tuning session.
+
+    ``batch_size=1`` makes the campaign walk the space exactly like the
+    serial :meth:`BlackBoxTuner.tune` loop, so session results are
+    byte-identical to the legacy per-experiment tuning code — no matter
+    which worker process runs the session or in which order.
+    """
+
+    tuner_name: str
+    tuner_config: Dict[str, Any]
+    space: List[dict]                        # SearchSpace.to_config()
+    objective: Any                           # LookupObjectiveSpec | SimObjectiveSpec
+
+
+@dataclasses.dataclass(frozen=True, eq=False)
+class SessionOutcome:
+    """What a session produced, in proposal order."""
+
+    best_index: int
+    best_time: float
+    evaluations: int
+    indices: np.ndarray
+    times: np.ndarray
+
+
+def run_search_session(session: SearchSession) -> SessionOutcome:
+    """Run one session to completion through a :class:`TuningCampaign`."""
+    tuner = make_tuner(session.tuner_name, dict(session.tuner_config))
+    space = SearchSpace.from_config(session.space)
+    campaign = TuningCampaign(tuner, space, session.objective,
+                              workers=1, batch_size=1)
+    result = campaign.run()
+    return SessionOutcome(
+        best_index=space.index_of(result.best_config),
+        best_time=result.best_time,
+        evaluations=result.evaluations,
+        indices=np.array([space.index_of(c) for c, _ in result.history],
+                         dtype=np.int64),
+        times=np.array([t for _, t in result.history], dtype=np.float64),
+    )
+
+
+def run_search_sessions(sessions: List[SearchSession],
+                        workers: int = 1) -> List[SessionOutcome]:
+    """Fan independent sessions out over a process pool.
+
+    Sessions are pure functions of their description, so the outcome list —
+    aligned with ``sessions`` — is identical for every ``workers`` value.
+    """
+    if workers <= 1 or len(sessions) <= 1:
+        return [run_search_session(s) for s in sessions]
+    with multiprocessing.Pool(min(int(workers), len(sessions))) as pool:
+        return pool.map(run_search_session, sessions)
+
+
 # ----------------------------------------------------------------------
 # worker-pool plumbing (module level so it pickles under spawn too)
 # ----------------------------------------------------------------------
