@@ -65,6 +65,7 @@ def run(budget: int = 64, batch_size: int = 8, repeats: int = 2,
                 f"{worker_counts[0]} — campaign is not order-independent")
         results[workers] = campaign.wall_seconds
     serial = results[worker_counts[0]]
+    top = worker_counts[-1]
     return {
         "objective": {"kernel": "polybench/gemm", "arch": SKYLAKE_4114.name,
                       "repeats": repeats, "walltime_scale": WALLTIME_SCALE,
@@ -75,6 +76,11 @@ def run(budget: int = 64, batch_size: int = 8, repeats: int = 2,
         "workers": {
             str(w): {"wall_s": results[w], "speedup": serial / results[w]}
             for w in worker_counts
+        },
+        # dimensionless ratio for the CI regression gate (see
+        # benchmarks/check_regression.py)
+        "gate_metrics": {
+            f"campaign_speedup_{top}w": serial / results[top],
         },
     }
 

@@ -1,6 +1,5 @@
 """§6 (Discussion): the networks are shallow and train in seconds per epoch."""
 
-import time
 
 import numpy as np
 

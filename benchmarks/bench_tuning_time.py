@@ -1,6 +1,5 @@
 """§4.1.4: tuning-cost comparison (MGA vs search tuners) and §6 training speed."""
 
-import time
 
 from repro.evaluation.experiments import tuning_time
 

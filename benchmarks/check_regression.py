@@ -1,0 +1,69 @@
+"""CI benchmark regression gate: diff fresh metrics against a baseline.
+
+Every JSON-emitting benchmark publishes a ``gate_metrics`` object of
+dimensionless, higher-is-better ratios (speedups, scaling factors) —
+numbers that are comparable across machines, unlike absolute wall-clock.
+CI runs the benchmarks in quick mode and diffs their fresh ``gate_metrics``
+against the committed quick-mode baselines under ``benchmarks/baselines/``;
+a metric that drops more than ``--tolerance`` (default 30%) below its
+baseline fails the job.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --current BENCH_training_throughput.json \
+        --baseline benchmarks/baselines/BENCH_training_throughput.quick.json
+"""
+
+import argparse
+import json
+
+
+def check(current_path: str, baseline_path: str,
+          tolerance: float) -> int:
+    with open(current_path, "r", encoding="utf-8") as fh:
+        current = json.load(fh)
+    with open(baseline_path, "r", encoding="utf-8") as fh:
+        baseline = json.load(fh)
+
+    baseline_metrics = baseline.get("gate_metrics")
+    if not baseline_metrics:
+        print(f"FAIL {baseline_path}: no gate_metrics in baseline")
+        return 1
+    current_metrics = current.get("gate_metrics") or {}
+
+    failures = 0
+    for name, reference in sorted(baseline_metrics.items()):
+        fresh = current_metrics.get(name)
+        if fresh is None:
+            print(f"FAIL {name}: missing from {current_path}")
+            failures += 1
+            continue
+        floor = float(reference) * (1.0 - tolerance)
+        ratio = float(fresh) / float(reference)
+        verdict = "ok" if float(fresh) >= floor else "FAIL"
+        print(f"{verdict:>4} {name}: current {float(fresh):.3f} vs baseline "
+              f"{float(reference):.3f} ({100 * ratio:.0f}%, floor "
+              f"{floor:.3f})")
+        failures += int(verdict == "FAIL")
+    if failures:
+        print(f"{failures} gate metric(s) regressed more than "
+              f"{100 * tolerance:.0f}% below baseline")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", required=True,
+                        help="freshly produced BENCH_*.json")
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline BENCH_*.json")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional drop below baseline "
+                             "(default 0.30)")
+    args = parser.parse_args()
+    return check(args.current, args.baseline, args.tolerance)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

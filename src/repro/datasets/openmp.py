@@ -19,7 +19,7 @@ from repro.frontend.analysis import analyze_spec
 from repro.frontend.openmp import OMPConfig, default_omp_config
 from repro.frontend.spec import KernelSpec
 from repro.graphs import HeteroGraphData
-from repro.profiling import PAPI_PRESET_COUNTERS, SELECTED_COUNTERS
+from repro.profiling import SELECTED_COUNTERS
 from repro.simulator.microarch import MicroArch
 from repro.simulator.openmp import OpenMPSimulator
 

@@ -10,7 +10,7 @@ is also provided so the pipeline works without a training corpus.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 

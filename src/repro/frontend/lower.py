@@ -37,7 +37,7 @@ from repro.ir import (
     verify_module,
 )
 from repro.ir.types import is_float, pointer_to
-from repro.ir.values import Constant, GlobalVariable, Value
+from repro.ir.values import Value
 
 _CALL_OPCODE = {
     "sqrt": Opcode.SQRT,

@@ -13,7 +13,7 @@ import enum
 import math
 from typing import Dict, List, Optional, Sequence
 
-from repro.frontend.expr import Array, Dim, Scalar, resolve_extent
+from repro.frontend.expr import Array, Scalar, resolve_extent
 from repro.frontend.stmt import For, Statement, find_parallel_loop, loop_nest_depth
 
 

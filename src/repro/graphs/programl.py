@@ -16,11 +16,11 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional
 
-import networkx as nx
+if TYPE_CHECKING:                      # optional inspection dependency
+    import networkx as nx
 
-from repro.ir.function import Function
 from repro.ir.instructions import Instruction, Opcode
 from repro.ir.module import Module
 from repro.ir.values import Argument, Constant, GlobalVariable, Value
@@ -99,8 +99,16 @@ class ProGraMLGraph:
     def nodes_of_type(self, node_type: NodeType) -> List[ProGraMLNode]:
         return [n for n in self.nodes if n.node_type == node_type]
 
-    def to_networkx(self) -> nx.MultiDiGraph:
-        """Export to a networkx multigraph (used by tests and inspection)."""
+    def to_networkx(self) -> "nx.MultiDiGraph":
+        """Export to a networkx multigraph (used by tests and inspection).
+
+        networkx is an optional inspection dependency — nothing on the
+        library's train/serve paths needs it, so it is imported here
+        rather than at module level (the wheel deliberately depends only
+        on numpy + scipy).
+        """
+        import networkx as nx
+
         graph = nx.MultiDiGraph(name=self.name)
         for node in self.nodes:
             graph.add_node(node.node_id, node_type=int(node.node_type),

@@ -12,7 +12,7 @@ from typing import Optional, Sequence
 
 from repro.ir.block import BasicBlock
 from repro.ir.instructions import Instruction, Opcode
-from repro.ir.types import DataType, is_float, is_int, is_pointer, pointee
+from repro.ir.types import DataType, is_float, is_pointer, pointee
 from repro.ir.values import Constant, Value
 
 

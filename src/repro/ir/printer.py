@@ -11,7 +11,6 @@ from typing import List
 from repro.ir.function import Function
 from repro.ir.instructions import Instruction, Opcode
 from repro.ir.module import Module
-from repro.ir.types import DataType
 
 
 def print_instruction(inst: Instruction) -> str:

@@ -16,7 +16,7 @@ from repro.ir.function import Function
 from repro.ir.instructions import Instruction, Opcode
 from repro.ir.module import Module
 from repro.ir.types import DataType, is_float, is_int, is_pointer
-from repro.ir.values import Argument, Constant, GlobalVariable, Value
+from repro.ir.values import Argument, Constant, GlobalVariable
 
 
 class VerificationError(Exception):

@@ -12,7 +12,7 @@ imbalance, working-set shape).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
 from repro.frontend.expr import (
     Array,

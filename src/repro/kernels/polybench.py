@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List
 
-from repro.frontend.expr import Array, CallExpr, Dim, LoopVar, Scalar
+from repro.frontend.expr import Array, Dim, LoopVar
 from repro.frontend.spec import KernelSpec, ParallelModel
 from repro.frontend.stmt import Assign, For, Reduce
 from repro.kernels._builders import (

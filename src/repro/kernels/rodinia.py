@@ -14,7 +14,6 @@ from repro.kernels._builders import (
     matmul_kernel,
     nbody_kernel,
     stencil2d_kernel,
-    streaming_kernel,
     triangular_kernel,
 )
 

@@ -8,7 +8,6 @@ from repro.frontend.spec import KernelSpec, ParallelModel
 from repro.kernels._builders import (
     elementwise_math_kernel,
     fft_like_kernel,
-    histogram_kernel,
     irregular_graph_kernel,
     matmul_kernel,
     nbody_kernel,

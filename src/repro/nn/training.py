@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import random
-from typing import Iterator, Optional, Sequence, Tuple
+from typing import Iterator, Optional
 
 import numpy as np
 

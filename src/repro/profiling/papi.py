@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import dataclasses
+import os
+import time
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -45,13 +47,39 @@ class ProfileRecord:
     runs_needed: int
 
 
+#: Environment knobs for walltime emulation (see ``PAPIProfiler``):
+#: ``REPRO_PROFILE_WALLTIME_SCALE`` / ``REPRO_PROFILE_WALLTIME_CAP``.
+WALLTIME_SCALE_ENV = "REPRO_PROFILE_WALLTIME_SCALE"
+WALLTIME_CAP_ENV = "REPRO_PROFILE_WALLTIME_CAP"
+
+
 class PAPIProfiler:
-    """Profile kernels on a simulated micro-architecture."""
+    """Profile kernels on a simulated micro-architecture.
+
+    ``walltime_scale`` optionally makes each :meth:`profile` call *occupy*
+    wall-clock time proportional to the simulated execution (capped at
+    ``walltime_cap`` seconds), exactly like
+    :class:`~repro.tuners.campaign.SimObjectiveSpec` does for campaign
+    evaluations: on real hardware a profiling run waits on the kernel's
+    execution, and that wait — not the counter bookkeeping — is what a
+    serving worker pool overlaps.  The scaling benchmarks set the
+    ``REPRO_PROFILE_WALLTIME_SCALE`` / ``REPRO_PROFILE_WALLTIME_CAP``
+    environment fallbacks so the emulation reaches worker processes without
+    threading a knob through every serving layer; both default to off.
+    """
 
     def __init__(self, arch: MicroArch, noise: float = 0.015,
-                 seed: Optional[int] = 0):
+                 seed: Optional[int] = 0,
+                 walltime_scale: Optional[float] = None,
+                 walltime_cap: Optional[float] = None):
         self.arch = arch
         self.simulator = OpenMPSimulator(arch, noise=noise, seed=seed)
+        if walltime_scale is None:
+            walltime_scale = float(os.environ.get(WALLTIME_SCALE_ENV, "0"))
+        if walltime_cap is None:
+            walltime_cap = float(os.environ.get(WALLTIME_CAP_ENV, "0.05"))
+        self.walltime_scale = float(walltime_scale)
+        self.walltime_cap = float(walltime_cap)
 
     # ------------------------------------------------------------------
     def profile(self, spec: KernelSpec, scale: float = 1.0,
@@ -72,6 +100,11 @@ class PAPIProfiler:
         result = self.simulator.run(spec, config, scale=scale)
         counters = {e: result.counters[e] for e in events}
         runs_needed = int(np.ceil(len(events) / COUNTERS_PER_RUN))
+        if self.walltime_scale > 0.0:
+            # occupy (a scaled share of) the simulated execution time: the
+            # profiling runs of a real deployment block on the kernel
+            time.sleep(min(result.time_seconds * self.walltime_scale
+                           * runs_needed, self.walltime_cap))
         return ProfileRecord(kernel=spec.uid, scale=scale, config=config,
                              time_seconds=result.time_seconds,
                              counters=counters, runs_needed=runs_needed)

@@ -14,7 +14,13 @@ The serving subsystem takes a trained tuner from "in-memory object" to
   features;
 * :mod:`repro.serve.service` — :class:`TuningService`, the request/response
   façade with per-model routing and latency/throughput counters;
-* ``python -m repro.serve`` — a small CLI to publish and query models.
+* :mod:`repro.serve.daemon` — :class:`ServeDaemon`, a socket-served
+  multi-worker front-end: deadline-aware micro-batching, bounded queues
+  with load shedding, a self-healing process pool and drain-on-shutdown;
+* :mod:`repro.serve.client` — :class:`DaemonClient`, the JSON-line socket
+  client mirroring the :class:`TuningService` surface;
+* ``python -m repro.serve`` — a small CLI to publish, query and serve
+  models (``daemon`` / ``request`` talk the socket protocol).
 """
 
 from repro.serve.artifacts import (
@@ -25,6 +31,8 @@ from repro.serve.artifacts import (
     restore_payload,
     save_artifact,
 )
+from repro.serve.client import DaemonClient, DaemonError
+from repro.serve.daemon import ServeDaemon
 from repro.serve.engine import InferenceEngine, PendingResult
 from repro.serve.registry import ModelRegistry, ModelVersion
 from repro.serve.service import (
@@ -48,6 +56,9 @@ __all__ = [
     "ModelVersion",
     "InferenceEngine",
     "PendingResult",
+    "ServeDaemon",
+    "DaemonClient",
+    "DaemonError",
     "TuningService",
     "TuneRequest",
     "TuneResponse",

@@ -8,6 +8,8 @@ Commands
 ``tune``          tune one kernel with a published OpenMP tuner
 ``map``           map one kernel with a published device mapper
 ``campaign``      run/resume a parallel black-box search campaign
+``daemon``        serve models over a local socket (multi-worker, batched)
+``request``       send one request to a running daemon
 
 Machine-readable output: every command prints one JSON document to stdout.
 """
@@ -17,6 +19,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -52,7 +55,11 @@ def _build_parser() -> argparse.ArgumentParser:
     info.add_argument("--version", type=int, default=None)
 
     tune = sub.add_parser("tune", help="tune one kernel")
-    tune.add_argument("--root", required=True)
+    tune.add_argument("--root", default=None,
+                      help="registry root (omit with --daemon)")
+    tune.add_argument("--daemon", default=None, metavar="SOCKET",
+                      help="route through a running daemon instead of "
+                           "loading the model in-process")
     tune.add_argument("--model", required=True)
     tune.add_argument("--version", type=int, default=None)
     tune.add_argument("--kernel", required=True,
@@ -61,12 +68,67 @@ def _build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--target-bytes", type=float, default=None)
 
     mapper = sub.add_parser("map", help="map one kernel to CPU/GPU")
-    mapper.add_argument("--root", required=True)
+    mapper.add_argument("--root", default=None,
+                        help="registry root (omit with --daemon)")
+    mapper.add_argument("--daemon", default=None, metavar="SOCKET",
+                        help="route through a running daemon instead of "
+                             "loading the model in-process")
     mapper.add_argument("--model", required=True)
     mapper.add_argument("--version", type=int, default=None)
     mapper.add_argument("--kernel", required=True)
     mapper.add_argument("--transfer-bytes", type=float, required=True)
     mapper.add_argument("--wgsize", type=int, default=64)
+
+    daemon = sub.add_parser(
+        "daemon",
+        help="serve published models over a local socket: a dispatcher "
+             "forms micro-batches under a latency deadline and a pool of "
+             "worker processes executes them")
+    daemon.add_argument("--socket", required=True,
+                        help="AF_UNIX socket path to listen on")
+    daemon.add_argument("--root", default=None,
+                        help="model registry root (omit for a session-only "
+                             "daemon)")
+    daemon.add_argument("--workers", type=int, default=2,
+                        help="worker processes, each holding warm models")
+    daemon.add_argument("--max-batch", type=int, default=16,
+                        help="flush a batch at this many requests")
+    daemon.add_argument("--deadline-ms", type=float, default=10.0,
+                        help="flush a batch when its oldest request has "
+                             "waited this long")
+    daemon.add_argument("--max-queue", type=int, default=64,
+                        help="bounded queue: shed (overloaded) beyond this "
+                             "many waiting requests")
+    daemon.add_argument("--engine-wait-ms", type=float, default=2.0,
+                        help="worker-side engine micro-batch window")
+    daemon.add_argument("--preload", action="append", default=[],
+                        metavar="MODEL[@VERSION]",
+                        help="warm these models in every worker before "
+                             "accepting requests (repeatable)")
+    daemon.add_argument("--debug-ops", action="store_true",
+                        help="enable the fault-injection ops used by tests "
+                             "(_crash, _sleep)")
+    daemon.add_argument("--mp-start", default=None,
+                        choices=("fork", "spawn", "forkserver"),
+                        help="multiprocessing start method for the workers")
+
+    request = sub.add_parser(
+        "request", help="send one JSON request to a running daemon")
+    request.add_argument("--socket", required=True)
+    group = request.add_mutually_exclusive_group(required=True)
+    group.add_argument("--json", default=None,
+                       help="raw request document, e.g. "
+                            "'{\"op\": \"stats\"}'")
+    group.add_argument("--op", default=None,
+                       choices=("ping", "stats", "shutdown", "tune", "map"))
+    request.add_argument("--model", default=None)
+    request.add_argument("--version", type=int, default=None)
+    request.add_argument("--kernel", default=None)
+    request.add_argument("--scale", type=float, default=None)
+    request.add_argument("--target-bytes", type=float, default=None)
+    request.add_argument("--transfer-bytes", type=float, default=None)
+    request.add_argument("--wgsize", type=int, default=None)
+    request.add_argument("--timeout", type=float, default=600.0)
 
     campaign = sub.add_parser(
         "campaign",
@@ -167,11 +229,20 @@ def _cmd_info(args) -> int:
     return 0
 
 
-def _cmd_tune(args) -> int:
+def _service_for(args):
     from repro.serve.registry import ModelRegistry
-    from repro.serve.service import TuneRequest, TuningService
+    from repro.serve.service import TuningService
 
-    with TuningService(ModelRegistry(args.root)) as service:
+    if args.daemon is None and args.root is None:
+        raise ValueError("one of --root / --daemon is required")
+    registry = ModelRegistry(args.root) if args.root is not None else None
+    return TuningService(registry, daemon=args.daemon)
+
+
+def _cmd_tune(args) -> int:
+    from repro.serve.service import TuneRequest
+
+    with _service_for(args) as service:
         response = service.tune(TuneRequest(
             model=args.model, version=args.version, kernel=args.kernel,
             scale=args.scale, target_bytes=args.target_bytes))
@@ -180,14 +251,71 @@ def _cmd_tune(args) -> int:
 
 
 def _cmd_map(args) -> int:
-    from repro.serve.registry import ModelRegistry
-    from repro.serve.service import MapRequest, TuningService
+    from repro.serve.service import MapRequest
 
-    with TuningService(ModelRegistry(args.root)) as service:
+    with _service_for(args) as service:
         response = service.map_device(MapRequest(
             model=args.model, version=args.version, kernel=args.kernel,
             transfer_bytes=args.transfer_bytes, wgsize=args.wgsize))
         print(json.dumps(dataclasses.asdict(response), indent=2))
+    return 0
+
+
+def _cmd_daemon(args) -> int:
+    import signal
+    import threading
+
+    from repro.serve.daemon import ServeDaemon
+
+    daemon = ServeDaemon(
+        socket_path=args.socket, registry_root=args.root,
+        workers=args.workers, max_batch=args.max_batch,
+        deadline_ms=args.deadline_ms, max_queue=args.max_queue,
+        engine_max_wait_ms=args.engine_wait_ms, preload=args.preload,
+        debug_ops=args.debug_ops, mp_start_method=args.mp_start)
+    daemon.start()
+    print(json.dumps({"ready": True, "socket": args.socket,
+                      "workers": args.workers, "max_batch": args.max_batch,
+                      "deadline_ms": args.deadline_ms,
+                      "max_queue": args.max_queue, "pid": os.getpid()}),
+          flush=True)
+
+    stop = threading.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, lambda *_: stop.set())
+    try:
+        # wake on signals AND on a `shutdown` request (which unlinks the
+        # socket after draining)
+        while not stop.is_set() and os.path.exists(args.socket):
+            stop.wait(0.2)
+    finally:
+        daemon.shutdown(drain=True)
+    return 0
+
+
+def _cmd_request(args) -> int:
+    from repro.serve.client import DaemonClient, DaemonError
+
+    if args.json is not None:
+        document = json.loads(args.json)
+    else:
+        document = {"op": args.op}
+        for field in ("model", "version", "kernel", "scale",
+                      "target_bytes", "transfer_bytes", "wgsize"):
+            value = getattr(args, field)
+            if value is not None:
+                document[field] = value
+        if args.op == "map":
+            # same default as the in-process `map` subcommand
+            document.setdefault("wgsize", 64)
+    with DaemonClient(args.socket, timeout=args.timeout) as client:
+        try:
+            result = client.request(document)
+        except DaemonError as exc:
+            print(json.dumps({"ok": False, "error": {
+                "code": exc.code, "message": exc.message}}, indent=2))
+            return 1
+    print(json.dumps({"ok": True, "result": result}, indent=2))
     return 0
 
 
@@ -221,6 +349,8 @@ _COMMANDS = {
     "tune": _cmd_tune,
     "map": _cmd_map,
     "campaign": _cmd_campaign,
+    "daemon": _cmd_daemon,
+    "request": _cmd_request,
 }
 
 

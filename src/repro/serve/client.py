@@ -1,0 +1,150 @@
+"""Client for the serving daemon's JSON-line socket protocol.
+
+:class:`DaemonClient` mirrors the :class:`~repro.serve.service.TuningService`
+request/response surface (``tune``/``map_device`` over the same dataclasses)
+so callers can swap the in-process service for a running daemon without
+touching request construction.  One client owns one connection and is safe
+to share across threads (calls are serialised); open one client per thread
+for closed-loop load generation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import socket
+import threading
+from typing import Any, Dict, Optional
+
+from repro.serve.protocol import (
+    ERR_OVERLOADED,
+    LineChannel,
+    session_to_wire,
+)
+from repro.serve.service import (
+    MapRequest,
+    MapResponse,
+    TuneRequest,
+    TuneResponse,
+)
+
+
+class DaemonError(RuntimeError):
+    """A structured error response from the daemon."""
+
+    def __init__(self, code: str, message: str,
+                 detail: Optional[Dict[str, Any]] = None):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+        self.detail = dict(detail or {})
+
+    @property
+    def overloaded(self) -> bool:
+        """True when the daemon shed this request (back off and retry)."""
+        return self.code == ERR_OVERLOADED
+
+
+class DaemonClient:
+    """Blocking request/response client over one daemon connection."""
+
+    def __init__(self, socket_path: str, timeout: float = 600.0):
+        self.socket_path = socket_path
+        self.timeout = timeout
+        self._lock = threading.Lock()
+        self._channel: Optional[LineChannel] = None
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    def _connect(self) -> LineChannel:
+        if self._channel is None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.connect(self.socket_path)
+            self._channel = LineChannel(sock)
+        return self._channel
+
+    def request(self, document: Dict[str, Any],
+                timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Send one request; return its ``result``; raise on error replies."""
+        with self._lock:
+            channel = self._connect()
+            request_id = f"c{self._next_id}"
+            self._next_id += 1
+            payload = dict(document)
+            payload["id"] = request_id
+            try:
+                channel.send(payload)
+                while True:
+                    response = channel.recv(
+                        self.timeout if timeout is None else timeout)
+                    if response is None:
+                        raise ConnectionError("daemon closed the connection")
+                    if response.get("id") == request_id:
+                        break
+            except (OSError, ConnectionError):
+                self._reset_locked()
+                raise
+        if response.get("ok"):
+            return response.get("result", {})
+        error = response.get("error", {})
+        raise DaemonError(error.get("code", "internal"),
+                          error.get("message", "unknown daemon error"),
+                          error)
+
+    def _reset_locked(self) -> None:
+        if self._channel is not None:
+            self._channel.close()
+            self._channel = None
+
+    # ------------------------------------------------------------------
+    # the TuningService-shaped surface
+    # ------------------------------------------------------------------
+    def tune(self, request: TuneRequest) -> TuneResponse:
+        result = self.request({"op": "tune",
+                               **dataclasses.asdict(request)})
+        return TuneResponse(
+            model=result["model"], version=result["version"],
+            kernel=result["kernel"], scale=result["scale"],
+            config_label=result["config_label"],
+            num_threads=result["num_threads"], schedule=result["schedule"],
+            chunk_size=result["chunk_size"],
+            counters=dict(result["counters"]),
+            latency_ms=result["latency_ms"])
+
+    def map_device(self, request: MapRequest) -> MapResponse:
+        result = self.request({"op": "map",
+                               **dataclasses.asdict(request)})
+        return MapResponse(
+            model=result["model"], version=result["version"],
+            kernel=result["kernel"], device=result["device"],
+            label=result["label"], latency_ms=result["latency_ms"])
+
+    def run_session(self, session):
+        """Execute one :class:`SearchSession` on the daemon's worker pool."""
+        from repro.serve.protocol import outcome_from_wire
+
+        result = self.request({"op": "session",
+                               "session": session_to_wire(session)})
+        return outcome_from_wire(result)
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request({"op": "stats"})
+
+    def ping(self, timeout: float = 5.0) -> bool:
+        return bool(self.request({"op": "ping"},
+                                 timeout=timeout).get("pong"))
+
+    def shutdown(self, drain: bool = True,
+                 timeout: Optional[float] = None) -> Dict[str, Any]:
+        return self.request({"op": "shutdown", "drain": drain},
+                            timeout=timeout)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            self._reset_locked()
+
+    def __enter__(self) -> "DaemonClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

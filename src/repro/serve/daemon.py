@@ -1,0 +1,773 @@
+"""Concurrent multi-worker serving daemon with deadline-aware batching.
+
+:class:`ServeDaemon` is the socket-served, multi-process big sibling of the
+in-process :class:`~repro.serve.engine.InferenceEngine`:
+
+* a **front-end** accepts JSON-line requests over a local (``AF_UNIX``)
+  socket — many connections, pipelined requests, out-of-order responses;
+* an **async dispatcher** forms dynamic micro-batches per ``(model,
+  version)`` route under a configurable latency budget: a batch flushes when
+  it reaches ``max_batch`` requests *or* its oldest request has waited
+  ``deadline_ms``, whichever comes first;
+* a **pool of worker processes**, each holding a warm
+  :class:`~repro.serve.registry.ModelRegistry` model behind its own
+  :class:`~repro.serve.engine.InferenceEngine`, executes the batches.
+
+The request queue is bounded: when ``max_queue`` requests are already
+waiting, new work is *shed* with a structured ``overloaded`` error instead
+of growing the queue without bound (the client backs off; latency stays
+bounded).  A monitor thread heals the pool — if a worker dies mid-batch its
+requests are retried once on another worker (the deliberately-crashing
+debug op is failed, not retried) and a replacement process is spawned.
+``shutdown`` drains: queued and in-flight work completes, workers stop
+cleanly, then the socket disappears.
+
+Determinism: a worker answers ``tune``/``map`` through the same
+``registry.load`` → ``InferenceEngine`` path as in-process serving, so
+daemon predictions are byte-identical to :class:`InferenceEngine` over the
+same published artifact.
+"""
+
+from __future__ import annotations
+
+import collections
+import multiprocessing
+import os
+import socket
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.serve.protocol import (
+    ERR_BAD_REQUEST,
+    ERR_INTERNAL,
+    ERR_NO_REGISTRY,
+    ERR_OVERLOADED,
+    ERR_SHUTTING_DOWN,
+    ERR_WORKER_CRASHED,
+    LineChannel,
+    ProtocolError,
+    error_response,
+    ok_response,
+    percentile,
+    validate_request,
+)
+
+#: per-request retry budget after a worker crash
+MAX_ATTEMPTS = 2
+
+_ROUTE_SESSION = ("session",)
+_ROUTE_DEBUG = ("debug",)
+
+
+# ----------------------------------------------------------------------
+# worker process
+# ----------------------------------------------------------------------
+def _execute_tune_map(service, requests: List[Dict[str, Any]]
+                      ) -> List[Dict[str, Any]]:
+    """Answer a batch of tune/map requests through one warm engine each.
+
+    All requests are *submitted* before any result is awaited, so
+    co-batched requests for the same model coalesce into single
+    ``MGAModel.predict`` calls inside the engine — the daemon's batch is
+    the engine's batch.
+    """
+    from repro.kernels import registry as kernel_registry
+    from repro.serve.service import (
+        map_response_fields,
+        require_mapper,
+        require_tuner,
+        resolve_tune_scale,
+        tune_response_fields,
+    )
+
+    submitted: List[Tuple[Optional[Any], Optional[Dict], Optional[str]]] = []
+    for request in requests:
+        try:
+            engine, version = service.engine(request["model"],
+                                             request.get("version"))
+            spec = kernel_registry.get_kernel(request["kernel"])
+            if request["op"] == "tune":
+                require_tuner(engine.predictor, request["model"])
+                scale = resolve_tune_scale(spec, request.get("scale"),
+                                           request.get("target_bytes"))
+                pending = engine.submit_tune(spec, scale)
+                meta = {"op": "tune", "model": request["model"],
+                        "version": version, "kernel": request["kernel"],
+                        "scale": scale}
+            else:
+                require_mapper(engine.predictor, request["model"])
+                pending = engine.submit_map(spec,
+                                            float(request["transfer_bytes"]),
+                                            int(request["wgsize"]))
+                meta = {"op": "map", "model": request["model"],
+                        "version": version, "kernel": request["kernel"]}
+            submitted.append((pending, meta, None))
+        except Exception as exc:
+            submitted.append((None, None,
+                              f"{type(exc).__name__}: {exc}"))
+    results = []
+    for pending, meta, failure in submitted:
+        if failure is not None:
+            results.append({"ok": False,
+                            "error": {"code": ERR_BAD_REQUEST,
+                                      "message": failure}})
+            continue
+        try:
+            value = pending.result(timeout=600.0)
+            if meta["op"] == "tune":
+                config, counters = value
+                result = tune_response_fields(
+                    meta["model"], meta["version"], meta["kernel"],
+                    meta["scale"], config, counters)
+            else:
+                result = map_response_fields(meta["model"], meta["version"],
+                                             meta["kernel"], int(value))
+            results.append({"ok": True, "result": result})
+        except Exception as exc:
+            results.append({"ok": False,
+                            "error": {"code": ERR_INTERNAL,
+                                      "message": f"{type(exc).__name__}: "
+                                                 f"{exc}"}})
+    return results
+
+
+def _execute_one(service, request: Dict[str, Any],
+                 debug_ops: bool) -> Dict[str, Any]:
+    from repro.serve.protocol import (
+        outcome_to_wire,
+        session_from_wire,
+    )
+    from repro.tuners.campaign import run_search_session
+
+    op = request["op"]
+    if op == "session":
+        outcome = run_search_session(session_from_wire(request["session"]))
+        return {"ok": True, "result": outcome_to_wire(outcome)}
+    if op == "_sleep":
+        if not debug_ops:
+            raise ValueError("debug ops are disabled (start the daemon "
+                             "with --debug-ops)")
+        seconds = float(request.get("seconds", 0.1))
+        time.sleep(seconds)
+        return {"ok": True, "result": {"slept": seconds}}
+    if op == "_crash":
+        if not debug_ops:
+            raise ValueError("debug ops are disabled (start the daemon "
+                             "with --debug-ops)")
+        os._exit(17)
+    raise ValueError(f"unroutable op {op!r}")
+
+
+def _worker_main(worker_id: int, registry_root: Optional[str],
+                 engine_opts: Dict[str, Any], preload: List[str],
+                 debug_ops: bool, task_queue, result_queue) -> None:
+    """One worker: a warm per-model engine cache behind a task queue."""
+    from repro.serve.registry import ModelRegistry
+    from repro.serve.service import TuningService
+
+    registry = ModelRegistry(registry_root) if registry_root else None
+    service = TuningService(registry, **engine_opts)
+    try:
+        for entry in preload:
+            name, _, version = entry.partition("@")
+            service.engine(name, int(version) if version else None)
+    except Exception as exc:
+        result_queue.put(("failed", worker_id,
+                          f"preload failed: {type(exc).__name__}: {exc}"))
+        return
+    result_queue.put(("ready", worker_id, os.getpid()))
+    while True:
+        message = task_queue.get()
+        if message[0] == "stop":
+            break
+        _, batch_id, requests = message
+        results: List[Dict[str, Any]] = []
+        tune_map: List[Tuple[int, Dict[str, Any]]] = []
+        for position, request in enumerate(requests):
+            if request["op"] in ("tune", "map"):
+                if registry is None:
+                    results.append(
+                        {"ok": False,
+                         "error": {"code": ERR_NO_REGISTRY,
+                                   "message": "daemon was started without "
+                                              "--root; tune/map need a "
+                                              "model registry"}})
+                else:
+                    tune_map.append((position, request))
+                    results.append({})       # placeholder, filled below
+            else:
+                try:
+                    results.append(_execute_one(service, request, debug_ops))
+                except Exception as exc:
+                    results.append(
+                        {"ok": False,
+                         "error": {"code": ERR_BAD_REQUEST,
+                                   "message": f"{type(exc).__name__}: "
+                                              f"{exc}"}})
+        if tune_map:
+            answers = _execute_tune_map(service,
+                                        [request for _, request in tune_map])
+            for (position, _), answer in zip(tune_map, answers):
+                results[position] = answer
+        result_queue.put(("done", worker_id, batch_id, results))
+    service.close()
+
+
+# ----------------------------------------------------------------------
+# daemon-side request bookkeeping
+# ----------------------------------------------------------------------
+class _PendingRequest:
+    __slots__ = ("request_id", "op", "payload", "reply", "enqueued_at",
+                 "attempts", "route")
+
+    def __init__(self, request_id, op, payload, reply, route):
+        self.request_id = request_id
+        self.op = op
+        self.payload = payload
+        self.reply = reply
+        self.enqueued_at = time.perf_counter()
+        self.attempts = 0
+        self.route = route
+
+
+class _Worker:
+    """Daemon-side handle of one worker process."""
+
+    def __init__(self, worker_id: int, process, task_queue):
+        self.worker_id = worker_id
+        self.process = process
+        self.task_queue = task_queue
+        self.busy_with: Optional[int] = None      # batch id
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+
+class ServeDaemon:
+    """Socket front-end + dispatcher + healing worker pool (see module doc)."""
+
+    def __init__(self, socket_path: str, registry_root: Optional[str] = None,
+                 workers: int = 2, max_batch: int = 16,
+                 deadline_ms: float = 10.0, max_queue: int = 64,
+                 engine_max_wait_ms: float = 2.0, cache_size: int = 512,
+                 preload: Optional[List[str]] = None, debug_ops: bool = False,
+                 mp_start_method: Optional[str] = None):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        self.socket_path = os.fspath(socket_path)
+        self.registry_root = (os.fspath(registry_root)
+                              if registry_root is not None else None)
+        self.workers = int(workers)
+        self.max_batch = int(max_batch)
+        self.deadline_s = float(deadline_ms) / 1e3
+        self.max_queue = int(max_queue)
+        self.engine_opts = {"max_batch_size": int(max_batch),
+                            "max_wait_ms": float(engine_max_wait_ms),
+                            "cache_size": int(cache_size)}
+        self.preload = list(preload or [])
+        self.debug_ops = bool(debug_ops)
+        self._mp = (multiprocessing.get_context(mp_start_method)
+                    if mp_start_method else multiprocessing)
+
+        self._lock = threading.Lock()
+        self._work_available = threading.Condition(self._lock)
+        self._drained = threading.Condition(self._lock)
+        self._routes: "collections.OrderedDict[tuple, collections.deque]" = \
+            collections.OrderedDict()
+        self._queued = 0
+        self._inflight: Dict[int, List[_PendingRequest]] = {}
+        self._pool: Dict[int, _Worker] = {}
+        self._next_batch_id = 0
+        self._next_worker_id = 0
+        self._result_queue = None
+        self._listener: Optional[socket.socket] = None
+        self._threads: List[threading.Thread] = []
+        self._running = False
+        self._draining = False
+        self._started_at = 0.0
+
+        self._stats_lock = threading.Lock()
+        self._received = 0
+        self._completed = 0
+        self._errors = 0
+        self._shed = 0
+        self._retried = 0
+        self._worker_restarts = 0
+        self._batch_histogram: Dict[int, int] = {}
+        self._latencies: "collections.deque[float]" = \
+            collections.deque(maxlen=4096)
+        self._per_model: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self, ready_timeout: float = 120.0) -> "ServeDaemon":
+        """Bind the socket, spawn + warm the workers, start the dispatcher."""
+        if self._running:
+            raise RuntimeError("daemon already started")
+        if os.path.exists(self.socket_path):
+            # a crashed daemon leaves a dead socket file behind — but a
+            # *live* one must not be hijacked: probe before unlinking
+            probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                probe.settimeout(1.0)
+                probe.connect(self.socket_path)
+            except OSError:
+                os.unlink(self.socket_path)      # stale: nobody listening
+            else:
+                raise RuntimeError(
+                    f"another daemon is already serving {self.socket_path}")
+            finally:
+                probe.close()
+        # bind before spawning: a refused bind must not leak worker processes
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        listener.bind(self.socket_path)
+        listener.listen(128)
+        self._listener = listener
+
+        self._result_queue = self._mp.Queue()
+        try:
+            with self._lock:
+                for _ in range(self.workers):
+                    self._spawn_worker_locked()
+            self._await_workers(ready_timeout)
+        except BaseException:
+            for worker in self._pool.values():
+                worker.process.terminate()
+            listener.close()
+            os.unlink(self.socket_path)
+            raise
+        self._running = True
+        self._started_at = time.perf_counter()
+        for target, name in ((self._accept_loop, "accept"),
+                             (self._dispatch_loop, "dispatch"),
+                             (self._collect_loop, "collect"),
+                             (self._monitor_loop, "monitor")):
+            thread = threading.Thread(target=target,
+                                      name=f"repro-daemon-{name}",
+                                      daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def _spawn_worker_locked(self) -> _Worker:
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        task_queue = self._mp.Queue()
+        process = self._mp.Process(
+            target=_worker_main,
+            args=(worker_id, self.registry_root, self.engine_opts,
+                  self.preload, self.debug_ops, task_queue,
+                  self._result_queue),
+            name=f"repro-serve-worker-{worker_id}", daemon=True)
+        process.start()
+        worker = _Worker(worker_id, process, task_queue)
+        self._pool[worker_id] = worker
+        return worker
+
+    def _await_workers(self, timeout: float) -> None:
+        deadline = time.monotonic() + timeout
+        ready = 0
+        while ready < self.workers:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise RuntimeError("workers did not come up in time")
+            try:
+                message = self._result_queue.get(timeout=remaining)
+            except Exception as exc:
+                raise RuntimeError("workers did not come up in time") from exc
+            if message[0] == "ready":
+                ready += 1
+            elif message[0] == "failed":
+                raise RuntimeError(f"worker {message[1]} failed to start: "
+                                   f"{message[2]}")
+
+    def shutdown(self, drain: bool = True, timeout: float = 120.0) -> None:
+        """Stop the daemon; with ``drain`` outstanding work completes first."""
+        with self._lock:
+            if not self._running:
+                return
+            self._draining = True
+            if drain:
+                deadline = time.monotonic() + timeout
+                while (self._queued or self._inflight) and \
+                        time.monotonic() < deadline:
+                    self._work_available.notify_all()
+                    self._drained.wait(timeout=0.1)
+            self._running = False
+            pool = list(self._pool.values())
+            self._work_available.notify_all()
+        for worker in pool:
+            try:
+                worker.task_queue.put(("stop",))
+            except (OSError, ValueError):
+                pass
+        for worker in pool:
+            worker.process.join(timeout=10.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=5.0)
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if os.path.exists(self.socket_path):
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
+        # fail anything still queued (drain=False or drain timeout)
+        with self._lock:
+            leftovers = [request for pending in self._routes.values()
+                         for request in pending]
+            for batch in self._inflight.values():
+                leftovers.extend(batch)
+            self._routes.clear()
+            self._inflight.clear()
+            self._queued = 0
+        for request in leftovers:
+            request.reply(error_response(request.request_id,
+                                         ERR_SHUTTING_DOWN,
+                                         "daemon stopped before this "
+                                         "request completed"))
+
+    def __enter__(self) -> "ServeDaemon":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # front-end: connections and admission control
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return
+            thread = threading.Thread(target=self._connection_loop,
+                                      args=(conn,),
+                                      name="repro-daemon-conn", daemon=True)
+            thread.start()
+
+    def _connection_loop(self, conn: socket.socket) -> None:
+        channel = LineChannel(conn)
+        write_lock = threading.Lock()
+
+        def reply(document: Dict[str, Any]) -> None:
+            try:
+                with write_lock:
+                    channel.send(document)
+            except OSError:
+                pass                  # client went away; nothing to tell it
+
+        try:
+            while True:
+                try:
+                    document = channel.recv()
+                except ProtocolError as exc:
+                    reply(error_response(None, ERR_BAD_REQUEST, str(exc)))
+                    return
+                except OSError:
+                    return
+                if document is None:
+                    return
+                self._handle_request(document, reply)
+        finally:
+            channel.close()
+
+    def _handle_request(self, document: Dict[str, Any], reply) -> None:
+        try:
+            request_id, op = validate_request(document)
+        except ProtocolError as exc:
+            reply(error_response(document.get("id"), ERR_BAD_REQUEST,
+                                 str(exc)))
+            with self._stats_lock:
+                self._received += 1
+                self._errors += 1
+            return
+        with self._stats_lock:
+            self._received += 1
+        if op == "ping":
+            reply(ok_response(request_id, {"pong": True}))
+            return
+        if op == "stats":
+            reply(ok_response(request_id, self.stats()))
+            return
+        if op == "shutdown":
+            # drain on a helper thread so this connection's reader keeps
+            # the reply path alive until outstanding work has finished
+            def drain_and_ack():
+                self.shutdown(drain=bool(document.get("drain", True)))
+                reply(ok_response(request_id, {"stopped": True}))
+            threading.Thread(target=drain_and_ack,
+                             name="repro-daemon-shutdown",
+                             daemon=True).start()
+            return
+        self._admit(_PendingRequest(request_id, op, document, reply,
+                                    self._route_of(document, op)))
+
+    @staticmethod
+    def _route_of(document: Dict[str, Any], op: str) -> tuple:
+        if op in ("tune", "map"):
+            return ("model", document["model"], document.get("version"))
+        if op == "session":
+            return _ROUTE_SESSION
+        return _ROUTE_DEBUG
+
+    def _admit(self, request: _PendingRequest) -> None:
+        with self._lock:
+            if self._draining or not self._running:
+                shed_code, message = ERR_SHUTTING_DOWN, \
+                    "daemon is shutting down"
+            elif self._queued >= self.max_queue:
+                shed_code, message = ERR_OVERLOADED, \
+                    f"request queue is full ({self._queued} waiting)"
+            else:
+                pending = self._routes.get(request.route)
+                if pending is None:
+                    pending = self._routes.setdefault(request.route,
+                                                      collections.deque())
+                pending.append(request)
+                self._queued += 1
+                self._work_available.notify_all()
+                return
+            depth = self._queued
+        with self._stats_lock:
+            self._shed += 1
+        request.reply(error_response(request.request_id, shed_code,
+                                     message, queue_depth=depth))
+
+    # ------------------------------------------------------------------
+    # dispatcher: deadline-aware batch formation
+    # ------------------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._lock:
+                if not self._running:
+                    return
+                batch_assignment = self._form_batch_locked()
+                if batch_assignment is None:
+                    if self._idle_worker_locked() is None:
+                        # all workers busy: nothing to compute until the
+                        # collector/monitor notifies that one freed up
+                        self._work_available.wait(0.5)
+                    else:
+                        self._work_available.wait(
+                            self._next_deadline_locked())
+                    continue
+                worker, batch_id, batch = batch_assignment
+            try:
+                worker.task_queue.put(
+                    ("batch", batch_id,
+                     [request.payload for request in batch]))
+            except (OSError, ValueError):
+                pass        # dead worker: the monitor reassigns the batch
+
+    def _idle_worker_locked(self) -> Optional[_Worker]:
+        for worker in self._pool.values():
+            if worker.busy_with is None and worker.alive():
+                return worker
+        return None
+
+    def _form_batch_locked(self):
+        """Pop one flushable batch and assign it to an idle worker.
+
+        A route flushes when it holds ``max_batch`` requests, when its
+        oldest request has waited ``deadline_ms``, or unconditionally
+        during a drain.  Among flushable routes the one with the *oldest*
+        head request wins, so a saturated hot route cannot starve another
+        route's overdue requests.  Returns ``None`` when nothing is
+        flushable or no worker is idle.
+        """
+        worker = self._idle_worker_locked()
+        if worker is None:
+            return None
+        now = time.perf_counter()
+        chosen = None
+        for route, pending in self._routes.items():
+            if not pending:
+                continue
+            if (len(pending) >= self.max_batch or self._draining
+                    or now - pending[0].enqueued_at >= self.deadline_s):
+                if (chosen is None or pending[0].enqueued_at
+                        < self._routes[chosen][0].enqueued_at):
+                    chosen = route
+        if chosen is None:
+            return None
+        pending = self._routes[chosen]
+        batch = [pending.popleft()
+                 for _ in range(min(len(pending), self.max_batch))]
+        if not pending:
+            del self._routes[chosen]      # don't accumulate dead routes
+        self._queued -= len(batch)
+        batch_id = self._next_batch_id
+        self._next_batch_id += 1
+        self._inflight[batch_id] = batch
+        worker.busy_with = batch_id
+        return worker, batch_id, batch
+
+    def _next_deadline_locked(self) -> float:
+        """Seconds until the oldest pending request's flush deadline."""
+        now = time.perf_counter()
+        horizon = 0.5
+        for pending in self._routes.values():
+            if pending:
+                horizon = min(horizon, pending[0].enqueued_at
+                              + self.deadline_s - now)
+        return max(horizon, 0.001)
+
+    # ------------------------------------------------------------------
+    # collector: worker results back to the connections
+    # ------------------------------------------------------------------
+    def _collect_loop(self) -> None:
+        while True:
+            try:
+                message = self._result_queue.get(timeout=0.1)
+            except Exception:
+                if not self._running:
+                    return
+                continue
+            if message[0] == "ready":
+                continue              # a healed worker came up
+            if message[0] != "done":
+                continue
+            _, worker_id, batch_id, results = message
+            with self._lock:
+                batch = self._inflight.pop(batch_id, None)
+                worker = self._pool.get(worker_id)
+                if worker is not None and worker.busy_with == batch_id:
+                    worker.busy_with = None
+                self._work_available.notify_all()
+                if not self._queued and not self._inflight:
+                    self._drained.notify_all()
+            if batch is None:
+                continue              # already failed over by the monitor
+            self._deliver(batch, results, worker_id)
+
+    def _deliver(self, batch: List[_PendingRequest],
+                 results: List[Dict[str, Any]], worker_id: int) -> None:
+        now = time.perf_counter()
+        with self._stats_lock:
+            size = len(batch)
+            self._batch_histogram[size] = \
+                self._batch_histogram.get(size, 0) + 1
+        for request, outcome in zip(batch, results):
+            latency_ms = 1e3 * (now - request.enqueued_at)
+            # account BEFORE replying: a client that reads /stats right
+            # after its response must see its own request counted
+            with self._stats_lock:
+                self._completed += 1
+                self._errors += int(not outcome.get("ok"))
+                self._latencies.append(latency_ms)
+                model = request.payload.get("model", request.op)
+                self._per_model[model] = self._per_model.get(model, 0) + 1
+            if outcome.get("ok"):
+                result = dict(outcome["result"])
+                result["latency_ms"] = latency_ms
+                result["worker"] = worker_id
+                request.reply(ok_response(request.request_id, result))
+            else:
+                error = outcome.get("error") or {"code": ERR_INTERNAL,
+                                                 "message": "worker returned "
+                                                            "no result"}
+                request.reply(error_response(request.request_id,
+                                             error.get("code", ERR_INTERNAL),
+                                             error.get("message", "")))
+
+    # ------------------------------------------------------------------
+    # monitor: worker crash detection, retry and pool healing
+    # ------------------------------------------------------------------
+    def _monitor_loop(self) -> None:
+        while True:
+            time.sleep(0.05)
+            with self._lock:
+                if not self._running:
+                    return
+                dead = [worker for worker in self._pool.values()
+                        if not worker.alive()]
+                recovered: List[_PendingRequest] = []
+                failed: List[_PendingRequest] = []
+                for worker in dead:
+                    del self._pool[worker.worker_id]
+                    self._worker_restarts += 1
+                    if worker.busy_with is not None:
+                        batch = self._inflight.pop(worker.busy_with, [])
+                        for request in batch:
+                            request.attempts += 1
+                            if (request.op == "_crash"
+                                    or request.attempts >= MAX_ATTEMPTS):
+                                failed.append(request)
+                            else:
+                                recovered.append(request)
+                    self._spawn_worker_locked()
+                for request in recovered:
+                    # retry at the front of its route: it has already waited
+                    pending = self._routes.setdefault(request.route,
+                                                      collections.deque())
+                    pending.appendleft(request)
+                    self._queued += 1
+                if recovered or dead:
+                    self._work_available.notify_all()
+            for request in failed:
+                with self._stats_lock:
+                    self._completed += 1
+                    self._errors += 1
+                request.reply(error_response(
+                    request.request_id, ERR_WORKER_CRASHED,
+                    "worker process died while executing this request"))
+            if recovered:
+                with self._stats_lock:
+                    self._retried += len(recovered)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Queue depth, batch-size histogram, latency percentiles, workers."""
+        with self._lock:
+            queue_depth = self._queued
+            inflight = {batch_id: len(batch)
+                        for batch_id, batch in self._inflight.items()}
+            alive = sum(worker.alive() for worker in self._pool.values())
+        with self._stats_lock:
+            histogram = dict(sorted(self._batch_histogram.items()))
+            batches = sum(histogram.values())
+            batched = sum(size * count for size, count in histogram.items())
+            latencies = sorted(self._latencies)
+            snapshot = {
+                "uptime_s": time.perf_counter() - self._started_at,
+                "workers": {"configured": self.workers, "alive": alive,
+                            "restarts": self._worker_restarts},
+                "queue": {"depth": queue_depth, "max_queue": self.max_queue,
+                          "inflight_requests": sum(inflight.values()),
+                          "inflight_batches": len(inflight)},
+                "requests": {"received": self._received,
+                             "completed": self._completed,
+                             "errors": self._errors,
+                             "shed": self._shed,
+                             "retried": self._retried},
+                "batches": {
+                    "count": batches,
+                    "histogram": {str(size): count
+                                  for size, count in histogram.items()},
+                    "max_size": max(histogram) if histogram else 0,
+                    "mean_size": batched / max(1, batches),
+                },
+                "latency_ms": {
+                    "count": len(latencies),
+                    "mean": (sum(latencies) / len(latencies)
+                             if latencies else 0.0),
+                    "p50": percentile(latencies, 0.50),
+                    "p99": percentile(latencies, 0.99),
+                },
+                "per_model": dict(self._per_model),
+                "max_batch": self.max_batch,
+                "deadline_ms": 1e3 * self.deadline_s,
+            }
+        return snapshot

@@ -1,0 +1,218 @@
+"""Wire protocol of the serving daemon: JSON lines over a local socket.
+
+Every request and response is one JSON document on one ``\\n``-terminated
+UTF-8 line.  Requests carry a caller-chosen ``id`` that the daemon echoes
+back, so one connection may pipeline many requests and receive the responses
+out of order (batches complete when their worker finishes, not in arrival
+order).
+
+Request ops
+-----------
+``tune``      ``{"op": "tune", "model": ..., "kernel": ..., "scale": ...}``
+``map``       ``{"op": "map", "model": ..., "kernel": ..., ...}``
+``session``   one self-contained black-box search session (see
+              :func:`session_to_wire`)
+``stats``     daemon introspection: queue depth, batch histogram, latency
+``ping``      liveness probe
+``shutdown``  drain outstanding work, stop the workers, exit
+
+Responses are ``{"id": ..., "ok": true, "result": {...}}`` on success and
+``{"id": ..., "ok": false, "error": {"code": ..., "message": ...}}`` on
+failure.  ``code`` is machine-actionable; the important ones are
+``overloaded`` (the bounded request queue is full — the daemon *sheds* the
+request instead of queueing it; back off and retry) and ``worker_crashed``
+(a worker died mid-batch and the request exhausted its retry).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+#: requests the dispatcher batches and hands to worker processes
+BATCHED_OPS = ("tune", "map", "session", "_crash", "_sleep")
+
+#: requests the front-end answers inline (never queued, never shed)
+INLINE_OPS = ("stats", "ping", "shutdown")
+
+#: error codes a client can act on
+ERR_BAD_REQUEST = "bad_request"
+ERR_OVERLOADED = "overloaded"
+ERR_SHUTTING_DOWN = "shutting_down"
+ERR_WORKER_CRASHED = "worker_crashed"
+ERR_NO_REGISTRY = "no_registry"
+ERR_INTERNAL = "internal"
+
+MAX_LINE_BYTES = 32 * 1024 * 1024
+
+
+class ProtocolError(Exception):
+    """A malformed frame (bad JSON, missing fields, oversized line)."""
+
+
+def encode_frame(document: Dict[str, Any]) -> bytes:
+    """One JSON document as one newline-terminated UTF-8 line."""
+    return (json.dumps(document, separators=(",", ":"))
+            + "\n").encode("utf-8")
+
+
+def decode_frame(line: bytes) -> Dict[str, Any]:
+    try:
+        document = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from exc
+    if not isinstance(document, dict):
+        raise ProtocolError("frame must be a JSON object")
+    return document
+
+
+def error_response(request_id, code: str, message: str,
+                   **detail) -> Dict[str, Any]:
+    error: Dict[str, Any] = {"code": code, "message": message}
+    error.update(detail)
+    return {"id": request_id, "ok": False, "error": error}
+
+
+def ok_response(request_id, result: Dict[str, Any]) -> Dict[str, Any]:
+    return {"id": request_id, "ok": True, "result": result}
+
+
+# ----------------------------------------------------------------------
+# framed socket I/O (shared by the daemon's connections and the client)
+# ----------------------------------------------------------------------
+class LineChannel:
+    """Buffered newline framing over one connected socket."""
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self._buffer = b""
+
+    def send(self, document: Dict[str, Any]) -> None:
+        self.sock.sendall(encode_frame(document))
+
+    def recv(self, timeout: Optional[float] = None) -> Optional[Dict[str, Any]]:
+        """The next decoded frame, or ``None`` on a clean EOF."""
+        self.sock.settimeout(timeout)
+        while b"\n" not in self._buffer:
+            if len(self._buffer) > MAX_LINE_BYTES:
+                raise ProtocolError("frame exceeds the line size limit")
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                if self._buffer:
+                    raise ProtocolError("connection closed mid-frame")
+                return None
+            self._buffer += chunk
+        line, self._buffer = self._buffer.split(b"\n", 1)
+        return decode_frame(line)
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# search-session payloads (the pipeline's tuning fan-out unit)
+# ----------------------------------------------------------------------
+def session_to_wire(session) -> Dict[str, Any]:
+    """A :class:`~repro.tuners.campaign.SearchSession` as a pure-JSON tree.
+
+    ``float`` values survive the JSON round trip exactly (``repr`` round
+    trips IEEE-754 doubles), so a session executed remotely produces the
+    same outcome bytes as a local run.
+    """
+    from repro.tuners.campaign import LookupObjectiveSpec, SimObjectiveSpec
+
+    objective = session.objective
+    if isinstance(objective, LookupObjectiveSpec):
+        wire_objective = {"type": "lookup",
+                          "times": np.asarray(objective.times,
+                                              dtype=np.float64).tolist(),
+                          "floor": float(objective.floor)}
+    elif isinstance(objective, SimObjectiveSpec):
+        wire_objective = {"type": "sim", "spec": objective.to_config()}
+    else:
+        raise TypeError(f"objective {type(objective).__name__} has no wire "
+                        f"form")
+    return {"tuner_name": session.tuner_name,
+            "tuner_config": dict(session.tuner_config),
+            "space": list(session.space),
+            "objective": wire_objective}
+
+
+def session_from_wire(data: Dict[str, Any]):
+    from repro.tuners.campaign import (
+        LookupObjectiveSpec,
+        SearchSession,
+        SimObjectiveSpec,
+    )
+
+    wire_objective = data["objective"]
+    kind = wire_objective["type"]
+    if kind == "lookup":
+        objective = LookupObjectiveSpec(
+            times=np.asarray(wire_objective["times"], dtype=np.float64),
+            floor=float(wire_objective["floor"]))
+    elif kind == "sim":
+        objective = SimObjectiveSpec.from_config(wire_objective["spec"])
+    else:
+        raise ProtocolError(f"unknown objective type {kind!r}")
+    return SearchSession(tuner_name=data["tuner_name"],
+                         tuner_config=dict(data["tuner_config"]),
+                         space=list(data["space"]),
+                         objective=objective)
+
+
+def outcome_to_wire(outcome) -> Dict[str, Any]:
+    """A :class:`~repro.tuners.campaign.SessionOutcome` as a JSON tree."""
+    return {"best_index": int(outcome.best_index),
+            "best_time": float(outcome.best_time),
+            "evaluations": int(outcome.evaluations),
+            "indices": [int(i) for i in outcome.indices],
+            "times": [float(t) for t in outcome.times]}
+
+
+def outcome_from_wire(data: Dict[str, Any]):
+    from repro.tuners.campaign import SessionOutcome
+
+    return SessionOutcome(
+        best_index=int(data["best_index"]),
+        best_time=float(data["best_time"]),
+        evaluations=int(data["evaluations"]),
+        indices=np.asarray(data["indices"], dtype=np.int64),
+        times=np.asarray(data["times"], dtype=np.float64))
+
+
+def percentile(sorted_values, fraction: float) -> float:
+    """Nearest-rank percentile over an already-sorted sequence."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1,
+               max(0, int(round(fraction * (len(sorted_values) - 1)))))
+    return float(sorted_values[rank])
+
+
+def validate_request(document: Dict[str, Any]) -> Tuple[Any, str]:
+    """``(id, op)`` of a request frame, raising :class:`ProtocolError`."""
+    op = document.get("op")
+    if not isinstance(op, str):
+        raise ProtocolError("request is missing the 'op' field")
+    if op not in BATCHED_OPS and op not in INLINE_OPS:
+        raise ProtocolError(f"unknown op {op!r}")
+    if op in ("tune", "map"):
+        for field in ("model", "kernel"):
+            if not isinstance(document.get(field), str):
+                raise ProtocolError(f"op {op!r} requires a string "
+                                    f"{field!r} field")
+    if op == "map":
+        for field in ("transfer_bytes", "wgsize"):
+            if not isinstance(document.get(field), (int, float)):
+                raise ProtocolError(f"op 'map' requires a numeric "
+                                    f"{field!r} field")
+    if op == "session" and not isinstance(document.get("session"), dict):
+        raise ProtocolError("op 'session' requires a 'session' object")
+    return document.get("id"), op

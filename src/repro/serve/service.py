@@ -120,13 +120,63 @@ class MapResponse:
     latency_ms: float
 
 
+# ----------------------------------------------------------------------
+# request semantics shared by the in-process service and the daemon
+# workers — one definition, so the two serving paths cannot drift
+# ----------------------------------------------------------------------
+def resolve_tune_scale(spec, scale: Optional[float],
+                       target_bytes: Optional[float]) -> float:
+    """The input scale of a tune request (``scale`` xor ``target_bytes``)."""
+    if scale is not None and target_bytes is not None:
+        raise ValueError("set only one of scale / target_bytes")
+    if target_bytes is not None:
+        return spec.scale_for_bytes(float(target_bytes))
+    return 1.0 if scale is None else float(scale)
+
+
+def require_tuner(predictor, model: str) -> None:
+    if not isinstance(predictor, MGATuner):
+        raise TypeError(f"model {model!r} is not an OpenMP tuner")
+
+
+def require_mapper(predictor, model: str) -> None:
+    if not isinstance(predictor, DeviceMapper):
+        raise TypeError(f"model {model!r} is not a device mapper")
+
+
+def tune_response_fields(model: str, version: int, kernel: str, scale: float,
+                         config, counters) -> Dict[str, Any]:
+    """Everything of a :class:`TuneResponse` except ``latency_ms``."""
+    return {"model": model, "version": version, "kernel": kernel,
+            "scale": scale, "config_label": config.label(),
+            "num_threads": config.num_threads,
+            "schedule": config.schedule.value,
+            "chunk_size": config.chunk_size, "counters": dict(counters)}
+
+
+def map_response_fields(model: str, version: int, kernel: str,
+                        label: int) -> Dict[str, Any]:
+    """Everything of a :class:`MapResponse` except ``latency_ms``."""
+    return {"model": model, "version": version, "kernel": kernel,
+            "device": "cpu" if int(label) == 0 else "gpu",
+            "label": int(label)}
+
+
 class TuningService:
     """Route tuning/mapping requests to registry-published models."""
 
     def __init__(self, registry: Optional[ModelRegistry] = None,
                  max_batch_size: int = 32,
-                 max_wait_ms: float = 2.0, cache_size: int = 512):
+                 max_wait_ms: float = 2.0, cache_size: int = 512,
+                 daemon: Optional[str] = None):
         self.registry = registry
+        #: socket path of a running serve daemon; when set, ``tune`` and
+        #: ``map_device`` are forwarded there instead of loading models
+        #: in-process (campaigns always run locally — they are compute, not
+        #: model serving)
+        self.daemon = daemon
+        self._daemon_local = threading.local()
+        self._daemon_clients: list = []      # every client, for close()
         self.max_batch_size = max_batch_size
         self.max_wait_ms = max_wait_ms
         self.cache_size = cache_size
@@ -188,35 +238,47 @@ class TuningService:
             self._per_model[model] = self._per_model.get(model, 0) + 1
         return latency_ms
 
+    def _daemon(self):
+        """This thread's client of the configured serve daemon.
+
+        One connection per calling thread, so concurrent ``tune`` calls
+        reach the daemon concurrently and its dispatcher can batch them —
+        a single shared client would serialise them to batches of one.
+        """
+        client = getattr(self._daemon_local, "client", None)
+        if client is None:
+            from repro.serve.client import DaemonClient
+            client = DaemonClient(self.daemon)
+            self._daemon_local.client = client
+            with self._lock:
+                self._daemon_clients.append(client)
+        return client
+
     # ------------------------------------------------------------------
     def tune(self, request: TuneRequest) -> TuneResponse:
         """Tune one kernel with a published :class:`MGATuner`."""
         started = time.perf_counter()
+        if self.daemon is not None:
+            try:
+                response = self._daemon().tune(request)
+            except BaseException:
+                self._record(request.model, started, failed=True)
+                raise
+            self._record(request.model, started, failed=False)
+            return response
         try:
-            if request.scale is not None and request.target_bytes is not None:
-                raise ValueError("set only one of scale / target_bytes")
             engine, version = self.engine(request.model, request.version)
-            if not isinstance(engine.predictor, MGATuner):
-                raise TypeError(f"model {request.model!r} is not an OpenMP "
-                                f"tuner")
+            require_tuner(engine.predictor, request.model)
             spec = self._resolve_kernel(request.kernel)
-            if request.scale is not None:
-                scale = float(request.scale)
-            elif request.target_bytes is not None:
-                scale = spec.scale_for_bytes(float(request.target_bytes))
-            else:
-                scale = 1.0
+            scale = resolve_tune_scale(spec, request.scale,
+                                       request.target_bytes)
             config, counters = engine.tune(spec, scale)
         except BaseException:
             self._record(request.model, started, failed=True)
             raise
         latency_ms = self._record(request.model, started, failed=False)
-        return TuneResponse(
-            model=request.model, version=version, kernel=request.kernel,
-            scale=scale, config_label=config.label(),
-            num_threads=config.num_threads, schedule=config.schedule.value,
-            chunk_size=config.chunk_size, counters=counters,
-            latency_ms=latency_ms)
+        return TuneResponse(latency_ms=latency_ms, **tune_response_fields(
+            request.model, version, request.kernel, scale, config, counters))
 
     def run_campaign(self, request: CampaignRequest) -> CampaignResponse:
         """Run (or resume) a parallel search campaign on the simulator."""
@@ -280,11 +342,17 @@ class TuningService:
     def map_device(self, request: MapRequest) -> MapResponse:
         """Map one kernel with a published :class:`DeviceMapper`."""
         started = time.perf_counter()
+        if self.daemon is not None:
+            try:
+                response = self._daemon().map_device(request)
+            except BaseException:
+                self._record(request.model, started, failed=True)
+                raise
+            self._record(request.model, started, failed=False)
+            return response
         try:
             engine, version = self.engine(request.model, request.version)
-            if not isinstance(engine.predictor, DeviceMapper):
-                raise TypeError(f"model {request.model!r} is not a device "
-                                f"mapper")
+            require_mapper(engine.predictor, request.model)
             spec = self._resolve_kernel(request.kernel)
             label = engine.map_device(spec, request.transfer_bytes,
                                       request.wgsize)
@@ -292,10 +360,8 @@ class TuningService:
             self._record(request.model, started, failed=True)
             raise
         latency_ms = self._record(request.model, started, failed=False)
-        return MapResponse(
-            model=request.model, version=version, kernel=request.kernel,
-            device="cpu" if label == 0 else "gpu", label=label,
-            latency_ms=latency_ms)
+        return MapResponse(latency_ms=latency_ms, **map_response_fields(
+            request.model, version, request.kernel, label))
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, Any]:
@@ -312,13 +378,19 @@ class TuningService:
                 f"{name}@{version}": engine.stats()
                 for (name, version), engine in self._engines.items()
             }
+        if self.daemon is not None and self._daemon_clients:
+            snapshot["daemon"] = self._daemon().stats()
         return snapshot
 
     def close(self) -> None:
         with self._lock:
             engines, self._engines = list(self._engines.values()), {}
+            clients, self._daemon_clients = self._daemon_clients, []
         for engine in engines:
             engine.close()
+        for client in clients:
+            client.close()
+        self._daemon_local = threading.local()
 
     def __enter__(self) -> "TuningService":
         return self

@@ -215,7 +215,6 @@ class OpenMPSimulator:
 
     def _sync_overheads(self, summary: WorkloadSummary, eff_threads: int,
                         requested_threads: int) -> float:
-        arch = self.arch
         total = 0.0
         if summary.has_reduction:
             total += math.log2(max(2, eff_threads)) * 0.6e-6

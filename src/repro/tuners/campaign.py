@@ -218,17 +218,61 @@ def run_search_session(session: SearchSession) -> SessionOutcome:
     )
 
 
-def run_search_sessions(sessions: List[SearchSession],
-                        workers: int = 1) -> List[SessionOutcome]:
-    """Fan independent sessions out over a process pool.
+def run_search_sessions(sessions: List[SearchSession], workers: int = 1,
+                        daemon: Optional[str] = None) -> List[SessionOutcome]:
+    """Fan independent sessions out over a process pool — or a daemon.
 
     Sessions are pure functions of their description, so the outcome list —
-    aligned with ``sessions`` — is identical for every ``workers`` value.
+    aligned with ``sessions`` — is identical for every ``workers`` value
+    *and* for local-vs-daemon execution.  With ``daemon`` (a
+    :class:`~repro.serve.daemon.ServeDaemon` socket path) the sessions are
+    submitted concurrently to the running daemon, whose dispatcher batches
+    them onto its own worker pool; ``workers`` then only sizes the
+    submission concurrency.
     """
+    if daemon is not None:
+        return _run_sessions_on_daemon(sessions, daemon, workers)
     if workers <= 1 or len(sessions) <= 1:
         return [run_search_session(s) for s in sessions]
     with multiprocessing.Pool(min(int(workers), len(sessions))) as pool:
         return pool.map(run_search_session, sessions)
+
+
+def _run_sessions_on_daemon(sessions: List[SearchSession], daemon: str,
+                            workers: int) -> List[SessionOutcome]:
+    """Submit sessions over parallel connections so the daemon can batch.
+
+    The daemon sheds work beyond its bounded queue with a structured
+    ``overloaded`` error; that is backpressure, not failure, so shed
+    sessions are retried with exponential backoff until they are admitted.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.serve.client import DaemonClient, DaemonError
+
+    if not sessions:
+        return []
+    lanes = max(1, min(len(sessions), int(workers) if workers > 1 else 8))
+    clients = [DaemonClient(daemon) for _ in range(lanes)]
+
+    def run_one(item):
+        index, session = item
+        backoff = 0.05
+        while True:
+            try:
+                return clients[index % lanes].run_session(session)
+            except DaemonError as exc:
+                if not exc.overloaded:
+                    raise
+                time.sleep(backoff)
+                backoff = min(2.0, backoff * 2)
+
+    try:
+        with ThreadPoolExecutor(max_workers=lanes) as pool:
+            return list(pool.map(run_one, enumerate(sessions)))
+    finally:
+        for client in clients:
+            client.close()
 
 
 # ----------------------------------------------------------------------

@@ -16,7 +16,7 @@ experiment can evaluate them uniformly.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 

@@ -8,11 +8,11 @@ over the discrete OpenMP configuration space.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Tuple
 
 import numpy as np
 
-from repro.frontend.openmp import OMPConfig, OMPSchedule
+from repro.frontend.openmp import OMPConfig
 from repro.tuners.base import BlackBoxTuner, TuningResult
 from repro.tuners.space import SearchSpace
 

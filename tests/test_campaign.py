@@ -12,7 +12,6 @@ import os
 import numpy as np
 import pytest
 
-from repro.frontend.openmp import OMPConfig
 from repro.simulator.microarch import COMET_LAKE_8C, SKYLAKE_4114
 from repro.tuners import (
     TUNER_CLASSES,

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import DeviceMapper, MGAModel, MGATuner, ModalityConfig, StaticFeatureExtractor
+from repro.core import DeviceMapper, MGAModel, MGATuner, ModalityConfig
 from repro.datasets import DevMapDatasetBuilder
 from repro.kernels import registry
 from repro.nn import accuracy

@@ -9,10 +9,8 @@ from repro.datasets import (
     default_input_targets,
 )
 from repro.datasets.devmap import CPU_LABEL, GPU_LABEL
-from repro.frontend.openmp import OMPConfig
 from repro.kernels import registry
 from repro.simulator.microarch import COMET_LAKE_8C, TAHITI_7970
-from repro.tuners.space import thread_search_space
 
 
 class TestInputTargets:

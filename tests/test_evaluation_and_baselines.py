@@ -12,7 +12,7 @@ from repro.evaluation.experiments.common import (
     search_tuner_speedups,
 )
 from repro.kernels import registry
-from repro.simulator.microarch import COMET_LAKE_8C, TAHITI_7970
+from repro.simulator.microarch import TAHITI_7970
 from repro.tuners import OpenTunerLike
 from repro.tuners.devmap_baselines import (
     DeepTuneBaseline,

@@ -1,6 +1,5 @@
 """Workload analysis and IR lowering tests."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -9,7 +8,7 @@ from repro.frontend import analyze_spec, lower_to_ir
 from repro.frontend.openmp import OMPConfig, OMPSchedule, default_omp_config
 from repro.frontend.opencl import NDRange, OpenCLKernelInstance
 from repro.frontend.spec import ParallelModel
-from repro.ir import Opcode, verify_module
+from repro.ir import Opcode
 from repro.kernels import registry
 
 

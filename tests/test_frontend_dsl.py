@@ -18,8 +18,8 @@ from repro.frontend.expr import (
     Scalar,
     resolve_extent,
 )
-from repro.frontend.spec import KernelSpec, ParallelModel
-from repro.frontend.stmt import Assign, For, If, Reduce, find_parallel_loop, loop_nest_depth
+from repro.frontend.spec import KernelSpec
+from repro.frontend.stmt import Assign, For, Reduce, find_parallel_loop, loop_nest_depth
 from repro.ir.types import DataType
 
 

@@ -83,9 +83,11 @@ class TestConvLayers:
         opt2 = AdamW(head.parameters(), lr=0.05)
         for _ in range(5):
             loss = cross_entropy(head(conv(x, edges)), target)
-            opt.zero_grad(); opt2.zero_grad()
+            opt.zero_grad()
+            opt2.zero_grad()
             loss.backward()
-            opt.step(); opt2.step()
+            opt.step()
+            opt2.step()
         after = [p.data for p in conv.parameters()]
         assert any(not np.allclose(b, a) for b, a in zip(before, after))
 

@@ -2,8 +2,6 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.embeddings import (
     IR2VecEncoder,
@@ -57,6 +55,7 @@ class TestProGraMLGraph:
             assert 0 <= e.src < n and 0 <= e.dst < n
 
     def test_to_networkx(self, gemm_graph):
+        pytest.importorskip("networkx")
         g = gemm_graph.to_networkx()
         assert g.number_of_nodes() == gemm_graph.num_nodes
         assert g.number_of_edges() == gemm_graph.num_edges

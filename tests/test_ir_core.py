@@ -4,7 +4,6 @@ import pytest
 
 from repro.ir import (
     Argument,
-    BasicBlock,
     Constant,
     DataType,
     Function,

@@ -107,7 +107,7 @@ class TestGradcheck:
         rng = np.random.default_rng(5)
         logits = Tensor(rng.standard_normal((6, 4)), requires_grad=True)
         targets = np.array([0, 1, 2, 3, 1, 0])
-        assert gradcheck(lambda l: cross_entropy(l, targets), [logits])
+        assert gradcheck(lambda lg: cross_entropy(lg, targets), [logits])
 
     def test_bce_gradient(self):
         rng = np.random.default_rng(6)

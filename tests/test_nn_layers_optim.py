@@ -22,7 +22,6 @@ from repro.nn import (
     cross_entropy,
     f1_score,
     iterate_minibatches,
-    mse_loss,
     set_seed,
 )
 
@@ -109,7 +108,7 @@ class TestOptimisers:
         assert np.all(buffers[1] > 0)
 
     def test_mlp_learns_xor(self):
-        rng = set_seed(0)
+        set_seed(0)
         x = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=float)
         y = np.array([0, 1, 1, 0])
         model = MLP(2, [16], 2, rng=np.random.default_rng(3))

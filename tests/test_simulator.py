@@ -16,7 +16,6 @@ from repro.simulator import (
     SANDY_BRIDGE_8C,
     SKYLAKE_4114,
     TAHITI_7970,
-    OpenCLSimulator,
     OpenMPSimulator,
     estimate_cache_traffic,
     get_microarch,

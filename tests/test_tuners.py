@@ -8,8 +8,7 @@ from hypothesis import strategies as st
 
 from repro.frontend.analysis import analyze_spec
 from repro.frontend.openmp import OMPConfig, OMPSchedule
-from repro.kernels import registry
-from repro.simulator.microarch import COMET_LAKE_8C, SKYLAKE_4114
+from repro.simulator.microarch import COMET_LAKE_8C
 from repro.simulator.openmp import OpenMPSimulator
 from repro.tuners import (
     BLISSTuner,
