@@ -8,6 +8,10 @@ against the committed quick-mode baselines under ``benchmarks/baselines/``;
 a metric that drops more than ``--tolerance`` (default 30%) below its
 baseline fails the job.
 
+A benchmark whose committed baseline carries a top-level ``"gate": false``
+is *skipped* (exit 0): the JSON is still produced and inspectable, but its
+metrics are known-noisy on shared runners and do not gate merges.
+
 Usage::
 
     python benchmarks/check_regression.py \
@@ -17,14 +21,39 @@ Usage::
 
 import argparse
 import json
+import os
+
+
+def _load(path: str, role: str):
+    """Parsed JSON, or ``None`` after printing an actionable failure."""
+    if not os.path.exists(path):
+        print(f"FAIL {path}: {role} file does not exist")
+        if role == "baseline":
+            print("  every gated benchmark needs a committed quick-mode "
+                  "baseline under benchmarks/baselines/;")
+            print(f"  run the benchmark with --quick and commit its "
+                  f"gate_metrics as {path}")
+            print("  (or mark the baseline '\"gate\": false' to exempt it)")
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except json.JSONDecodeError as exc:
+        print(f"FAIL {path}: {role} is not valid JSON ({exc})")
+        return None
 
 
 def check(current_path: str, baseline_path: str,
           tolerance: float) -> int:
-    with open(current_path, "r", encoding="utf-8") as fh:
-        current = json.load(fh)
-    with open(baseline_path, "r", encoding="utf-8") as fh:
-        baseline = json.load(fh)
+    current = _load(current_path, "current")
+    baseline = _load(baseline_path, "baseline")
+    if current is None or baseline is None:
+        return 1
+    if baseline.get("gate") is False or current.get("gate") is False:
+        marker = baseline_path if baseline.get("gate") is False \
+            else current_path
+        print(f"SKIP {current_path}: marked \"gate\": false in {marker}")
+        return 0
 
     baseline_metrics = baseline.get("gate_metrics")
     if not baseline_metrics:

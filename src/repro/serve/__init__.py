@@ -17,10 +17,18 @@ The serving subsystem takes a trained tuner from "in-memory object" to
 * :mod:`repro.serve.daemon` — :class:`ServeDaemon`, a socket-served
   multi-worker front-end: deadline-aware micro-batching, bounded queues
   with load shedding, a self-healing process pool and drain-on-shutdown;
+  serves ``AF_UNIX`` paths or ``tcp://HOST:PORT`` (same protocol);
+* :mod:`repro.serve.router` — :class:`ServeRouter`, the multi-host
+  distribution layer: consistent-hash sharding by ``(model, version)``
+  over health-checked replica groups with fleet-level admission control;
+* :mod:`repro.serve.loadgen` — open-loop Poisson load generation with
+  latency histograms and SLO attainment (:func:`~repro.serve.loadgen.
+  open_loop`);
 * :mod:`repro.serve.client` — :class:`DaemonClient`, the JSON-line socket
   client mirroring the :class:`TuningService` surface;
 * ``python -m repro.serve`` — a small CLI to publish, query and serve
-  models (``daemon`` / ``request`` talk the socket protocol).
+  models (``daemon`` / ``router`` / ``request`` / ``loadgen`` talk the
+  socket protocol).
 """
 
 from repro.serve.artifacts import (
@@ -34,7 +42,9 @@ from repro.serve.artifacts import (
 from repro.serve.client import DaemonClient, DaemonError
 from repro.serve.daemon import ServeDaemon
 from repro.serve.engine import InferenceEngine, PendingResult
+from repro.serve.loadgen import open_loop
 from repro.serve.registry import ModelRegistry, ModelVersion
+from repro.serve.router import HashRing, ServeRouter
 from repro.serve.service import (
     CampaignRequest,
     CampaignResponse,
@@ -57,6 +67,9 @@ __all__ = [
     "InferenceEngine",
     "PendingResult",
     "ServeDaemon",
+    "ServeRouter",
+    "HashRing",
+    "open_loop",
     "DaemonClient",
     "DaemonError",
     "TuningService",

@@ -8,8 +8,12 @@ Commands
 ``tune``          tune one kernel with a published OpenMP tuner
 ``map``           map one kernel with a published device mapper
 ``campaign``      run/resume a parallel black-box search campaign
-``daemon``        serve models over a local socket (multi-worker, batched)
-``request``       send one request to a running daemon
+``daemon``        serve models over a socket (multi-worker, batched);
+                  ``--socket PATH`` for AF_UNIX or ``--tcp HOST:PORT``
+``router``        shard requests over replica daemons (consistent hashing,
+                  health probes, fleet-level admission control)
+``request``       send one request to a running daemon or router
+``loadgen``       open-loop Poisson load against a daemon or router
 
 Machine-readable output: every command prints one JSON document to stdout.
 """
@@ -81,11 +85,15 @@ def _build_parser() -> argparse.ArgumentParser:
 
     daemon = sub.add_parser(
         "daemon",
-        help="serve published models over a local socket: a dispatcher "
-             "forms micro-batches under a latency deadline and a pool of "
-             "worker processes executes them")
-    daemon.add_argument("--socket", required=True,
-                        help="AF_UNIX socket path to listen on")
+        help="serve published models over a socket: a dispatcher forms "
+             "micro-batches under a latency deadline and a pool of worker "
+             "processes executes them")
+    daemon.add_argument("--socket", default=None,
+                        help="address to listen on: an AF_UNIX path or "
+                             "tcp://HOST:PORT")
+    daemon.add_argument("--tcp", default=None, metavar="HOST:PORT",
+                        help="shorthand for --socket tcp://HOST:PORT "
+                             "(port 0 binds an ephemeral port)")
     daemon.add_argument("--root", default=None,
                         help="model registry root (omit for a session-only "
                              "daemon)")
@@ -112,9 +120,41 @@ def _build_parser() -> argparse.ArgumentParser:
                         choices=("fork", "spawn", "forkserver"),
                         help="multiprocessing start method for the workers")
 
+    router = sub.add_parser(
+        "router",
+        help="shard requests over replica daemons: consistent hashing by "
+             "(model, version) over replica groups, health-checked "
+             "discovery, fleet-level admission control")
+    router.add_argument("--listen", default=None,
+                        help="address to listen on: an AF_UNIX path or "
+                             "tcp://HOST:PORT")
+    router.add_argument("--tcp", default=None, metavar="HOST:PORT",
+                        help="shorthand for --listen tcp://HOST:PORT")
+    router.add_argument("--replica", action="append", default=[],
+                        metavar="[GROUP=]ADDRESS", required=True,
+                        help="a replica daemon address, optionally "
+                             "prefixed with its shard group (repeat; "
+                             "same GROUP = load-balanced replicas of one "
+                             "shard)")
+    router.add_argument("--probe-interval", type=float, default=0.5,
+                        help="seconds between health probes per replica")
+    router.add_argument("--fail-after", type=int, default=3,
+                        help="consecutive probe failures before ejection")
+    router.add_argument("--max-inflight", type=int, default=256,
+                        help="fleet-level cap on in-flight requests; "
+                             "beyond it requests are shed (overloaded)")
+    router.add_argument("--max-inflight-per-route", type=int, default=None,
+                        help="per-(model,version) in-flight cap "
+                             "(default: max-inflight / 2)")
+    router.add_argument("--vnodes", type=int, default=64,
+                        help="virtual nodes per group on the hash ring")
+
     request = sub.add_parser(
-        "request", help="send one JSON request to a running daemon")
-    request.add_argument("--socket", required=True)
+        "request",
+        help="send one JSON request to a running daemon or router")
+    request.add_argument("--socket", required=True,
+                        help="daemon/router address (AF_UNIX path or "
+                             "tcp://HOST:PORT)")
     group = request.add_mutually_exclusive_group(required=True)
     group.add_argument("--json", default=None,
                        help="raw request document, e.g. "
@@ -129,6 +169,30 @@ def _build_parser() -> argparse.ArgumentParser:
     request.add_argument("--transfer-bytes", type=float, default=None)
     request.add_argument("--wgsize", type=int, default=None)
     request.add_argument("--timeout", type=float, default=600.0)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="open-loop Poisson load against a daemon or router: latency "
+             "histograms, SLO attainment, shed accounting")
+    loadgen.add_argument("--address", required=True,
+                         help="daemon/router address (AF_UNIX path or "
+                              "tcp://HOST:PORT)")
+    loadgen.add_argument("--json", required=True,
+                         help="request template document, e.g. '{\"op\": "
+                              "\"tune\", \"model\": \"demo\", \"kernel\": "
+                              "\"polybench/gemm\"}'")
+    loadgen.add_argument("--rate", type=float, required=True,
+                         help="offered load in requests/second")
+    loadgen.add_argument("--requests", type=int, required=True,
+                         help="total requests to offer")
+    loadgen.add_argument("--seed", type=int, default=0,
+                         help="Poisson arrival seed")
+    loadgen.add_argument("--concurrency", type=int, default=32,
+                         help="sender threads/connections (must exceed "
+                              "rate x worst-case latency)")
+    loadgen.add_argument("--slo-ms", type=float, default=None,
+                         help="report attainment against this latency SLO")
+    loadgen.add_argument("--timeout", type=float, default=120.0)
 
     campaign = sub.add_parser(
         "campaign",
@@ -261,6 +325,16 @@ def _cmd_map(args) -> int:
     return 0
 
 
+def _listen_address(socket_arg, tcp_arg, flag="--socket"):
+    if socket_arg is not None and tcp_arg is not None:
+        raise ValueError(f"{flag} and --tcp are mutually exclusive")
+    if tcp_arg is not None:
+        return f"tcp://{tcp_arg}"
+    if socket_arg is None:
+        raise ValueError(f"one of {flag} / --tcp is required")
+    return socket_arg
+
+
 def _cmd_daemon(args) -> int:
     import signal
     import threading
@@ -268,13 +342,16 @@ def _cmd_daemon(args) -> int:
     from repro.serve.daemon import ServeDaemon
 
     daemon = ServeDaemon(
-        socket_path=args.socket, registry_root=args.root,
+        address=_listen_address(args.socket, args.tcp),
+        registry_root=args.root,
         workers=args.workers, max_batch=args.max_batch,
         deadline_ms=args.deadline_ms, max_queue=args.max_queue,
         engine_max_wait_ms=args.engine_wait_ms, preload=args.preload,
         debug_ops=args.debug_ops, mp_start_method=args.mp_start)
     daemon.start()
-    print(json.dumps({"ready": True, "socket": args.socket,
+    # daemon.address is the *resolved* form (ephemeral TCP ports filled in)
+    print(json.dumps({"ready": True, "socket": daemon.address,
+                      "transport": daemon.scheme,
                       "workers": args.workers, "max_batch": args.max_batch,
                       "deadline_ms": args.deadline_ms,
                       "max_queue": args.max_queue, "pid": os.getpid()}),
@@ -284,12 +361,58 @@ def _cmd_daemon(args) -> int:
     for signum in (signal.SIGINT, signal.SIGTERM):
         signal.signal(signum, lambda *_: stop.set())
     try:
-        # wake on signals AND on a `shutdown` request (which unlinks the
-        # socket after draining)
-        while not stop.is_set() and os.path.exists(args.socket):
+        # wake on signals AND on a `shutdown` request (which stops the
+        # daemon after draining)
+        while not stop.is_set() and daemon.running:
             stop.wait(0.2)
     finally:
         daemon.shutdown(drain=True)
+    return 0
+
+
+def _cmd_router(args) -> int:
+    import signal
+    import threading
+
+    from repro.serve.router import ServeRouter
+
+    router = ServeRouter(
+        address=_listen_address(args.listen, args.tcp, flag="--listen"),
+        replicas=args.replica, probe_interval=args.probe_interval,
+        fail_after=args.fail_after, max_inflight=args.max_inflight,
+        max_inflight_per_route=args.max_inflight_per_route,
+        vnodes=args.vnodes)
+    router.start()
+    print(json.dumps({"ready": True, "listen": router.address,
+                      "transport": router.scheme,
+                      "replicas": [replica.address
+                                   for replica in router.replicas],
+                      "groups": sorted({replica.group for replica
+                                        in router.replicas}),
+                      "pid": os.getpid()}), flush=True)
+
+    stop = threading.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, lambda *_: stop.set())
+    try:
+        while not stop.is_set() and router.running:
+            stop.wait(0.2)
+    finally:
+        router.shutdown()
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    from repro.serve.loadgen import open_loop
+
+    template = json.loads(args.json)
+    if not isinstance(template, dict) or "op" not in template:
+        raise ValueError("--json must be a request object with an 'op'")
+    report = open_loop(args.address, [dict(template)] * args.requests,
+                       rate_rps=args.rate, seed=args.seed,
+                       concurrency=args.concurrency, timeout=args.timeout,
+                       slo_ms=args.slo_ms)
+    print(json.dumps(report, indent=2))
     return 0
 
 
@@ -350,7 +473,9 @@ _COMMANDS = {
     "map": _cmd_map,
     "campaign": _cmd_campaign,
     "daemon": _cmd_daemon,
+    "router": _cmd_router,
     "request": _cmd_request,
+    "loadgen": _cmd_loadgen,
 }
 
 

@@ -6,18 +6,25 @@ so callers can swap the in-process service for a running daemon without
 touching request construction.  One client owns one connection and is safe
 to share across threads (calls are serialised); open one client per thread
 for closed-loop load generation.
+
+The address selects the transport (``/path/to.sock`` or ``unix://`` for
+``AF_UNIX``, ``tcp://HOST:PORT`` cross-host — see
+:func:`repro.serve.protocol.parse_address`).  A broken connection (replica
+restart, router failover) is dropped and transparently re-dialled on the
+*next* request: the failing call raises so the caller decides whether the
+lost request is safe to resend.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import socket
 import threading
 from typing import Any, Dict, Optional
 
 from repro.serve.protocol import (
     ERR_OVERLOADED,
     LineChannel,
+    connect_address,
     session_to_wire,
 )
 from repro.serve.service import (
@@ -47,19 +54,25 @@ class DaemonError(RuntimeError):
 class DaemonClient:
     """Blocking request/response client over one daemon connection."""
 
-    def __init__(self, socket_path: str, timeout: float = 600.0):
-        self.socket_path = socket_path
+    def __init__(self, address: str, timeout: float = 600.0,
+                 connect_timeout: Optional[float] = None):
+        self.address = address
         self.timeout = timeout
+        self.connect_timeout = connect_timeout
         self._lock = threading.Lock()
         self._channel: Optional[LineChannel] = None
         self._next_id = 0
 
+    @property
+    def socket_path(self) -> str:
+        """The daemon address (historical name from AF_UNIX-only days)."""
+        return self.address
+
     # ------------------------------------------------------------------
     def _connect(self) -> LineChannel:
         if self._channel is None:
-            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            sock.connect(self.socket_path)
-            self._channel = LineChannel(sock)
+            self._channel = LineChannel(
+                connect_address(self.address, timeout=self.connect_timeout))
         return self._channel
 
     def request(self, document: Dict[str, Any],

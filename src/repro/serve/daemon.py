@@ -3,8 +3,10 @@
 :class:`ServeDaemon` is the socket-served, multi-process big sibling of the
 in-process :class:`~repro.serve.engine.InferenceEngine`:
 
-* a **front-end** accepts JSON-line requests over a local (``AF_UNIX``)
-  socket — many connections, pipelined requests, out-of-order responses;
+* a **front-end** accepts JSON-line requests over a stream socket — a local
+  ``AF_UNIX`` path or ``tcp://HOST:PORT`` for cross-host replicas, selected
+  by the address scheme (:func:`~repro.serve.protocol.parse_address`) —
+  many connections, pipelined requests, out-of-order responses;
 * an **async dispatcher** forms dynamic micro-batches per ``(model,
   version)`` route under a configurable latency budget: a batch flushes when
   it reaches ``max_batch`` requests *or* its oldest request has waited
@@ -47,8 +49,12 @@ from repro.serve.protocol import (
     ERR_WORKER_CRASHED,
     LineChannel,
     ProtocolError,
+    connect_address,
+    create_listener,
     error_response,
+    format_address,
     ok_response,
+    parse_address,
     percentile,
     validate_request,
 )
@@ -58,6 +64,14 @@ MAX_ATTEMPTS = 2
 
 _ROUTE_SESSION = ("session",)
 _ROUTE_DEBUG = ("debug",)
+
+
+def route_label(route: tuple) -> str:
+    """A stable human/JSON-friendly name of a dispatch route tuple."""
+    if route and route[0] == "model":
+        _, model, version = route
+        return f"{model}@{version if version is not None else 'latest'}"
+    return route[0] if route else "?"
 
 
 # ----------------------------------------------------------------------
@@ -247,7 +261,7 @@ class _Worker:
 class ServeDaemon:
     """Socket front-end + dispatcher + healing worker pool (see module doc)."""
 
-    def __init__(self, socket_path: str, registry_root: Optional[str] = None,
+    def __init__(self, address: str, registry_root: Optional[str] = None,
                  workers: int = 2, max_batch: int = 16,
                  deadline_ms: float = 10.0, max_queue: int = 64,
                  engine_max_wait_ms: float = 2.0, cache_size: int = 512,
@@ -259,7 +273,10 @@ class ServeDaemon:
             raise ValueError("max_batch must be >= 1")
         if max_queue < 1:
             raise ValueError("max_queue must be >= 1")
-        self.socket_path = os.fspath(socket_path)
+        # an AF_UNIX path (historical default) or tcp://HOST:PORT; the
+        # resolved form (ephemeral TCP ports filled in) lands here on start
+        self.scheme, self._location = parse_address(address)
+        self.address = format_address(self.scheme, self._location)
         self.registry_root = (os.fspath(registry_root)
                               if registry_root is not None else None)
         self.workers = int(workers)
@@ -286,6 +303,8 @@ class ServeDaemon:
         self._next_worker_id = 0
         self._result_queue = None
         self._listener: Optional[socket.socket] = None
+        self._conns: set = set()
+        self._conns_lock = threading.Lock()
         self._threads: List[threading.Thread] = []
         self._running = False
         self._draining = False
@@ -303,6 +322,15 @@ class ServeDaemon:
             collections.deque(maxlen=4096)
         self._per_model: Dict[str, int] = {}
 
+    @property
+    def socket_path(self) -> str:
+        """The serving address (historical name from AF_UNIX-only days)."""
+        return self.address
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
@@ -310,24 +338,19 @@ class ServeDaemon:
         """Bind the socket, spawn + warm the workers, start the dispatcher."""
         if self._running:
             raise RuntimeError("daemon already started")
-        if os.path.exists(self.socket_path):
+        if self.scheme == "unix" and os.path.exists(self._location):
             # a crashed daemon leaves a dead socket file behind — but a
             # *live* one must not be hijacked: probe before unlinking
-            probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
             try:
-                probe.settimeout(1.0)
-                probe.connect(self.socket_path)
+                probe = connect_address(self.address, timeout=1.0)
             except OSError:
-                os.unlink(self.socket_path)      # stale: nobody listening
+                os.unlink(self._location)        # stale: nobody listening
             else:
-                raise RuntimeError(
-                    f"another daemon is already serving {self.socket_path}")
-            finally:
                 probe.close()
+                raise RuntimeError(
+                    f"another daemon is already serving {self.address}")
         # bind before spawning: a refused bind must not leak worker processes
-        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        listener.bind(self.socket_path)
-        listener.listen(128)
+        listener, self.address = create_listener(self.address)
         self._listener = listener
 
         self._result_queue = self._mp.Queue()
@@ -340,7 +363,8 @@ class ServeDaemon:
             for worker in self._pool.values():
                 worker.process.terminate()
             listener.close()
-            os.unlink(self.socket_path)
+            if self.scheme == "unix":
+                os.unlink(self._location)
             raise
         self._running = True
         self._started_at = time.perf_counter()
@@ -387,7 +411,8 @@ class ServeDaemon:
                 raise RuntimeError(f"worker {message[1]} failed to start: "
                                    f"{message[2]}")
 
-    def shutdown(self, drain: bool = True, timeout: float = 120.0) -> None:
+    def shutdown(self, drain: bool = True, timeout: float = 120.0,
+                 _exempt_conn: Optional[socket.socket] = None) -> None:
         """Stop the daemon; with ``drain`` outstanding work completes first."""
         with self._lock:
             if not self._running:
@@ -413,13 +438,20 @@ class ServeDaemon:
                 worker.process.terminate()
                 worker.process.join(timeout=5.0)
         if self._listener is not None:
+            # wake the accept thread before closing: a close() alone leaves
+            # it blocked in accept(), and the in-kernel reference it holds
+            # keeps the port in LISTEN after we exit (EADDRINUSE on restart)
+            try:
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
             try:
                 self._listener.close()
             except OSError:
                 pass
-        if os.path.exists(self.socket_path):
+        if self.scheme == "unix" and os.path.exists(self._location):
             try:
-                os.unlink(self.socket_path)
+                os.unlink(self._location)
             except OSError:
                 pass
         # fail anything still queued (drain=False or drain timeout)
@@ -436,6 +468,17 @@ class ServeDaemon:
                                          ERR_SHUTTING_DOWN,
                                          "daemon stopped before this "
                                          "request completed"))
+        # hang up on connected clients so they observe the stop instead of
+        # talking to a zombie; the connection that requested the shutdown
+        # is exempted so its ack can still be delivered
+        with self._conns_lock:
+            open_conns = [conn for conn in self._conns
+                          if conn is not _exempt_conn]
+        for conn in open_conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
 
     def __enter__(self) -> "ServeDaemon":
         return self.start()
@@ -452,6 +495,16 @@ class ServeDaemon:
                 conn, _ = self._listener.accept()
             except OSError:
                 return
+            if self.scheme == "tcp":
+                try:
+                    conn.setsockopt(socket.IPPROTO_TCP,
+                                    socket.TCP_NODELAY, 1)
+                    # let a restarted daemon rebind this port while old
+                    # client connections are still draining
+                    conn.setsockopt(socket.SOL_SOCKET,
+                                    socket.SO_REUSEADDR, 1)
+                except OSError:
+                    pass
             thread = threading.Thread(target=self._connection_loop,
                                       args=(conn,),
                                       name="repro-daemon-conn", daemon=True)
@@ -460,6 +513,8 @@ class ServeDaemon:
     def _connection_loop(self, conn: socket.socket) -> None:
         channel = LineChannel(conn)
         write_lock = threading.Lock()
+        with self._conns_lock:
+            self._conns.add(conn)
 
         def reply(document: Dict[str, Any]) -> None:
             try:
@@ -479,11 +534,14 @@ class ServeDaemon:
                     return
                 if document is None:
                     return
-                self._handle_request(document, reply)
+                self._handle_request(document, reply, conn)
         finally:
+            with self._conns_lock:
+                self._conns.discard(conn)
             channel.close()
 
-    def _handle_request(self, document: Dict[str, Any], reply) -> None:
+    def _handle_request(self, document: Dict[str, Any], reply,
+                        conn: Optional[socket.socket] = None) -> None:
         try:
             request_id, op = validate_request(document)
         except ProtocolError as exc:
@@ -505,7 +563,8 @@ class ServeDaemon:
             # drain on a helper thread so this connection's reader keeps
             # the reply path alive until outstanding work has finished
             def drain_and_ack():
-                self.shutdown(drain=bool(document.get("drain", True)))
+                self.shutdown(drain=bool(document.get("drain", True)),
+                              _exempt_conn=conn)
                 reply(ok_response(request_id, {"stopped": True}))
             threading.Thread(target=drain_and_ack,
                              name="repro-daemon-shutdown",
@@ -732,6 +791,9 @@ class ServeDaemon:
         """Queue depth, batch-size histogram, latency percentiles, workers."""
         with self._lock:
             queue_depth = self._queued
+            per_route = {route_label(route): len(pending)
+                         for route, pending in self._routes.items()
+                         if pending}
             inflight = {batch_id: len(batch)
                         for batch_id, batch in self._inflight.items()}
             alive = sum(worker.alive() for worker in self._pool.values())
@@ -742,9 +804,12 @@ class ServeDaemon:
             latencies = sorted(self._latencies)
             snapshot = {
                 "uptime_s": time.perf_counter() - self._started_at,
+                "address": self.address,
+                "transport": self.scheme,
                 "workers": {"configured": self.workers, "alive": alive,
                             "restarts": self._worker_restarts},
                 "queue": {"depth": queue_depth, "max_queue": self.max_queue,
+                          "per_route": per_route,
                           "inflight_requests": sum(inflight.values()),
                           "inflight_batches": len(inflight)},
                 "requests": {"received": self._received,
@@ -765,6 +830,7 @@ class ServeDaemon:
                              if latencies else 0.0),
                     "p50": percentile(latencies, 0.50),
                     "p99": percentile(latencies, 0.99),
+                    "p999": percentile(latencies, 0.999),
                 },
                 "per_model": dict(self._per_model),
                 "max_batch": self.max_batch,

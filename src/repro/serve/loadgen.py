@@ -1,0 +1,183 @@
+"""Open-loop load generation: Poisson arrivals, SLOs, latency histograms.
+
+A *closed-loop* generator (N clients, each waiting for its response before
+sending again) slows down exactly when the server does, so it can never
+show what "millions of users" traffic does to a saturated fleet — real
+users do not wait for each other.  This module drives the serving stack
+**open loop**: request arrival times are drawn up front from a Poisson
+process at the offered rate and each request is fired at its scheduled
+instant whether or not earlier ones have completed.
+
+Latency is measured wrk2-style from the request's *scheduled arrival* to
+its completion, so coordinated omission (the generator itself falling
+behind a saturated server and under-reporting queueing delay) is not hidden
+— generator lateness is additionally tracked and reported so a saturated
+*generator* is visible too (raise ``concurrency`` if ``max_lateness_ms``
+grows).
+
+:func:`open_loop` works against anything that speaks the JSON-line
+protocol — a daemon (AF_UNIX or TCP) or a :class:`~repro.serve.router.
+ServeRouter` — and returns a JSON-ready report: achieved throughput,
+p50/p99/p99.9, a log-spaced latency histogram, per-error-code counts
+(``overloaded`` sheds are first-class, they are the *point* of bounded
+queues under open-loop overload) and optional SLO attainment.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.serve.client import DaemonClient, DaemonError
+from repro.serve.protocol import percentile
+
+
+class LatencyHistogram:
+    """Log-spaced latency buckets (sub-ms to a minute, ~1.6x per bucket)."""
+
+    def __init__(self, low_ms: float = 0.05, high_ms: float = 60_000.0,
+                 per_decade: int = 5):
+        count = int(np.ceil(np.log10(high_ms / low_ms) * per_decade)) + 1
+        self.edges_ms = list(low_ms * 10 ** (np.arange(count) / per_decade))
+        self.counts = [0] * (len(self.edges_ms) + 1)
+
+    def record(self, latency_ms: float) -> None:
+        index = int(np.searchsorted(self.edges_ms, latency_ms))
+        self.counts[index] += 1
+
+    def to_config(self) -> List[Dict[str, float]]:
+        """Non-empty buckets as ``{"le_ms": upper_edge, "count": n}`` rows."""
+        rows = []
+        for index, count in enumerate(self.counts):
+            if not count:
+                continue
+            edge = (self.edges_ms[index] if index < len(self.edges_ms)
+                    else float("inf"))
+            rows.append({"le_ms": round(edge, 4), "count": count})
+        return rows
+
+
+def poisson_arrivals(rate_rps: float, count: int,
+                     seed: int = 0) -> np.ndarray:
+    """``count`` cumulative arrival offsets (seconds) at ``rate_rps``."""
+    if rate_rps <= 0:
+        raise ValueError("rate_rps must be > 0")
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    rng = np.random.default_rng(seed)
+    return np.cumsum(rng.exponential(1.0 / rate_rps, size=count))
+
+
+def open_loop(address: str, requests: Sequence[Dict[str, Any]],
+              rate_rps: float, *, seed: int = 0, concurrency: int = 32,
+              timeout: float = 120.0, slo_ms: Optional[float] = None,
+              collect_responses: bool = False) -> Dict[str, Any]:
+    """Fire ``requests`` at ``address`` as a Poisson stream of ``rate_rps``.
+
+    ``concurrency`` bounds the sender pool (connections), not the offered
+    load: it must exceed ``rate × worst-case latency`` or the generator
+    itself saturates (visible as ``arrivals.max_lateness_ms``).
+    """
+    if concurrency < 1:
+        raise ValueError("concurrency must be >= 1")
+    arrivals = poisson_arrivals(rate_rps, len(requests), seed=seed)
+    latencies_ms: List[Optional[float]] = [None] * len(requests)
+    lateness_ms: List[float] = [0.0] * len(requests)
+    outcomes: List[Optional[str]] = [None] * len(requests)
+    responses: List[Optional[Dict[str, Any]]] = \
+        [None] * len(requests) if collect_responses else None
+    cursor = {"next": 0}
+    cursor_lock = threading.Lock()
+    start = time.perf_counter() + 0.05   # senders need time to line up
+
+    def sender() -> None:
+        client = DaemonClient(address, timeout=timeout)
+        try:
+            while True:
+                with cursor_lock:
+                    index = cursor["next"]
+                    if index >= len(requests):
+                        return
+                    cursor["next"] = index + 1
+                scheduled = start + arrivals[index]
+                delay = scheduled - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                else:
+                    lateness_ms[index] = -1e3 * delay
+                try:
+                    result = client.request(requests[index])
+                    outcomes[index] = "ok"
+                    if responses is not None:
+                        responses[index] = result
+                except DaemonError as exc:
+                    outcomes[index] = exc.code
+                except (OSError, ConnectionError, TimeoutError):
+                    outcomes[index] = "connection"
+                    continue             # client re-dials on the next call
+                # wrk2-style: latency from the scheduled arrival, so server
+                # queueing during generator lateness still counts
+                latencies_ms[index] = 1e3 * (time.perf_counter() - scheduled)
+        finally:
+            client.close()
+
+    threads = [threading.Thread(target=sender, daemon=True,
+                                name=f"repro-loadgen-{i}")
+               for i in range(min(concurrency, len(requests)))]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+
+    ok_latencies = sorted(latencies_ms[i] for i in range(len(requests))
+                          if outcomes[i] == "ok")
+    histogram = LatencyHistogram()
+    for value in ok_latencies:
+        histogram.record(value)
+    error_counts: Dict[str, int] = {}
+    for outcome in outcomes:
+        if outcome not in (None, "ok"):
+            error_counts[outcome] = error_counts.get(outcome, 0) + 1
+    completed = len(ok_latencies)
+    report: Dict[str, Any] = {
+        "address": address,
+        "offered_rps": rate_rps,
+        "requests": len(requests),
+        "completed": completed,
+        "errors": error_counts,
+        "shed": error_counts.get("overloaded", 0),
+        "duration_s": elapsed,
+        "achieved_rps": completed / elapsed if elapsed > 0 else 0.0,
+        "concurrency": len(threads),
+        "arrivals": {
+            "late": int(np.count_nonzero(lateness_ms)),
+            "max_lateness_ms": float(max(lateness_ms) if lateness_ms
+                                     else 0.0),
+        },
+        "latency_ms": {
+            "count": completed,
+            "mean": (sum(ok_latencies) / completed) if completed else 0.0,
+            "p50": percentile(ok_latencies, 0.50),
+            "p90": percentile(ok_latencies, 0.90),
+            "p99": percentile(ok_latencies, 0.99),
+            "p999": percentile(ok_latencies, 0.999),
+            "max": ok_latencies[-1] if ok_latencies else 0.0,
+        },
+        "histogram": histogram.to_config(),
+    }
+    if slo_ms is not None:
+        attained = sum(1 for value in ok_latencies if value <= slo_ms)
+        report["slo"] = {
+            "target_ms": slo_ms,
+            # sheds and errors count against the SLO: a shed user was not
+            # served inside the target either
+            "attainment": attained / len(requests) if requests else 0.0,
+            "attained": attained,
+        }
+    if collect_responses:
+        report["responses"] = responses
+    return report

@@ -1,10 +1,26 @@
-"""Wire protocol of the serving daemon: JSON lines over a local socket.
+"""Wire protocol of the serving daemon: JSON lines over a stream socket.
 
 Every request and response is one JSON document on one ``\\n``-terminated
 UTF-8 line.  Requests carry a caller-chosen ``id`` that the daemon echoes
 back, so one connection may pipeline many requests and receive the responses
 out of order (batches complete when their worker finishes, not in arrival
 order).
+
+Transports
+----------
+The protocol is transport-agnostic: the same framing, ops and error codes
+run over a local ``AF_UNIX`` socket (one box) or TCP (cross-host), selected
+by the *address scheme*:
+
+``/tmp/repro.sock`` or ``unix:///tmp/repro.sock``
+    an ``AF_UNIX`` stream socket at that filesystem path;
+``tcp://HOST:PORT``
+    an ``AF_INET`` stream socket (``PORT`` 0 binds an ephemeral port, which
+    :func:`create_listener` resolves into the returned address).
+
+:func:`parse_address`, :func:`connect_address` and :func:`create_listener`
+are the only places that know the difference; daemon, router and client all
+take address strings.
 
 Request ops
 -----------
@@ -27,8 +43,9 @@ request instead of queueing it; back off and retry) and ``worker_crashed``
 from __future__ import annotations
 
 import json
+import os
 import socket
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -44,9 +61,103 @@ ERR_OVERLOADED = "overloaded"
 ERR_SHUTTING_DOWN = "shutting_down"
 ERR_WORKER_CRASHED = "worker_crashed"
 ERR_NO_REGISTRY = "no_registry"
+ERR_NO_REPLICA = "no_replica"
 ERR_INTERNAL = "internal"
 
 MAX_LINE_BYTES = 32 * 1024 * 1024
+
+
+# ----------------------------------------------------------------------
+# addresses: one string names a transport + endpoint
+# ----------------------------------------------------------------------
+def parse_address(address: Union[str, os.PathLike]
+                  ) -> Tuple[str, Union[str, Tuple[str, int]]]:
+    """``("unix", path)`` or ``("tcp", (host, port))`` from an address.
+
+    A bare string is an ``AF_UNIX`` path (the historical form); ``unix://``
+    makes that explicit and ``tcp://host:port`` selects TCP.
+    """
+    address = os.fspath(address)
+    if address.startswith("unix://"):
+        path = address[len("unix://"):]
+        if not path:
+            raise ValueError("unix:// address needs a socket path")
+        return "unix", path
+    if address.startswith("tcp://"):
+        host, sep, port = address[len("tcp://"):].rpartition(":")
+        if not sep or not host:
+            raise ValueError(f"tcp address must be tcp://HOST:PORT, "
+                             f"got {address!r}")
+        try:
+            port_number = int(port)
+        except ValueError as exc:
+            raise ValueError(f"invalid port in {address!r}") from exc
+        if not 0 <= port_number <= 65535:
+            raise ValueError(f"port out of range in {address!r}")
+        return "tcp", (host, port_number)
+    if not address:
+        raise ValueError("empty address")
+    return "unix", address
+
+
+def format_address(scheme: str,
+                   location: Union[str, Tuple[str, int]]) -> str:
+    if scheme == "unix":
+        return str(location)
+    host, port = location
+    return f"tcp://{host}:{port}"
+
+
+def connect_address(address: str,
+                    timeout: Optional[float] = None) -> socket.socket:
+    """A connected stream socket for ``address`` (caller closes it)."""
+    scheme, location = parse_address(address)
+    if scheme == "unix":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    else:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        if timeout is not None:
+            sock.settimeout(timeout)
+        sock.connect(location)
+        if scheme == "tcp":
+            # small JSON frames: never wait for Nagle coalescing
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.settimeout(None)
+    except BaseException:
+        sock.close()
+        raise
+    return sock
+
+
+def create_listener(address: str,
+                    backlog: int = 128) -> Tuple[socket.socket, str]:
+    """A bound + listening socket and its *resolved* address string.
+
+    TCP port 0 binds an ephemeral port; the returned address carries the
+    port the kernel actually assigned.  Stale ``AF_UNIX`` socket files are
+    the caller's concern (only it knows whether a live peer may own them).
+    """
+    scheme, location = parse_address(address)
+    if scheme == "unix":
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            listener.bind(location)
+            listener.listen(backlog)
+        except BaseException:
+            listener.close()
+            raise
+        return listener, format_address("unix", location)
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(location)
+        listener.listen(backlog)
+        host, port = listener.getsockname()[:2]
+    except BaseException:
+        listener.close()
+        raise
+    return listener, format_address("tcp", (location[0], port))
 
 
 class ProtocolError(Exception):
