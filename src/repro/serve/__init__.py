@@ -25,7 +25,12 @@ The serving subsystem takes a trained tuner from "in-memory object" to
   latency histograms and SLO attainment (:func:`~repro.serve.loadgen.
   open_loop`);
 * :mod:`repro.serve.client` — :class:`DaemonClient`, the JSON-line socket
-  client mirroring the :class:`TuningService` surface;
+  client mirroring the :class:`TuningService` surface, with opt-in bounded
+  retry on transient connect failures and ``overloaded`` sheds;
+* :mod:`repro.serve.faults` — injectable :class:`FaultPlan` schedules
+  (dropped/delayed/duplicated frames, stalled heartbeats, scheduled worker
+  SIGKILL) consulted by the transport and the campaign fleet for chaos
+  testing;
 * ``python -m repro.serve`` — a small CLI to publish, query and serve
   models (``daemon`` / ``router`` / ``request`` / ``loadgen`` talk the
   socket protocol).
@@ -41,6 +46,7 @@ from repro.serve.artifacts import (
 )
 from repro.serve.client import DaemonClient, DaemonError
 from repro.serve.daemon import ServeDaemon
+from repro.serve.faults import FaultPlan
 from repro.serve.engine import InferenceEngine, PendingResult
 from repro.serve.loadgen import open_loop
 from repro.serve.registry import ModelRegistry, ModelVersion
@@ -72,6 +78,7 @@ __all__ = [
     "open_loop",
     "DaemonClient",
     "DaemonError",
+    "FaultPlan",
     "TuningService",
     "TuneRequest",
     "TuneResponse",

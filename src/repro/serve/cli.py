@@ -8,6 +8,11 @@ Commands
 ``tune``          tune one kernel with a published OpenMP tuner
 ``map``           map one kernel with a published device mapper
 ``campaign``      run/resume a parallel black-box search campaign
+``fleet-coordinator``  serve a campaign's config batches as leases so
+                  workers on any host can evaluate them (fault-tolerant,
+                  elastic; resumable from the same checkpoints)
+``fleet-worker``  lease/evaluate/submit against a running coordinator;
+                  ``--faults`` (or ``REPRO_FAULTS``) injects a chaos plan
 ``daemon``        serve models over a socket (multi-worker, batched);
                   ``--socket PATH`` for AF_UNIX or ``--tcp HOST:PORT``
 ``router``        shard requests over replica daemons (consistent hashing,
@@ -230,6 +235,87 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="directory to checkpoint campaign state into")
     campaign.add_argument("--resume", default=None,
                           help="checkpoint directory to continue from")
+
+    fleet = sub.add_parser(
+        "fleet-coordinator",
+        help="serve a campaign's proposal batches as config leases: workers "
+             "on any host lease, heartbeat and submit; the coordinator owns "
+             "ask/tell, reissues expired leases and falls back to local "
+             "evaluation when no workers are connected")
+    fleet.add_argument("--listen", default=None,
+                       help="address to listen on: an AF_UNIX path or "
+                            "tcp://HOST:PORT")
+    fleet.add_argument("--tcp", default=None, metavar="HOST:PORT",
+                       help="shorthand for --listen tcp://HOST:PORT "
+                            "(port 0 binds an ephemeral port)")
+    # search-defining flags: same conflict-with---resume contract as the
+    # `campaign` subcommand (the checkpoint owns the search definition)
+    fleet.add_argument("--kernel", default=None,
+                       help="kernel uid (not allowed with --resume)")
+    fleet.add_argument("--tuner", default=None,
+                       help="strategy: random/oracle/opentuner/ytopt/bliss "
+                            "(default random)")
+    fleet.add_argument("--budget", type=int, default=None,
+                       help="evaluation budget (default 20)")
+    fleet.add_argument("--arch", default=None,
+                       help="micro-architecture preset (default skylake_4114)")
+    fleet.add_argument("--space", choices=("full", "threads"), default=None)
+    fleet.add_argument("--scale", type=float, default=None)
+    fleet.add_argument("--noise", type=float, default=None)
+    fleet.add_argument("--repeats", type=int, default=None)
+    fleet.add_argument("--seed", type=int, default=None,
+                       help="search seed (proposals)")
+    fleet.add_argument("--sim-seed", type=int, default=None,
+                       help="measurement seed (simulator noise)")
+    fleet.add_argument("--batch-size", type=int, default=None,
+                       help="proposals per ask/tell round (default 8)")
+    fleet.add_argument("--walltime-scale", type=float, default=None,
+                       help="make each evaluation occupy wall-clock time "
+                            "proportional to the simulated execution")
+    fleet.add_argument("--walltime-cap", type=float, default=None,
+                       help="cap per-evaluation occupancy (seconds)")
+    fleet.add_argument("--checkpoint", default=None,
+                       help="directory to checkpoint campaign state into")
+    fleet.add_argument("--resume", default=None,
+                       help="checkpoint directory to continue from")
+    fleet.add_argument("--lease-timeout", type=float, default=2.0,
+                       help="seconds without a heartbeat before a lease "
+                            "expires and its configs are reissued")
+    fleet.add_argument("--lease-configs", type=int, default=4,
+                       help="max configs granted per lease")
+    fleet.add_argument("--local-fallback", type=float, default=1.0,
+                       help="seconds of worker silence before the "
+                            "coordinator evaluates configs itself "
+                            "(negative disables)")
+    fleet.add_argument("--linger", type=float, default=2.0,
+                       help="keep serving this long after the campaign "
+                            "finishes so workers observe done and exit")
+
+    fworker = sub.add_parser(
+        "fleet-worker",
+        help="evaluate config leases from a running fleet-coordinator "
+             "until the campaign is done")
+    fworker.add_argument("--coordinator", required=True, metavar="ADDRESS",
+                         help="coordinator address (AF_UNIX path or "
+                              "tcp://HOST:PORT)")
+    fworker.add_argument("--worker-id", default=None,
+                         help="stable worker name (default: pid-derived)")
+    fworker.add_argument("--max-configs", type=int, default=2,
+                         help="configs to request per lease")
+    fworker.add_argument("--max-leases", type=int, default=None,
+                         help="exit after this many leases (default: run "
+                              "until the campaign is done)")
+    fworker.add_argument("--request-timeout", type=float, default=5.0)
+    fworker.add_argument("--retries", type=int, default=10,
+                         help="transport-level retries per request")
+    fworker.add_argument("--faults", default=None, metavar="SPEC",
+                         help="chaos fault plan, e.g. 'drop=0.1,delay_ms=15,"
+                              "kill_after=9' (default: REPRO_FAULTS env)")
+    fworker.add_argument("--fault-seed", type=int, default=None,
+                         help="fault plan RNG seed (default: "
+                              "REPRO_FAULT_SEED env)")
+    fworker.add_argument("--fault-seed-offset", type=int, default=0,
+                         help="decorrelates sibling workers' fault schedules")
     return parser
 
 
@@ -465,6 +551,114 @@ def _cmd_campaign(args) -> int:
     return 0
 
 
+def _fleet_campaign(args):
+    """Build (or resume) the TuningCampaign a coordinator will serve."""
+    from repro.kernels import registry as kernel_registry
+    from repro.serve.service import CampaignRequest
+    from repro.simulator.microarch import get_microarch
+    from repro.tuners.campaign import (
+        SimObjectiveSpec,
+        TuningCampaign,
+        make_tuner,
+    )
+    from repro.tuners.space import full_search_space, thread_search_space
+
+    search_flags = {name: getattr(args, name) for name in
+                    ("kernel", "tuner", "budget", "arch", "space", "scale",
+                     "noise", "repeats", "seed", "sim_seed", "batch_size",
+                     "walltime_scale", "walltime_cap")}
+    if args.resume is not None:
+        conflicting = sorted(k for k, v in search_flags.items()
+                             if v is not None)
+        if conflicting:
+            raise ValueError(
+                "these flags define the search and come from the checkpoint; "
+                "they cannot be combined with --resume: "
+                + ", ".join("--" + c.replace("_", "-") for c in conflicting))
+        return TuningCampaign.resume(
+            args.resume, checkpoint_path=args.checkpoint or args.resume)
+    walltime = {k: search_flags.pop(k) for k in
+                ("walltime_scale", "walltime_cap")}
+    request = CampaignRequest(
+        checkpoint=args.checkpoint,
+        **{k: v for k, v in search_flags.items() if v is not None})
+    if request.kernel is None:
+        raise ValueError("--kernel is required unless resuming from a "
+                         "checkpoint")
+    arch = get_microarch(request.arch)
+    kernel = kernel_registry.get_kernel(request.kernel)
+    if request.space == "threads":
+        space = thread_search_space(arch)
+    else:
+        space = full_search_space(max_threads=arch.max_threads)
+    objective_spec = SimObjectiveSpec(
+        kernel_uid=kernel.uid, arch=arch, scale=request.scale,
+        noise=request.noise, seed=request.sim_seed, repeats=request.repeats,
+        **{k: v for k, v in walltime.items() if v is not None})
+    config = ({} if request.tuner == "oracle"
+              else {"budget": request.budget, "seed": request.seed})
+    tuner = make_tuner(request.tuner, config)
+    return TuningCampaign(tuner, space, objective_spec,
+                          batch_size=request.batch_size,
+                          checkpoint_path=request.checkpoint)
+
+
+def _cmd_fleet_coordinator(args) -> int:
+    import time
+
+    from repro.tuners.fleet import CampaignCoordinator
+
+    campaign = _fleet_campaign(args)
+    fallback = None if args.local_fallback < 0 else args.local_fallback
+    coordinator = CampaignCoordinator(
+        campaign, _listen_address(args.listen, args.tcp, flag="--listen"),
+        lease_timeout=args.lease_timeout,
+        max_lease_configs=args.lease_configs,
+        local_fallback_s=fallback)
+    with coordinator:
+        print(json.dumps({"ready": True, "listen": coordinator.address,
+                          "campaign": coordinator.campaign_id,
+                          "evaluations": len(campaign.history),
+                          "budget": campaign.tuner.effective_budget(
+                              campaign.space),
+                          "pid": os.getpid()}), flush=True)
+        result = coordinator.run()
+        # let polling workers observe done before the listener goes away
+        if args.linger > 0:
+            time.sleep(args.linger)
+        stats = coordinator.stats()
+    print(json.dumps({
+        "best_label": result.best_config.label(),
+        "best_time": result.best_time,
+        "evaluations": result.evaluations,
+        "batches": campaign.batches,
+        "wall_seconds": campaign.wall_seconds,
+        "checkpoint": campaign.checkpoint_path,
+        "finished": campaign.finished,
+        "stats": stats}, indent=2))
+    return 0
+
+
+def _cmd_fleet_worker(args) -> int:
+    from repro.serve.faults import FaultPlan
+    from repro.tuners.fleet import run_worker
+
+    if args.faults is not None:
+        plan = FaultPlan.parse(args.faults, seed=args.fault_seed)
+    else:
+        plan = FaultPlan.from_env()
+        if plan is not None and args.fault_seed is not None:
+            plan = dataclasses.replace(plan, seed=args.fault_seed)
+    summary = run_worker(
+        args.coordinator, worker_id=args.worker_id,
+        max_configs=args.max_configs, fault_plan=plan,
+        fault_seed_offset=args.fault_seed_offset,
+        max_leases=args.max_leases,
+        request_timeout=args.request_timeout, retries=args.retries)
+    print(json.dumps(summary, indent=2))
+    return 0
+
+
 _COMMANDS = {
     "publish-demo": _cmd_publish_demo,
     "list": _cmd_list,
@@ -472,6 +666,8 @@ _COMMANDS = {
     "tune": _cmd_tune,
     "map": _cmd_map,
     "campaign": _cmd_campaign,
+    "fleet-coordinator": _cmd_fleet_coordinator,
+    "fleet-worker": _cmd_fleet_worker,
     "daemon": _cmd_daemon,
     "router": _cmd_router,
     "request": _cmd_request,

@@ -13,12 +13,23 @@ The address selects the transport (``/path/to.sock`` or ``unix://`` for
 restart, router failover) is dropped and transparently re-dialled on the
 *next* request: the failing call raises so the caller decides whether the
 lost request is safe to resend.
+
+Retry policy: by default every call is single-attempt.  ``retries=N`` opts
+into bounded retry with exponential backoff + jitter, covering exactly the
+two failure modes that are always safe to retry — the *connect phase*
+failing (the request never reached a server) and a structured
+``overloaded`` shed (the server refused the request without running it).
+A connection that breaks *mid-request* still raises immediately even with
+retries enabled: only the caller knows whether the in-flight operation is
+idempotent.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import random
 import threading
+import time
 from typing import Any, Dict, Optional
 
 from repro.serve.protocol import (
@@ -55,13 +66,23 @@ class DaemonClient:
     """Blocking request/response client over one daemon connection."""
 
     def __init__(self, address: str, timeout: float = 600.0,
-                 connect_timeout: Optional[float] = None):
+                 connect_timeout: Optional[float] = None,
+                 retries: int = 0, backoff_base: float = 0.05,
+                 backoff_max: float = 2.0):
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if backoff_base <= 0 or backoff_max <= 0:
+            raise ValueError("backoff_base and backoff_max must be > 0")
         self.address = address
         self.timeout = timeout
         self.connect_timeout = connect_timeout
+        self.retries = int(retries)
+        self.backoff_base = float(backoff_base)
+        self.backoff_max = float(backoff_max)
         self._lock = threading.Lock()
         self._channel: Optional[LineChannel] = None
         self._next_id = 0
+        self._retry_rng = random.Random()
 
     @property
     def socket_path(self) -> str:
@@ -77,31 +98,57 @@ class DaemonClient:
 
     def request(self, document: Dict[str, Any],
                 timeout: Optional[float] = None) -> Dict[str, Any]:
-        """Send one request; return its ``result``; raise on error replies."""
-        with self._lock:
-            channel = self._connect()
-            request_id = f"c{self._next_id}"
-            self._next_id += 1
-            payload = dict(document)
-            payload["id"] = request_id
+        """Send one request; return its ``result``; raise on error replies.
+
+        With ``retries`` > 0, connect-phase failures and ``overloaded``
+        sheds are retried with exponential backoff + jitter (see the module
+        docstring); everything else raises on the first occurrence.
+        """
+        attempt = 0
+        while True:
+            in_connect = True
             try:
-                channel.send(payload)
-                while True:
-                    response = channel.recv(
-                        self.timeout if timeout is None else timeout)
-                    if response is None:
-                        raise ConnectionError("daemon closed the connection")
-                    if response.get("id") == request_id:
-                        break
+                with self._lock:
+                    channel = self._connect()
+                    in_connect = False
+                    request_id = f"c{self._next_id}"
+                    self._next_id += 1
+                    payload = dict(document)
+                    payload["id"] = request_id
+                    try:
+                        channel.send(payload)
+                        while True:
+                            response = channel.recv(
+                                self.timeout if timeout is None else timeout)
+                            if response is None:
+                                raise ConnectionError(
+                                    "daemon closed the connection")
+                            if response.get("id") == request_id:
+                                break
+                    except (OSError, ConnectionError):
+                        self._reset_locked()
+                        raise
             except (OSError, ConnectionError):
-                self._reset_locked()
-                raise
-        if response.get("ok"):
-            return response.get("result", {})
-        error = response.get("error", {})
-        raise DaemonError(error.get("code", "internal"),
-                          error.get("message", "unknown daemon error"),
-                          error)
+                if not in_connect or attempt >= self.retries:
+                    raise
+                self._sleep_backoff(attempt)
+                attempt += 1
+                continue
+            if response.get("ok"):
+                return response.get("result", {})
+            error = response.get("error", {})
+            exc = DaemonError(error.get("code", "internal"),
+                              error.get("message", "unknown daemon error"),
+                              error)
+            if exc.overloaded and attempt < self.retries:
+                self._sleep_backoff(attempt)
+                attempt += 1
+                continue
+            raise exc
+
+    def _sleep_backoff(self, attempt: int) -> None:
+        delay = min(self.backoff_max, self.backoff_base * (2 ** attempt))
+        time.sleep(delay * (0.5 + 0.5 * self._retry_rng.random()))
 
     def _reset_locked(self) -> None:
         if self._channel is not None:

@@ -32,6 +32,10 @@ Request ops
 ``ping``      liveness probe
 ``shutdown``  drain outstanding work, stop the workers, exit
 
+A :class:`~repro.tuners.fleet.CampaignCoordinator` speaks the same framing
+with its own op set (``lease`` / ``heartbeat`` / ``submit``, see
+:mod:`repro.tuners.fleet`); ``stats``/``ping``/``shutdown`` work there too.
+
 Responses are ``{"id": ..., "ok": true, "result": {...}}`` on success and
 ``{"id": ..., "ok": false, "error": {"code": ..., "message": ...}}`` on
 failure.  ``code`` is machine-actionable; the important ones are
@@ -49,11 +53,16 @@ from typing import Any, Dict, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.serve import faults
+
 #: requests the dispatcher batches and hands to worker processes
 BATCHED_OPS = ("tune", "map", "session", "_crash", "_sleep")
 
 #: requests the front-end answers inline (never queued, never shed)
 INLINE_OPS = ("stats", "ping", "shutdown")
+
+#: campaign-fleet requests (answered inline by a CampaignCoordinator)
+FLEET_OPS = ("lease", "heartbeat", "submit")
 
 #: error codes a client can act on
 ERR_BAD_REQUEST = "bad_request"
@@ -202,7 +211,16 @@ class LineChannel:
         self._buffer = b""
 
     def send(self, document: Dict[str, Any]) -> None:
-        self.sock.sendall(encode_frame(document))
+        frame = encode_frame(document)
+        injector = faults.active()
+        if injector is None:
+            self.sock.sendall(frame)
+            return
+        # chaos only: an installed fault plan may drop, duplicate or delay
+        # outgoing frames (receivers already tolerate all three: callers
+        # time out and retry, and responses are matched by id)
+        for part in injector.frames(frame):
+            self.sock.sendall(part)
 
     def recv(self, timeout: Optional[float] = None) -> Optional[Dict[str, Any]]:
         """The next decoded frame, or ``None`` on a clean EOF."""
@@ -227,55 +245,55 @@ class LineChannel:
 
 
 # ----------------------------------------------------------------------
-# search-session payloads (the pipeline's tuning fan-out unit)
+# objective + search-session payloads (the tuning fan-out units)
 # ----------------------------------------------------------------------
-def session_to_wire(session) -> Dict[str, Any]:
-    """A :class:`~repro.tuners.campaign.SearchSession` as a pure-JSON tree.
+def objective_to_wire(objective) -> Dict[str, Any]:
+    """An objective spec as a pure-JSON tree.
 
     ``float`` values survive the JSON round trip exactly (``repr`` round
-    trips IEEE-754 doubles), so a session executed remotely produces the
-    same outcome bytes as a local run.
+    trips IEEE-754 doubles), so an objective evaluated remotely produces
+    the same measurement bytes as a local run.
     """
     from repro.tuners.campaign import LookupObjectiveSpec, SimObjectiveSpec
 
-    objective = session.objective
     if isinstance(objective, LookupObjectiveSpec):
-        wire_objective = {"type": "lookup",
-                          "times": np.asarray(objective.times,
-                                              dtype=np.float64).tolist(),
-                          "floor": float(objective.floor)}
-    elif isinstance(objective, SimObjectiveSpec):
-        wire_objective = {"type": "sim", "spec": objective.to_config()}
-    else:
-        raise TypeError(f"objective {type(objective).__name__} has no wire "
-                        f"form")
+        return {"type": "lookup",
+                "times": np.asarray(objective.times,
+                                    dtype=np.float64).tolist(),
+                "floor": float(objective.floor)}
+    if isinstance(objective, SimObjectiveSpec):
+        return {"type": "sim", "spec": objective.to_config()}
+    raise TypeError(f"objective {type(objective).__name__} has no wire form")
+
+
+def objective_from_wire(data: Dict[str, Any]):
+    from repro.tuners.campaign import LookupObjectiveSpec, SimObjectiveSpec
+
+    kind = data.get("type")
+    if kind == "lookup":
+        return LookupObjectiveSpec(
+            times=np.asarray(data["times"], dtype=np.float64),
+            floor=float(data["floor"]))
+    if kind == "sim":
+        return SimObjectiveSpec.from_config(data["spec"])
+    raise ProtocolError(f"unknown objective type {kind!r}")
+
+
+def session_to_wire(session) -> Dict[str, Any]:
+    """A :class:`~repro.tuners.campaign.SearchSession` as a pure-JSON tree."""
     return {"tuner_name": session.tuner_name,
             "tuner_config": dict(session.tuner_config),
             "space": list(session.space),
-            "objective": wire_objective}
+            "objective": objective_to_wire(session.objective)}
 
 
 def session_from_wire(data: Dict[str, Any]):
-    from repro.tuners.campaign import (
-        LookupObjectiveSpec,
-        SearchSession,
-        SimObjectiveSpec,
-    )
+    from repro.tuners.campaign import SearchSession
 
-    wire_objective = data["objective"]
-    kind = wire_objective["type"]
-    if kind == "lookup":
-        objective = LookupObjectiveSpec(
-            times=np.asarray(wire_objective["times"], dtype=np.float64),
-            floor=float(wire_objective["floor"]))
-    elif kind == "sim":
-        objective = SimObjectiveSpec.from_config(wire_objective["spec"])
-    else:
-        raise ProtocolError(f"unknown objective type {kind!r}")
     return SearchSession(tuner_name=data["tuner_name"],
                          tuner_config=dict(data["tuner_config"]),
                          space=list(data["space"]),
-                         objective=objective)
+                         objective=objective_from_wire(data["objective"]))
 
 
 def outcome_to_wire(outcome) -> Dict[str, Any]:
@@ -312,7 +330,7 @@ def validate_request(document: Dict[str, Any]) -> Tuple[Any, str]:
     op = document.get("op")
     if not isinstance(op, str):
         raise ProtocolError("request is missing the 'op' field")
-    if op not in BATCHED_OPS and op not in INLINE_OPS:
+    if op not in BATCHED_OPS and op not in INLINE_OPS and op not in FLEET_OPS:
         raise ProtocolError(f"unknown op {op!r}")
     if op in ("tune", "map"):
         for field in ("model", "kernel"):
@@ -326,4 +344,17 @@ def validate_request(document: Dict[str, Any]) -> Tuple[Any, str]:
                                     f"{field!r} field")
     if op == "session" and not isinstance(document.get("session"), dict):
         raise ProtocolError("op 'session' requires a 'session' object")
+    if op in FLEET_OPS and not isinstance(document.get("worker"), str):
+        raise ProtocolError(f"op {op!r} requires a string 'worker' field")
+    if op in ("heartbeat", "submit"):
+        if not isinstance(document.get("lease"), str):
+            raise ProtocolError(f"op {op!r} requires a string 'lease' field")
+    if op == "submit":
+        if not isinstance(document.get("campaign"), str):
+            raise ProtocolError("op 'submit' requires a string 'campaign' "
+                                "field")
+        for field in ("eval", "attempt", "value"):
+            if not isinstance(document.get(field), (int, float)):
+                raise ProtocolError(f"op 'submit' requires a numeric "
+                                    f"{field!r} field")
     return document.get("id"), op

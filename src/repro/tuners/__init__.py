@@ -22,6 +22,11 @@ from repro.tuners.campaign import (
     TuningCampaign,
     make_tuner,
 )
+from repro.tuners.fleet import (
+    CampaignCoordinator,
+    CampaignWorker,
+    run_worker,
+)
 from repro.tuners.devmap_baselines import (
     DeepTuneBaseline,
     GreweBaseline,
@@ -50,4 +55,7 @@ __all__ = [
     "TUNER_CLASSES",
     "TuningCampaign",
     "make_tuner",
+    "CampaignCoordinator",
+    "CampaignWorker",
+    "run_worker",
 ]

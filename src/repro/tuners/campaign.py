@@ -380,24 +380,49 @@ class TuningCampaign:
         parent, base = os.path.split(os.path.abspath(path))
         return os.path.join(parent, f".previous-{base}")
 
+    @staticmethod
+    def _staging_path(path: str) -> str:
+        """Where :meth:`checkpoint` assembles the new state before the swap."""
+        parent, base = os.path.split(os.path.abspath(path))
+        return os.path.join(parent, f".staging-{base}")
+
     @classmethod
     def resume(cls, path, **overrides) -> "TuningCampaign":
         """Load a checkpoint written by a previous (interrupted) campaign.
 
         Falls back to the rename-aside copy if the campaign was killed in
-        the middle of the checkpoint swap itself.
+        the middle of the checkpoint swap itself.  A successful load makes
+        the swap leftovers redundant, so resume also cleans them up: the
+        fallback copy is promoted back to the final path (replacing the
+        half-swapped state, if any) and stale ``.previous-*`` /
+        ``.staging-*`` directories are removed.
         """
         from repro.serve.artifacts import ArtifactError, load_artifact
+        path_str = os.path.abspath(os.fspath(path))
+        fallback = cls._previous_path(path_str)
+        loaded_fallback = False
         try:
             campaign = load_artifact(path)
         except (ArtifactError, OSError):
-            fallback = cls._previous_path(os.fspath(path))
             if not os.path.isdir(fallback):
                 raise
             campaign = load_artifact(fallback)
+            loaded_fallback = True
         if not isinstance(campaign, TuningCampaign):
             raise TypeError(f"{os.fspath(path)!r} is not a campaign "
                             f"checkpoint")
+        if loaded_fallback:
+            # whatever sits at the final path failed to load: replace it
+            # with the copy that did
+            if os.path.exists(path_str):
+                shutil.rmtree(path_str, ignore_errors=True)
+            if not os.path.exists(path_str):
+                os.rename(fallback, path_str)
+        elif os.path.isdir(fallback):
+            shutil.rmtree(fallback, ignore_errors=True)
+        staging = cls._staging_path(path_str)
+        if os.path.isdir(staging):
+            shutil.rmtree(staging, ignore_errors=True)
         for key, value in overrides.items():
             if key == "workers":
                 if int(value) < 1:
@@ -437,8 +462,7 @@ class TuningCampaign:
         final = os.path.abspath(self.checkpoint_path)
         parent = os.path.dirname(final)
         os.makedirs(parent, exist_ok=True)
-        staging = os.path.join(parent,
-                               f".staging-{os.path.basename(final)}")
+        staging = self._staging_path(final)
         previous = self._previous_path(final)
         if os.path.exists(staging):
             shutil.rmtree(staging)

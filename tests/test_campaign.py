@@ -174,6 +174,40 @@ class TestCheckpointResume:
         resumed = TuningCampaign.resume(ck)
         assert resumed.history == campaign.history
 
+    def test_resume_promotes_fallback_and_cleans_up(self, tmp_path, space):
+        """Resuming from a ``.previous-*`` fallback must promote it back to
+        the canonical path and leave no swap leftovers behind."""
+        ck = os.path.join(tmp_path, "ck")
+        campaign = TuningCampaign(_make("random"), space, _spec(),
+                                  batch_size=4, checkpoint_path=ck)
+        campaign.run(max_evals=4)
+        os.rename(ck, TuningCampaign._previous_path(ck))
+        resumed = TuningCampaign.resume(ck)
+        assert resumed.history == campaign.history
+        assert os.path.isdir(ck)     # fallback promoted back
+        assert not os.path.exists(TuningCampaign._previous_path(ck))
+        # the next checkpoint must land at the canonical path
+        resumed.run(max_evals=4)
+        assert TuningCampaign.resume(ck).history == resumed.history
+
+    def test_resume_removes_stale_swap_leftovers(self, tmp_path, space):
+        """A crash *after* the final rename can strand ``.previous-*`` and
+        ``.staging-*`` next to a valid checkpoint; resume must remove both
+        rather than let them shadow a later interrupted swap."""
+        import shutil
+        ck = os.path.join(tmp_path, "ck")
+        campaign = TuningCampaign(_make("random"), space, _spec(),
+                                  batch_size=4, checkpoint_path=ck)
+        campaign.run(max_evals=8)
+        stale_previous = TuningCampaign._previous_path(ck)
+        stale_staging = TuningCampaign._staging_path(ck)
+        shutil.copytree(ck, stale_previous)
+        shutil.copytree(ck, stale_staging)
+        resumed = TuningCampaign.resume(ck)
+        assert resumed.history == campaign.history
+        assert not os.path.exists(stale_previous)
+        assert not os.path.exists(stale_staging)
+
     def test_resume_rejects_non_campaign_artifact(self, tmp_path):
         from repro.serve.artifacts import ArtifactError
         with pytest.raises((ArtifactError, OSError)):

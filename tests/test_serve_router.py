@@ -448,6 +448,65 @@ class TestRouterServing:
             replica_a.shutdown()
             replica_b.shutdown()
 
+    def test_sigkill_mid_request_retries_inflight_victim(self):
+        """SIGKILL a replica while it holds an in-flight request: the
+        router must retry that very request onto the group's surviving
+        member and the caller sees a success, not a reset."""
+        import signal
+        import subprocess
+        import sys
+
+        src = os.path.abspath(os.path.join(os.path.dirname(__file__),
+                                           os.pardir, "src"))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+
+        def popen_daemon():
+            return subprocess.Popen(
+                [sys.executable, "-m", "repro.serve", "daemon",
+                 "--tcp", "127.0.0.1:0", "--workers", "1",
+                 "--max-batch", "2", "--deadline-ms", "5", "--debug-ops"],
+                stdout=subprocess.PIPE, text=True, env=env)
+
+        victim_proc, survivor_proc = popen_daemon(), popen_daemon()
+        router = None
+        try:
+            victim_addr = json.loads(
+                victim_proc.stdout.readline())["socket"]
+            survivor_addr = json.loads(
+                survivor_proc.stdout.readline())["socket"]
+            # ONE group, two members; round-robin starts at members[0],
+            # so the victim of the first request is deterministic
+            router = ServeRouter(LOOPBACK,
+                                 replicas=[("g0", victim_addr),
+                                           ("g0", survivor_addr)],
+                                 probe_interval=60.0).start()  # passive only
+            with ThreadPoolExecutor(max_workers=1) as pool:
+                with DaemonClient(router.address) as client:
+                    inflight = pool.submit(
+                        client.request, {"op": "_sleep", "seconds": 1.0},
+                        30.0)
+                    # let the request land on the victim, then murder it
+                    assert _await(lambda: router.stats()["inflight"]
+                                  ["total"] >= 1, timeout=10.0)
+                    time.sleep(0.2)
+                    os.kill(victim_proc.pid, signal.SIGKILL)
+                    assert victim_proc.wait(timeout=10) == -signal.SIGKILL
+                    # the caller still gets its answer (via the survivor)
+                    assert inflight.result(timeout=30)["slept"] == 1.0
+            stats = router.stats()
+            assert stats["requests"]["retried"] >= 1
+            assert stats["replicas"][victim_addr]["healthy"] is False
+            assert stats["replicas"][victim_addr]["ejections"] >= 1
+            assert stats["replicas"][survivor_addr]["healthy"] is True
+        finally:
+            if router is not None:
+                router.shutdown()
+            for proc in (victim_proc, survivor_proc):
+                if proc.poll() is None:
+                    proc.kill()
+                    proc.wait()
+
     def test_no_replica_left_is_a_structured_error(self):
         replica = ServeDaemon(_socket_path(), workers=1, max_batch=2,
                               deadline_ms=2.0, debug_ops=True).start()
