@@ -33,10 +33,12 @@ from repro.nn import (
     EarlyStopping,
     MinMaxScaler,
     MLP,
+    TapeRunner,
     Tensor,
     concat,
     cross_entropy,
     iterate_minibatches,
+    train_epoch,
 )
 from repro.nn.layers import Module
 
@@ -210,7 +212,9 @@ class MGAModel(Module):
             dae_epochs: int = 30, class_balance: bool = True,
             verbose: bool = False, patience: Optional[int] = None,
             cache_batches: bool = True,
-            precompute_frozen: bool = True) -> Dict[str, List[float]]:
+            precompute_frozen: bool = True,
+            tape: bool = True,
+            tape_runner: Optional[TapeRunner] = None) -> Dict[str, List[float]]:
         """Train the model; returns the loss history.
 
         The fast path (both flags default on) does two things the naive loop
@@ -229,6 +233,17 @@ class MGAModel(Module):
         (identical rng consumption), which together with ``dtype="float64"``
         gives numerically seed-equivalent training for the figure
         experiments.  ``patience`` enables early stopping on the epoch loss.
+
+        ``tape`` additionally records each (frozen) minibatch's backward
+        graph on its first visit and replays the compiled plan on later
+        epochs (:class:`repro.nn.TapeRunner`) — bit-identical losses and
+        parameter updates, without per-step graph construction.  It only
+        engages when ``cache_batches`` is on (the partition must be frozen
+        for a recorded plan to stay valid) and silently falls back to eager
+        whenever a plan's guards fail.  ``tape_runner`` shares one runner
+        (plan cache + gradient arena) across fits; leave it ``None`` unless
+        every fit sees the same data — recorded plans capture batch
+        constants by reference.
         """
         labels = np.asarray(labels, dtype=np.int64)
         vectors = np.asarray(vectors, dtype=np.float64)
@@ -271,43 +286,55 @@ class MGAModel(Module):
         if cache_batches:
             fixed_batches = list(iterate_minibatches(n, batch_size, rng=rng))
 
+        def batch_loss(idx: np.ndarray) -> Tensor:
+            parts: List[Tensor] = []
+            if self.modalities.use_graph:
+                batch = (batch_cache.get(idx) if batch_cache is not None
+                         else batch_graphs([graphs[i] for i in idx]))
+                parts.append(self.gnn(batch))
+            if self.modalities.use_vector:
+                if codes is not None:
+                    parts.append(Tensor(codes[idx]))
+                else:
+                    parts.append(Tensor(
+                        self.dae.encode(vectors[idx]).astype(
+                            self._dtype, copy=False)))
+            if self.modalities.use_extra:
+                parts.append(Tensor(scaled_extra[idx]
+                                    if scaled_extra is not None
+                                    else self._scaled_extra(extra[idx])))
+            fused = parts[0] if len(parts) == 1 else concat(parts, axis=1)
+            logits = self.head(fused)
+            return cross_entropy(logits, labels[idx],
+                                 class_weights=class_weights)
+
+        # replay needs a frozen batch partition: a plan captures its batch's
+        # constants (graph layout, codes, labels) at record time
+        runner = None
+        if tape and fixed_batches is not None:
+            runner = tape_runner if tape_runner is not None \
+                else TapeRunner(wrt=params)
+            # absent-parameter handling (a batch whose graph skips some conv,
+            # e.g. an empty relation) must match eager zero_grad semantics
+            runner.wrt = list(params)
+
         stopper = (EarlyStopping(patience=patience)
                    if patience is not None else None)
         history: Dict[str, List[float]] = {"loss": []}
         for epoch in range(epochs):
             if fixed_batches is not None:
-                epoch_batches = [fixed_batches[j]
-                                 for j in rng.permutation(len(fixed_batches))]
+                order = rng.permutation(len(fixed_batches))
+                epoch_batches = [fixed_batches[j] for j in order]
+                keys = [("b", int(j)) for j in order]
+                fingerprints = [(int(len(fixed_batches[j])),) for j in order]
             else:
-                epoch_batches = iterate_minibatches(n, batch_size, rng=rng)
-            epoch_loss, batches = 0.0, 0
-            for idx in epoch_batches:
-                parts: List[Tensor] = []
-                if self.modalities.use_graph:
-                    batch = (batch_cache.get(idx) if batch_cache is not None
-                             else batch_graphs([graphs[i] for i in idx]))
-                    parts.append(self.gnn(batch))
-                if self.modalities.use_vector:
-                    if codes is not None:
-                        parts.append(Tensor(codes[idx]))
-                    else:
-                        parts.append(Tensor(
-                            self.dae.encode(vectors[idx]).astype(
-                                self._dtype, copy=False)))
-                if self.modalities.use_extra:
-                    parts.append(Tensor(scaled_extra[idx]
-                                        if scaled_extra is not None
-                                        else self._scaled_extra(extra[idx])))
-                fused = parts[0] if len(parts) == 1 else concat(parts, axis=1)
-                logits = self.head(fused)
-                loss = cross_entropy(logits, labels[idx],
-                                     class_weights=class_weights)
-                optimizer.zero_grad()
-                loss.backward()
-                optimizer.step()
-                epoch_loss += loss.item()
-                batches += 1
-            history["loss"].append(epoch_loss / max(1, batches))
+                epoch_batches = list(iterate_minibatches(n, batch_size,
+                                                         rng=rng))
+                keys = fingerprints = None
+            mean_loss, _ = train_epoch(epoch_batches, batch_loss, optimizer,
+                                       tape=runner, keys=keys,
+                                       fingerprints=fingerprints)
+            history["loss"].append(mean_loss)
             if verbose:
                 print(f"epoch {epoch + 1}/{epochs}: loss="
                       f"{history['loss'][-1]:.4f}")

@@ -19,11 +19,13 @@ from repro.graphs.hetero import EdgeLayout
 from repro.nn import init
 from repro.nn.autograd import (
     Tensor,
+    _record,
     concat,
     fast_segment_ops_enabled,
     _segment_sum_data,
 )
 from repro.nn.layers import Linear, Module
+from repro.nn.tape import _leased_matmul, register_op
 
 EdgeIndexLike = Union[np.ndarray, EdgeLayout]
 
@@ -172,7 +174,9 @@ class FusedGRUCell(Module):
             if bias.requires_grad:
                 bias._accumulate_owned(dgx.sum(axis=0))
 
-        return Tensor._make(out, (x, h, w_x, w_h_zr, w_h_h, bias), backward)
+        parents = (x, h, w_x, w_h_zr, w_h_h, bias)
+        return _record(Tensor._make(out, parents, backward),
+                       "fused_gru", parents, {"nh": nh})
 
 
 def _mean_aggregator(layout: EdgeLayout, dtype):
@@ -205,7 +209,12 @@ def _mean_aggregator(layout: EdgeLayout, dtype):
                 msg._accumulate_owned(_segment_sum_data(
                     per_edge, src_sorted, num_nodes, src_sorted_layout))
 
-        return Tensor._make(out, (msg,), backward)
+        return _record(Tensor._make(out, (msg,), backward),
+                       "mean_agg", (msg,),
+                       {"src_sorted": src_sorted, "dst_sorted": dst_sorted,
+                        "src_sorted_layout": src_sorted_layout,
+                        "starts": starts, "segments": segments,
+                        "num_nodes": num_nodes, "inv_deg": inv_deg})
 
     return aggregate
 
@@ -280,8 +289,10 @@ class GATConv(Module):
         e = (alpha_src.index_select(layout.src, layout=src_layout)
              + alpha_dst.index_select(layout.dst, layout=dst_layout)
              ).leaky_relu(self.leaky_slope)
-        # softmax over incoming edges of each destination node
-        e_exp = (e - float(e.data.max())).exp()
+        # softmax over incoming edges of each destination node; sub_max is
+        # bit-for-bit the old `e - float(e.data.max())` shift (x + (-m) ==
+        # x - m) but stays one replayable primitive
+        e_exp = e.sub_max().exp()
         denom = e_exp.scatter_add(layout.dst, num_nodes,
                                   layout=dst_layout)          # [n, 1]
         att = e_exp / (denom.index_select(layout.dst, layout=dst_layout)
@@ -331,6 +342,186 @@ class GGNNConv(Module):
             agg = msgs.scatter_add(dst, num_nodes) * deg_in  # mean aggregation
             h = self.gru(agg, h)
         return h
+
+
+# ----------------------------------------------------------------------
+# tape replay emitters for the hand-derived primitives above
+# ----------------------------------------------------------------------
+def _fused_gru_fwd(rec, ctx):
+    vals = ctx.vals
+    x, h, wx, wzr, whh, bias = (ctx.vslot(p) for p in rec.parents)
+    o, nh = ctx.vslot(rec.out), rec.attrs["nh"]
+    cell = ctx.cell(rec)
+    n, dtype = rec.out.data.shape[0], rec.out.data.dtype
+    # each ufunc below mirrors one eager expression exactly (same op, same
+    # operand order), so replay stays bitwise-identical while allocating
+    # nothing.  s/c/t/omz survive into this node's backward -> distinct
+    # leases; gx/gh/cw/zt die with the thunk -> shared scratch
+    gx_buf = ctx.scratch((n, 3 * nh), dtype)
+    gh_buf = ctx.scratch((n, 2 * nh), dtype)
+    cw_buf = ctx.scratch((n, nh), dtype, 0)
+    zt_buf = ctx.scratch((n, nh), dtype, 1)
+    s_buf = ctx.buf((n, 2 * nh), dtype)   # pre, then sigmoid(pre) in place
+    c_buf = ctx.buf((n, nh), dtype)
+    t_buf = ctx.buf((n, nh), dtype)
+    omz_buf = ctx.buf((n, nh), dtype)
+    out_buf = ctx.obuf(rec)
+    z_buf, r_buf = s_buf[:, :nh], s_buf[:, nh:]
+    cell.update(s=s_buf, z=z_buf, r=r_buf, c=c_buf, t=t_buf, omz=omz_buf)
+
+    def run():
+        np.matmul(vals[x], vals[wx], out=gx_buf)
+        np.add(gx_buf, vals[bias], out=gx_buf)          # == eager `gx +=`
+        np.matmul(vals[h], vals[wzr], out=gh_buf)
+        np.add(gx_buf[:, :2 * nh], gh_buf, out=s_buf)   # pre
+        np.clip(s_buf, -60.0, 60.0, out=s_buf)
+        np.negative(s_buf, out=s_buf)
+        np.exp(s_buf, out=s_buf)
+        np.add(s_buf, 1.0, out=s_buf)
+        np.divide(1.0, s_buf, out=s_buf)                # s = sigmoid(pre)
+        np.multiply(r_buf, vals[h], out=c_buf)          # c = r * h
+        np.matmul(c_buf, vals[whh], out=cw_buf)
+        np.add(gx_buf[:, 2 * nh:], cw_buf, out=t_buf)
+        np.tanh(t_buf, out=t_buf)                       # t
+        np.subtract(1.0, z_buf, out=omz_buf)            # 1 - z
+        np.multiply(z_buf, t_buf, out=zt_buf)
+        np.multiply(omz_buf, vals[h], out=out_buf)
+        np.add(out_buf, zt_buf, out=out_buf)  # == eager `omz * h + z * t`
+        vals[o] = out_buf
+    return run
+
+
+def _fused_gru_bwd(rec, ctx):
+    gv, vals, gs = ctx.gv, ctx.vals, ctx.g(rec.out)
+    px, ph, pwx, pwzr, pwhh, pbias = rec.parents
+    x, h, wx, wzr, whh = (ctx.vslot(p) for p in (px, ph, pwx, pwzr, pwhh))
+    nh, cell = rec.attrs["nh"], ctx.cell(rec)
+    n, dtype = rec.out.data.shape[0], rec.out.data.dtype
+    # pooled scratch mirroring the eager backward's temporaries one-for-one
+    # (same ufunc sequence and operand order -> bitwise-identical grads).
+    # Everything here dies with this node's contiguous pre+specs block, so
+    # shared scratch is safe; only dh/dx (handed to gv, read by the parent
+    # node's backward later in the step) need distinct leases
+    dt_buf = ctx.scratch((n, nh), dtype, 0)
+    tt_buf = ctx.scratch((n, nh), dtype, 1)
+    dm_buf = ctx.scratch((n, nh), dtype, 2)
+    dc_buf = ctx.scratch((n, nh), dtype, 3)
+    ds_buf = ctx.scratch((n, 2 * nh), dtype, 0)
+    sm_buf = ctx.scratch((n, 2 * nh), dtype, 1)
+    dpre_buf = ctx.scratch((n, 2 * nh), dtype, 2)
+    dgx_buf = ctx.scratch((n, 3 * nh), dtype, 1)
+    cell.update(dm=dm_buf, dc=dc_buf, dpre=dpre_buf, dgx=dgx_buf)
+
+    def pre():
+        grad = gv[gs]
+        s, z, t = cell["s"], cell["z"], cell["t"]
+        np.multiply(grad, z, out=dt_buf)                # dt = grad * z
+        np.multiply(t, t, out=tt_buf)
+        np.subtract(1.0, tt_buf, out=tt_buf)
+        np.multiply(dt_buf, tt_buf, out=dm_buf)         # dm = dt * (1 - t*t)
+        np.matmul(dm_buf, vals[whh].T, out=dc_buf)
+        np.subtract(t, vals[h], out=dt_buf)             # scratch: t - h
+        np.multiply(grad, dt_buf, out=ds_buf[:, :nh])
+        np.multiply(dc_buf, vals[h], out=ds_buf[:, nh:])
+        np.multiply(ds_buf, s, out=dpre_buf)            # (ds * s) ...
+        np.subtract(1.0, s, out=sm_buf)
+        np.multiply(dpre_buf, sm_buf, out=dpre_buf)     # ... * (1 - s)
+        dgx_buf[:, :2 * nh] = dpre_buf                  # == eager concatenate
+        dgx_buf[:, 2 * nh:] = dm_buf
+
+    specs = []
+    if px.requires_grad:
+        specs.append((px, "owned") + _leased_matmul(
+            ctx, px, lambda: cell["dgx"], lambda: vals[wx].T))
+    if ph.requires_grad:
+        dh_buf = ctx.buf((n, nh), dtype)
+        dh_tmp = ctx.scratch((n, nh), dtype, 0)
+
+        def dh_value():
+            np.multiply(gv[gs], cell["omz"], out=dh_buf)
+            np.multiply(cell["dc"], cell["r"], out=dh_tmp)
+            np.add(dh_buf, dh_tmp, out=dh_buf)          # == eager `dh +=`
+            np.matmul(cell["dpre"], vals[wzr].T, out=dh_tmp)
+            np.add(dh_buf, dh_tmp, out=dh_buf)
+            return dh_buf
+        specs.append((ph, "owned", dh_value, None))
+    if pwx.requires_grad:
+        specs.append((pwx, "owned") + _leased_matmul(
+            ctx, pwx, lambda: vals[x].T, lambda: cell["dgx"]))
+    if pwzr.requires_grad:
+        specs.append((pwzr, "owned") + _leased_matmul(
+            ctx, pwzr, lambda: vals[h].T, lambda: cell["dpre"]))
+    if pwhh.requires_grad:
+        specs.append((pwhh, "owned") + _leased_matmul(
+            ctx, pwhh, lambda: cell["c"].T, lambda: cell["dm"]))
+    if pbias.requires_grad:
+        db_buf = ctx.buf(pbias.data.shape, dtype)
+
+        def db_value():
+            np.sum(cell["dgx"], axis=0, out=db_buf)
+            return db_buf
+        specs.append((pbias, "owned", db_value,
+                      lambda buf: np.sum(cell["dgx"], axis=0, out=buf)))
+    return pre, specs
+
+
+def _mean_agg_fwd(rec, ctx):
+    vals, m, o = ctx.vals, ctx.vslot(rec.parents[0]), ctx.vslot(rec.out)
+    a = rec.attrs
+    src_sorted, starts = a["src_sorted"], a["starts"]
+    segments, num_nodes = a["segments"], a["num_nodes"]
+    inv_deg, out_buf = a["inv_deg"], ctx.obuf(rec)
+    shape, dtype = rec.out.data.shape, rec.out.data.dtype
+    # all three die with the thunk -> shared scratch; distinct ``i`` per
+    # role because edge/segment/node counts can coincide
+    gather_buf = ctx.scratch((src_sorted.shape[0],) + shape[1:], dtype, 0)
+    red_buf = ctx.scratch((starts.shape[0],) + shape[1:], dtype, 1)
+    sums_buf = ctx.scratch(shape, dtype, 2)
+
+    def run():
+        np.take(vals[m], src_sorted, axis=0, out=gather_buf)
+        sums_buf.fill(0.0)  # == eager's fresh np.zeros
+        if starts.size:
+            np.add.reduceat(gather_buf, starts, axis=0, out=red_buf)
+            sums_buf[segments] = red_buf
+        np.multiply(sums_buf, inv_deg, out=out_buf)
+        vals[o] = out_buf
+    return run
+
+
+def _mean_agg_bwd(rec, ctx):
+    gv, gs = ctx.gv, ctx.g(rec.out)
+    a = rec.attrs
+    src_sorted, dst_sorted = a["src_sorted"], a["dst_sorted"]
+    lay, num_nodes = a["src_sorted_layout"], a["num_nodes"]
+    inv_deg = a["inv_deg"]
+    shape, dtype = rec.out.data.shape, rec.out.data.dtype
+    cols = shape[1:]
+    # mean_agg is only recorded on the fast-segment-ops path, and a flag
+    # toggle bumps the config epoch (dropping this plan), so the reduceat
+    # route of _segment_sum_data can be inlined here over pooled scratch
+    scaled_buf = ctx.scratch(shape, dtype, 0)
+    order_buf = ctx.scratch((dst_sorted.shape[0],) + cols, dtype, 1)
+    red_buf = ctx.scratch((lay.starts.shape[0],) + cols, dtype, 2)
+    res_buf = ctx.buf((num_nodes,) + cols, dtype)  # handed to gv -> lease
+    # the eager path gathers twice -- (g*inv)[dst_sorted] then [lay.order]
+    # inside _segment_sum_data; pure gathers compose, so one take over the
+    # precomputed composite permutation reads the exact same elements
+    perm = dst_sorted[lay.order] if lay.starts.size else dst_sorted
+
+    def value():
+        np.multiply(gv[gs], inv_deg, out=scaled_buf)
+        res_buf.fill(0.0)  # == _segment_sum_data's fresh np.zeros
+        if src_sorted.size and lay.starts.size:
+            np.take(scaled_buf, perm, axis=0, out=order_buf)
+            np.add.reduceat(order_buf, lay.starts, axis=0, out=red_buf)
+            res_buf[lay.segments] = red_buf
+        return res_buf
+    return None, [(rec.parents[0], "owned", value, None)]
+
+
+register_op("fused_gru", _fused_gru_fwd, _fused_gru_bwd)
+register_op("mean_agg", _mean_agg_fwd, _mean_agg_bwd)
 
 
 _CONV_TYPES = {

@@ -277,11 +277,27 @@ class GraphBatchCache:
     only the visit order is shuffled), so the block-diagonal batch — and the
     edge/pooling layouts hanging off it — is built exactly once per distinct
     index tuple instead of once per epoch.
+
+    Cache-staleness audit: everything stored here (and in the per-batch
+    ``_cache`` of :class:`BatchedHeteroGraph` / :class:`EdgeLayout`) is a
+    pure function of the graph list and the index tuple — edge sorts,
+    degree norms, dtype casts.  None of it depends on mutable global
+    configuration (``set_fast_segment_ops`` / ``set_default_dtype``), so
+    toggling those flags never invalidates these caches.  Flag-dependent
+    derived state lives only in compiled tape plans, which carry a
+    config-epoch guard (see :mod:`repro.nn.tape`).  :meth:`clear` exists
+    for memory reclamation between unrelated fits, not for correctness.
     """
 
     def __init__(self, graphs: Sequence[HeteroGraphData]):
         self.graphs = list(graphs)
         self._cache: Dict[Tuple[int, ...], BatchedHeteroGraph] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def clear(self) -> None:
+        """Drop all memoised batches (and reset the hit/miss counters)."""
+        self._cache.clear()
         self.hits = 0
         self.misses = 0
 

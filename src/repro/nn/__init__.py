@@ -10,6 +10,7 @@ from repro.nn.autograd import (
     Tensor,
     as_tensor,
     concat,
+    config_epoch,
     default_dtype,
     dropout,
     fast_segment_ops_enabled,
@@ -43,7 +44,13 @@ from repro.nn.layers import (
 )
 from repro.nn.optim import SGD, Adam, AdamW, Optimizer
 from repro.nn.scalers import GaussRankScaler, MinMaxScaler, StandardScaler
-from repro.nn.training import EarlyStopping, iterate_minibatches, set_seed
+from repro.nn.tape import TapeRunner, TapeUnsupported
+from repro.nn.training import (
+    EarlyStopping,
+    iterate_minibatches,
+    set_seed,
+    train_epoch,
+)
 
 __all__ = [
     "Tensor",
@@ -86,4 +93,8 @@ __all__ = [
     "EarlyStopping",
     "iterate_minibatches",
     "set_seed",
+    "config_epoch",
+    "TapeRunner",
+    "TapeUnsupported",
+    "train_epoch",
 ]

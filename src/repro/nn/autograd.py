@@ -48,13 +48,39 @@ _DEFAULT_DTYPE = np.dtype(np.float64)
 #: original ``np.add.at`` scatter, kept as a bit-for-bit seed reference.
 _FAST_SEGMENT_OPS = True
 
+#: Monotonic counter bumped whenever a process-global numeric knob
+#: (:func:`set_default_dtype`, :func:`set_fast_segment_ops`) actually
+#: changes value.  Memoised compiled state (tape plans) captures the epoch
+#: at build time and treats a mismatch as a guard failure, so toggling a
+#: global mid-process can never replay stale kernels.
+_CONFIG_EPOCH = 0
+
+#: Active tape recorder (see :mod:`repro.nn.tape`), or ``None`` when ops run
+#: purely eagerly.  Set only via ``Tape.recording()``.
+_TRACE = None
+
+
+def config_epoch() -> int:
+    """Current global-config epoch (see ``_CONFIG_EPOCH``)."""
+    return _CONFIG_EPOCH
+
+
+def _record(out: "Tensor", op: str, parents: Tuple["Tensor", ...],
+            attrs: Optional[dict] = None) -> "Tensor":
+    """Notify the active tape (if any) that ``out`` was produced by ``op``."""
+    if _TRACE is not None and out.requires_grad:
+        _TRACE.record(op, out, parents, attrs)
+    return out
+
 
 def set_default_dtype(dtype) -> None:
     """Set the dtype used for non-float inputs and parameter initialisation."""
-    global _DEFAULT_DTYPE
+    global _DEFAULT_DTYPE, _CONFIG_EPOCH
     dtype = np.dtype(dtype)
     if dtype not in _FLOAT_DTYPES:
         raise ValueError("default dtype must be float32 or float64")
+    if dtype != _DEFAULT_DTYPE:
+        _CONFIG_EPOCH += 1
     _DEFAULT_DTYPE = dtype
 
 
@@ -76,8 +102,11 @@ def default_dtype(dtype) -> Iterator[None]:
 
 def set_fast_segment_ops(enabled: bool) -> None:
     """Toggle the sorted-segment (reduceat) kernels globally."""
-    global _FAST_SEGMENT_OPS
-    _FAST_SEGMENT_OPS = bool(enabled)
+    global _FAST_SEGMENT_OPS, _CONFIG_EPOCH
+    enabled = bool(enabled)
+    if enabled != _FAST_SEGMENT_OPS:
+        _CONFIG_EPOCH += 1
+    _FAST_SEGMENT_OPS = enabled
 
 
 def fast_segment_ops_enabled() -> bool:
@@ -169,7 +198,8 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
 class Tensor:
     """A numpy array with a gradient and a backward closure."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = ("data", "grad", "requires_grad", "grad_arena", "_backward",
+                 "_parents", "name")
 
     def __init__(self, data: ArrayLike, requires_grad: bool = False,
                  parents: Tuple["Tensor", ...] = (),
@@ -183,6 +213,10 @@ class Tensor:
         self.data = arr
         self.grad: Optional[np.ndarray] = None
         self.requires_grad = bool(requires_grad)
+        #: True once a tape plan has pointed ``grad`` at a persistent arena
+        #: buffer; :meth:`zero_grad` then clears in place instead of dropping
+        #: the buffer, so its identity survives across steps.
+        self.grad_arena = False
         self._backward = backward
         self._parents = parents
         self.name = name
@@ -212,7 +246,20 @@ class Tensor:
         return Tensor(self.data.copy())
 
     def zero_grad(self) -> None:
-        self.grad = None
+        """Clear the gradient.
+
+        Ordinarily drops the array (the next backward's first contribution
+        re-establishes ownership).  Once a tape plan has installed an arena
+        buffer (``grad_arena``), the buffer is zeroed *in place* instead so
+        its identity is stable across steps; eager ``_accumulate`` then adds
+        into it, which is value-identical to the copy-on-first-write path.
+        """
+        if self.grad_arena and self.grad is not None \
+                and self.grad.dtype == self.data.dtype \
+                and self.grad.shape == self.data.shape:
+            self.grad.fill(0.0)
+        else:
+            self.grad = None
 
     def _accumulate(self, grad: np.ndarray) -> None:
         if self.grad is None:
@@ -261,7 +308,8 @@ class Tensor:
                 if self.requires_grad:
                     self._accumulate(grad)
 
-            return Tensor._make(self.data + other, (self,), backward)
+            return _record(Tensor._make(self.data + other, (self,), backward),
+                           "add_s", (self,), {"c": other})
         other = as_tensor(other)
 
         def backward(grad: np.ndarray) -> None:
@@ -272,7 +320,8 @@ class Tensor:
                 g = _unbroadcast(grad, other.shape)
                 (other._accumulate if g is grad else other._accumulate_owned)(g)
 
-        return Tensor._make(self.data + other.data, (self, other), backward)
+        return _record(Tensor._make(self.data + other.data, (self, other),
+                                    backward), "add_t", (self, other))
 
     __radd__ = __add__
 
@@ -281,7 +330,8 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate_owned(-grad)
 
-        return Tensor._make(-self.data, (self,), backward)
+        return _record(Tensor._make(-self.data, (self,), backward),
+                       "neg", (self,))
 
     def __sub__(self, other) -> "Tensor":
         if isinstance(other, (int, float)):
@@ -294,7 +344,8 @@ class Tensor:
                 if self.requires_grad:
                     self._accumulate_owned(-grad)
 
-            return Tensor._make(other - self.data, (self,), backward)
+            return _record(Tensor._make(other - self.data, (self,), backward),
+                           "rsub_s", (self,), {"c": other})
         return as_tensor(other) + (-self)
 
     def __mul__(self, other) -> "Tensor":
@@ -305,7 +356,8 @@ class Tensor:
                 if self.requires_grad:
                     self._accumulate_owned(grad * scale)
 
-            return Tensor._make(self.data * scale, (self,), backward)
+            return _record(Tensor._make(self.data * scale, (self,), backward),
+                           "mul_s", (self,), {"c": scale})
         other = as_tensor(other)
 
         def backward(grad: np.ndarray) -> None:
@@ -316,7 +368,8 @@ class Tensor:
                 other._accumulate_owned(_unbroadcast(grad * self.data,
                                                      other.shape))
 
-        return Tensor._make(self.data * other.data, (self, other), backward)
+        return _record(Tensor._make(self.data * other.data, (self, other),
+                                    backward), "mul_t", (self, other))
 
     __rmul__ = __mul__
 
@@ -326,7 +379,8 @@ class Tensor:
                 if self.requires_grad:
                     self._accumulate_owned(grad / other)
 
-            return Tensor._make(self.data / other, (self,), backward)
+            return _record(Tensor._make(self.data / other, (self,), backward),
+                           "div_s", (self,), {"c": other})
         other = as_tensor(other)
 
         def backward(grad: np.ndarray) -> None:
@@ -337,7 +391,8 @@ class Tensor:
                 other._accumulate_owned(_unbroadcast(
                     -grad * self.data / (other.data ** 2), other.shape))
 
-        return Tensor._make(self.data / other.data, (self, other), backward)
+        return _record(Tensor._make(self.data / other.data, (self, other),
+                                    backward), "div_t", (self, other))
 
     def __pow__(self, exponent: float) -> "Tensor":
         exponent = float(exponent)
@@ -347,7 +402,8 @@ class Tensor:
                 self._accumulate_owned(
                     grad * exponent * self.data ** (exponent - 1.0))
 
-        return Tensor._make(self.data ** exponent, (self,), backward)
+        return _record(Tensor._make(self.data ** exponent, (self,), backward),
+                       "pow", (self,), {"e": exponent})
 
     def matmul(self, other: "Tensor") -> "Tensor":
         other = as_tensor(other)
@@ -358,7 +414,8 @@ class Tensor:
             if other.requires_grad:
                 other._accumulate_owned(self.data.T @ grad)
 
-        return Tensor._make(self.data @ other.data, (self, other), backward)
+        return _record(Tensor._make(self.data @ other.data, (self, other),
+                                    backward), "matmul", (self, other))
 
     __matmul__ = matmul
 
@@ -383,7 +440,7 @@ class Tensor:
                 bias._accumulate_owned(grad.sum(axis=0))
 
         parents = (self, weight) if bias is None else (self, weight, bias)
-        return Tensor._make(out, parents, backward)
+        return _record(Tensor._make(out, parents, backward), "linear", parents)
 
     # ------------------------------------------------------------------
     # reductions / shaping
@@ -401,8 +458,9 @@ class Tensor:
                     g = np.expand_dims(g, axis)
                 self._accumulate_owned(np.broadcast_to(g, self.shape).copy())
 
-        return Tensor._make(self.data.sum(axis=axis, keepdims=keepdims),
-                            (self,), backward)
+        return _record(Tensor._make(self.data.sum(axis=axis, keepdims=keepdims),
+                                    (self,), backward),
+                       "sum", (self,), {"axis": axis, "keepdims": keepdims})
 
     def mean(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -418,7 +476,9 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad.reshape(old_shape))
 
-        return Tensor._make(self.data.reshape(*shape), (self,), backward)
+        return _record(Tensor._make(self.data.reshape(*shape), (self,),
+                                    backward),
+                       "reshape", (self,), {"shape": shape, "old": old_shape})
 
     @property
     def T(self) -> "Tensor":
@@ -426,7 +486,8 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad.T)
 
-        return Tensor._make(self.data.T, (self,), backward)
+        return _record(Tensor._make(self.data.T, (self,), backward),
+                       "transpose", (self,))
 
     def slice_cols(self, start: int, stop: int) -> "Tensor":
         """Columns ``[start:stop)`` of a 2-D tensor (differentiable view)."""
@@ -438,7 +499,9 @@ class Tensor:
                 g[:, start:stop] = grad
                 self._accumulate_owned(g)
 
-        return Tensor._make(self.data[:, start:stop], (self,), backward)
+        return _record(Tensor._make(self.data[:, start:stop], (self,),
+                                    backward),
+                       "slice_cols", (self,), {"start": start, "stop": stop})
 
     # ------------------------------------------------------------------
     # nonlinearities
@@ -450,7 +513,8 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate_owned(grad * mask)
 
-        return Tensor._make(self.data * mask, (self,), backward)
+        return _record(Tensor._make(self.data * mask, (self,), backward),
+                       "relu", (self,))
 
     def leaky_relu(self, slope: float = 0.01) -> "Tensor":
         mask = np.where(self.data > 0, 1.0, slope).astype(self.data.dtype)
@@ -459,7 +523,8 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate_owned(grad * mask)
 
-        return Tensor._make(self.data * mask, (self,), backward)
+        return _record(Tensor._make(self.data * mask, (self,), backward),
+                       "leaky_relu", (self,), {"slope": slope})
 
     def sigmoid(self) -> "Tensor":
         out_data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
@@ -468,7 +533,8 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate_owned(grad * out_data * (1.0 - out_data))
 
-        return Tensor._make(out_data, (self,), backward)
+        return _record(Tensor._make(out_data, (self,), backward),
+                       "sigmoid", (self,))
 
     def tanh(self) -> "Tensor":
         out_data = np.tanh(self.data)
@@ -477,7 +543,8 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate_owned(grad * (1.0 - out_data ** 2))
 
-        return Tensor._make(out_data, (self,), backward)
+        return _record(Tensor._make(out_data, (self,), backward),
+                       "tanh", (self,))
 
     def exp(self) -> "Tensor":
         out_data = np.exp(np.clip(self.data, -60.0, 60.0))
@@ -486,15 +553,37 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate_owned(grad * out_data)
 
-        return Tensor._make(out_data, (self,), backward)
+        return _record(Tensor._make(out_data, (self,), backward),
+                       "exp", (self,))
 
     def log(self) -> "Tensor":
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate_owned(grad / np.maximum(self.data, 1e-12))
 
-        return Tensor._make(np.log(np.maximum(self.data, 1e-12)), (self,),
-                            backward)
+        return _record(Tensor._make(np.log(np.maximum(self.data, 1e-12)),
+                                    (self,), backward), "log", (self,))
+
+    def sub_max(self, axis: Optional[int] = None,
+                keepdims: bool = False) -> "Tensor":
+        """``self - self.data.max(axis, keepdims)`` as one primitive.
+
+        The max shift used to stabilise softmax-style expressions is a
+        *data-dependent constant*: its VJP is the identity (the gradient of a
+        constant shift vanishes almost everywhere), but its forward value
+        must be recomputed from fresh activations every step.  Folding the
+        shift into a primitive keeps it replayable on a tape, and is
+        bit-for-bit the two-node form (IEEE: ``x + (-m) == x - m``).
+        """
+        m = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad)
+
+        return _record(Tensor._make(self.data - m, (self,), backward),
+                       "sub_max", (self,),
+                       {"axis": axis, "keepdims": keepdims})
 
     # ------------------------------------------------------------------
     # indexing / scatter-gather (the message-passing primitives)
@@ -515,7 +604,10 @@ class Tensor:
                 self._accumulate_owned(_segment_sum_data(grad, index, num_rows,
                                                          layout))
 
-        return Tensor._make(self.data[index], (self,), backward)
+        return _record(Tensor._make(self.data[index], (self,), backward),
+                       "index_select", (self,),
+                       {"index": index, "layout": layout,
+                        "num_rows": num_rows})
 
     def scatter_add(self, index: np.ndarray, num_rows: int,
                     layout: Optional[SegmentLayout] = None) -> "Tensor":
@@ -527,7 +619,10 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate_owned(np.asarray(grad)[index])
 
-        return Tensor._make(out_data, (self,), backward)
+        return _record(Tensor._make(out_data, (self,), backward),
+                       "scatter_add", (self,),
+                       {"index": index, "layout": layout,
+                        "num_rows": int(num_rows)})
 
     # ------------------------------------------------------------------
     # backward pass
@@ -588,7 +683,9 @@ def concat(tensors: Sequence[Tensor], axis: int = 1) -> Tensor:
                 slicer[axis] = slice(start, stop)
                 t._accumulate(grad[tuple(slicer)])
 
-    return Tensor._make(data, tuple(tensors), backward)
+    return _record(Tensor._make(data, tuple(tensors), backward),
+                   "concat", tuple(tensors),
+                   {"axis": axis, "offsets": offsets})
 
 
 def stack_rows(tensors: Sequence[Tensor]) -> Tensor:
@@ -601,7 +698,8 @@ def stack_rows(tensors: Sequence[Tensor]) -> Tensor:
             if t.requires_grad:
                 t._accumulate(grad[i])
 
-    return Tensor._make(data, tuple(tensors), backward)
+    return _record(Tensor._make(data, tuple(tensors), backward),
+                   "stack_rows", tuple(tensors))
 
 
 def segment_sum(x: Tensor, segment_ids: np.ndarray, num_segments: int,
@@ -627,11 +725,23 @@ def segment_mean(x: Tensor, segment_ids: np.ndarray, num_segments: int,
 
 def dropout(x: Tensor, rate: float, rng: np.random.Generator,
             training: bool = True) -> Tensor:
-    """Inverted dropout."""
+    """Inverted dropout (one traced primitive).
+
+    The mask is drawn from ``rng`` at every execution — including tape
+    replays, which capture the generator object itself — so the rng stream
+    advances exactly as in eager mode.  Values match the historical
+    ``x * Tensor(mask)`` two-node form bit for bit.
+    """
     if not training or rate <= 0.0:
         return x
     mask = (rng.random(x.shape) >= rate).astype(x.data.dtype) / (1.0 - rate)
-    return x * Tensor(mask)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate_owned(grad * mask)
+
+    return _record(Tensor._make(x.data * mask, (x,), backward),
+                   "dropout", (x,), {"rate": float(rate), "rng": rng})
 
 
 def gradcheck(func: Callable[..., Tensor], inputs: Sequence[Tensor],

@@ -12,7 +12,9 @@ from repro.nn.autograd import Tensor, as_tensor
 def softmax(logits: Tensor, axis: int = 1) -> Tensor:
     """Numerically-stable softmax along ``axis`` (differentiable)."""
     logits = as_tensor(logits)
-    shifted = logits - Tensor(logits.data.max(axis=axis, keepdims=True))
+    # sub_max is the same shift as `logits - Tensor(max)` bit for bit
+    # (IEEE x + (-m) == x - m) but stays a single replayable primitive
+    shifted = logits.sub_max(axis=axis, keepdims=True)
     exp = shifted.exp()
     return exp / exp.sum(axis=axis, keepdims=True)
 
@@ -20,7 +22,7 @@ def softmax(logits: Tensor, axis: int = 1) -> Tensor:
 def log_softmax(logits: Tensor, axis: int = 1) -> Tensor:
     """log(softmax(x)) computed stably."""
     logits = as_tensor(logits)
-    shifted = logits - Tensor(logits.data.max(axis=axis, keepdims=True))
+    shifted = logits.sub_max(axis=axis, keepdims=True)
     return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
 
 

@@ -39,6 +39,9 @@ class Module:
         return named
 
     def zero_grad(self) -> None:
+        # Tensor.zero_grad clears tape-arena gradient buffers in place so
+        # ``id(p.grad)`` stays stable across replayed steps; non-arena
+        # gradients are dropped to None as before.
         for p in self.parameters():
             p.zero_grad()
 

@@ -24,6 +24,8 @@ class Optimizer:
         self.lr = float(lr)
 
     def zero_grad(self) -> None:
+        # delegates to Tensor.zero_grad, which clears tape-arena gradient
+        # buffers in place (identity-stable) instead of dropping them
         for p in self.parameters:
             p.zero_grad()
 
@@ -72,7 +74,19 @@ class Adam(Optimizer):
         self.decoupled = decoupled
         self._m: Dict[int, np.ndarray] = {}
         self._v: Dict[int, np.ndarray] = {}
+        #: per-parameter scratch buffers so a step allocates nothing after
+        #: the first call (gradients may live in tape arena buffers; the
+        #: update math never writes into them)
+        self._upd: Dict[int, np.ndarray] = {}
+        self._tmp: Dict[int, np.ndarray] = {}
         self._t = 0
+
+    def _state(self, store: Dict[int, np.ndarray], p: Tensor) -> np.ndarray:
+        buf = store.get(id(p))
+        if buf is None or buf.shape != p.data.shape \
+                or buf.dtype != p.data.dtype:
+            buf = store[id(p)] = np.zeros_like(p.data)
+        return buf
 
     def step(self) -> None:
         self._t += 1
@@ -80,29 +94,32 @@ class Adam(Optimizer):
             if p.grad is None:
                 continue
             grad = p.grad
+            upd = self._state(self._upd, p)
+            tmp = self._state(self._tmp, p)
             if self.weight_decay and not self.decoupled:
-                grad = grad + self.weight_decay * p.data
-            # allocate state only on the first step for each parameter, then
-            # update the moment buffers in place
-            m = self._m.get(id(p))
-            if m is None:
-                m = self._m[id(p)] = np.zeros_like(p.data)
-            v = self._v.get(id(p))
-            if v is None:
-                v = self._v[id(p)] = np.zeros_like(p.data)
+                # == grad + weight_decay * p.data (scalar multiply commutes)
+                np.multiply(p.data, self.weight_decay, out=upd)
+                np.add(grad, upd, out=upd)
+                grad = upd
+            m = self._state(self._m, p)
+            v = self._state(self._v, p)
             m *= self.beta1
-            m += (1 - self.beta1) * grad
+            np.multiply(grad, 1 - self.beta1, out=tmp)
+            m += tmp
             v *= self.beta2
-            v += (1 - self.beta2) * grad ** 2
-            m_hat = m / (1 - self.beta1 ** self._t)
-            v_hat = v / (1 - self.beta2 ** self._t)
-            np.sqrt(v_hat, out=v_hat)
-            v_hat += self.eps
-            update = m_hat
-            update /= v_hat
+            np.multiply(grad, grad, out=tmp)      # == grad ** 2
+            tmp *= 1 - self.beta2
+            v += tmp
+            np.divide(m, 1 - self.beta1 ** self._t, out=upd)   # m_hat
+            np.divide(v, 1 - self.beta2 ** self._t, out=tmp)   # v_hat
+            np.sqrt(tmp, out=tmp)
+            tmp += self.eps
+            upd /= tmp
             if self.weight_decay and self.decoupled:
-                update += self.weight_decay * p.data
-            p.data -= self.lr * update
+                np.multiply(p.data, self.weight_decay, out=tmp)
+                upd += tmp
+            upd *= self.lr
+            p.data -= upd
 
 
 class AdamW(Adam):

@@ -3,9 +3,11 @@
 from __future__ import annotations
 
 import random
-from typing import Iterator, Optional
+from typing import Callable, Iterator, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.nn.autograd import Tensor
 
 
 def set_seed(seed: int) -> np.random.Generator:
@@ -27,6 +29,43 @@ def iterate_minibatches(num_samples: int, batch_size: int,
         rng.shuffle(indices)
     for start in range(0, num_samples, batch_size):
         yield indices[start:start + batch_size]
+
+
+def train_epoch(batches: Sequence,
+                make_batch_loss: Callable[[object], Tensor],
+                optimizer,
+                tape=None,
+                keys: Optional[Sequence] = None,
+                fingerprints: Optional[Sequence] = None) -> Tuple[float, int]:
+    """One epoch over ``batches``; returns ``(mean_loss, num_batches)``.
+
+    With ``tape=None`` this is the classic eager loop: forward,
+    ``zero_grad``, ``backward``, ``step``.  Passing a
+    :class:`~repro.nn.tape.TapeRunner` routes each batch through
+    ``tape.step`` instead — the first visit of a key records the graph and
+    runs eagerly, later visits replay the compiled plan.  Both paths produce
+    bit-identical losses and parameter trajectories; ``keys`` (default: the
+    batch position) must identify a fixed (shape, values) batch and
+    ``fingerprints`` can carry a cheap shape signature to force re-recording
+    when a key's batch changes shape.
+    """
+    total = 0.0
+    count = 0
+    for i, batch in enumerate(batches):
+        if tape is None:
+            loss = make_batch_loss(batch)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            total += float(loss.data)
+        else:
+            key = keys[i] if keys is not None else i
+            fp = fingerprints[i] if fingerprints is not None else None
+            total += tape.step(key, lambda b=batch: make_batch_loss(b),
+                               fingerprint=fp)
+            optimizer.step()
+        count += 1
+    return (total / count if count else 0.0), count
 
 
 class EarlyStopping:
