@@ -21,6 +21,14 @@ The serving subsystem takes a trained tuner from "in-memory object" to
 * :mod:`repro.serve.router` — :class:`ServeRouter`, the multi-host
   distribution layer: consistent-hash sharding by ``(model, version)``
   over health-checked replica groups with fleet-level admission control;
+* :mod:`repro.serve.lifecycle` — :class:`LifecycleManager`, the online
+  model lifecycle: registry-generation watch, zero-drain hot-swap with
+  pin/rollback, shadow deploys with prediction diffing and auto
+  promote/abort, and per-route drift aggregation;
+* :mod:`repro.serve.drift` — :class:`DriftBaseline` /
+  :class:`DriftMonitor`, a streaming input-drift sketch (per-feature
+  quantile envelopes + unseen-vocabulary counters) seeded from the
+  training set at publish time and scored on live traffic;
 * :mod:`repro.serve.loadgen` — open-loop Poisson load generation with
   latency histograms and SLO attainment (:func:`~repro.serve.loadgen.
   open_loop`);
@@ -46,8 +54,10 @@ from repro.serve.artifacts import (
 )
 from repro.serve.client import DaemonClient, DaemonError
 from repro.serve.daemon import ServeDaemon
+from repro.serve.drift import DriftBaseline, DriftMonitor, baseline_for
 from repro.serve.faults import FaultPlan
 from repro.serve.engine import InferenceEngine, PendingResult
+from repro.serve.lifecycle import LifecycleManager, ShadowPolicy, SwapError
 from repro.serve.loadgen import open_loop
 from repro.serve.registry import ModelRegistry, ModelVersion
 from repro.serve.router import HashRing, ServeRouter
@@ -75,6 +85,12 @@ __all__ = [
     "ServeDaemon",
     "ServeRouter",
     "HashRing",
+    "LifecycleManager",
+    "ShadowPolicy",
+    "SwapError",
+    "DriftBaseline",
+    "DriftMonitor",
+    "baseline_for",
     "open_loop",
     "DaemonClient",
     "DaemonError",

@@ -48,6 +48,7 @@ KIND_TUNER = "mga_tuner"
 KIND_MAPPER = "device_mapper"
 KIND_CAMPAIGN = "tuning_campaign"
 KIND_STAGE = "pipeline_stage"
+KIND_DRIFT = "drift_baseline"
 
 
 class ArtifactError(RuntimeError):
@@ -197,6 +198,10 @@ def payload_for(obj) -> tuple:
     if isinstance(obj, MGAModel):
         config, arrays = _model_payload(obj)
         return KIND_MODEL, config, arrays
+    from repro.serve.drift import DriftBaseline
+    if isinstance(obj, DriftBaseline):
+        config, arrays = obj.to_payload()
+        return KIND_DRIFT, config, arrays
     raise TypeError(f"cannot serialise objects of type {type(obj).__name__}")
 
 
@@ -280,6 +285,10 @@ def restore_payload(kind: str, config: Dict[str, Any],
     if kind == KIND_STAGE:
         from repro.pipeline.codec import decode_value
         return decode_value(config["output"], arrays)
+
+    if kind == KIND_DRIFT:
+        from repro.serve.drift import DriftBaseline
+        return DriftBaseline.from_payload(config, arrays)
 
     modalities = ModalityConfig(**config["modalities"])
     extractor = _rebuild_extractor(config["extractor"], arrays)

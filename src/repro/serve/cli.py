@@ -18,6 +18,10 @@ Commands
 ``router``        shard requests over replica daemons (consistent hashing,
                   health probes, fleet-level admission control)
 ``request``       send one request to a running daemon or router
+``swap``          hot-swap a served model to another published version
+                  (or ``--rollback`` to the previous one) with zero drain
+``shadow``        start/stop/inspect a shadow deploy: tee a fraction of
+                  live traffic to a candidate version and diff predictions
 ``loadgen``       open-loop Poisson load against a daemon or router
 
 Machine-readable output: every command prints one JSON document to stdout.
@@ -54,6 +58,9 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="input sizes per kernel (openmp task)")
     demo.add_argument("--epochs", type=int, default=10)
     demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument("--no-drift", action="store_true",
+                      help="skip co-publishing the input-drift baseline "
+                           "sketched from the training set")
 
     lst = sub.add_parser("list", help="list registry contents")
     lst.add_argument("--root", required=True)
@@ -118,6 +125,10 @@ def _build_parser() -> argparse.ArgumentParser:
                         metavar="MODEL[@VERSION]",
                         help="warm these models in every worker before "
                              "accepting requests (repeatable)")
+    daemon.add_argument("--watch-interval", type=float, default=0.5,
+                        help="seconds between registry-generation polls for "
+                             "auto hot-swap of unpinned routes (0 disables "
+                             "the watch thread)")
     daemon.add_argument("--debug-ops", action="store_true",
                         help="enable the fault-injection ops used by tests "
                              "(_crash, _sleep)")
@@ -174,6 +185,52 @@ def _build_parser() -> argparse.ArgumentParser:
     request.add_argument("--transfer-bytes", type=float, default=None)
     request.add_argument("--wgsize", type=int, default=None)
     request.add_argument("--timeout", type=float, default=600.0)
+
+    swap = sub.add_parser(
+        "swap",
+        help="hot-swap a served model to another published version with "
+             "zero drain (flips between micro-batches)")
+    swap.add_argument("--socket", required=True,
+                      help="daemon/router address (AF_UNIX path or "
+                           "tcp://HOST:PORT)")
+    swap.add_argument("--model", required=True)
+    swap.add_argument("--version", type=int, default=None,
+                      help="target version (default: registry latest); an "
+                           "explicit version pins the route")
+    swap.add_argument("--rollback", action="store_true",
+                      help="return to the previously active version and "
+                           "pin it")
+    swap.add_argument("--track-latest", action="store_true",
+                      help="swap without pinning: the route keeps following "
+                           "new registry publishes")
+    swap.add_argument("--timeout", type=float, default=600.0)
+
+    shadow = sub.add_parser(
+        "shadow",
+        help="shadow deploys: tee a fraction of a model's live traffic to "
+             "a candidate version and diff the predictions")
+    shadow.add_argument("action", choices=("start", "stop", "status"))
+    shadow.add_argument("--socket", required=True,
+                        help="daemon/router address (AF_UNIX path or "
+                             "tcp://HOST:PORT)")
+    shadow.add_argument("--model", required=True)
+    shadow.add_argument("--version", type=int, default=None,
+                        help="candidate version (required for start)")
+    shadow.add_argument("--fraction", type=float, default=0.2,
+                        help="fraction of live traffic to tee (0, 1]")
+    shadow.add_argument("--tolerance", type=float, default=0.0,
+                        help="relative num_threads tolerance under which a "
+                             "tune disagreement counts as 'near'")
+    shadow.add_argument("--min-compared", type=int, default=0,
+                        help="comparisons before the auto promote/abort "
+                             "policy may act (0 disables the policy)")
+    shadow.add_argument("--promote-below", type=float, default=0.0,
+                        help="auto-promote when the disagreement rate is "
+                             "at or below this")
+    shadow.add_argument("--abort-above", type=float, default=1.0,
+                        help="auto-abort when the disagreement rate is "
+                             "at or above this")
+    shadow.add_argument("--timeout", type=float, default=600.0)
 
     loadgen = sub.add_parser(
         "loadgen",
@@ -324,6 +381,7 @@ def _cmd_publish_demo(args) -> int:
     from repro.core import DeviceMapper, MGATuner
     from repro.datasets import DevMapDatasetBuilder, OpenMPDatasetBuilder
     from repro.kernels import registry as kernels
+    from repro.serve.drift import baseline_for
     from repro.serve.registry import ModelRegistry
     from repro.simulator.microarch import COMET_LAKE_8C, TAHITI_7970
     from repro.tuners import thread_search_space
@@ -339,23 +397,28 @@ def _cmd_publish_demo(args) -> int:
             specs, np.geomspace(1e5, 2e8, args.inputs))
         tuner = MGATuner(arch, space, seed=args.seed, **small)
         tuner.fit(dataset, epochs=args.epochs, dae_epochs=args.epochs)
+        baseline = None if args.no_drift else baseline_for(tuner, dataset)
         published = model_registry.publish(
             args.name, tuner,
             metadata={"task": "openmp", "arch": arch.name,
                       "train_samples": len(dataset),
-                      "num_configs": dataset.num_configs})
+                      "num_configs": dataset.num_configs},
+            drift_baseline=baseline)
     else:
         specs = kernels.opencl_kernels()[:args.kernels]
         dataset = DevMapDatasetBuilder(TAHITI_7970, seed=args.seed).build(
             specs, points_per_kernel=3)
         mapper = DeviceMapper(seed=args.seed, **small)
         mapper.fit(dataset, epochs=args.epochs, dae_epochs=args.epochs)
+        baseline = None if args.no_drift else baseline_for(mapper, dataset)
         published = model_registry.publish(
             args.name, mapper,
             metadata={"task": "devmap", "gpu": dataset.gpu_name,
-                      "train_samples": len(dataset)})
+                      "train_samples": len(dataset)},
+            drift_baseline=baseline)
     print(json.dumps({"published": published.ref, "path": published.path,
                       "kind": published.kind,
+                      "drift_baseline": baseline is not None,
                       "metadata": published.metadata}, indent=2))
     return 0
 
@@ -433,7 +496,8 @@ def _cmd_daemon(args) -> int:
         workers=args.workers, max_batch=args.max_batch,
         deadline_ms=args.deadline_ms, max_queue=args.max_queue,
         engine_max_wait_ms=args.engine_wait_ms, preload=args.preload,
-        debug_ops=args.debug_ops, mp_start_method=args.mp_start)
+        debug_ops=args.debug_ops, mp_start_method=args.mp_start,
+        watch_interval_s=args.watch_interval)
     daemon.start()
     # daemon.address is the *resolved* form (ephemeral TCP ports filled in)
     print(json.dumps({"ready": True, "socket": daemon.address,
@@ -520,6 +584,48 @@ def _cmd_request(args) -> int:
     with DaemonClient(args.socket, timeout=args.timeout) as client:
         try:
             result = client.request(document)
+        except DaemonError as exc:
+            print(json.dumps({"ok": False, "error": {
+                "code": exc.code, "message": exc.message}}, indent=2))
+            return 1
+    print(json.dumps({"ok": True, "result": result}, indent=2))
+    return 0
+
+
+def _cmd_swap(args) -> int:
+    from repro.serve.client import DaemonClient, DaemonError
+
+    with DaemonClient(args.socket, timeout=args.timeout) as client:
+        try:
+            result = client.swap(args.model, version=args.version,
+                                 rollback=args.rollback,
+                                 track_latest=args.track_latest)
+        except DaemonError as exc:
+            print(json.dumps({"ok": False, "error": {
+                "code": exc.code, "message": exc.message}}, indent=2))
+            return 1
+    print(json.dumps({"ok": True, "result": result}, indent=2))
+    return 0
+
+
+def _cmd_shadow(args) -> int:
+    from repro.serve.client import DaemonClient, DaemonError
+
+    with DaemonClient(args.socket, timeout=args.timeout) as client:
+        try:
+            if args.action == "start":
+                if args.version is None:
+                    raise ValueError("shadow start requires --version")
+                result = client.shadow_start(
+                    args.model, args.version, fraction=args.fraction,
+                    tolerance=args.tolerance,
+                    min_compared=args.min_compared,
+                    promote_below=args.promote_below,
+                    abort_above=args.abort_above)
+            elif args.action == "stop":
+                result = client.shadow_stop(args.model)
+            else:
+                result = client.shadow_status(args.model)
         except DaemonError as exc:
             print(json.dumps({"ok": False, "error": {
                 "code": exc.code, "message": exc.message}}, indent=2))
@@ -671,6 +777,8 @@ _COMMANDS = {
     "daemon": _cmd_daemon,
     "router": _cmd_router,
     "request": _cmd_request,
+    "swap": _cmd_swap,
+    "shadow": _cmd_shadow,
     "loadgen": _cmd_loadgen,
 }
 

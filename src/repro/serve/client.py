@@ -189,6 +189,50 @@ class DaemonClient:
     def stats(self) -> Dict[str, Any]:
         return self.request({"op": "stats"})
 
+    # ------------------------------------------------------------------
+    # online-operations surface (lifecycle-managed daemons)
+    # ------------------------------------------------------------------
+    def swap(self, model: str, version: Optional[int] = None,
+             rollback: bool = False,
+             track_latest: bool = False) -> Dict[str, Any]:
+        """Hot-swap ``model`` to ``version`` (default: registry latest).
+
+        ``rollback=True`` returns to the previously active version and
+        pins it; an explicit ``version`` pins too unless ``track_latest``.
+        Returns the daemon's route snapshot after the flip.
+        """
+        document: Dict[str, Any] = {"op": "swap", "model": model}
+        if version is not None:
+            document["version"] = int(version)
+        if rollback:
+            document["rollback"] = True
+        if track_latest:
+            document["track_latest"] = True
+        return self.request(document)
+
+    def rollback(self, model: str) -> Dict[str, Any]:
+        return self.swap(model, rollback=True)
+
+    def shadow_start(self, model: str, version: int, fraction: float = 0.2,
+                     tolerance: float = 0.0,
+                     min_compared: int = 0, promote_below: float = 0.0,
+                     abort_above: float = 1.0) -> Dict[str, Any]:
+        """Tee a fraction of ``model`` traffic to candidate ``version``."""
+        return self.request({"op": "shadow", "action": "start",
+                             "model": model, "version": int(version),
+                             "fraction": fraction, "tolerance": tolerance,
+                             "min_compared": min_compared,
+                             "promote_below": promote_below,
+                             "abort_above": abort_above})
+
+    def shadow_stop(self, model: str) -> Dict[str, Any]:
+        return self.request({"op": "shadow", "action": "stop",
+                             "model": model})
+
+    def shadow_status(self, model: str) -> Dict[str, Any]:
+        return self.request({"op": "shadow", "action": "status",
+                             "model": model})
+
     def ping(self, timeout: float = 5.0) -> bool:
         return bool(self.request({"op": "ping"},
                                  timeout=timeout).get("pong"))

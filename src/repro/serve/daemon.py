@@ -28,6 +28,19 @@ Determinism: a worker answers ``tune``/``map`` through the same
 ``registry.load`` → ``InferenceEngine`` path as in-process serving, so
 daemon predictions are byte-identical to :class:`InferenceEngine` over the
 same published artifact.
+
+Online operations (:mod:`repro.serve.lifecycle`): with a registry the
+daemon runs a **watcher** thread that polls the registry generation and
+hot-swaps routes onto newly published versions with zero drain — the
+dispatcher stamps every batch with the route's resolved version under the
+dispatch lock, so a flip lands exactly between micro-batches and no batch
+mixes versions.  ``swap`` pins/rolls back a route; ``shadow`` tees a
+fraction of answered live traffic to a candidate version through a
+separate low-priority queue that only otherwise-idle workers drain
+(never ahead of live work), diffing its answers against the delivered
+ones.  Workers stream cumulative per-engine drift scores back with every
+batch; ``stats`` reports swap counters, shadow disagreement and per-route
+drift.
 """
 
 from __future__ import annotations
@@ -40,7 +53,15 @@ import threading
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.serve import faults
+from repro.serve.lifecycle import (
+    DriftAggregator,
+    LifecycleManager,
+    ShadowPolicy,
+    SwapError,
+)
 from repro.serve.protocol import (
+    ADMIN_OPS,
     ERR_BAD_REQUEST,
     ERR_INTERNAL,
     ERR_NO_REGISTRY,
@@ -71,6 +92,9 @@ def route_label(route: tuple) -> str:
     if route and route[0] == "model":
         _, model, version = route
         return f"{model}@{version if version is not None else 'latest'}"
+    if route and route[0] == "shadow":
+        _, model, version = route
+        return f"shadow:{model}@{version}"
     return route[0] if route else "?"
 
 
@@ -78,13 +102,15 @@ def route_label(route: tuple) -> str:
 # worker process
 # ----------------------------------------------------------------------
 def _execute_tune_map(service, requests: List[Dict[str, Any]]
-                      ) -> List[Dict[str, Any]]:
+                      ) -> Tuple[List[Dict[str, Any]], Dict[str, Any]]:
     """Answer a batch of tune/map requests through one warm engine each.
 
     All requests are *submitted* before any result is awaited, so
     co-batched requests for the same model coalesce into single
     ``MGAModel.predict`` calls inside the engine — the daemon's batch is
-    the engine's batch.
+    the engine's batch.  Returns the results plus cumulative per-engine
+    drift summaries (keyed ``model@version``) for the daemon's
+    aggregator.
     """
     from repro.kernels import registry as kernel_registry
     from repro.serve.service import (
@@ -96,10 +122,12 @@ def _execute_tune_map(service, requests: List[Dict[str, Any]]
     )
 
     submitted: List[Tuple[Optional[Any], Optional[Dict], Optional[str]]] = []
+    engines_used: Dict[str, Any] = {}
     for request in requests:
         try:
             engine, version = service.engine(request["model"],
                                              request.get("version"))
+            engines_used[f"{request['model']}@{version}"] = engine
             spec = kernel_registry.get_kernel(request["kernel"])
             if request["op"] == "tune":
                 require_tuner(engine.predictor, request["model"])
@@ -143,7 +171,12 @@ def _execute_tune_map(service, requests: List[Dict[str, Any]]
                             "error": {"code": ERR_INTERNAL,
                                       "message": f"{type(exc).__name__}: "
                                                  f"{exc}"}})
-    return results
+    drift: Dict[str, Any] = {}
+    for label, engine in engines_used.items():
+        summary = engine.drift_summary()
+        if summary is not None:
+            drift[label] = summary
+    return results, ({"drift": drift} if drift else {})
 
 
 def _execute_one(service, request: Dict[str, Any],
@@ -173,6 +206,26 @@ def _execute_one(service, request: Dict[str, Any],
     raise ValueError(f"unroutable op {op!r}")
 
 
+def _run_control(service, worker_id: int, control_id: int,
+                 command: Dict[str, Any], result_queue) -> None:
+    """Execute one warm/retire control command and ack it."""
+    try:
+        if command["cmd"] == "warm":
+            version = service.warm(command["model"],
+                                   command.get("version"))
+            detail = f"warmed {command['model']}@{version}"
+        elif command["cmd"] == "retire":
+            closed = service.retire(command["model"], command["version"])
+            detail = ("retired" if closed else "not loaded")
+        else:
+            raise ValueError(f"unknown control cmd {command.get('cmd')!r}")
+        result_queue.put(("control_done", worker_id, control_id,
+                          True, detail))
+    except Exception as exc:
+        result_queue.put(("control_done", worker_id, control_id, False,
+                          f"{type(exc).__name__}: {exc}"))
+
+
 def _worker_main(worker_id: int, registry_root: Optional[str],
                  engine_opts: Dict[str, Any], preload: List[str],
                  debug_ops: bool, task_queue, result_queue) -> None:
@@ -180,6 +233,10 @@ def _worker_main(worker_id: int, registry_root: Optional[str],
     from repro.serve.registry import ModelRegistry
     from repro.serve.service import TuningService
 
+    # chaos only: an REPRO_FAULTS plan with kill_after SIGKILLs this worker
+    # after that many answered tune/map requests — after the answers are
+    # computed but before they are submitted, the nastiest instant
+    faults.install(faults.FaultPlan.from_env(), seed_offset=worker_id)
     registry = ModelRegistry(registry_root) if registry_root else None
     service = TuningService(registry, **engine_opts)
     try:
@@ -195,8 +252,24 @@ def _worker_main(worker_id: int, registry_root: Optional[str],
         message = task_queue.get()
         if message[0] == "stop":
             break
+        if message[0] == "control":
+            _, control_id, command = message
+            if command.get("cmd") == "warm":
+                # warm-load off the batch path: live batches keep flowing
+                # on this worker while the candidate engine loads
+                threading.Thread(
+                    target=_run_control,
+                    args=(service, worker_id, control_id, command,
+                          result_queue),
+                    name=f"repro-worker-warm-{control_id}",
+                    daemon=True).start()
+            else:
+                _run_control(service, worker_id, control_id, command,
+                             result_queue)
+            continue
         _, batch_id, requests = message
         results: List[Dict[str, Any]] = []
+        extras: Dict[str, Any] = {}
         tune_map: List[Tuple[int, Dict[str, Any]]] = []
         for position, request in enumerate(requests):
             if request["op"] in ("tune", "map"):
@@ -220,11 +293,15 @@ def _worker_main(worker_id: int, registry_root: Optional[str],
                                    "message": f"{type(exc).__name__}: "
                                               f"{exc}"}})
         if tune_map:
-            answers = _execute_tune_map(service,
-                                        [request for _, request in tune_map])
+            answers, extras = _execute_tune_map(
+                service, [request for _, request in tune_map])
             for (position, _), answer in zip(tune_map, answers):
                 results[position] = answer
-        result_queue.put(("done", worker_id, batch_id, results))
+        injector = faults.active()
+        if injector is not None:
+            for _ in tune_map:
+                injector.evaluated()
+        result_queue.put(("done", worker_id, batch_id, results, extras))
     service.close()
 
 
@@ -266,7 +343,8 @@ class ServeDaemon:
                  deadline_ms: float = 10.0, max_queue: int = 64,
                  engine_max_wait_ms: float = 2.0, cache_size: int = 512,
                  preload: Optional[List[str]] = None, debug_ops: bool = False,
-                 mp_start_method: Optional[str] = None):
+                 mp_start_method: Optional[str] = None,
+                 watch_interval_s: float = 0.5):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if max_batch < 1:
@@ -288,6 +366,9 @@ class ServeDaemon:
                             "cache_size": int(cache_size)}
         self.preload = list(preload or [])
         self.debug_ops = bool(debug_ops)
+        #: registry-watch poll period; 0 disables the watcher (routes then
+        #: only move on explicit ``swap`` ops)
+        self.watch_interval_s = float(watch_interval_s)
         self._mp = (multiprocessing.get_context(mp_start_method)
                     if mp_start_method else multiprocessing)
 
@@ -309,6 +390,29 @@ class ServeDaemon:
         self._running = False
         self._draining = False
         self._started_at = 0.0
+        self._stop_event = threading.Event()
+
+        # online operations: lifecycle manager over this registry, shadow
+        # queueing, worker control-message plumbing, drift aggregation
+        self._registry = None
+        self._lifecycle: Optional[LifecycleManager] = None
+        if self.registry_root is not None:
+            from repro.serve.registry import ModelRegistry
+            self._registry = ModelRegistry(self.registry_root)
+            self._lifecycle = LifecycleManager(
+                self._registry, self._warm_workers, self._retire_workers)
+        self._warm_set: set = set()          # "model@version" kept warm
+        self._shadow_routes: "collections.OrderedDict[tuple, collections.deque]" = \
+            collections.OrderedDict()
+        self._shadow_queued = 0
+        self._shadow_batch_ids: set = set()
+        self._shadow_contention = 0
+        self._contention_seen: set = set()
+        self._shadow_batch_count = 0
+        self._control_lock = threading.Lock()
+        self._control_waiters: Dict[int, Dict[str, Any]] = {}
+        self._next_control_id = 0
+        self._drift = DriftAggregator()
 
         self._stats_lock = threading.Lock()
         self._received = 0
@@ -368,10 +472,13 @@ class ServeDaemon:
             raise
         self._running = True
         self._started_at = time.perf_counter()
-        for target, name in ((self._accept_loop, "accept"),
-                             (self._dispatch_loop, "dispatch"),
-                             (self._collect_loop, "collect"),
-                             (self._monitor_loop, "monitor")):
+        loops = [(self._accept_loop, "accept"),
+                 (self._dispatch_loop, "dispatch"),
+                 (self._collect_loop, "collect"),
+                 (self._monitor_loop, "monitor")]
+        if self._lifecycle is not None and self.watch_interval_s > 0:
+            loops.append((self._watch_loop, "watch"))
+        for target, name in loops:
             thread = threading.Thread(target=target,
                                       name=f"repro-daemon-{name}",
                                       daemon=True)
@@ -383,10 +490,14 @@ class ServeDaemon:
         worker_id = self._next_worker_id
         self._next_worker_id += 1
         task_queue = self._mp.Queue()
+        # healed workers come up warm on every version the lifecycle has
+        # swapped in, not just the configured preload — a route must heal
+        # onto the version it currently serves
+        preload = sorted(set(self.preload) | self._warm_set)
         process = self._mp.Process(
             target=_worker_main,
             args=(worker_id, self.registry_root, self.engine_opts,
-                  self.preload, self.debug_ops, task_queue,
+                  preload, self.debug_ops, task_queue,
                   self._result_queue),
             name=f"repro-serve-worker-{worker_id}", daemon=True)
         process.start()
@@ -411,9 +522,102 @@ class ServeDaemon:
                 raise RuntimeError(f"worker {message[1]} failed to start: "
                                    f"{message[2]}")
 
+    # ------------------------------------------------------------------
+    # worker control channel: warm/retire broadcasts for hot-swap
+    # ------------------------------------------------------------------
+    def _broadcast_control(self, command: Dict[str, Any],
+                           timeout: float = 120.0) -> Dict[int, tuple]:
+        """Send one control command to every live worker; gather the acks.
+
+        Returns ``{worker_id: (ok, detail)}``.  Workers that die while the
+        command is outstanding are recorded as failed instead of hanging
+        the broadcast — the monitor replaces them, and replacements come
+        up warm via the preload set.
+        """
+        with self._lock:
+            targets = {worker_id: worker
+                       for worker_id, worker in self._pool.items()
+                       if worker.alive()}
+        if not targets:
+            raise RuntimeError("no live workers to control")
+        with self._control_lock:
+            control_id = self._next_control_id
+            self._next_control_id += 1
+            waiter = {"pending": set(targets), "results": {},
+                      "event": threading.Event()}
+            self._control_waiters[control_id] = waiter
+        try:
+            for worker_id, worker in targets.items():
+                try:
+                    worker.task_queue.put(("control", control_id, command))
+                except (OSError, ValueError):
+                    self._control_ack(worker_id, control_id, False,
+                                      "control channel closed")
+            deadline = time.monotonic() + timeout
+            while not waiter["event"].wait(0.2):
+                with self._lock:
+                    dead = [worker_id for worker_id in list(waiter["pending"])
+                            if worker_id not in self._pool
+                            or not self._pool[worker_id].alive()]
+                for worker_id in dead:
+                    self._control_ack(worker_id, control_id, False,
+                                      "worker died during control op")
+                if time.monotonic() > deadline:
+                    raise RuntimeError(
+                        f"control op {command.get('cmd')!r} timed out "
+                        f"waiting for workers {sorted(waiter['pending'])}")
+        finally:
+            with self._control_lock:
+                self._control_waiters.pop(control_id, None)
+        return dict(waiter["results"])
+
+    def _control_ack(self, worker_id: int, control_id: int, ok: bool,
+                     detail: str) -> None:
+        with self._control_lock:
+            waiter = self._control_waiters.get(control_id)
+            if waiter is None or worker_id not in waiter["pending"]:
+                return
+            waiter["pending"].discard(worker_id)
+            waiter["results"][worker_id] = (ok, detail)
+            if not waiter["pending"]:
+                waiter["event"].set()
+
+    def _warm_workers(self, model: str, version: int) -> None:
+        """Warm-load one version on every worker (all must succeed)."""
+        results = self._broadcast_control(
+            {"cmd": "warm", "model": model, "version": int(version)})
+        failures = {worker_id: detail
+                    for worker_id, (ok, detail) in results.items() if not ok}
+        if failures:
+            raise RuntimeError(f"warm failed on workers {failures}")
+        with self._lock:
+            self._warm_set.add(f"{model}@{int(version)}")
+
+    def _retire_workers(self, model: str, version: int) -> None:
+        """Close one version's engines everywhere (best effort)."""
+        with self._lock:
+            self._warm_set.discard(f"{model}@{int(version)}")
+        try:
+            self._broadcast_control(
+                {"cmd": "retire", "model": model, "version": int(version)},
+                timeout=30.0)
+        except RuntimeError:
+            pass          # dead workers retire by dying
+
+    def _watch_loop(self) -> None:
+        """Poll the registry generation; hot-swap unpinned stale routes."""
+        while not self._stop_event.wait(self.watch_interval_s):
+            if not self._running or self._draining:
+                return
+            try:
+                self._lifecycle.check_registry()
+            except Exception:
+                continue      # registry hiccup: retry next tick
+
     def shutdown(self, drain: bool = True, timeout: float = 120.0,
                  _exempt_conn: Optional[socket.socket] = None) -> None:
         """Stop the daemon; with ``drain`` outstanding work completes first."""
+        self._stop_event.set()
         with self._lock:
             if not self._running:
                 return
@@ -458,11 +662,16 @@ class ServeDaemon:
         with self._lock:
             leftovers = [request for pending in self._routes.values()
                          for request in pending]
+            leftovers.extend(request
+                             for pending in self._shadow_routes.values()
+                             for request in pending)
             for batch in self._inflight.values():
                 leftovers.extend(batch)
             self._routes.clear()
+            self._shadow_routes.clear()
             self._inflight.clear()
             self._queued = 0
+            self._shadow_queued = 0
         for request in leftovers:
             request.reply(error_response(request.request_id,
                                          ERR_SHUTTING_DOWN,
@@ -570,8 +779,56 @@ class ServeDaemon:
                              name="repro-daemon-shutdown",
                              daemon=True).start()
             return
+        if op in ADMIN_OPS:
+            # swap/shadow run synchronously on this connection's thread:
+            # the warm broadcast completes via the collector thread, and
+            # the caller gets a deterministic done/failed answer
+            self._handle_admin(request_id, op, document, reply)
+            return
         self._admit(_PendingRequest(request_id, op, document, reply,
                                     self._route_of(document, op)))
+
+    def _handle_admin(self, request_id, op: str, document: Dict[str, Any],
+                      reply) -> None:
+        if self._lifecycle is None:
+            reply(error_response(request_id, ERR_NO_REGISTRY,
+                                 "daemon was started without --root; "
+                                 "online operations need a model registry"))
+            with self._stats_lock:
+                self._errors += 1
+            return
+        try:
+            if op == "swap":
+                result = self._lifecycle.swap(
+                    document["model"],
+                    version=document.get("version"),
+                    rollback=bool(document.get("rollback", False)),
+                    track_latest=bool(document.get("track_latest", False)))
+            else:
+                action = document.get("action", "status")
+                if action == "start":
+                    result = self._lifecycle.shadow_start(
+                        document["model"], int(document["version"]),
+                        fraction=float(document.get("fraction", 0.2)),
+                        tolerance=float(document.get("tolerance", 0.0)),
+                        policy=ShadowPolicy(
+                            min_compared=int(document.get("min_compared",
+                                                          0)),
+                            promote_below=float(
+                                document.get("promote_below", 0.0)),
+                            abort_above=float(
+                                document.get("abort_above", 1.0))))
+                elif action == "stop":
+                    result = self._lifecycle.shadow_stop(document["model"])
+                else:
+                    result = self._lifecycle.shadow_status(document["model"])
+        except (SwapError, KeyError, ValueError, RuntimeError) as exc:
+            reply(error_response(request_id, ERR_BAD_REQUEST,
+                                 f"{type(exc).__name__}: {exc}"))
+            with self._stats_lock:
+                self._errors += 1
+            return
+        reply(ok_response(request_id, result))
 
     @staticmethod
     def _route_of(document: Dict[str, Any], op: str) -> tuple:
@@ -622,11 +879,9 @@ class ServeDaemon:
                         self._work_available.wait(
                             self._next_deadline_locked())
                     continue
-                worker, batch_id, batch = batch_assignment
+                worker, batch_id, batch, payloads = batch_assignment
             try:
-                worker.task_queue.put(
-                    ("batch", batch_id,
-                     [request.payload for request in batch]))
+                worker.task_queue.put(("batch", batch_id, payloads))
             except (OSError, ValueError):
                 pass        # dead worker: the monitor reassigns the batch
 
@@ -645,9 +900,18 @@ class ServeDaemon:
         head request wins, so a saturated hot route cannot starve another
         route's overdue requests.  Returns ``None`` when nothing is
         flushable or no worker is idle.
+
+        Version stamping happens here, under the dispatch lock: a
+        latest-route batch is dispatched with the lifecycle's *resolved*
+        active version written into every payload, so one batch is always
+        one version and a hot-swap flip takes effect exactly between
+        batches.  When no live batch is flushable, a queued *shadow*
+        batch may use the worker — but only while enough workers stay
+        idle for arriving live traffic (shadow never runs ahead of it).
         """
         worker = self._idle_worker_locked()
         if worker is None:
+            self._note_shadow_contention_locked()
             return None
         now = time.perf_counter()
         chosen = None
@@ -660,18 +924,90 @@ class ServeDaemon:
                         < self._routes[chosen][0].enqueued_at):
                     chosen = route
         if chosen is None:
-            return None
+            return self._form_shadow_batch_locked(worker)
         pending = self._routes[chosen]
         batch = [pending.popleft()
                  for _ in range(min(len(pending), self.max_batch))]
         if not pending:
             del self._routes[chosen]      # don't accumulate dead routes
         self._queued -= len(batch)
+        payloads = self._stamped_payloads_locked(chosen, batch)
         batch_id = self._next_batch_id
         self._next_batch_id += 1
         self._inflight[batch_id] = batch
         worker.busy_with = batch_id
-        return worker, batch_id, batch
+        return worker, batch_id, batch, payloads
+
+    def _stamped_payloads_locked(self, route: tuple,
+                                 batch: List[_PendingRequest]
+                                 ) -> List[Dict[str, Any]]:
+        """The batch's wire payloads, stamped with one resolved version."""
+        if (route[0] == "model" and route[2] is None
+                and self._lifecycle is not None):
+            active = self._lifecycle.resolve(route[1])
+            if active is not None:
+                stamped = []
+                for request in batch:
+                    payload = dict(request.payload)
+                    payload["version"] = active
+                    stamped.append(payload)
+                return stamped
+        return [request.payload for request in batch]
+
+    def _note_shadow_contention_locked(self) -> None:
+        """Count a live batch stalled behind a shadow-occupied worker."""
+        if not self._queued or not self._shadow_batch_ids:
+            return
+        if not any(worker.busy_with in self._shadow_batch_ids
+                   for worker in self._pool.values()):
+            return
+        now = time.perf_counter()
+        for pending in self._routes.values():
+            if not pending:
+                continue
+            if (len(pending) >= self.max_batch or self._draining
+                    or now - pending[0].enqueued_at >= self.deadline_s):
+                head = pending[0].request_id
+                if head not in self._contention_seen:
+                    self._contention_seen.add(head)
+                    self._shadow_contention += 1
+                return
+
+    def _form_shadow_batch_locked(self, worker: _Worker):
+        """A shadow batch, only when live traffic keeps enough workers.
+
+        Policy: with live requests queued (none flushable yet), at least
+        two workers must be idle so one remains for the live batch that
+        is about to flush; with an empty live queue any idle worker may
+        drain shadows.
+        """
+        if not self._shadow_queued or self._draining:
+            return None
+        if self._queued:
+            idle = sum(1 for candidate in self._pool.values()
+                       if candidate.busy_with is None and candidate.alive())
+            if idle < 2:
+                return None
+        chosen = None
+        for route, pending in self._shadow_routes.items():
+            if pending:
+                chosen = route
+                break
+        if chosen is None:
+            return None
+        pending = self._shadow_routes[chosen]
+        batch = [pending.popleft()
+                 for _ in range(min(len(pending), self.max_batch))]
+        if not pending:
+            del self._shadow_routes[chosen]
+        self._shadow_queued -= len(batch)
+        batch_id = self._next_batch_id
+        self._next_batch_id += 1
+        self._inflight[batch_id] = batch
+        self._shadow_batch_ids.add(batch_id)
+        worker.busy_with = batch_id
+        return worker, batch_id, batch, \
+            [request.payload for request in batch]
 
     def _next_deadline_locked(self) -> float:
         """Seconds until the oldest pending request's flush deadline."""
@@ -696,11 +1032,19 @@ class ServeDaemon:
                 continue
             if message[0] == "ready":
                 continue              # a healed worker came up
+            if message[0] == "control_done":
+                _, worker_id, control_id, ok, detail = message
+                self._control_ack(worker_id, control_id, ok, detail)
+                continue
             if message[0] != "done":
                 continue
-            _, worker_id, batch_id, results = message
+            _, worker_id, batch_id, results, extras = message
+            for label, snapshot in (extras.get("drift") or {}).items():
+                self._drift.update(worker_id, label, snapshot)
             with self._lock:
                 batch = self._inflight.pop(batch_id, None)
+                shadow = batch_id in self._shadow_batch_ids
+                self._shadow_batch_ids.discard(batch_id)
                 worker = self._pool.get(worker_id)
                 if worker is not None and worker.busy_with == batch_id:
                     worker.busy_with = None
@@ -709,10 +1053,28 @@ class ServeDaemon:
                     self._drained.notify_all()
             if batch is None:
                 continue              # already failed over by the monitor
-            self._deliver(batch, results, worker_id)
+            self._deliver(batch, results, worker_id, batch_id,
+                          shadow=shadow)
 
     def _deliver(self, batch: List[_PendingRequest],
-                 results: List[Dict[str, Any]], worker_id: int) -> None:
+                 results: List[Dict[str, Any]], worker_id: int,
+                 batch_id: int, shadow: bool = False) -> None:
+        if shadow:
+            # off the books: shadow answers only feed the diff report (the
+            # reply closures), never latency/throughput accounting
+            with self._stats_lock:
+                self._shadow_batch_count += 1
+            for request, outcome in zip(batch, results):
+                if outcome.get("ok"):
+                    request.reply(ok_response(request.request_id,
+                                              dict(outcome["result"])))
+                else:
+                    error = outcome.get("error") or {}
+                    request.reply(error_response(
+                        request.request_id,
+                        error.get("code", ERR_INTERNAL),
+                        error.get("message", "")))
+            return
         now = time.perf_counter()
         with self._stats_lock:
             size = len(batch)
@@ -732,7 +1094,9 @@ class ServeDaemon:
                 result = dict(outcome["result"])
                 result["latency_ms"] = latency_ms
                 result["worker"] = worker_id
+                result["batch"] = batch_id
                 request.reply(ok_response(request.request_id, result))
+                self._maybe_tee_shadow(request, result)
             else:
                 error = outcome.get("error") or {"code": ERR_INTERNAL,
                                                  "message": "worker returned "
@@ -740,6 +1104,46 @@ class ServeDaemon:
                 request.reply(error_response(request.request_id,
                                              error.get("code", ERR_INTERNAL),
                                              error.get("message", "")))
+
+    # ------------------------------------------------------------------
+    # shadow deploys: tee answered live requests to the candidate
+    # ------------------------------------------------------------------
+    def _maybe_tee_shadow(self, request: _PendingRequest,
+                          result: Dict[str, Any]) -> None:
+        if self._lifecycle is None or request.op not in ("tune", "map"):
+            return
+        model = request.payload.get("model")
+        candidate = self._lifecycle.sample_shadow(model)
+        if candidate is None or candidate == result.get("version"):
+            return
+        lifecycle = self._lifecycle
+        op = request.op
+        primary = {key: result.get(key)
+                   for key in ("kernel", "version", "config_label",
+                               "num_threads", "schedule", "chunk_size",
+                               "label", "device")}
+        payload = dict(request.payload)
+        payload["version"] = int(candidate)
+
+        def record(document: Dict[str, Any]) -> None:
+            lifecycle.record_shadow(model, candidate, op, primary, document)
+
+        shadow = _PendingRequest(f"shadow:{request.request_id}", op,
+                                 payload, record,
+                                 ("shadow", model, int(candidate)))
+        with self._lock:
+            if (not self._running or self._draining
+                    or self._shadow_queued >= self.max_queue):
+                dropped = True
+            else:
+                dropped = False
+                pending = self._shadow_routes.setdefault(
+                    shadow.route, collections.deque())
+                pending.append(shadow)
+                self._shadow_queued += 1
+                self._work_available.notify_all()
+        if dropped:
+            lifecycle.record_shadow_dropped(model, candidate)
 
     # ------------------------------------------------------------------
     # monitor: worker crash detection, retry and pool healing
@@ -754,18 +1158,27 @@ class ServeDaemon:
                         if not worker.alive()]
                 recovered: List[_PendingRequest] = []
                 failed: List[_PendingRequest] = []
+                shadow_failed: List[_PendingRequest] = []
                 for worker in dead:
                     del self._pool[worker.worker_id]
                     self._worker_restarts += 1
                     if worker.busy_with is not None:
+                        was_shadow = worker.busy_with in self._shadow_batch_ids
+                        self._shadow_batch_ids.discard(worker.busy_with)
                         batch = self._inflight.pop(worker.busy_with, [])
                         for request in batch:
+                            if was_shadow:
+                                # shadow work is best-effort: never retried,
+                                # never counted against live traffic
+                                shadow_failed.append(request)
+                                continue
                             request.attempts += 1
                             if (request.op == "_crash"
                                     or request.attempts >= MAX_ATTEMPTS):
                                 failed.append(request)
                             else:
                                 recovered.append(request)
+                    self._drift.forget_worker(worker.worker_id)
                     self._spawn_worker_locked()
                 for request in recovered:
                     # retry at the front of its route: it has already waited
@@ -775,6 +1188,10 @@ class ServeDaemon:
                     self._queued += 1
                 if recovered or dead:
                     self._work_available.notify_all()
+            for request in shadow_failed:
+                request.reply(error_response(
+                    request.request_id, ERR_WORKER_CRASHED,
+                    "worker process died while executing shadow request"))
             for request in failed:
                 with self._stats_lock:
                     self._completed += 1
@@ -797,6 +1214,20 @@ class ServeDaemon:
             inflight = {batch_id: len(batch)
                         for batch_id, batch in self._inflight.items()}
             alive = sum(worker.alive() for worker in self._pool.values())
+            shadow_depth = self._shadow_queued
+            shadow_contention = self._shadow_contention
+        if self._lifecycle is not None:
+            lifecycle_stats: Optional[Dict[str, Any]] = {
+                "enabled": True,
+                "watch_interval_s": self.watch_interval_s,
+            }
+            lifecycle_stats.update(self._lifecycle.stats())
+            shadow_routes = self._lifecycle.shadow_stats()
+            shadow_finished = self._lifecycle.finished_shadow_stats()
+        else:
+            lifecycle_stats = None
+            shadow_routes = {}
+            shadow_finished = {}
         with self._stats_lock:
             histogram = dict(sorted(self._batch_histogram.items()))
             batches = sum(histogram.values())
@@ -835,5 +1266,14 @@ class ServeDaemon:
                 "per_model": dict(self._per_model),
                 "max_batch": self.max_batch,
                 "deadline_ms": 1e3 * self.deadline_s,
+                "lifecycle": lifecycle_stats,
+                "shadow": {
+                    "routes": shadow_routes,
+                    "finished": shadow_finished,
+                    "queue_depth": shadow_depth,
+                    "batches": self._shadow_batch_count,
+                    "contention": shadow_contention,
+                },
+                "drift": {"routes": self._drift.stats()},
             }
         return snapshot

@@ -32,6 +32,7 @@ from repro.frontend.openmp import OMPConfig, default_omp_config
 from repro.frontend.spec import KernelSpec
 from repro.graphs import batch_graphs
 from repro.profiling import PAPIProfiler
+from repro.serve.drift import map_feature_vector, tune_feature_vector
 
 
 class _LRUCache:
@@ -118,12 +119,18 @@ class InferenceEngine:
 
     def __init__(self, predictor: Union[MGATuner, DeviceMapper],
                  max_batch_size: int = 32, max_wait_ms: float = 2.0,
-                 cache_size: int = 512, memoize_results: bool = True):
+                 cache_size: int = 512, memoize_results: bool = True,
+                 drift_monitor=None):
         if not isinstance(predictor, (MGATuner, DeviceMapper)):
             raise TypeError("predictor must be an MGATuner or DeviceMapper")
         if predictor.model is None:
             raise ValueError("predictor is not fitted")
         self.predictor = predictor
+        #: optional :class:`~repro.serve.drift.DriftMonitor` scoring each
+        #: *distinct* served request (memoized repeats skip feature
+        #: extraction entirely, so they are not re-scored) against the
+        #: published training-distribution sketch
+        self.drift_monitor = drift_monitor
         self.max_batch_size = int(max_batch_size)
         self.max_wait_s = float(max_wait_ms) / 1e3
         self.cache = _LRUCache(cache_size)
@@ -191,6 +198,12 @@ class InferenceEngine:
         if self._try_memoized(key, pending):
             return pending
         graph, vector, extra, counters = self._tune_features(spec, scale)
+        if self.drift_monitor is not None:
+            self.drift_monitor.observe(
+                tune_feature_vector(
+                    vector, counters,
+                    self.drift_monitor.baseline.counter_names),
+                graph=graph)
         configs = self.predictor.configs
 
         def finalize(index: int):
@@ -217,6 +230,10 @@ class InferenceEngine:
         if self._try_memoized(key, pending):
             return pending
         graph, vector = self._map_features(spec)
+        if self.drift_monitor is not None:
+            self.drift_monitor.observe(
+                map_feature_vector(vector, transfer_bytes, wgsize),
+                graph=graph)
         extra = np.array([np.log1p(float(transfer_bytes)),
                           np.log1p(float(wgsize))])
 
@@ -360,7 +377,15 @@ class InferenceEngine:
                     self._batch_hits
                     / max(1, self._batch_hits + self._batch_misses)),
                 "mean_latency_ms": 1e3 * self._latency_sum / max(1, completed),
+                "drift": (self.drift_monitor.summary()
+                          if self.drift_monitor is not None else None),
             }
+
+    def drift_summary(self) -> Optional[Dict[str, float]]:
+        """Cumulative drift counters (None without a published baseline)."""
+        if self.drift_monitor is None:
+            return None
+        return self.drift_monitor.summary()
 
     # ------------------------------------------------------------------
     def close(self) -> None:

@@ -74,12 +74,17 @@ def poisson_arrivals(rate_rps: float, count: int,
 def open_loop(address: str, requests: Sequence[Dict[str, Any]],
               rate_rps: float, *, seed: int = 0, concurrency: int = 32,
               timeout: float = 120.0, slo_ms: Optional[float] = None,
-              collect_responses: bool = False) -> Dict[str, Any]:
+              collect_responses: bool = False,
+              server_drift: bool = True) -> Dict[str, Any]:
     """Fire ``requests`` at ``address`` as a Poisson stream of ``rate_rps``.
 
     ``concurrency`` bounds the sender pool (connections), not the offered
     load: it must exceed ``rate × worst-case latency`` or the generator
     itself saturates (visible as ``arrivals.max_lateness_ms``).
+
+    With ``server_drift`` (the default) the report carries the server's
+    per-route input-drift summary, read via one ``stats`` request after
+    the run — ``None`` when the server has no drift data.
     """
     if concurrency < 1:
         raise ValueError("concurrency must be >= 1")
@@ -178,6 +183,20 @@ def open_loop(address: str, requests: Sequence[Dict[str, Any]],
             "attainment": attained / len(requests) if requests else 0.0,
             "attained": attained,
         }
+    if server_drift:
+        report["server_drift"] = _server_drift(address, timeout)
     if collect_responses:
         report["responses"] = responses
     return report
+
+
+def _server_drift(address: str,
+                  timeout: float) -> Optional[Dict[str, Any]]:
+    """The server's per-route drift summary, or ``None`` if unavailable."""
+    try:
+        with DaemonClient(address, timeout=timeout) as client:
+            stats = client.stats()
+    except (OSError, ConnectionError, TimeoutError, DaemonError):
+        return None
+    drift = (stats.get("drift") or {}).get("routes")
+    return dict(drift) if drift else None

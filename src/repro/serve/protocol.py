@@ -28,7 +28,12 @@ Request ops
 ``map``       ``{"op": "map", "model": ..., "kernel": ..., ...}``
 ``session``   one self-contained black-box search session (see
               :func:`session_to_wire`)
-``stats``     daemon introspection: queue depth, batch histogram, latency
+``stats``     daemon introspection: queue depth, batch histogram, latency,
+              swap counters, shadow disagreement, drift scores
+``swap``      hot-swap control: pin a route to a version, roll back, or
+              re-track the registry's latest (see
+              :mod:`repro.serve.lifecycle`)
+``shadow``    start/stop/inspect a shadow deploy of a candidate version
 ``ping``      liveness probe
 ``shutdown``  drain outstanding work, stop the workers, exit
 
@@ -60,6 +65,10 @@ BATCHED_OPS = ("tune", "map", "session", "_crash", "_sleep")
 
 #: requests the front-end answers inline (never queued, never shed)
 INLINE_OPS = ("stats", "ping", "shutdown")
+
+#: online-operations requests (answered inline by the daemon's lifecycle
+#: manager; the router fans them out to every replica of the owning group)
+ADMIN_OPS = ("swap", "shadow")
 
 #: campaign-fleet requests (answered inline by a CampaignCoordinator)
 FLEET_OPS = ("lease", "heartbeat", "submit")
@@ -330,8 +339,24 @@ def validate_request(document: Dict[str, Any]) -> Tuple[Any, str]:
     op = document.get("op")
     if not isinstance(op, str):
         raise ProtocolError("request is missing the 'op' field")
-    if op not in BATCHED_OPS and op not in INLINE_OPS and op not in FLEET_OPS:
+    if (op not in BATCHED_OPS and op not in INLINE_OPS
+            and op not in ADMIN_OPS and op not in FLEET_OPS):
         raise ProtocolError(f"unknown op {op!r}")
+    if op in ADMIN_OPS:
+        if not isinstance(document.get("model"), str):
+            raise ProtocolError(f"op {op!r} requires a string 'model' field")
+        if document.get("version") is not None and \
+                not isinstance(document.get("version"), int):
+            raise ProtocolError(f"op {op!r} 'version' must be an integer")
+    if op == "shadow":
+        action = document.get("action", "status")
+        if action not in ("start", "stop", "status"):
+            raise ProtocolError("op 'shadow' action must be start/stop/"
+                                "status")
+        if action == "start" and not isinstance(document.get("version"),
+                                                int):
+            raise ProtocolError("op 'shadow' start requires an integer "
+                                "'version' (the candidate)")
     if op in ("tune", "map"):
         for field in ("model", "kernel"):
             if not isinstance(document.get(field), str):

@@ -10,9 +10,21 @@ Layout::
 
 Publishing stages the artifact in a hidden temp directory and renames it into
 place, so readers never observe a half-written version; the ``LATEST`` pointer
-is updated last.  All public methods are safe to call from multiple threads
-of one process (guarded by a lock) and from multiple processes (the rename is
-atomic on POSIX).
+and the registry-wide ``GENERATION`` stamp are then updated via staged write +
+``os.replace`` — every file a reader can open is either the old complete state
+or the new complete state, never a truncated in-between.  All public methods
+are safe to call from multiple threads of one process (guarded by a lock) and
+from multiple processes (rename/replace are atomic on POSIX).
+
+``GENERATION`` (at the registry root) is a monotone counter bumped by every
+publish.  Watchers — the serving daemon's hot-swap loop in particular — poll
+:meth:`ModelRegistry.generation` instead of rescanning the tree, and only
+resolve per-model ``latest`` pointers when the stamp moves.
+
+A publish may carry a :class:`~repro.serve.drift.DriftBaseline` sketched from
+the training set; it is staged *inside* the version directory (subdir
+``drift_baseline/``) before the rename, so model weights and their training
+distribution appear atomically together.
 """
 
 from __future__ import annotations
@@ -25,15 +37,27 @@ import threading
 from typing import Any, Dict, List, Optional, Union
 
 from repro.serve.artifacts import (
+    KIND_DRIFT,
     ArtifactError,
     load_artifact,
     read_manifest,
     save_artifact,
+    write_artifact_dir,
 )
 
 _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
 _VERSION_RE = re.compile(r"^v(\d{4,})$")
 _LATEST_FILE = "LATEST"
+_GENERATION_FILE = "GENERATION"
+DRIFT_DIR = "drift_baseline"
+
+
+def _write_atomic(path: str, text: str) -> None:
+    """Stage + ``os.replace`` so readers never see a partial write."""
+    staged = f"{path}.staged-{os.getpid()}-{threading.get_ident()}"
+    with open(staged, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    os.replace(staged, path)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -71,8 +95,17 @@ class ModelRegistry:
 
     # ------------------------------------------------------------------
     def publish(self, name: str, obj,
-                metadata: Optional[Dict[str, Any]] = None) -> ModelVersion:
-        """Serialise ``obj`` as the next version of ``name``."""
+                metadata: Optional[Dict[str, Any]] = None,
+                drift_baseline=None) -> ModelVersion:
+        """Serialise ``obj`` as the next version of ``name``.
+
+        ``drift_baseline`` (a :class:`~repro.serve.drift.DriftBaseline`)
+        is staged inside the version directory before the atomic rename,
+        so the weights and their training-distribution sketch publish as
+        one unit.  The registry ``GENERATION`` stamp is bumped last —
+        watchers that observe the new stamp are guaranteed to also see
+        the complete version directory and ``LATEST`` pointer.
+        """
         model_dir = self._model_dir(name)
         with self._lock:
             os.makedirs(model_dir, exist_ok=True)
@@ -86,17 +119,39 @@ class ModelRegistry:
                 shutil.rmtree(staging)
             try:
                 save_artifact(staging, obj, metadata=metadata)
+                if drift_baseline is not None:
+                    config, arrays = drift_baseline.to_payload()
+                    write_artifact_dir(os.path.join(staging, DRIFT_DIR),
+                                       KIND_DRIFT, config, arrays)
                 os.rename(staging, final_dir)
             except BaseException:
                 shutil.rmtree(staging, ignore_errors=True)
                 raise
-            with open(os.path.join(model_dir, _LATEST_FILE), "w",
-                      encoding="utf-8") as fh:
-                fh.write(str(version))
+            _write_atomic(os.path.join(model_dir, _LATEST_FILE), str(version))
+            self._bump_generation_locked()
         manifest = read_manifest(final_dir)
         return ModelVersion(name=name, version=version, path=final_dir,
                             kind=manifest["kind"],
                             metadata=manifest.get("metadata", {}))
+
+    # ------------------------------------------------------------------
+    def generation(self) -> int:
+        """The registry-wide publish counter (0 before any publish).
+
+        Monotone under this process's lock and atomic on disk; concurrent
+        publishers from *separate* processes may coalesce a bump, which a
+        watcher only needs the stamp to *move* to handle.
+        """
+        try:
+            with open(os.path.join(self.root, _GENERATION_FILE), "r",
+                      encoding="utf-8") as fh:
+                return int(fh.read().strip())
+        except (OSError, ValueError):
+            return 0
+
+    def _bump_generation_locked(self) -> None:
+        _write_atomic(os.path.join(self.root, _GENERATION_FILE),
+                      str(self.generation() + 1))
 
     # ------------------------------------------------------------------
     def list_models(self) -> List[str]:
@@ -156,6 +211,14 @@ class ModelRegistry:
     def load(self, name: str, version: Optional[int] = None):
         """Deserialise a published version (default: the latest)."""
         return load_artifact(self._resolve(name, version))
+
+    def load_drift_baseline(self, name: str,
+                            version: Optional[int] = None):
+        """The version's published drift sketch, or None if it has none."""
+        path = os.path.join(self._resolve(name, version), DRIFT_DIR)
+        if not os.path.exists(os.path.join(path, "manifest.json")):
+            return None
+        return load_artifact(path)
 
     def info(self, name: str, version: Optional[int] = None) -> Dict[str, Any]:
         """The stored manifest of a published version (no array I/O)."""

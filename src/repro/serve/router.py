@@ -45,6 +45,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.serve.daemon import route_label
 from repro.serve.protocol import (
+    ADMIN_OPS,
     ERR_BAD_REQUEST,
     ERR_NO_REPLICA,
     ERR_OVERLOADED,
@@ -441,6 +442,18 @@ class ServeRouter:
                                  name="repro-router-shutdown",
                                  daemon=True).start()
             return
+        if op in ADMIN_OPS:
+            # lifecycle ops address every replica of the shard owner: all
+            # serving copies of the model must flip/shadow together
+            try:
+                if not self._running:
+                    raise RuntimeError("router is shutting down")
+                self._executor.submit(self._forward_admin, request_id,
+                                      document, reply)
+            except RuntimeError:
+                reply(error_response(request_id, ERR_SHUTTING_DOWN,
+                                     "router is shutting down"))
+            return
         route = self._route_key(document, op)
         if not self._admit(route):
             with self._stats_lock:
@@ -537,6 +550,62 @@ class ServeRouter:
         finally:
             self._release(route)
 
+    def _forward_admin(self, request_id, document: Dict[str, Any],
+                       reply) -> None:
+        """Fan a swap/shadow op out to every healthy replica of the group
+        that owns the model's latest-route, collecting per-replica results.
+        """
+        route = route_label(("model", document["model"], None))
+        with self._lock:
+            group = self._ring.lookup(route)
+            members = ([replica for replica in self._groups[group]
+                        if replica.healthy] if group is not None else [])
+        if not members:
+            with self._stats_lock:
+                self._no_replica += 1
+                self._errors += 1
+            reply(error_response(
+                request_id, ERR_NO_REPLICA,
+                f"no healthy replica for route {route!r}", route=route))
+            return
+        results: Dict[str, Dict[str, Any]] = {}
+        succeeded = 0
+        for replica in members:
+            try:
+                response = replica.channel.submit(document,
+                                                  self.request_timeout)
+            except (OSError, ConnectionError, TimeoutError) as exc:
+                self._mark_failed(replica)
+                results[replica.address] = {
+                    "ok": False,
+                    "error": {"code": ERR_NO_REPLICA, "message": str(exc)}}
+                continue
+            entry: Dict[str, Any] = {"ok": bool(response.get("ok"))}
+            if response.get("ok"):
+                entry["result"] = response.get("result", {})
+                succeeded += 1
+            else:
+                entry["error"] = response.get("error", {})
+            results[replica.address] = entry
+        with self._stats_lock:
+            self._forwarded += len(members)
+            self._completed += 1
+            self._errors += int(succeeded == 0)
+            self._route_stats_locked(route)["forwarded"] += 1
+        if succeeded == 0:
+            first_error = next(iter(results.values())).get("error", {})
+            reply(error_response(
+                request_id,
+                first_error.get("code", ERR_NO_REPLICA),
+                first_error.get("message",
+                                "admin op failed on every replica"),
+                group=group, replicas=results))
+            return
+        reply(ok_response(request_id, {"group": group,
+                                       "replicas": results,
+                                       "succeeded": succeeded,
+                                       "attempted": len(members)}))
+
     def _pick_replica(self, route: str, excluded: set) -> Optional[Replica]:
         with self._lock:
             group = self._ring.lookup(route)
@@ -588,6 +657,7 @@ class ServeRouter:
                     self._rebuild_ring_locked()
             return
         result = response.get("result", {})
+        lifecycle = result.get("lifecycle") or {}
         snapshot = {
             "queue_depth": result.get("queue", {}).get("depth"),
             "queue_per_route": result.get("queue", {}).get("per_route"),
@@ -595,6 +665,9 @@ class ServeRouter:
             "p99_ms": result.get("latency_ms", {}).get("p99"),
             "p999_ms": result.get("latency_ms", {}).get("p999"),
             "workers_alive": result.get("workers", {}).get("alive"),
+            "generation": lifecycle.get("generation"),
+            "swaps": lifecycle.get("swaps"),
+            "drift": (result.get("drift") or {}).get("routes") or {},
         }
         with self._lock:
             replica.consecutive_failures = 0
@@ -662,5 +735,25 @@ class ServeRouter:
                          "healthy_groups": healthy_groups,
                          "vnodes": self.vnodes},
                 "replicas": replicas,
+                "drift": {"routes": self._fleet_drift(replicas)},
             }
         return snapshot
+
+    @staticmethod
+    def _fleet_drift(replicas: Dict[str, Dict[str, Any]]
+                     ) -> Dict[str, Dict[str, Any]]:
+        """Per-route drift across the fleet, from the last probe snapshots.
+
+        Shards are disjoint so routes rarely collide across replicas; when
+        two replicas of one group report the same route, the snapshot with
+        the larger sample count wins (probes are eventually consistent).
+        """
+        routes: Dict[str, Dict[str, Any]] = {}
+        for described in replicas.values():
+            probe = described.get("last_probe") or {}
+            for route, summary in (probe.get("drift") or {}).items():
+                known = routes.get(route)
+                if (known is None
+                        or summary.get("count", 0) >= known.get("count", 0)):
+                    routes[route] = summary
+        return routes

@@ -219,11 +219,46 @@ class TuningService:
                 predictor = self.registry.load(model, key[1])
                 engine = InferenceEngine(
                     predictor, max_batch_size=self.max_batch_size,
-                    max_wait_ms=self.max_wait_ms, cache_size=self.cache_size)
+                    max_wait_ms=self.max_wait_ms, cache_size=self.cache_size,
+                    drift_monitor=self._drift_monitor(model, key[1]))
                 with self._lock:
                     self._engines[key] = engine
                     self._loading.pop(key, None)
         return engine, key[1]
+
+    def _drift_monitor(self, model: str, version: int):
+        """A monitor over the version's published baseline, if it has one.
+
+        A missing or unreadable sketch silently disables drift scoring for
+        the engine — serving never fails because monitoring cannot start.
+        """
+        try:
+            baseline = self.registry.load_drift_baseline(model, version)
+        except Exception:
+            return None
+        if baseline is None:
+            return None
+        from repro.serve.drift import DriftMonitor
+        return DriftMonitor(baseline)
+
+    def retire(self, model: str, version: int) -> bool:
+        """Close and drop the engine of one (model, version), if loaded.
+
+        The hot-swap path calls this after flipping a route to a new
+        version: the old engine's feature/result caches go with it, so a
+        stale prediction can never resurface on the route.
+        """
+        key = (model, int(version))
+        with self._lock:
+            engine = self._engines.pop(key, None)
+        if engine is not None:
+            engine.close()
+        return engine is not None
+
+    def warm(self, model: str, version: Optional[int] = None) -> int:
+        """Load (or touch) one engine; returns the concrete version."""
+        _, resolved = self.engine(model, version)
+        return resolved
 
     @staticmethod
     def _resolve_kernel(uid: str):
