@@ -36,7 +36,7 @@ import numpy as np
 from repro.core.mga import MGAModel
 from repro.datasets.openmp import OpenMPDatasetBuilder
 from repro.kernels import registry
-from repro.nn import TapeRunner, use_fast_segment_ops
+from repro.nn import TapeRunner, runtime as nn_runtime, use_fast_segment_ops
 from repro.simulator.microarch import SKYLAKE_4114
 from repro.tuners.space import thread_search_space
 
@@ -170,6 +170,10 @@ def run(quick: bool = False) -> dict:
     n = len(labels)
     result = {
         "quick": quick,
+        # active array backend behind repro.nn.backend.xp — future
+        # cupy/torch numbers land in the same trajectory file, keyed by
+        # this field instead of a schema change
+        "backend": nn_runtime.config().backend,
         "num_samples": n,
         "num_parameters": paired["num_parameters"],
         "epoch_seconds": {

@@ -13,8 +13,6 @@ from __future__ import annotations
 
 from typing import Optional, Union
 
-import numpy as np
-
 from repro.graphs.hetero import EdgeLayout
 from repro.nn import init
 from repro.nn.autograd import (
@@ -24,22 +22,23 @@ from repro.nn.autograd import (
     fast_segment_ops_enabled,
     _segment_sum_data,
 )
+from repro.nn.backend import xp
 from repro.nn.layers import Linear, Module
 from repro.nn.tape import _leased_matmul, register_op
 
-EdgeIndexLike = Union[np.ndarray, EdgeLayout]
+EdgeIndexLike = Union[xp.ndarray, EdgeLayout]
 
 
-def _degrees(index: np.ndarray, num_nodes: int) -> np.ndarray:
-    deg = np.bincount(index, minlength=num_nodes).astype(np.float64)
-    return np.maximum(deg, 1.0)
+def _degrees(index: xp.ndarray, num_nodes: int) -> xp.ndarray:
+    deg = xp.bincount(index, minlength=num_nodes).astype(xp.float64)
+    return xp.maximum(deg, 1.0)
 
 
 def _as_layout(edge_index: EdgeIndexLike, num_nodes: int) -> EdgeLayout:
     """Wrap a raw edge-index array into an (ephemeral) :class:`EdgeLayout`."""
     if isinstance(edge_index, EdgeLayout):
         return edge_index
-    edge_index = np.asarray(edge_index, dtype=np.int64)
+    edge_index = xp.asarray(edge_index, dtype=xp.int64)
     if edge_index.size == 0:
         edge_index = edge_index.reshape(2, 0)
     return EdgeLayout(edge_index, num_nodes)
@@ -54,9 +53,9 @@ class GRUCell(Module):
     """
 
     def __init__(self, input_dim: int, hidden_dim: int,
-                 rng: Optional[np.random.Generator] = None):
+                 rng: Optional[xp.Generator] = None):
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = rng or xp.default_rng(0)
         self.w_z = Linear(input_dim + hidden_dim, hidden_dim, rng=rng)
         self.w_r = Linear(input_dim + hidden_dim, hidden_dim, rng=rng)
         self.w_h = Linear(input_dim + hidden_dim, hidden_dim, rng=rng)
@@ -101,30 +100,30 @@ class FusedGRUCell(Module):
     """
 
     def __init__(self, input_dim: int, hidden_dim: int,
-                 rng: Optional[np.random.Generator] = None):
+                 rng: Optional[xp.Generator] = None):
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = rng or xp.default_rng(0)
         w_z = init.xavier_uniform((input_dim + hidden_dim, hidden_dim), rng)
         w_r = init.xavier_uniform((input_dim + hidden_dim, hidden_dim), rng)
         w_h = init.xavier_uniform((input_dim + hidden_dim, hidden_dim), rng)
-        zeros = np.zeros(hidden_dim)
+        zeros = xp.zeros(hidden_dim)
         self._assemble(input_dim, hidden_dim, w_z, w_r, w_h,
                        zeros, zeros, zeros)
 
     def _assemble(self, input_dim: int, hidden_dim: int,
-                  w_z: np.ndarray, w_r: np.ndarray, w_h: np.ndarray,
-                  b_z: np.ndarray, b_r: np.ndarray, b_h: np.ndarray) -> None:
+                  w_z: xp.ndarray, w_r: xp.ndarray, w_h: xp.ndarray,
+                  b_z: xp.ndarray, b_r: xp.ndarray, b_h: xp.ndarray) -> None:
         i, h = int(input_dim), int(hidden_dim)
-        dtype = np.asarray(w_z).dtype
+        dtype = xp.asarray(w_z).dtype
         self.input_dim = i
         self.hidden_dim = h
-        self.w_x = Tensor(np.concatenate([w_z[:i], w_r[:i], w_h[:i]], axis=1),
+        self.w_x = Tensor(xp.concatenate([w_z[:i], w_r[:i], w_h[:i]], axis=1),
                           requires_grad=True, name="w_x")
-        self.w_h_zr = Tensor(np.concatenate([w_z[i:], w_r[i:]], axis=1),
+        self.w_h_zr = Tensor(xp.concatenate([w_z[i:], w_r[i:]], axis=1),
                              requires_grad=True, name="w_h_zr")
-        self.w_h_h = Tensor(np.ascontiguousarray(w_h[i:]),
+        self.w_h_h = Tensor(xp.ascontiguousarray(w_h[i:]),
                             requires_grad=True, name="w_h_h")
-        self.bias = Tensor(np.concatenate([b_z, b_r, b_h]).astype(dtype,
+        self.bias = Tensor(xp.concatenate([b_z, b_r, b_h]).astype(dtype,
                                                                   copy=False),
                            requires_grad=True, name="bias")
 
@@ -142,22 +141,22 @@ class FusedGRUCell(Module):
         gx += bias.data                                     # [n, 3h]
         gh = h_data @ w_h_zr.data                           # [n, 2h]
         pre = gx[:, :2 * nh] + gh
-        s = 1.0 / (1.0 + np.exp(-np.clip(pre, -60.0, 60.0)))
+        s = 1.0 / (1.0 + xp.exp(-xp.clip(pre, -60.0, 60.0)))
         z, r = s[:, :nh], s[:, nh:]
         c = r * h_data                                      # reset-gated state
-        t = np.tanh(gx[:, 2 * nh:] + c @ w_h_h.data)        # candidate
+        t = xp.tanh(gx[:, 2 * nh:] + c @ w_h_h.data)        # candidate
         one_minus_z = 1.0 - z
         out = one_minus_z * h_data + z * t
 
-        def backward(grad: np.ndarray) -> None:
+        def backward(grad: xp.ndarray) -> None:
             dt = grad * z
             dm = dt * (1.0 - t * t)                         # pre-tanh grad
             dc = dm @ w_h_h.data.T
-            ds = np.empty_like(s)                           # [n, 2h]
+            ds = xp.empty_like(s)                           # [n, 2h]
             ds[:, :nh] = grad * (t - h_data)                # dL/dz
             ds[:, nh:] = dc * h_data                        # dL/dr
             dpre = ds * s * (1.0 - s)                       # pre-sigmoid grad
-            dgx = np.concatenate([dpre, dm], axis=1)        # [n, 3h]
+            dgx = xp.concatenate([dpre, dm], axis=1)        # [n, 3h]
             if x.requires_grad:
                 x._accumulate_owned(dgx @ w_x.data.T)
             if h.requires_grad:
@@ -183,7 +182,7 @@ def _mean_aggregator(layout: EdgeLayout, dtype):
     """Fused mean-aggregation op over edges pre-sorted by destination.
 
     Forward gathers the per-edge messages directly in destination order,
-    reduces each contiguous run with one ``np.add.reduceat`` and scales by
+    reduces each contiguous run with one ``xp.add_reduceat`` and scales by
     the reciprocal in-degree — one autograd node for what is otherwise a
     gather node, a scatter node and a broadcast multiply.  All index arrays
     are loop invariants of the layout, so the returned closure is hoisted
@@ -197,13 +196,13 @@ def _mean_aggregator(layout: EdgeLayout, dtype):
 
     def aggregate(msg: Tensor) -> Tensor:
         gathered = msg.data[src_sorted]                      # [E, dim]
-        sums = np.zeros((num_nodes,) + gathered.shape[1:],
+        sums = xp.zeros((num_nodes,) + gathered.shape[1:],
                         dtype=gathered.dtype)
         if starts.size:
-            sums[segments] = np.add.reduceat(gathered, starts, axis=0)
+            sums[segments] = xp.add_reduceat(gathered, starts, axis=0)
         out = sums * inv_deg
 
-        def backward(grad: np.ndarray) -> None:
+        def backward(grad: xp.ndarray) -> None:
             if msg.requires_grad:
                 per_edge = (grad * inv_deg)[dst_sorted]      # [E, dim]
                 msg._accumulate_owned(_segment_sum_data(
@@ -223,7 +222,7 @@ class GCNConv(Module):
     """Kipf & Welling graph convolution with symmetric degree normalisation."""
 
     def __init__(self, in_dim: int, out_dim: int,
-                 rng: Optional[np.random.Generator] = None):
+                 rng: Optional[xp.Generator] = None):
         super().__init__()
         self.linear = Linear(in_dim, out_dim, rng=rng)
 
@@ -246,7 +245,7 @@ class SAGEConv(Module):
     """GraphSAGE with mean aggregation."""
 
     def __init__(self, in_dim: int, out_dim: int,
-                 rng: Optional[np.random.Generator] = None):
+                 rng: Optional[xp.Generator] = None):
         super().__init__()
         self.linear_self = Linear(in_dim, out_dim, rng=rng)
         self.linear_neigh = Linear(in_dim, out_dim, rng=rng)
@@ -267,9 +266,9 @@ class GATConv(Module):
     """Single-head graph attention (Velickovic et al.), softmax over in-edges."""
 
     def __init__(self, in_dim: int, out_dim: int, leaky_slope: float = 0.2,
-                 rng: Optional[np.random.Generator] = None):
+                 rng: Optional[xp.Generator] = None):
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = rng or xp.default_rng(0)
         self.linear = Linear(in_dim, out_dim, rng=rng)
         self.att_src = Tensor(init.xavier_uniform((out_dim, 1), rng),
                               requires_grad=True, name="att_src")
@@ -315,9 +314,9 @@ class GGNNConv(Module):
     """
 
     def __init__(self, in_dim: int, out_dim: int, num_steps: int = 2,
-                 rng: Optional[np.random.Generator] = None):
+                 rng: Optional[xp.Generator] = None):
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = rng or xp.default_rng(0)
         self.project = Linear(in_dim, out_dim, rng=rng)
         self.message = Linear(out_dim, out_dim, rng=rng)
         self.gru = FusedGRUCell(out_dim, out_dim, rng=rng)
@@ -334,7 +333,7 @@ class GGNNConv(Module):
             for _ in range(self.num_steps):
                 h = self.gru(aggregate(self.message(h)), h)
             return h
-        # reference path: gather in edge order, np.add.at scatter (seed math)
+        # reference path: gather in edge order, xp.add_at scatter (seed math)
         src, dst = layout.src, layout.dst
         deg_in = Tensor(layout.inv_in_deg_as(h.data.dtype))
         for _ in range(self.num_steps):
@@ -370,23 +369,23 @@ def _fused_gru_fwd(rec, ctx):
     cell.update(s=s_buf, z=z_buf, r=r_buf, c=c_buf, t=t_buf, omz=omz_buf)
 
     def run():
-        np.matmul(vals[x], vals[wx], out=gx_buf)
-        np.add(gx_buf, vals[bias], out=gx_buf)          # == eager `gx +=`
-        np.matmul(vals[h], vals[wzr], out=gh_buf)
-        np.add(gx_buf[:, :2 * nh], gh_buf, out=s_buf)   # pre
-        np.clip(s_buf, -60.0, 60.0, out=s_buf)
-        np.negative(s_buf, out=s_buf)
-        np.exp(s_buf, out=s_buf)
-        np.add(s_buf, 1.0, out=s_buf)
-        np.divide(1.0, s_buf, out=s_buf)                # s = sigmoid(pre)
-        np.multiply(r_buf, vals[h], out=c_buf)          # c = r * h
-        np.matmul(c_buf, vals[whh], out=cw_buf)
-        np.add(gx_buf[:, 2 * nh:], cw_buf, out=t_buf)
-        np.tanh(t_buf, out=t_buf)                       # t
-        np.subtract(1.0, z_buf, out=omz_buf)            # 1 - z
-        np.multiply(z_buf, t_buf, out=zt_buf)
-        np.multiply(omz_buf, vals[h], out=out_buf)
-        np.add(out_buf, zt_buf, out=out_buf)  # == eager `omz * h + z * t`
+        xp.matmul(vals[x], vals[wx], out=gx_buf)
+        xp.add(gx_buf, vals[bias], out=gx_buf)          # == eager `gx +=`
+        xp.matmul(vals[h], vals[wzr], out=gh_buf)
+        xp.add(gx_buf[:, :2 * nh], gh_buf, out=s_buf)   # pre
+        xp.clip(s_buf, -60.0, 60.0, out=s_buf)
+        xp.negative(s_buf, out=s_buf)
+        xp.exp(s_buf, out=s_buf)
+        xp.add(s_buf, 1.0, out=s_buf)
+        xp.divide(1.0, s_buf, out=s_buf)                # s = sigmoid(pre)
+        xp.multiply(r_buf, vals[h], out=c_buf)          # c = r * h
+        xp.matmul(c_buf, vals[whh], out=cw_buf)
+        xp.add(gx_buf[:, 2 * nh:], cw_buf, out=t_buf)
+        xp.tanh(t_buf, out=t_buf)                       # t
+        xp.subtract(1.0, z_buf, out=omz_buf)            # 1 - z
+        xp.multiply(z_buf, t_buf, out=zt_buf)
+        xp.multiply(omz_buf, vals[h], out=out_buf)
+        xp.add(out_buf, zt_buf, out=out_buf)  # == eager `omz * h + z * t`
         vals[o] = out_buf
     return run
 
@@ -415,17 +414,17 @@ def _fused_gru_bwd(rec, ctx):
     def pre():
         grad = gv[gs]
         s, z, t = cell["s"], cell["z"], cell["t"]
-        np.multiply(grad, z, out=dt_buf)                # dt = grad * z
-        np.multiply(t, t, out=tt_buf)
-        np.subtract(1.0, tt_buf, out=tt_buf)
-        np.multiply(dt_buf, tt_buf, out=dm_buf)         # dm = dt * (1 - t*t)
-        np.matmul(dm_buf, vals[whh].T, out=dc_buf)
-        np.subtract(t, vals[h], out=dt_buf)             # scratch: t - h
-        np.multiply(grad, dt_buf, out=ds_buf[:, :nh])
-        np.multiply(dc_buf, vals[h], out=ds_buf[:, nh:])
-        np.multiply(ds_buf, s, out=dpre_buf)            # (ds * s) ...
-        np.subtract(1.0, s, out=sm_buf)
-        np.multiply(dpre_buf, sm_buf, out=dpre_buf)     # ... * (1 - s)
+        xp.multiply(grad, z, out=dt_buf)                # dt = grad * z
+        xp.multiply(t, t, out=tt_buf)
+        xp.subtract(1.0, tt_buf, out=tt_buf)
+        xp.multiply(dt_buf, tt_buf, out=dm_buf)         # dm = dt * (1 - t*t)
+        xp.matmul(dm_buf, vals[whh].T, out=dc_buf)
+        xp.subtract(t, vals[h], out=dt_buf)             # scratch: t - h
+        xp.multiply(grad, dt_buf, out=ds_buf[:, :nh])
+        xp.multiply(dc_buf, vals[h], out=ds_buf[:, nh:])
+        xp.multiply(ds_buf, s, out=dpre_buf)            # (ds * s) ...
+        xp.subtract(1.0, s, out=sm_buf)
+        xp.multiply(dpre_buf, sm_buf, out=dpre_buf)     # ... * (1 - s)
         dgx_buf[:, :2 * nh] = dpre_buf                  # == eager concatenate
         dgx_buf[:, 2 * nh:] = dm_buf
 
@@ -438,11 +437,11 @@ def _fused_gru_bwd(rec, ctx):
         dh_tmp = ctx.scratch((n, nh), dtype, 0)
 
         def dh_value():
-            np.multiply(gv[gs], cell["omz"], out=dh_buf)
-            np.multiply(cell["dc"], cell["r"], out=dh_tmp)
-            np.add(dh_buf, dh_tmp, out=dh_buf)          # == eager `dh +=`
-            np.matmul(cell["dpre"], vals[wzr].T, out=dh_tmp)
-            np.add(dh_buf, dh_tmp, out=dh_buf)
+            xp.multiply(gv[gs], cell["omz"], out=dh_buf)
+            xp.multiply(cell["dc"], cell["r"], out=dh_tmp)
+            xp.add(dh_buf, dh_tmp, out=dh_buf)          # == eager `dh +=`
+            xp.matmul(cell["dpre"], vals[wzr].T, out=dh_tmp)
+            xp.add(dh_buf, dh_tmp, out=dh_buf)
             return dh_buf
         specs.append((ph, "owned", dh_value, None))
     if pwx.requires_grad:
@@ -458,10 +457,10 @@ def _fused_gru_bwd(rec, ctx):
         db_buf = ctx.buf(pbias.data.shape, dtype)
 
         def db_value():
-            np.sum(cell["dgx"], axis=0, out=db_buf)
+            xp.sum(cell["dgx"], axis=0, out=db_buf)
             return db_buf
         specs.append((pbias, "owned", db_value,
-                      lambda buf: np.sum(cell["dgx"], axis=0, out=buf)))
+                      lambda buf: xp.sum(cell["dgx"], axis=0, out=buf)))
     return pre, specs
 
 
@@ -479,12 +478,12 @@ def _mean_agg_fwd(rec, ctx):
     sums_buf = ctx.scratch(shape, dtype, 2)
 
     def run():
-        np.take(vals[m], src_sorted, axis=0, out=gather_buf)
-        sums_buf.fill(0.0)  # == eager's fresh np.zeros
+        xp.take(vals[m], src_sorted, axis=0, out=gather_buf)
+        sums_buf.fill(0.0)  # == eager's fresh xp.zeros
         if starts.size:
-            np.add.reduceat(gather_buf, starts, axis=0, out=red_buf)
+            xp.add_reduceat(gather_buf, starts, axis=0, out=red_buf)
             sums_buf[segments] = red_buf
-        np.multiply(sums_buf, inv_deg, out=out_buf)
+        xp.multiply(sums_buf, inv_deg, out=out_buf)
         vals[o] = out_buf
     return run
 
@@ -510,11 +509,11 @@ def _mean_agg_bwd(rec, ctx):
     perm = dst_sorted[lay.order] if lay.starts.size else dst_sorted
 
     def value():
-        np.multiply(gv[gs], inv_deg, out=scaled_buf)
-        res_buf.fill(0.0)  # == _segment_sum_data's fresh np.zeros
+        xp.multiply(gv[gs], inv_deg, out=scaled_buf)
+        res_buf.fill(0.0)  # == _segment_sum_data's fresh xp.zeros
         if src_sorted.size and lay.starts.size:
-            np.take(scaled_buf, perm, axis=0, out=order_buf)
-            np.add.reduceat(order_buf, lay.starts, axis=0, out=red_buf)
+            xp.take(scaled_buf, perm, axis=0, out=order_buf)
+            xp.add_reduceat(order_buf, lay.starts, axis=0, out=red_buf)
             res_buf[lay.segments] = red_buf
         return res_buf
     return None, [(rec.parents[0], "owned", value, None)]
@@ -533,7 +532,7 @@ _CONV_TYPES = {
 
 
 def make_conv(kind: str, in_dim: int, out_dim: int,
-              rng: Optional[np.random.Generator] = None, **kwargs) -> Module:
+              rng: Optional[xp.Generator] = None, **kwargs) -> Module:
     """Factory over the convolution types compared in §4.1.3."""
     try:
         cls = _CONV_TYPES[kind.lower()]

@@ -8,13 +8,12 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
-
 from repro.gnn.conv import make_conv
 from repro.gnn.hetero import HeteroConv
 from repro.gnn.pool import global_mean_pool
 from repro.graphs.hetero import BatchedHeteroGraph, HeteroGraphData, batch_graphs
 from repro.nn.autograd import Tensor
+from repro.nn.backend import xp
 from repro.nn.layers import Linear, Module
 
 
@@ -23,11 +22,11 @@ class GNNEncoder(Module):
 
     def __init__(self, in_dim: int, hidden_dim: int = 32, out_dim: int = 32,
                  num_layers: int = 2, conv_type: str = "ggnn",
-                 rng: Optional[np.random.Generator] = None):
+                 rng: Optional[xp.Generator] = None):
         super().__init__()
         if num_layers < 1:
             raise ValueError("need at least one layer")
-        rng = rng or np.random.default_rng(0)
+        rng = rng or xp.default_rng(0)
         self.input_proj = Linear(in_dim, hidden_dim, rng=rng)
         self.layers = [
             HeteroConv(hidden_dim, hidden_dim, conv_type=conv_type, rng=rng)
@@ -65,9 +64,9 @@ class HomogeneousGNNEncoder(Module):
 
     def __init__(self, in_dim: int, hidden_dim: int = 32, out_dim: int = 32,
                  num_layers: int = 2, conv_type: str = "ggnn",
-                 rng: Optional[np.random.Generator] = None):
+                 rng: Optional[xp.Generator] = None):
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = rng or xp.default_rng(0)
         self.input_proj = Linear(in_dim, hidden_dim, rng=rng)
         self.layers = [make_conv(conv_type, hidden_dim, hidden_dim, rng=rng)
                        for _ in range(num_layers)]

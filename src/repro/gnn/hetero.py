@@ -4,11 +4,10 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
-import numpy as np
-
 from repro.gnn.conv import make_conv
 from repro.graphs.hetero import EdgeLayout, RELATIONS
 from repro.nn.autograd import Tensor
+from repro.nn.backend import xp
 from repro.nn.layers import Module
 
 
@@ -24,11 +23,11 @@ class HeteroConv(Module):
     def __init__(self, in_dim: int, out_dim: int, conv_type: str = "ggnn",
                  relations: Sequence[str] = RELATIONS,
                  aggregation: str = "mean",
-                 rng: Optional[np.random.Generator] = None):
+                 rng: Optional[xp.Generator] = None):
         super().__init__()
         if aggregation not in ("mean", "sum"):
             raise ValueError("aggregation must be 'mean' or 'sum'")
-        rng = rng or np.random.default_rng(0)
+        rng = rng or xp.default_rng(0)
         self.relations = list(relations)
         self.aggregation = aggregation
         self.convs: Dict[str, Module] = {
@@ -36,7 +35,7 @@ class HeteroConv(Module):
             for rel in self.relations
         }
 
-    def forward(self, x: Tensor, edge_index: Dict[str, np.ndarray]) -> Tensor:
+    def forward(self, x: Tensor, edge_index: Dict[str, xp.ndarray]) -> Tensor:
         """``edge_index`` maps each relation to a ``[2, E]`` array or a
         precomputed :class:`~repro.graphs.hetero.EdgeLayout`."""
         outputs = []
@@ -50,7 +49,7 @@ class HeteroConv(Module):
             outputs.append(self.convs[rel](x, edges))
         if not outputs:
             # isolated nodes only: fall back to the first relation's transform
-            return self.convs[self.relations[0]](x, np.zeros((2, 0), dtype=np.int64))
+            return self.convs[self.relations[0]](x, xp.zeros((2, 0), dtype=xp.int64))
         total = outputs[0]
         for out in outputs[1:]:
             total = total + out

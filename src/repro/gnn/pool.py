@@ -4,19 +4,18 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
-
 from repro.nn.autograd import SegmentLayout, Tensor, segment_mean
+from repro.nn.backend import xp
 
 
-def global_mean_pool(x: Tensor, graph_index: np.ndarray, num_graphs: int,
+def global_mean_pool(x: Tensor, graph_index: xp.ndarray, num_graphs: int,
                      layout: Optional[SegmentLayout] = None) -> Tensor:
     """Mean of node embeddings per graph (``[num_graphs, dim]``)."""
     return segment_mean(x, graph_index, num_graphs, layout=layout)
 
 
-def global_sum_pool(x: Tensor, graph_index: np.ndarray, num_graphs: int,
+def global_sum_pool(x: Tensor, graph_index: xp.ndarray, num_graphs: int,
                     layout: Optional[SegmentLayout] = None) -> Tensor:
     """Sum of node embeddings per graph."""
-    return x.scatter_add(np.asarray(graph_index, dtype=np.int64), num_graphs,
+    return x.scatter_add(xp.asarray(graph_index, dtype=xp.int64), num_graphs,
                          layout=layout)

@@ -1,10 +1,15 @@
-"""Numpy deep-learning stack (autograd, layers, optimisers, scalers).
+"""Deep-learning stack (autograd, layers, optimisers, scalers).
 
 Replaces PyTorch in the reproduction.  See :mod:`repro.nn.autograd` for the
 reverse-mode engine, :mod:`repro.nn.layers` for the module system and
 :mod:`repro.nn.optim` for SGD / Adam / AdamW (the paper trains with AdamW).
+Array operations route through the pluggable backend seam in
+:mod:`repro.nn.backend` (numpy reference, instrumented ``checked``,
+optional cupy/torch adapters); configure it — together with the default
+dtype and segment-ops knobs — via :mod:`repro.nn.runtime`.
 """
 
+from repro.nn import backend, runtime
 from repro.nn.autograd import (
     SegmentLayout,
     Tensor,
@@ -42,6 +47,7 @@ from repro.nn.layers import (
     Sigmoid,
     Tanh,
 )
+from repro.nn.backend import xp
 from repro.nn.optim import SGD, Adam, AdamW, Optimizer
 from repro.nn.scalers import GaussRankScaler, MinMaxScaler, StandardScaler
 from repro.nn.tape import TapeRunner, TapeUnsupported
@@ -53,6 +59,9 @@ from repro.nn.training import (
 )
 
 __all__ = [
+    "backend",
+    "runtime",
+    "xp",
     "Tensor",
     "SegmentLayout",
     "as_tensor",

@@ -1,4 +1,4 @@
-"""Reverse-mode automatic differentiation on numpy arrays.
+"""Reverse-mode automatic differentiation over the ``xp`` backend seam.
 
 This is the reproduction's replacement for PyTorch's autograd: a small
 define-by-run :class:`Tensor` supporting the operations needed by the MGA
@@ -22,30 +22,42 @@ The engine is tuned for the training fast path:
   the Python recursion limit.
 * segment reductions (the message-passing primitives) can run over a
   precomputed :class:`SegmentLayout`: the index is sorted once and every
-  scatter becomes a gather + ``np.add.reduceat`` over contiguous runs,
-  replacing the element-wise ``np.ufunc.at`` loop.  The naive ``np.add.at``
+  scatter becomes a gather + ``xp.add_reduceat`` over contiguous runs,
+  replacing the element-wise ``np.ufunc.at`` loop.  The naive ``xp.add_at``
   path is kept behind :func:`set_fast_segment_ops` as a numerical reference.
+* every array operation routes through :data:`repro.nn.backend.xp`, the
+  pluggable array-backend namespace.  The default numpy backend binds each
+  ``xp`` entry to the numpy function itself, so this seam costs nothing and
+  the numerics are bit-identical to direct numpy calls.
+
+The process-global knobs here (:func:`set_default_dtype`,
+:func:`set_fast_segment_ops`) are deprecated entry points; configure them
+through :mod:`repro.nn.runtime`, which also owns backend selection.  Both
+routes bump the config epoch, so cached tape plans can never replay state
+recorded under a different configuration.
 """
 
 from __future__ import annotations
 
 import contextlib
+import warnings
 from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
 
-import numpy as np
+from . import backend as _backend
+from .backend import xp
 
-ArrayLike = Union[np.ndarray, float, int, Sequence[float]]
+ArrayLike = Union[xp.ndarray, float, int, Sequence[float]]
 
-_FLOAT_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+_FLOAT_DTYPES = (xp.dtype(xp.float32), xp.dtype(xp.float64))
 
 #: Dtype used when coercing non-float data into tensors and by the parameter
 #: initialisers.  float64 preserves the seed numerics; training stacks opt
 #: into float32 per model (``MGAModel(dtype="float32")``) for speed.
-_DEFAULT_DTYPE = np.dtype(np.float64)
+_DEFAULT_DTYPE = xp.dtype(xp.float64)
 
 #: When True (default), segment reductions use the sorted
-#: gather + ``np.add.reduceat`` kernels; when False they fall back to the
-#: original ``np.add.at`` scatter, kept as a bit-for-bit seed reference.
+#: gather + ``xp.add_reduceat`` kernels; when False they fall back to the
+#: original ``xp.add_at`` scatter, kept as a bit-for-bit seed reference.
 _FAST_SEGMENT_OPS = True
 
 #: Monotonic counter bumped whenever a process-global numeric knob
@@ -73,19 +85,45 @@ def _record(out: "Tensor", op: str, parents: Tuple["Tensor", ...],
     return out
 
 
-def set_default_dtype(dtype) -> None:
-    """Set the dtype used for non-float inputs and parameter initialisation."""
-    global _DEFAULT_DTYPE, _CONFIG_EPOCH
-    dtype = np.dtype(dtype)
+def _bump_config_epoch() -> None:
+    global _CONFIG_EPOCH
+    _CONFIG_EPOCH += 1
+
+
+# a backend switch invalidates every compiled tape plan exactly like a
+# dtype or segment-ops toggle does
+_backend.add_change_hook(_bump_config_epoch)
+
+
+def _set_default_dtype_impl(dtype) -> None:
+    """Knob storage for the default dtype; called by :mod:`repro.nn.runtime`
+    and the (non-deprecated) :func:`default_dtype` context manager."""
+    global _DEFAULT_DTYPE
+    dtype = xp.dtype(dtype)
     if dtype not in _FLOAT_DTYPES:
         raise ValueError("default dtype must be float32 or float64")
     if dtype != _DEFAULT_DTYPE:
-        _CONFIG_EPOCH += 1
+        _bump_config_epoch()
     _DEFAULT_DTYPE = dtype
 
 
-def get_default_dtype() -> np.dtype:
-    """The current default float dtype (see :func:`set_default_dtype`)."""
+def set_default_dtype(dtype) -> None:
+    """Set the dtype used for non-float inputs and parameter initialisation.
+
+    .. deprecated:: use ``repro.nn.runtime.configure(default_dtype=...)``
+       (this shim forwards there and will be removed one release after the
+       runtime API landed).
+    """
+    warnings.warn(
+        "set_default_dtype() is deprecated; use "
+        "repro.nn.runtime.configure(default_dtype=...)",
+        DeprecationWarning, stacklevel=2)
+    from . import runtime
+    runtime.configure(default_dtype=dtype)
+
+
+def get_default_dtype() -> xp.dtype:
+    """The current default float dtype (see :mod:`repro.nn.runtime`)."""
     return _DEFAULT_DTYPE
 
 
@@ -93,20 +131,36 @@ def get_default_dtype() -> np.dtype:
 def default_dtype(dtype) -> Iterator[None]:
     """Context manager that temporarily overrides the default dtype."""
     previous = _DEFAULT_DTYPE
-    set_default_dtype(dtype)
+    _set_default_dtype_impl(dtype)
     try:
         yield
     finally:
-        set_default_dtype(previous)
+        _set_default_dtype_impl(previous)
+
+
+def _set_fast_segment_ops_impl(enabled: bool) -> None:
+    """Knob storage for the segment-ops toggle; called by
+    :mod:`repro.nn.runtime` and :func:`use_fast_segment_ops`."""
+    global _FAST_SEGMENT_OPS
+    enabled = bool(enabled)
+    if enabled != _FAST_SEGMENT_OPS:
+        _bump_config_epoch()
+    _FAST_SEGMENT_OPS = enabled
 
 
 def set_fast_segment_ops(enabled: bool) -> None:
-    """Toggle the sorted-segment (reduceat) kernels globally."""
-    global _FAST_SEGMENT_OPS, _CONFIG_EPOCH
-    enabled = bool(enabled)
-    if enabled != _FAST_SEGMENT_OPS:
-        _CONFIG_EPOCH += 1
-    _FAST_SEGMENT_OPS = enabled
+    """Toggle the sorted-segment (reduceat) kernels globally.
+
+    .. deprecated:: use ``repro.nn.runtime.configure(fast_segment_ops=...)``
+       (this shim forwards there and will be removed one release after the
+       runtime API landed).
+    """
+    warnings.warn(
+        "set_fast_segment_ops() is deprecated; use "
+        "repro.nn.runtime.configure(fast_segment_ops=...)",
+        DeprecationWarning, stacklevel=2)
+    from . import runtime
+    runtime.configure(fast_segment_ops=enabled)
 
 
 def fast_segment_ops_enabled() -> bool:
@@ -115,13 +169,13 @@ def fast_segment_ops_enabled() -> bool:
 
 @contextlib.contextmanager
 def use_fast_segment_ops(enabled: bool) -> Iterator[None]:
-    """Context manager variant of :func:`set_fast_segment_ops`."""
+    """Context manager variant of the segment-ops toggle."""
     previous = _FAST_SEGMENT_OPS
-    set_fast_segment_ops(enabled)
+    _set_fast_segment_ops_impl(enabled)
     try:
         yield
     finally:
-        set_fast_segment_ops(previous)
+        _set_fast_segment_ops_impl(previous)
 
 
 # ----------------------------------------------------------------------
@@ -132,56 +186,56 @@ class SegmentLayout:
 
     Sorting ``index`` once (stable, so ties keep their original order) turns
     every subsequent scatter-add over it into ``data[order]`` followed by one
-    ``np.add.reduceat`` across the contiguous runs — a CSR-style layout that
+    ``xp.add_reduceat`` across the contiguous runs — a CSR-style layout that
     vectorises across feature columns instead of looping per element the way
-    ``np.add.at`` does.  Layouts are cached per batched graph, so the sort is
+    ``xp.add_at`` does.  Layouts are cached per batched graph, so the sort is
     paid once per batch, not once per operation per epoch.
     """
 
     __slots__ = ("index", "num_segments", "order", "starts", "segments",
                  "counts")
 
-    def __init__(self, index: np.ndarray, num_segments: int):
-        index = np.asarray(index, dtype=np.int64)
+    def __init__(self, index: xp.ndarray, num_segments: int):
+        index = xp.asarray(index, dtype=xp.int64)
         self.index = index
         self.num_segments = int(num_segments)
-        order = np.argsort(index, kind="stable")
+        order = xp.argsort(index, kind="stable")
         sorted_index = index[order]
         if sorted_index.size:
-            run_start = np.empty(sorted_index.size, dtype=bool)
+            run_start = xp.empty(sorted_index.size, dtype=bool)
             run_start[0] = True
-            np.not_equal(sorted_index[1:], sorted_index[:-1],
+            xp.not_equal(sorted_index[1:], sorted_index[:-1],
                          out=run_start[1:])
-            starts = np.flatnonzero(run_start)
+            starts = xp.flatnonzero(run_start)
             segments = sorted_index[starts]
         else:
-            starts = np.zeros(0, dtype=np.int64)
-            segments = np.zeros(0, dtype=np.int64)
+            starts = xp.zeros(0, dtype=xp.int64)
+            segments = xp.zeros(0, dtype=xp.int64)
         self.order = order
         self.starts = starts
         self.segments = segments
-        self.counts = np.bincount(index, minlength=self.num_segments)
+        self.counts = xp.bincount(index, minlength=self.num_segments)
 
 
-def _segment_sum_data(data: np.ndarray, index: np.ndarray, num_segments: int,
-                      layout: Optional[SegmentLayout]) -> np.ndarray:
+def _segment_sum_data(data: xp.ndarray, index: xp.ndarray, num_segments: int,
+                      layout: Optional[SegmentLayout]) -> xp.ndarray:
     """Sum rows of ``data`` into ``num_segments`` buckets given by ``index``."""
-    data = np.asarray(data)
-    out = np.zeros((num_segments,) + data.shape[1:], dtype=data.dtype)
+    data = xp.asarray(data)
+    out = xp.zeros((num_segments,) + data.shape[1:], dtype=data.dtype)
     if index.size == 0:
         return out
     if _FAST_SEGMENT_OPS:
         if layout is None:
             layout = SegmentLayout(index, num_segments)
         if layout.starts.size:
-            out[layout.segments] = np.add.reduceat(
+            out[layout.segments] = xp.add_reduceat(
                 data[layout.order], layout.starts, axis=0)
         return out
-    np.add.at(out, index, data)
+    xp.add_at(out, index, data)
     return out
 
 
-def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+def _unbroadcast(grad: xp.ndarray, shape: Tuple[int, ...]) -> xp.ndarray:
     """Sum ``grad`` back down to ``shape`` (inverse of numpy broadcasting)."""
     if grad.shape == shape:
         return grad
@@ -203,15 +257,15 @@ class Tensor:
 
     def __init__(self, data: ArrayLike, requires_grad: bool = False,
                  parents: Tuple["Tensor", ...] = (),
-                 backward: Optional[Callable[[np.ndarray], None]] = None,
+                 backward: Optional[Callable[[xp.ndarray], None]] = None,
                  name: str = "", dtype=None):
-        arr = np.asarray(data)
+        arr = xp.asarray(data)
         if dtype is not None:
-            arr = arr.astype(np.dtype(dtype), copy=False)
+            arr = arr.astype(xp.dtype(dtype), copy=False)
         elif arr.dtype not in _FLOAT_DTYPES:
             arr = arr.astype(_DEFAULT_DTYPE)
         self.data = arr
-        self.grad: Optional[np.ndarray] = None
+        self.grad: Optional[xp.ndarray] = None
         self.requires_grad = bool(requires_grad)
         #: True once a tape plan has pointed ``grad`` at a persistent arena
         #: buffer; :meth:`zero_grad` then clears in place instead of dropping
@@ -233,10 +287,10 @@ class Tensor:
         return self.data.ndim
 
     @property
-    def dtype(self) -> np.dtype:
+    def dtype(self) -> xp.dtype:
         return self.data.dtype
 
-    def numpy(self) -> np.ndarray:
+    def numpy(self) -> xp.ndarray:
         return self.data
 
     def item(self) -> float:
@@ -261,16 +315,16 @@ class Tensor:
         else:
             self.grad = None
 
-    def _accumulate(self, grad: np.ndarray) -> None:
+    def _accumulate(self, grad: xp.ndarray) -> None:
         if self.grad is None:
             # always copy: the incoming array may be shared with another
             # parent's gradient (e.g. both operands of `a + a`)
-            self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
+            self.grad = xp.array(grad, dtype=self.data.dtype, copy=True)
         else:
             # in-place accumulation: no reallocation per contribution
             self.grad += grad
 
-    def _accumulate_owned(self, grad: np.ndarray) -> None:
+    def _accumulate_owned(self, grad: xp.ndarray) -> None:
         """Accumulate a gradient array the caller guarantees is fresh.
 
         Backward closures that just allocated ``grad`` (a matmul product, an
@@ -290,8 +344,8 @@ class Tensor:
     # graph construction helper
     # ------------------------------------------------------------------
     @staticmethod
-    def _make(data: np.ndarray, parents: Tuple["Tensor", ...],
-              backward: Callable[[np.ndarray], None]) -> "Tensor":
+    def _make(data: xp.ndarray, parents: Tuple["Tensor", ...],
+              backward: Callable[[xp.ndarray], None]) -> "Tensor":
         requires = any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires, parents=parents,
                      backward=backward if requires else None)
@@ -304,7 +358,7 @@ class Tensor:
         if isinstance(other, (int, float)):
             # weak scalar: keeps the tensor dtype, needs no graph node for
             # the constant and no unbroadcast in the backward pass
-            def backward(grad: np.ndarray) -> None:
+            def backward(grad: xp.ndarray) -> None:
                 if self.requires_grad:
                     self._accumulate(grad)
 
@@ -312,7 +366,7 @@ class Tensor:
                            "add_s", (self,), {"c": other})
         other = as_tensor(other)
 
-        def backward(grad: np.ndarray) -> None:
+        def backward(grad: xp.ndarray) -> None:
             if self.requires_grad:
                 g = _unbroadcast(grad, self.shape)
                 (self._accumulate if g is grad else self._accumulate_owned)(g)
@@ -326,7 +380,7 @@ class Tensor:
     __radd__ = __add__
 
     def __neg__(self) -> "Tensor":
-        def backward(grad: np.ndarray) -> None:
+        def backward(grad: xp.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate_owned(-grad)
 
@@ -340,7 +394,7 @@ class Tensor:
 
     def __rsub__(self, other) -> "Tensor":
         if isinstance(other, (int, float)):
-            def backward(grad: np.ndarray) -> None:
+            def backward(grad: xp.ndarray) -> None:
                 if self.requires_grad:
                     self._accumulate_owned(-grad)
 
@@ -352,7 +406,7 @@ class Tensor:
         if isinstance(other, (int, float)):
             scale = other
 
-            def backward(grad: np.ndarray) -> None:
+            def backward(grad: xp.ndarray) -> None:
                 if self.requires_grad:
                     self._accumulate_owned(grad * scale)
 
@@ -360,7 +414,7 @@ class Tensor:
                            "mul_s", (self,), {"c": scale})
         other = as_tensor(other)
 
-        def backward(grad: np.ndarray) -> None:
+        def backward(grad: xp.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate_owned(_unbroadcast(grad * other.data,
                                                     self.shape))
@@ -375,7 +429,7 @@ class Tensor:
 
     def __truediv__(self, other) -> "Tensor":
         if isinstance(other, (int, float)):
-            def backward(grad: np.ndarray) -> None:
+            def backward(grad: xp.ndarray) -> None:
                 if self.requires_grad:
                     self._accumulate_owned(grad / other)
 
@@ -383,7 +437,7 @@ class Tensor:
                            "div_s", (self,), {"c": other})
         other = as_tensor(other)
 
-        def backward(grad: np.ndarray) -> None:
+        def backward(grad: xp.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate_owned(_unbroadcast(grad / other.data,
                                                     self.shape))
@@ -397,7 +451,7 @@ class Tensor:
     def __pow__(self, exponent: float) -> "Tensor":
         exponent = float(exponent)
 
-        def backward(grad: np.ndarray) -> None:
+        def backward(grad: xp.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate_owned(
                     grad * exponent * self.data ** (exponent - 1.0))
@@ -408,7 +462,7 @@ class Tensor:
     def matmul(self, other: "Tensor") -> "Tensor":
         other = as_tensor(other)
 
-        def backward(grad: np.ndarray) -> None:
+        def backward(grad: xp.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate_owned(grad @ other.data.T)
             if other.requires_grad:
@@ -431,7 +485,7 @@ class Tensor:
         if bias is not None:
             out += bias.data
 
-        def backward(grad: np.ndarray) -> None:
+        def backward(grad: xp.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate_owned(grad @ weight.data.T)
             if weight.requires_grad:
@@ -446,17 +500,17 @@ class Tensor:
     # reductions / shaping
     # ------------------------------------------------------------------
     def sum(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
-        def backward(grad: np.ndarray) -> None:
+        def backward(grad: xp.ndarray) -> None:
             if not self.requires_grad:
                 return
-            g = np.asarray(grad)
+            g = xp.asarray(grad)
             if axis is None:
-                self._accumulate_owned(np.full(self.shape, float(g),
+                self._accumulate_owned(xp.full(self.shape, float(g),
                                                dtype=self.data.dtype))
             else:
                 if not keepdims:
-                    g = np.expand_dims(g, axis)
-                self._accumulate_owned(np.broadcast_to(g, self.shape).copy())
+                    g = xp.expand_dims(g, axis)
+                self._accumulate_owned(xp.broadcast_to(g, self.shape).copy())
 
         return _record(Tensor._make(self.data.sum(axis=axis, keepdims=keepdims),
                                     (self,), backward),
@@ -472,7 +526,7 @@ class Tensor:
     def reshape(self, *shape: int) -> "Tensor":
         old_shape = self.shape
 
-        def backward(grad: np.ndarray) -> None:
+        def backward(grad: xp.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad.reshape(old_shape))
 
@@ -482,7 +536,7 @@ class Tensor:
 
     @property
     def T(self) -> "Tensor":
-        def backward(grad: np.ndarray) -> None:
+        def backward(grad: xp.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad.T)
 
@@ -493,9 +547,9 @@ class Tensor:
         """Columns ``[start:stop)`` of a 2-D tensor (differentiable view)."""
         start, stop = int(start), int(stop)
 
-        def backward(grad: np.ndarray) -> None:
+        def backward(grad: xp.ndarray) -> None:
             if self.requires_grad:
-                g = np.zeros_like(self.data)
+                g = xp.zeros_like(self.data)
                 g[:, start:stop] = grad
                 self._accumulate_owned(g)
 
@@ -509,7 +563,7 @@ class Tensor:
     def relu(self) -> "Tensor":
         mask = (self.data > 0).astype(self.data.dtype)
 
-        def backward(grad: np.ndarray) -> None:
+        def backward(grad: xp.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate_owned(grad * mask)
 
@@ -517,9 +571,9 @@ class Tensor:
                        "relu", (self,))
 
     def leaky_relu(self, slope: float = 0.01) -> "Tensor":
-        mask = np.where(self.data > 0, 1.0, slope).astype(self.data.dtype)
+        mask = xp.where(self.data > 0, 1.0, slope).astype(self.data.dtype)
 
-        def backward(grad: np.ndarray) -> None:
+        def backward(grad: xp.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate_owned(grad * mask)
 
@@ -527,9 +581,9 @@ class Tensor:
                        "leaky_relu", (self,), {"slope": slope})
 
     def sigmoid(self) -> "Tensor":
-        out_data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
+        out_data = 1.0 / (1.0 + xp.exp(-xp.clip(self.data, -60.0, 60.0)))
 
-        def backward(grad: np.ndarray) -> None:
+        def backward(grad: xp.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate_owned(grad * out_data * (1.0 - out_data))
 
@@ -537,9 +591,9 @@ class Tensor:
                        "sigmoid", (self,))
 
     def tanh(self) -> "Tensor":
-        out_data = np.tanh(self.data)
+        out_data = xp.tanh(self.data)
 
-        def backward(grad: np.ndarray) -> None:
+        def backward(grad: xp.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate_owned(grad * (1.0 - out_data ** 2))
 
@@ -547,9 +601,9 @@ class Tensor:
                        "tanh", (self,))
 
     def exp(self) -> "Tensor":
-        out_data = np.exp(np.clip(self.data, -60.0, 60.0))
+        out_data = xp.exp(xp.clip(self.data, -60.0, 60.0))
 
-        def backward(grad: np.ndarray) -> None:
+        def backward(grad: xp.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate_owned(grad * out_data)
 
@@ -557,11 +611,11 @@ class Tensor:
                        "exp", (self,))
 
     def log(self) -> "Tensor":
-        def backward(grad: np.ndarray) -> None:
+        def backward(grad: xp.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate_owned(grad / np.maximum(self.data, 1e-12))
+                self._accumulate_owned(grad / xp.maximum(self.data, 1e-12))
 
-        return _record(Tensor._make(np.log(np.maximum(self.data, 1e-12)),
+        return _record(Tensor._make(xp.log(xp.maximum(self.data, 1e-12)),
                                     (self,), backward), "log", (self,))
 
     def sub_max(self, axis: Optional[int] = None,
@@ -577,7 +631,7 @@ class Tensor:
         """
         m = self.data.max(axis=axis, keepdims=keepdims)
 
-        def backward(grad: np.ndarray) -> None:
+        def backward(grad: xp.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad)
 
@@ -588,7 +642,7 @@ class Tensor:
     # ------------------------------------------------------------------
     # indexing / scatter-gather (the message-passing primitives)
     # ------------------------------------------------------------------
-    def index_select(self, index: np.ndarray,
+    def index_select(self, index: xp.ndarray,
                      layout: Optional[SegmentLayout] = None) -> "Tensor":
         """Gather rows: ``out[i] = self[index[i]]``.
 
@@ -596,10 +650,10 @@ class Tensor:
         ``index`` (with ``num_segments == len(self)``) used to vectorise the
         scatter in the backward pass.
         """
-        index = np.asarray(index, dtype=np.int64)
+        index = xp.asarray(index, dtype=xp.int64)
         num_rows = self.data.shape[0]
 
-        def backward(grad: np.ndarray) -> None:
+        def backward(grad: xp.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate_owned(_segment_sum_data(grad, index, num_rows,
                                                          layout))
@@ -609,15 +663,15 @@ class Tensor:
                        {"index": index, "layout": layout,
                         "num_rows": num_rows})
 
-    def scatter_add(self, index: np.ndarray, num_rows: int,
+    def scatter_add(self, index: xp.ndarray, num_rows: int,
                     layout: Optional[SegmentLayout] = None) -> "Tensor":
         """Scatter rows: ``out[index[i]] += self[i]`` with ``num_rows`` rows."""
-        index = np.asarray(index, dtype=np.int64)
+        index = xp.asarray(index, dtype=xp.int64)
         out_data = _segment_sum_data(self.data, index, int(num_rows), layout)
 
-        def backward(grad: np.ndarray) -> None:
+        def backward(grad: xp.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate_owned(np.asarray(grad)[index])
+                self._accumulate_owned(xp.asarray(grad)[index])
 
         return _record(Tensor._make(out_data, (self,), backward),
                        "scatter_add", (self,),
@@ -627,12 +681,12 @@ class Tensor:
     # ------------------------------------------------------------------
     # backward pass
     # ------------------------------------------------------------------
-    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+    def backward(self, grad: Optional[xp.ndarray] = None) -> None:
         """Backpropagate from this tensor (must be scalar unless ``grad``)."""
         if grad is None:
             if self.data.size != 1:
                 raise ValueError("backward() without grad requires a scalar")
-            grad = np.ones_like(self.data)
+            grad = xp.ones_like(self.data)
         # iterative post-order DFS: same visit order as the recursive
         # version, but immune to RecursionError on deep graphs (a tensor
         # whose parents don't require grad heads a dead subgraph — skip it)
@@ -650,7 +704,7 @@ class Tensor:
             else:
                 topo.append(node)
                 stack.pop()
-        self._accumulate(np.asarray(grad, dtype=self.data.dtype))
+        self._accumulate(xp.asarray(grad, dtype=self.data.dtype))
         # children appear after their parents in `topo`, so the reversed walk
         # guarantees a node's output gradient is complete before its
         # _backward distributes it to the parents
@@ -672,11 +726,11 @@ def as_tensor(value: Union[Tensor, ArrayLike]) -> Tensor:
 def concat(tensors: Sequence[Tensor], axis: int = 1) -> Tensor:
     """Concatenate tensors along ``axis`` (differentiable)."""
     tensors = [as_tensor(t) for t in tensors]
-    data = np.concatenate([t.data for t in tensors], axis=axis)
+    data = xp.concatenate([t.data for t in tensors], axis=axis)
     sizes = [t.data.shape[axis] for t in tensors]
-    offsets = np.cumsum([0] + sizes)
+    offsets = xp.cumsum([0] + sizes)
 
-    def backward(grad: np.ndarray) -> None:
+    def backward(grad: xp.ndarray) -> None:
         for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
             if t.requires_grad:
                 slicer = [slice(None)] * grad.ndim
@@ -691,9 +745,9 @@ def concat(tensors: Sequence[Tensor], axis: int = 1) -> Tensor:
 def stack_rows(tensors: Sequence[Tensor]) -> Tensor:
     """Stack 1-D tensors into a 2-D tensor (row per input)."""
     tensors = [as_tensor(t) for t in tensors]
-    data = np.stack([t.data for t in tensors], axis=0)
+    data = xp.stack([t.data for t in tensors], axis=0)
 
-    def backward(grad: np.ndarray) -> None:
+    def backward(grad: xp.ndarray) -> None:
         for i, t in enumerate(tensors):
             if t.requires_grad:
                 t._accumulate(grad[i])
@@ -702,28 +756,28 @@ def stack_rows(tensors: Sequence[Tensor]) -> Tensor:
                    "stack_rows", tuple(tensors))
 
 
-def segment_sum(x: Tensor, segment_ids: np.ndarray, num_segments: int,
+def segment_sum(x: Tensor, segment_ids: xp.ndarray, num_segments: int,
                 layout: Optional[SegmentLayout] = None) -> Tensor:
     """Sum of rows of ``x`` grouped by ``segment_ids``."""
-    return x.scatter_add(np.asarray(segment_ids, dtype=np.int64),
+    return x.scatter_add(xp.asarray(segment_ids, dtype=xp.int64),
                          num_segments, layout=layout)
 
 
-def segment_mean(x: Tensor, segment_ids: np.ndarray, num_segments: int,
+def segment_mean(x: Tensor, segment_ids: xp.ndarray, num_segments: int,
                  layout: Optional[SegmentLayout] = None) -> Tensor:
     """Mean of rows of ``x`` grouped by ``segment_ids`` (empty segments → 0)."""
-    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    segment_ids = xp.asarray(segment_ids, dtype=xp.int64)
     if layout is not None:
-        counts = layout.counts.astype(np.float64)
+        counts = layout.counts.astype(xp.float64)
     else:
-        counts = np.bincount(segment_ids, minlength=num_segments).astype(np.float64)
-    counts = np.maximum(counts, 1.0)
+        counts = xp.bincount(segment_ids, minlength=num_segments).astype(xp.float64)
+    counts = xp.maximum(counts, 1.0)
     sums = x.scatter_add(segment_ids, num_segments, layout=layout)
     inv = Tensor((1.0 / counts[:, None]).astype(sums.data.dtype, copy=False))
     return sums * inv
 
 
-def dropout(x: Tensor, rate: float, rng: np.random.Generator,
+def dropout(x: Tensor, rate: float, rng: xp.Generator,
             training: bool = True) -> Tensor:
     """Inverted dropout (one traced primitive).
 
@@ -736,7 +790,7 @@ def dropout(x: Tensor, rate: float, rng: np.random.Generator,
         return x
     mask = (rng.random(x.shape) >= rate).astype(x.data.dtype) / (1.0 - rate)
 
-    def backward(grad: np.ndarray) -> None:
+    def backward(grad: xp.ndarray) -> None:
         if x.requires_grad:
             x._accumulate_owned(grad * mask)
 
@@ -754,16 +808,16 @@ def gradcheck(func: Callable[..., Tensor], inputs: Sequence[Tensor],
     """
     inputs = list(inputs)
     for t in inputs:
-        t.data = np.asarray(t.data, dtype=np.float64)
+        t.data = xp.asarray(t.data, dtype=xp.float64)
         t.zero_grad()
-    with default_dtype(np.float64):
+    with default_dtype(xp.float64):
         output = func(*inputs)
         output.backward()
         for tensor in inputs:
             if not tensor.requires_grad:
                 continue
-            analytic = tensor.grad if tensor.grad is not None else np.zeros_like(tensor.data)
-            numeric = np.zeros_like(tensor.data)
+            analytic = tensor.grad if tensor.grad is not None else xp.zeros_like(tensor.data)
+            numeric = xp.zeros_like(tensor.data)
             flat = tensor.data.reshape(-1)
             num_flat = numeric.reshape(-1)
             for i in range(flat.size):
@@ -774,6 +828,6 @@ def gradcheck(func: Callable[..., Tensor], inputs: Sequence[Tensor],
                 minus = func(*inputs).data.sum()
                 flat[i] = original
                 num_flat[i] = (plus - minus) / (2 * eps)
-            if not np.allclose(analytic, numeric, atol=atol, rtol=1e-3):
+            if not xp.allclose(analytic, numeric, atol=atol, rtol=1e-3):
                 return False
     return True

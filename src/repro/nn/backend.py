@@ -1,0 +1,568 @@
+"""Pluggable array backends for the nn/gnn stack.
+
+Every array operation on the training and serving hot paths routes through
+``xp`` — a process-global namespace object bound to the *active*
+:class:`ArrayBackend`.  The contract is the ~45 operations the codebase
+actually uses (ufuncs with ``out=``, the segment primitives ``add_at`` /
+``add_reduceat``, ``take``, constructors, dtype objects, RNG), plus the
+numpy ndarray method/operator surface (``.sum``, ``.astype``, ``@``,
+fancy indexing) that backend arrays must provide.
+
+Backends:
+
+``numpy``
+    The reference implementation.  Every namespace entry *is* the numpy
+    function object itself — zero wrapper overhead, and therefore
+    bit-identical to calling numpy directly (the seam is a rename, not a
+    reimplementation).
+
+``checked``
+    Numpy wrapped in instrumentation, used in CI: counts op calls,
+    explicit array constructions and out-of-place temporaries, and asserts
+    the ``out=`` aliasing contract (a routed call given ``out=`` must
+    return that exact buffer).  Numerically it calls the same numpy
+    functions, so results stay bitwise identical to the ``numpy`` backend.
+
+``cupy`` / ``torch``
+    Optional device adapters, feature-detected at import of the library
+    (never at import of this module) and skipped cleanly when absent.
+    ``cupy`` arrays are ndarray-method compatible, so the full Tensor /
+    tape stack can run on them; parity with numpy is *to tolerance*, not
+    bitwise (different kernels, different reduction orders).  The
+    ``torch`` adapter covers the functional ``xp`` namespace (ufuncs,
+    segment ops, constructors) for kernel-level use; the autograd Tensor
+    stack additionally needs numpy's ndarray method surface, which torch
+    tensors do not provide — selecting it for training raises.
+
+Switching the active backend bumps the global config epoch (the hooks are
+registered by :mod:`repro.nn.autograd`), so cached tape plans recorded
+against another backend guard-fail and re-record instead of replaying
+stale kernels.  Select a backend with
+``repro.nn.runtime.configure(backend=...)`` or the ``REPRO_BACKEND``
+environment variable (read once at import).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Optional
+
+import numpy as _np
+
+
+class BackendUnavailable(RuntimeError):
+    """The requested backend's library is not importable here."""
+
+
+#: Namespace entries that are plain attributes (types, dtype constructors,
+#: RNG factories) rather than counted operations.
+_ATTRS = (
+    "ndarray", "dtype", "float32", "float64", "int64", "bool_",
+    "integer", "floating", "Generator",
+)
+
+#: Explicit array constructors: the ``checked`` backend counts these as
+#: ``constructions`` — the metric the steady-state tape-replay test pins
+#: to zero.
+_CONSTRUCTORS = (
+    "array", "empty", "empty_like", "zeros", "zeros_like", "ones",
+    "ones_like", "full", "full_like", "arange",
+)
+
+#: Operations that accept ``out=`` and allocate a fresh result without it.
+_OUT_OPS = (
+    "add", "subtract", "multiply", "divide", "negative", "exp", "log",
+    "log1p", "tanh", "sqrt", "sign", "maximum", "minimum", "clip",
+    "power", "greater", "not_equal", "matmul", "sum", "mean", "take",
+    "cumsum", "add_reduceat",
+)
+
+#: Remaining operations: in-place/side-effect (``copyto``, ``add_at``,
+#: ``global_seed``), views (``broadcast_to``, ``expand_dims``), or host
+#: utilities whose allocations are off the steady-state hot path.
+_MISC_OPS = (
+    "asarray", "ascontiguousarray", "copyto", "add_at", "concatenate",
+    "stack", "where", "broadcast_to", "expand_dims", "argsort", "sort",
+    "searchsorted", "flatnonzero", "bincount", "unique", "allclose",
+    "diag", "qr", "default_rng", "global_seed", "to_host",
+)
+
+#: ``where``/``concatenate``/``stack``/``argsort``/``bincount`` and
+#: friends allocate their result; tracked as temporaries when counted.
+_ALLOCATING_MISC = frozenset((
+    "concatenate", "stack", "where", "argsort", "sort", "bincount",
+    "unique", "flatnonzero",
+))
+
+ALL_NAMES = _ATTRS + _CONSTRUCTORS + _OUT_OPS + _MISC_OPS
+
+
+def _numpy_namespace() -> Dict[str, object]:
+    """The reference binding: every entry is the numpy object itself."""
+    ns: Dict[str, object] = {}
+    for name in ALL_NAMES:
+        ns[name] = getattr(_np, name, None)
+    ns["Generator"] = _np.random.Generator
+    ns["default_rng"] = _np.random.default_rng
+    ns["global_seed"] = _np.random.seed
+    ns["add_at"] = _np.add.at
+    ns["add_reduceat"] = _np.add.reduceat
+    ns["qr"] = _np.linalg.qr
+    ns["to_host"] = _np.asarray
+    missing = [k for k, v in ns.items() if v is None]
+    if missing:  # pragma: no cover - numpy always provides these
+        raise RuntimeError(f"numpy lacks expected attributes: {missing}")
+    return ns
+
+
+class ArrayBackend:
+    """One array implementation behind the ``xp`` seam.
+
+    A backend is a bag of callables/attributes covering :data:`ALL_NAMES`.
+    Subclasses fill ``self.ns`` in :meth:`__init__`; anything they leave
+    out is reported loudly at registration time rather than failing deep
+    inside a thunk.
+    """
+
+    #: registry name; subclasses override
+    name = "abstract"
+    #: False for namespace-only adapters that cannot run the Tensor stack
+    supports_tensor_stack = True
+
+    def __init__(self) -> None:
+        self.ns: Dict[str, object] = {}
+
+    def namespace(self) -> Dict[str, object]:
+        missing = [n for n in ALL_NAMES if n not in self.ns]
+        if missing:
+            raise RuntimeError(
+                f"backend {self.name!r} is missing namespace entries: "
+                f"{missing}")
+        return dict(self.ns)
+
+    def describe(self) -> Dict[str, object]:
+        return {"name": self.name,
+                "supports_tensor_stack": self.supports_tensor_stack}
+
+
+class NumpyBackend(ArrayBackend):
+    """Reference backend: the namespace *is* numpy."""
+
+    name = "numpy"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.ns = _numpy_namespace()
+
+
+class CheckedBackend(ArrayBackend):
+    """Numpy plus instrumentation; bitwise identical to ``numpy``.
+
+    Counters (all monotonic, reset with :meth:`reset_counters`):
+
+    ``op_calls``
+        every routed operation (constructors included).
+    ``constructions``
+        calls to the explicit array constructors (``empty``, ``zeros``,
+        ``full`` ...).  Steady-state tape replay must keep this at zero —
+        pooled buffers mean the plan never constructs an array per step.
+    ``temp_results``
+        ``out=``-capable ops called *without* ``out=`` (they allocate a
+        fresh result), plus the allocating host utilities.  Native ndarray
+        methods and operators are invisible to the seam and are not
+        counted; the counters measure exactly the traffic that crosses it.
+    ``out_calls``
+        ops that did pass ``out=`` — each one is asserted to return the
+        very buffer it was given (the aliasing contract every replay
+        thunk relies on).
+    """
+
+    name = "checked"
+
+    def __init__(self) -> None:
+        super().__init__()
+        ref = _numpy_namespace()
+        self.op_calls = 0
+        self.constructions = 0
+        self.temp_results = 0
+        self.out_calls = 0
+        ns: Dict[str, object] = {}
+        for name in _ATTRS:
+            ns[name] = ref[name]
+        for name in _CONSTRUCTORS:
+            ns[name] = self._wrap_constructor(name, ref[name])
+        for name in _OUT_OPS:
+            ns[name] = self._wrap_out_op(name, ref[name])
+        for name in _MISC_OPS:
+            ns[name] = self._wrap_misc(name, ref[name])
+        self.ns = ns
+
+    # ------------------------------------------------------------------
+    def _wrap_constructor(self, name: str, fn: Callable) -> Callable:
+        def wrapper(*args, **kwargs):
+            self.op_calls += 1
+            self.constructions += 1
+            return fn(*args, **kwargs)
+        wrapper.__name__ = f"checked_{name}"
+        return wrapper
+
+    def _wrap_out_op(self, name: str, fn: Callable) -> Callable:
+        def wrapper(*args, **kwargs):
+            self.op_calls += 1
+            out = kwargs.get("out")
+            result = fn(*args, **kwargs)
+            if out is None:
+                self.temp_results += 1
+            else:
+                self.out_calls += 1
+                buf = out[0] if isinstance(out, tuple) else out
+                if result is not buf:
+                    raise AssertionError(
+                        f"backend op {name!r} violated the out= aliasing "
+                        f"contract: returned a different array than the "
+                        f"provided buffer")
+            return result
+        wrapper.__name__ = f"checked_{name}"
+        return wrapper
+
+    def _wrap_misc(self, name: str, fn: Callable) -> Callable:
+        allocating = name in _ALLOCATING_MISC
+
+        def wrapper(*args, **kwargs):
+            self.op_calls += 1
+            if allocating:
+                self.temp_results += 1
+            return fn(*args, **kwargs)
+        wrapper.__name__ = f"checked_{name}"
+        return wrapper
+
+    # ------------------------------------------------------------------
+    def counters(self) -> Dict[str, int]:
+        return {"op_calls": self.op_calls,
+                "constructions": self.constructions,
+                "temp_results": self.temp_results,
+                "out_calls": self.out_calls}
+
+    def reset_counters(self) -> None:
+        self.op_calls = 0
+        self.constructions = 0
+        self.temp_results = 0
+        self.out_calls = 0
+
+    def describe(self) -> Dict[str, object]:
+        info = super().describe()
+        info["counters"] = self.counters()
+        return info
+
+
+class CupyBackend(ArrayBackend):
+    """CUDA adapter over cupy (feature-detected; parity to tolerance).
+
+    cupy arrays expose the ndarray method surface the Tensor stack needs
+    (``astype``, ``fill``, ``@``, reductions, fancy indexing), so the full
+    autograd/tape path can run device-resident.  ``add_reduceat`` has no
+    cupy kernel and is emulated with an exclusive-prefix-sum difference —
+    value-equivalent to numpy's reduceat for the sorted-run layouts the
+    segment ops use, but not bitwise (different summation order), which is
+    exactly the stated non-numpy parity contract.
+    """
+
+    name = "cupy"
+
+    def __init__(self) -> None:
+        super().__init__()
+        try:
+            import cupy as cp
+            import cupyx
+        except ImportError as exc:  # pragma: no cover - env without cupy
+            raise BackendUnavailable("cupy is not installed") from exc
+        ns: Dict[str, object] = {}
+        for name in ALL_NAMES:
+            ns[name] = getattr(cp, name, None)
+        ns["Generator"] = cp.random.Generator
+        ns["default_rng"] = cp.random.default_rng
+        ns["global_seed"] = cp.random.seed
+        ns["qr"] = cp.linalg.qr
+        ns["to_host"] = cp.asnumpy
+
+        def add_at(a, indices, values):
+            cupyx.scatter_add(a, indices, values)
+        ns["add_at"] = add_at
+
+        def add_reduceat(data, starts, axis=0, out=None):
+            # inclusive-prefix differences: segment i covers
+            # [starts[i], starts[i+1]) with the final segment running to
+            # the end of ``data``.  Value-equivalent to numpy reduceat for
+            # the sorted-run layouts the segment ops build, not bitwise
+            # (different summation order).
+            if axis != 0:  # pragma: no cover - seam only reduces rows
+                raise NotImplementedError("cupy add_reduceat: axis 0 only")
+            csum = cp.cumsum(data, axis=0)
+            upper = cp.concatenate(
+                [starts[1:], cp.asarray([data.shape[0]], dtype=starts.dtype)])
+            hi = csum[upper - 1]
+            lo = cp.zeros_like(hi)
+            positive = starts > 0
+            lo[positive] = csum[starts[positive] - 1]
+            result = hi - lo
+            if out is not None:
+                out[...] = result
+                return out
+            return result
+        ns["add_reduceat"] = add_reduceat
+        missing = [k for k in ALL_NAMES if ns.get(k) is None]
+        if missing:  # pragma: no cover - depends on cupy version
+            raise BackendUnavailable(
+                f"installed cupy lacks required operations: {missing}")
+        self.ns = ns
+
+
+class TorchBackend(ArrayBackend):
+    """Torch adapter for the functional ``xp`` namespace (experimental).
+
+    Covers the routed operations (ufuncs with ``out=``, segment ops,
+    constructors) over ``torch.Tensor`` operands so kernel-level code can
+    target torch devices through the same seam.  It does **not** provide
+    numpy's ndarray method surface, so the autograd Tensor stack cannot
+    run on it (``supports_tensor_stack`` is False and
+    :func:`set_active_backend` refuses it for that reason).
+    """
+
+    name = "torch"
+    supports_tensor_stack = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        try:
+            import torch
+        except ImportError as exc:  # pragma: no cover - env without torch
+            raise BackendUnavailable("torch is not installed") from exc
+        t = torch
+        ns: Dict[str, object] = {}
+        ns.update({
+            "ndarray": t.Tensor, "dtype": t.dtype,
+            "float32": t.float32, "float64": t.float64,
+            "int64": t.int64, "bool_": t.bool,
+            "integer": t.int64, "floating": t.float64,
+            "Generator": t.Generator,
+        })
+
+        def _as(x):
+            return x if isinstance(x, t.Tensor) else t.as_tensor(x)
+
+        def _wrap(fn, unary=False):
+            if unary:
+                def op(x, out=None, **kw):
+                    return fn(_as(x), out=out, **kw) if out is not None \
+                        else fn(_as(x), **kw)
+            else:
+                def op(*args, out=None, **kw):
+                    args = tuple(_as(a) for a in args)
+                    return fn(*args, out=out, **kw) if out is not None \
+                        else fn(*args, **kw)
+            return op
+
+        binary = {"add": t.add, "subtract": t.subtract,
+                  "multiply": t.multiply, "divide": t.divide,
+                  "maximum": t.maximum, "minimum": t.minimum,
+                  "power": t.pow, "greater": t.gt, "not_equal": t.ne,
+                  "matmul": t.matmul}
+        unary = {"negative": t.negative, "exp": t.exp, "log": t.log,
+                 "log1p": t.log1p, "tanh": t.tanh, "sqrt": t.sqrt,
+                 "sign": t.sign}
+        for name, fn in binary.items():
+            ns[name] = _wrap(fn)
+        for name, fn in unary.items():
+            ns[name] = _wrap(fn, unary=True)
+        ns["clip"] = lambda x, lo, hi, out=None: (
+            t.clamp(_as(x), lo, hi, out=out) if out is not None
+            else t.clamp(_as(x), lo, hi))
+
+        def _reduce(fn):
+            def op(x, axis=None, out=None, keepdims=False):
+                x = _as(x)
+                if axis is None:
+                    result = fn(x)
+                else:
+                    result = fn(x, dim=axis, keepdim=keepdims)
+                if out is not None:
+                    out.copy_(result)
+                    return out
+                return result
+            return op
+        ns["sum"] = _reduce(t.sum)
+        ns["mean"] = _reduce(t.mean)
+        ns["cumsum"] = lambda x, axis=0: t.cumsum(_as(x), dim=axis)
+        ns["take"] = lambda x, idx, axis=0, out=None: (
+            t.index_select(_as(x), axis, _as(idx), out=out)
+            if out is not None else t.index_select(_as(x), axis, _as(idx)))
+
+        ns["array"] = lambda x, dtype=None, copy=True: (
+            t.tensor(x, dtype=dtype) if copy else t.as_tensor(x, dtype=dtype))
+        ns["asarray"] = lambda x, dtype=None: t.as_tensor(x, dtype=dtype)
+        ns["ascontiguousarray"] = lambda x: _as(x).contiguous()
+        ns["empty"] = t.empty
+        ns["empty_like"] = t.empty_like
+        ns["zeros"] = t.zeros
+        ns["zeros_like"] = t.zeros_like
+        ns["ones"] = t.ones
+        ns["ones_like"] = t.ones_like
+        ns["full"] = t.full
+        ns["full_like"] = t.full_like
+        ns["arange"] = t.arange
+        ns["copyto"] = lambda dst, src: dst.copy_(_as(src))
+        ns["concatenate"] = lambda xs, axis=0: t.cat([_as(x) for x in xs],
+                                                     dim=axis)
+        ns["stack"] = lambda xs, axis=0: t.stack([_as(x) for x in xs],
+                                                 dim=axis)
+        ns["where"] = lambda c, a, b: t.where(_as(c), _as(a), _as(b))
+        ns["broadcast_to"] = lambda x, shape: t.broadcast_to(_as(x), shape)
+        ns["expand_dims"] = lambda x, axis: t.unsqueeze(_as(x), axis)
+        ns["argsort"] = lambda x, kind=None: t.argsort(_as(x), stable=True)
+        ns["sort"] = lambda x: t.sort(_as(x)).values
+        ns["searchsorted"] = lambda a, v, side="left": t.searchsorted(
+            _as(a), _as(v), right=(side == "right"))
+        ns["flatnonzero"] = lambda x: t.nonzero(_as(x).reshape(-1)).reshape(-1)
+        ns["bincount"] = lambda x, minlength=0: t.bincount(
+            _as(x), minlength=minlength)
+        ns["unique"] = lambda x: t.unique(_as(x))
+        ns["allclose"] = lambda a, b, **kw: t.allclose(_as(a), _as(b), **kw)
+        ns["diag"] = lambda x: t.diag(_as(x))
+        ns["qr"] = lambda x: tuple(t.linalg.qr(_as(x)))
+        ns["default_rng"] = lambda seed=None: _np.random.default_rng(seed)
+        ns["global_seed"] = t.manual_seed
+        ns["to_host"] = lambda x: (_as(x).detach().cpu().numpy())
+
+        def add_at(a, indices, values):
+            a.index_add_(0, _as(indices), _as(values))
+        ns["add_at"] = add_at
+
+        def add_reduceat(data, starts, axis=0, out=None):
+            if axis != 0:  # pragma: no cover - seam only reduces rows
+                raise NotImplementedError("torch add_reduceat: axis 0 only")
+            data, starts = _as(data), _as(starts)
+            csum = t.cumsum(data, dim=0)
+            upper = t.cat([starts[1:],
+                           t.as_tensor([data.shape[0]], dtype=starts.dtype)])
+            hi = csum[upper - 1]
+            lo = t.zeros_like(hi)
+            positive = starts > 0
+            lo[positive] = csum[starts[positive] - 1]
+            result = hi - lo
+            if out is not None:
+                out.copy_(result)
+                return out
+            return result
+        ns["add_reduceat"] = add_reduceat
+        self.ns = ns
+
+
+# ----------------------------------------------------------------------
+# registry + active-backend state
+# ----------------------------------------------------------------------
+_FACTORIES: Dict[str, Callable[[], ArrayBackend]] = {}
+_INSTANCES: Dict[str, ArrayBackend] = {}
+_ACTIVE: Optional[ArrayBackend] = None
+_CHANGE_HOOKS: List[Callable[[], None]] = []
+
+
+class _Namespace:
+    """The ``xp`` proxy: its ``__dict__`` is rebound on backend switch.
+
+    Attribute access is therefore a plain instance-dict lookup — the same
+    cost as ``np.add`` — with no per-call indirection on the hot path.
+    """
+
+    __slots__ = ("__dict__",)
+
+
+xp = _Namespace()
+
+
+def register_backend(name: str,
+                     factory: Callable[[], ArrayBackend]) -> None:
+    """Register a backend factory (instantiated lazily, cached)."""
+    _FACTORIES[name] = factory
+
+
+def available_backends() -> Dict[str, bool]:
+    """Registered names mapped to whether they can be instantiated here."""
+    out = {}
+    for name in sorted(_FACTORIES):
+        try:
+            get_backend(name)
+            out[name] = True
+        except BackendUnavailable:
+            out[name] = False
+    return out
+
+
+def backend_available(name: str) -> bool:
+    try:
+        get_backend(name)
+        return True
+    except (BackendUnavailable, KeyError):
+        return False
+
+
+def get_backend(name: str) -> ArrayBackend:
+    """The (cached) backend instance for ``name``.
+
+    Raises ``KeyError`` for unknown names and :class:`BackendUnavailable`
+    when the backing library is missing — callers skip cleanly on the
+    latter.
+    """
+    inst = _INSTANCES.get(name)
+    if inst is None:
+        if name not in _FACTORIES:
+            raise KeyError(
+                f"unknown array backend {name!r}; registered: "
+                f"{sorted(_FACTORIES)}")
+        inst = _FACTORIES[name]()
+        _INSTANCES[name] = inst
+    return inst
+
+
+def active_backend() -> ArrayBackend:
+    return _ACTIVE
+
+
+def active_backend_name() -> str:
+    return _ACTIVE.name
+
+
+def add_change_hook(hook: Callable[[], None]) -> None:
+    """Run ``hook`` after every backend switch (used to bump the tape
+    config epoch so plans recorded against the old backend re-record)."""
+    _CHANGE_HOOKS.append(hook)
+
+
+def set_active_backend(name: str) -> ArrayBackend:
+    """Activate ``name`` and rebind ``xp``; no-op when already active."""
+    global _ACTIVE
+    backend = get_backend(name)
+    if not backend.supports_tensor_stack:
+        raise ValueError(
+            f"backend {name!r} covers the functional xp namespace only "
+            f"and cannot run the Tensor stack; it is selectable per-call "
+            f"via get_backend({name!r}).namespace()")
+    if _ACTIVE is backend:
+        return backend
+    _ACTIVE = backend
+    ns = backend.namespace()
+    xp.__dict__.clear()
+    xp.__dict__.update(ns)
+    for hook in _CHANGE_HOOKS:
+        hook()
+    return backend
+
+
+register_backend("numpy", NumpyBackend)
+register_backend("checked", CheckedBackend)
+register_backend("cupy", CupyBackend)
+register_backend("torch", TorchBackend)
+
+#: initial selection: REPRO_BACKEND env var, defaulting to numpy.  A typo
+#: or an unavailable library fails loudly here rather than silently
+#: training on the wrong backend.
+set_active_backend(os.environ.get("REPRO_BACKEND", "numpy"))

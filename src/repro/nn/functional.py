@@ -4,9 +4,8 @@ from __future__ import annotations
 
 from typing import Union
 
-import numpy as np
-
 from repro.nn.autograd import Tensor, as_tensor
+from repro.nn.backend import xp
 
 
 def softmax(logits: Tensor, axis: int = 1) -> Tensor:
@@ -26,34 +25,34 @@ def log_softmax(logits: Tensor, axis: int = 1) -> Tensor:
     return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
 
 
-def cross_entropy(logits: Tensor, targets: np.ndarray,
-                  class_weights: Union[np.ndarray, None] = None) -> Tensor:
+def cross_entropy(logits: Tensor, targets: xp.ndarray,
+                  class_weights: Union[xp.ndarray, None] = None) -> Tensor:
     """Mean categorical cross-entropy of integer ``targets``."""
-    targets = np.asarray(targets, dtype=np.int64)
+    targets = xp.asarray(targets, dtype=xp.int64)
     n, c = logits.shape
     if targets.shape[0] != n:
         raise ValueError("logits and targets disagree on the batch size")
     if targets.min() < 0 or targets.max() >= c:
         raise ValueError("target class out of range")
     log_probs = log_softmax(logits, axis=1)
-    onehot = np.zeros((n, c), dtype=log_probs.data.dtype)
-    onehot[np.arange(n), targets] = 1.0
+    onehot = xp.zeros((n, c), dtype=log_probs.data.dtype)
+    onehot[xp.arange(n), targets] = 1.0
     if class_weights is not None:
-        onehot *= np.asarray(class_weights, dtype=onehot.dtype)[targets][:, None]
+        onehot *= xp.asarray(class_weights, dtype=onehot.dtype)[targets][:, None]
     picked = log_probs * Tensor(onehot)
     return -(picked.sum() * (1.0 / n))
 
 
-def binary_cross_entropy(probs: Tensor, targets: np.ndarray) -> Tensor:
+def binary_cross_entropy(probs: Tensor, targets: xp.ndarray) -> Tensor:
     """Mean BCE of probabilities in (0, 1) against 0/1 targets."""
-    targets = np.asarray(targets, dtype=np.float64).reshape(probs.shape)
+    targets = xp.asarray(targets, dtype=xp.float64).reshape(probs.shape)
     t = Tensor(targets)
     eps = 1e-7
     loss = -(t * (probs + eps).log() + (Tensor(1.0) - t) * (Tensor(1.0 + eps) - probs).log())
     return loss.mean()
 
 
-def mse_loss(prediction: Tensor, target: Union[Tensor, np.ndarray]) -> Tensor:
+def mse_loss(prediction: Tensor, target: Union[Tensor, xp.ndarray]) -> Tensor:
     """Mean squared error."""
     target = as_tensor(target)
     diff = prediction - target
@@ -63,26 +62,26 @@ def mse_loss(prediction: Tensor, target: Union[Tensor, np.ndarray]) -> Tensor:
 # ----------------------------------------------------------------------
 # metrics (plain numpy, no gradients)
 # ----------------------------------------------------------------------
-def accuracy(predictions: np.ndarray, targets: np.ndarray) -> float:
+def accuracy(predictions: xp.ndarray, targets: xp.ndarray) -> float:
     """Fraction of exact matches."""
-    predictions = np.asarray(predictions)
-    targets = np.asarray(targets)
+    predictions = xp.asarray(predictions)
+    targets = xp.asarray(targets)
     if predictions.size == 0:
         return 0.0
-    return float(np.mean(predictions == targets))
+    return float(xp.mean(predictions == targets))
 
 
-def f1_score(predictions: np.ndarray, targets: np.ndarray,
+def f1_score(predictions: xp.ndarray, targets: xp.ndarray,
              average: str = "macro") -> float:
     """Macro- or binary-averaged F1 score."""
-    predictions = np.asarray(predictions)
-    targets = np.asarray(targets)
-    classes = np.unique(np.concatenate([predictions, targets]))
+    predictions = xp.asarray(predictions)
+    targets = xp.asarray(targets)
+    classes = xp.unique(xp.concatenate([predictions, targets]))
     scores = []
     for cls in classes:
-        tp = float(np.sum((predictions == cls) & (targets == cls)))
-        fp = float(np.sum((predictions == cls) & (targets != cls)))
-        fn = float(np.sum((predictions != cls) & (targets == cls)))
+        tp = float(xp.sum((predictions == cls) & (targets == cls)))
+        fp = float(xp.sum((predictions == cls) & (targets != cls)))
+        fn = float(xp.sum((predictions != cls) & (targets == cls)))
         precision = tp / (tp + fp) if tp + fp > 0 else 0.0
         recall = tp / (tp + fn) if tp + fn > 0 else 0.0
         f1 = (2 * precision * recall / (precision + recall)
@@ -90,4 +89,4 @@ def f1_score(predictions: np.ndarray, targets: np.ndarray,
         scores.append(f1)
     if average == "binary" and len(classes) == 2:
         return scores[1]
-    return float(np.mean(scores))
+    return float(xp.mean(scores))

@@ -4,9 +4,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
 from repro.nn import init
+from repro.nn.backend import xp
 from repro.nn.autograd import Tensor, dropout as dropout_fn, get_default_dtype
 
 
@@ -60,7 +59,7 @@ class Module:
 
     def to_dtype(self, dtype) -> "Module":
         """Cast every parameter to ``dtype`` (float32 / float64) in place."""
-        dtype = np.dtype(dtype)
+        dtype = xp.dtype(dtype)
         for p in self.parameters():
             p.data = p.data.astype(dtype, copy=False)
         return self
@@ -73,7 +72,7 @@ class Module:
         return self.forward(*args, **kwargs)
 
     # ------------------------------------------------------------------
-    def extra_state(self) -> Dict[str, np.ndarray]:
+    def extra_state(self) -> Dict[str, xp.ndarray]:
         """Non-parameter arrays (fitted scalers, flags) to persist.
 
         Subclasses override this (and :meth:`load_extra_state`) so that
@@ -82,25 +81,25 @@ class Module:
         """
         return {}
 
-    def load_extra_state(self, state: Dict[str, np.ndarray]) -> None:
+    def load_extra_state(self, state: Dict[str, xp.ndarray]) -> None:
         """Restore what :meth:`extra_state` produced; ignore unknown keys."""
 
-    def state_dict(self) -> Dict[str, np.ndarray]:
+    def state_dict(self) -> Dict[str, xp.ndarray]:
         state = {name: p.data.copy()
                  for name, p in self.named_parameters().items()}
         for prefix, module in self.named_modules().items():
             for key, value in module.extra_state().items():
                 full = f"{prefix}.{key}" if prefix else key
-                state[full] = np.asarray(value)
+                state[full] = xp.asarray(value)
         return state
 
-    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+    def load_state_dict(self, state: Dict[str, xp.ndarray]) -> None:
         named = self.named_parameters()
         missing = set(named) - set(state)
         if missing:
             raise KeyError(f"missing parameters in state dict: {sorted(missing)}")
         for name, param in named.items():
-            value = np.asarray(state[name])
+            value = xp.asarray(state[name])
             if value.shape != param.data.shape:
                 raise ValueError(f"shape mismatch for {name}")
             # keep the module's declared dtype (e.g. loading a float64
@@ -109,7 +108,7 @@ class Module:
         # route the non-parameter keys to the deepest module whose path
         # prefixes them (the module that produced them in extra_state)
         modules = self.named_modules()
-        extra: Dict[str, Dict[str, np.ndarray]] = {}
+        extra: Dict[str, Dict[str, xp.ndarray]] = {}
         for key in set(state) - set(named):
             owner, rest = "", key
             for prefix in modules:
@@ -188,14 +187,14 @@ class Linear(Module):
     """Fully connected layer ``y = x W + b``."""
 
     def __init__(self, in_features: int, out_features: int, bias: bool = True,
-                 rng: Optional[np.random.Generator] = None):
+                 rng: Optional[xp.Generator] = None):
         super().__init__()
         self.in_features = in_features
         self.out_features = out_features
-        rng = rng or np.random.default_rng(0)
+        rng = rng or xp.default_rng(0)
         self.weight = Tensor(init.xavier_uniform((in_features, out_features), rng),
                              requires_grad=True, name="weight")
-        self.bias = (Tensor(np.zeros(out_features, dtype=get_default_dtype()),
+        self.bias = (Tensor(xp.zeros(out_features, dtype=get_default_dtype()),
                             requires_grad=True, name="bias") if bias else None)
 
     def forward(self, x: Tensor) -> Tensor:
@@ -225,7 +224,7 @@ class Dropout(Module):
         if not 0.0 <= rate < 1.0:
             raise ValueError("dropout rate must be in [0, 1)")
         self.rate = rate
-        self._rng = np.random.default_rng(seed)
+        self._rng = xp.default_rng(seed)
 
     def forward(self, x: Tensor) -> Tensor:
         return dropout_fn(x, self.rate, self._rng, training=self.training)
@@ -257,9 +256,9 @@ class MLP(Module):
 
     def __init__(self, in_features: int, hidden: Sequence[int], out_features: int,
                  activation: str = "relu", dropout: float = 0.0,
-                 rng: Optional[np.random.Generator] = None):
+                 rng: Optional[xp.Generator] = None):
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = rng or xp.default_rng(0)
         acts = {"relu": ReLU, "sigmoid": Sigmoid, "tanh": Tanh}
         if activation not in acts:
             raise ValueError(f"unknown activation {activation!r}")

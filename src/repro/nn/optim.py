@@ -7,9 +7,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List
 
-import numpy as np
-
 from repro.nn.autograd import Tensor
+from repro.nn.backend import xp
 
 
 class Optimizer:
@@ -41,7 +40,7 @@ class SGD(Optimizer):
         super().__init__(parameters, lr)
         self.momentum = float(momentum)
         self.weight_decay = float(weight_decay)
-        self._velocity: Dict[int, np.ndarray] = {}
+        self._velocity: Dict[int, xp.ndarray] = {}
 
     def step(self) -> None:
         for p in self.parameters:
@@ -72,20 +71,20 @@ class Adam(Optimizer):
         self.eps = eps
         self.weight_decay = float(weight_decay)
         self.decoupled = decoupled
-        self._m: Dict[int, np.ndarray] = {}
-        self._v: Dict[int, np.ndarray] = {}
+        self._m: Dict[int, xp.ndarray] = {}
+        self._v: Dict[int, xp.ndarray] = {}
         #: per-parameter scratch buffers so a step allocates nothing after
         #: the first call (gradients may live in tape arena buffers; the
         #: update math never writes into them)
-        self._upd: Dict[int, np.ndarray] = {}
-        self._tmp: Dict[int, np.ndarray] = {}
+        self._upd: Dict[int, xp.ndarray] = {}
+        self._tmp: Dict[int, xp.ndarray] = {}
         self._t = 0
 
-    def _state(self, store: Dict[int, np.ndarray], p: Tensor) -> np.ndarray:
+    def _state(self, store: Dict[int, xp.ndarray], p: Tensor) -> xp.ndarray:
         buf = store.get(id(p))
         if buf is None or buf.shape != p.data.shape \
                 or buf.dtype != p.data.dtype:
-            buf = store[id(p)] = np.zeros_like(p.data)
+            buf = store[id(p)] = xp.zeros_like(p.data)
         return buf
 
     def step(self) -> None:
@@ -98,25 +97,25 @@ class Adam(Optimizer):
             tmp = self._state(self._tmp, p)
             if self.weight_decay and not self.decoupled:
                 # == grad + weight_decay * p.data (scalar multiply commutes)
-                np.multiply(p.data, self.weight_decay, out=upd)
-                np.add(grad, upd, out=upd)
+                xp.multiply(p.data, self.weight_decay, out=upd)
+                xp.add(grad, upd, out=upd)
                 grad = upd
             m = self._state(self._m, p)
             v = self._state(self._v, p)
             m *= self.beta1
-            np.multiply(grad, 1 - self.beta1, out=tmp)
+            xp.multiply(grad, 1 - self.beta1, out=tmp)
             m += tmp
             v *= self.beta2
-            np.multiply(grad, grad, out=tmp)      # == grad ** 2
+            xp.multiply(grad, grad, out=tmp)      # == grad ** 2
             tmp *= 1 - self.beta2
             v += tmp
-            np.divide(m, 1 - self.beta1 ** self._t, out=upd)   # m_hat
-            np.divide(v, 1 - self.beta2 ** self._t, out=tmp)   # v_hat
-            np.sqrt(tmp, out=tmp)
+            xp.divide(m, 1 - self.beta1 ** self._t, out=upd)   # m_hat
+            xp.divide(v, 1 - self.beta2 ** self._t, out=tmp)   # v_hat
+            xp.sqrt(tmp, out=tmp)
             tmp += self.eps
             upd /= tmp
             if self.weight_decay and self.decoupled:
-                np.multiply(p.data, self.weight_decay, out=tmp)
+                xp.multiply(p.data, self.weight_decay, out=tmp)
                 upd += tmp
             upd *= self.lr
             p.data -= upd

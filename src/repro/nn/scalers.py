@@ -13,80 +13,81 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-import numpy as np
 from scipy.special import erfinv
+
+from repro.nn.backend import xp
 
 
 class StandardScaler:
     """Zero-mean / unit-variance per feature."""
 
     def __init__(self) -> None:
-        self.mean_: Optional[np.ndarray] = None
-        self.std_: Optional[np.ndarray] = None
+        self.mean_: Optional[xp.ndarray] = None
+        self.std_: Optional[xp.ndarray] = None
 
-    def fit(self, x: np.ndarray) -> "StandardScaler":
-        x = np.asarray(x, dtype=np.float64)
+    def fit(self, x: xp.ndarray) -> "StandardScaler":
+        x = xp.asarray(x, dtype=xp.float64)
         self.mean_ = x.mean(axis=0)
         self.std_ = x.std(axis=0)
-        self.std_ = np.where(self.std_ < 1e-12, 1.0, self.std_)
+        self.std_ = xp.where(self.std_ < 1e-12, 1.0, self.std_)
         return self
 
-    def transform(self, x: np.ndarray) -> np.ndarray:
+    def transform(self, x: xp.ndarray) -> xp.ndarray:
         if self.mean_ is None:
             raise RuntimeError("scaler is not fitted")
-        return (np.asarray(x, dtype=np.float64) - self.mean_) / self.std_
+        return (xp.asarray(x, dtype=xp.float64) - self.mean_) / self.std_
 
-    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+    def fit_transform(self, x: xp.ndarray) -> xp.ndarray:
         return self.fit(x).transform(x)
 
-    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+    def inverse_transform(self, x: xp.ndarray) -> xp.ndarray:
         if self.mean_ is None:
             raise RuntimeError("scaler is not fitted")
-        return np.asarray(x) * self.std_ + self.mean_
+        return xp.asarray(x) * self.std_ + self.mean_
 
-    def get_state(self) -> Dict[str, np.ndarray]:
+    def get_state(self) -> Dict[str, xp.ndarray]:
         if self.mean_ is None:
             return {}
         return {"mean": self.mean_.copy(), "std": self.std_.copy()}
 
-    def set_state(self, state: Dict[str, np.ndarray]) -> None:
+    def set_state(self, state: Dict[str, xp.ndarray]) -> None:
         if "mean" in state:
-            self.mean_ = np.asarray(state["mean"], dtype=np.float64)
-            self.std_ = np.asarray(state["std"], dtype=np.float64)
+            self.mean_ = xp.asarray(state["mean"], dtype=xp.float64)
+            self.std_ = xp.asarray(state["std"], dtype=xp.float64)
 
 
 class MinMaxScaler:
     """Scale each feature into [0, 1] (constant features map to 0)."""
 
     def __init__(self) -> None:
-        self.min_: Optional[np.ndarray] = None
-        self.range_: Optional[np.ndarray] = None
+        self.min_: Optional[xp.ndarray] = None
+        self.range_: Optional[xp.ndarray] = None
 
-    def fit(self, x: np.ndarray) -> "MinMaxScaler":
-        x = np.asarray(x, dtype=np.float64)
+    def fit(self, x: xp.ndarray) -> "MinMaxScaler":
+        x = xp.asarray(x, dtype=xp.float64)
         self.min_ = x.min(axis=0)
         rng = x.max(axis=0) - self.min_
-        self.range_ = np.where(rng < 1e-12, 1.0, rng)
+        self.range_ = xp.where(rng < 1e-12, 1.0, rng)
         return self
 
-    def transform(self, x: np.ndarray) -> np.ndarray:
+    def transform(self, x: xp.ndarray) -> xp.ndarray:
         if self.min_ is None:
             raise RuntimeError("scaler is not fitted")
-        out = (np.asarray(x, dtype=np.float64) - self.min_) / self.range_
-        return np.clip(out, 0.0, 1.0)
+        out = (xp.asarray(x, dtype=xp.float64) - self.min_) / self.range_
+        return xp.clip(out, 0.0, 1.0)
 
-    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+    def fit_transform(self, x: xp.ndarray) -> xp.ndarray:
         return self.fit(x).transform(x)
 
-    def get_state(self) -> Dict[str, np.ndarray]:
+    def get_state(self) -> Dict[str, xp.ndarray]:
         if self.min_ is None:
             return {}
         return {"min": self.min_.copy(), "range": self.range_.copy()}
 
-    def set_state(self, state: Dict[str, np.ndarray]) -> None:
+    def set_state(self, state: Dict[str, xp.ndarray]) -> None:
         if "min" in state:
-            self.min_ = np.asarray(state["min"], dtype=np.float64)
-            self.range_ = np.asarray(state["range"], dtype=np.float64)
+            self.min_ = xp.asarray(state["min"], dtype=xp.float64)
+            self.range_ = xp.asarray(state["range"], dtype=xp.float64)
 
 
 class GaussRankScaler:
@@ -101,37 +102,37 @@ class GaussRankScaler:
         self.epsilon = float(epsilon)
         self.sorted_: Optional[list] = None
 
-    def fit(self, x: np.ndarray) -> "GaussRankScaler":
-        x = np.asarray(x, dtype=np.float64)
+    def fit(self, x: xp.ndarray) -> "GaussRankScaler":
+        x = xp.asarray(x, dtype=xp.float64)
         if x.ndim != 2:
             raise ValueError("GaussRankScaler expects a 2-D matrix")
-        self.sorted_ = [np.sort(x[:, j]) for j in range(x.shape[1])]
+        self.sorted_ = [xp.sort(x[:, j]) for j in range(x.shape[1])]
         return self
 
-    def transform(self, x: np.ndarray) -> np.ndarray:
+    def transform(self, x: xp.ndarray) -> xp.ndarray:
         if self.sorted_ is None:
             raise RuntimeError("scaler is not fitted")
-        x = np.asarray(x, dtype=np.float64)
-        out = np.empty_like(x)
+        x = xp.asarray(x, dtype=xp.float64)
+        out = xp.empty_like(x)
         for j, ref in enumerate(self.sorted_):
             n = len(ref)
             # rank of each value among the training values, in (0, 1)
-            ranks = np.searchsorted(ref, x[:, j], side="left").astype(np.float64)
-            frac = np.clip(ranks / max(n - 1, 1), self.epsilon, 1.0 - self.epsilon)
-            out[:, j] = np.sqrt(2.0) * erfinv(2.0 * frac - 1.0)
+            ranks = xp.searchsorted(ref, x[:, j], side="left").astype(xp.float64)
+            frac = xp.clip(ranks / max(n - 1, 1), self.epsilon, 1.0 - self.epsilon)
+            out[:, j] = xp.sqrt(2.0) * erfinv(2.0 * frac - 1.0)
         return out
 
-    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+    def fit_transform(self, x: xp.ndarray) -> xp.ndarray:
         return self.fit(x).transform(x)
 
-    def get_state(self) -> Dict[str, np.ndarray]:
+    def get_state(self) -> Dict[str, xp.ndarray]:
         if self.sorted_ is None:
             return {}
         # the per-column reference arrays all have the training-set length,
         # so the whole fitted state stacks into one [n_features, n] matrix
-        return {"sorted": np.stack(self.sorted_, axis=0)}
+        return {"sorted": xp.stack(self.sorted_, axis=0)}
 
-    def set_state(self, state: Dict[str, np.ndarray]) -> None:
+    def set_state(self, state: Dict[str, xp.ndarray]) -> None:
         if "sorted" in state:
-            matrix = np.asarray(state["sorted"], dtype=np.float64)
+            matrix = xp.asarray(state["sorted"], dtype=xp.float64)
             self.sorted_ = [matrix[j].copy() for j in range(matrix.shape[0])]

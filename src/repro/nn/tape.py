@@ -17,7 +17,7 @@ afterthought:
 * every replay thunk mirrors its eager closure's numpy expression exactly
   (same ufuncs, same operand order, same temporaries), relying only on
   identities numpy guarantees (``out=`` variants of a ufunc compute the
-  same values; ``x @ y`` and ``np.matmul(x, y, out=...)`` agree);
+  same values; ``x @ y`` and ``xp.matmul(x, y, out=...)`` agree);
 * the backward thunk order replicates the eager iterative DFS post-order
   over the same graph, and within one node the per-parent contribution
   order replicates the closure body, so gradient accumulation — float
@@ -29,7 +29,7 @@ afterthought:
 Gradients for graph leaves (parameters and any ``requires_grad`` inputs)
 land in preallocated arena buffers owned by the :class:`TapeRunner` and
 shared by every plan, so ``id(p.grad)`` is stable across replayed steps and
-no per-step ``np.zeros`` is paid: the first contribution to a buffer is a
+no per-step ``xp.zeros`` is paid: the first contribution to a buffer is a
 "set" (``out=`` or ``copyto``), later ones are in-place ``+=``.  Adjacent
 identity-VJP nodes (scalar adds, max-shifts) are fused away entirely: when
 such a node's parent receives no other contribution, the parent's gradient
@@ -49,8 +49,6 @@ from __future__ import annotations
 import contextlib
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
-import numpy as np
-
 from repro.nn import autograd
 from repro.nn.autograd import (
     SegmentLayout,
@@ -58,6 +56,7 @@ from repro.nn.autograd import (
     _segment_sum_data,
     _unbroadcast,
 )
+from repro.nn.backend import xp
 
 
 class TapeUnsupported(RuntimeError):
@@ -140,8 +139,8 @@ class _Ctx:
                  "_cursor")
 
     def __init__(self, pool: Optional[Dict] = None) -> None:
-        self.vals: List[Optional[np.ndarray]] = []
-        self.gv: List[Optional[np.ndarray]] = []
+        self.vals: List[Optional[xp.ndarray]] = []
+        self.gv: List[Optional[xp.ndarray]] = []
         self._slots: Dict[int, int] = {}
         self._gslot: Dict[int, int] = {}
         self._cells: Dict[int, dict] = {}
@@ -167,7 +166,7 @@ class _Ctx:
             c = self._cells[id(rec)] = {}
         return c
 
-    def buf(self, shape, dtype) -> np.ndarray:
+    def buf(self, shape, dtype) -> xp.ndarray:
         """Step-scratch array leased from the runner-wide buffer pool.
 
         Buffers are keyed by (shape, dtype) plus an occurrence counter, so
@@ -179,19 +178,19 @@ class _Ctx:
         arrays instead of one per cached plan, which matters when several
         plans rotate through a cache-sized model.
         """
-        key = (tuple(shape), np.dtype(dtype).str)
+        key = (tuple(shape), xp.dtype(dtype).str)
         i = self._cursor.get(key, 0)
         self._cursor[key] = i + 1
         slot = self._pool.setdefault(key, [])
         while len(slot) <= i:
-            slot.append(np.empty(key[0], dtype=np.dtype(dtype)))
+            slot.append(xp.empty(key[0], dtype=xp.dtype(dtype)))
         return slot[i]
 
-    def obuf(self, rec: _Rec) -> np.ndarray:
+    def obuf(self, rec: _Rec) -> xp.ndarray:
         """Forward output buffer matching the recorded output (pooled)."""
         return self.buf(rec.out.data.shape, rec.out.data.dtype)
 
-    def scratch(self, shape, dtype, i: int = 0) -> np.ndarray:
+    def scratch(self, shape, dtype, i: int = 0) -> xp.ndarray:
         """Thunk-local scratch: freely aliased ACROSS thunks and plans.
 
         Unlike :meth:`buf` there is no occurrence cursor — every thunk that
@@ -205,10 +204,10 @@ class _Ctx:
         must use :meth:`buf`.  Distinguish concurrent uses within one thunk
         via ``i``.
         """
-        key = (tuple(shape), np.dtype(dtype).str, i)
+        key = (tuple(shape), xp.dtype(dtype).str, i)
         buf = self._pool.get(key)
         if buf is None:
-            buf = self._pool[key] = np.empty(key[0], dtype=np.dtype(dtype))
+            buf = self._pool[key] = xp.empty(key[0], dtype=xp.dtype(dtype))
         return buf
 
 
@@ -221,7 +220,7 @@ def _():
         c, buf = rec.attrs["c"], ctx.obuf(rec)
 
         def run():
-            np.add(vals[x], c, out=buf)
+            xp.add(vals[x], c, out=buf)
             vals[o] = buf
         return run
 
@@ -238,7 +237,7 @@ def _():
         o, buf = ctx.vslot(rec.out), ctx.obuf(rec)
 
         def run():
-            np.add(vals[a], vals[b], out=buf)
+            xp.add(vals[a], vals[b], out=buf)
             vals[o] = buf
         return run
 
@@ -267,14 +266,14 @@ def _():
         buf = ctx.obuf(rec)
 
         def run():
-            np.negative(vals[x], out=buf)
+            xp.negative(vals[x], out=buf)
             vals[o] = buf
         return run
 
     def bwd(rec, ctx):
         gv, gs = ctx.gv, ctx.g(rec.out)
         return None, [(rec.parents[0], "owned", lambda: -gv[gs],
-                       lambda buf: np.negative(gv[gs], out=buf))]
+                       lambda buf: xp.negative(gv[gs], out=buf))]
     return fwd, bwd
 
 
@@ -285,14 +284,14 @@ def _():
         c, buf = rec.attrs["c"], ctx.obuf(rec)
 
         def run():
-            np.subtract(c, vals[x], out=buf)
+            xp.subtract(c, vals[x], out=buf)
             vals[o] = buf
         return run
 
     def bwd(rec, ctx):
         gv, gs = ctx.gv, ctx.g(rec.out)
         return None, [(rec.parents[0], "owned", lambda: -gv[gs],
-                       lambda buf: np.negative(gv[gs], out=buf))]
+                       lambda buf: xp.negative(gv[gs], out=buf))]
     return fwd, bwd
 
 
@@ -303,14 +302,14 @@ def _():
         c, buf = rec.attrs["c"], ctx.obuf(rec)
 
         def run():
-            np.multiply(vals[x], c, out=buf)
+            xp.multiply(vals[x], c, out=buf)
             vals[o] = buf
         return run
 
     def bwd(rec, ctx):
         gv, gs, c = ctx.gv, ctx.g(rec.out), rec.attrs["c"]
         return None, [(rec.parents[0], "owned", lambda: gv[gs] * c,
-                       lambda buf: np.multiply(gv[gs], c, out=buf))]
+                       lambda buf: xp.multiply(gv[gs], c, out=buf))]
     return fwd, bwd
 
 
@@ -322,7 +321,7 @@ def _():
         o, buf = ctx.vslot(rec.out), ctx.obuf(rec)
 
         def run():
-            np.multiply(vals[a], vals[b], out=buf)
+            xp.multiply(vals[a], vals[b], out=buf)
             vals[o] = buf
         return run
 
@@ -339,7 +338,7 @@ def _():
                 specs.append((p, "owned",
                               (lambda ov=ov: gv[gs] * vals[ov]),
                               (lambda buf, ov=ov:
-                               np.multiply(gv[gs], vals[ov], out=buf))))
+                               xp.multiply(gv[gs], vals[ov], out=buf))))
             else:
                 specs.append((p, "owned",
                               (lambda ov=ov, shape=shape:
@@ -355,14 +354,14 @@ def _():
         c, buf = rec.attrs["c"], ctx.obuf(rec)
 
         def run():
-            np.divide(vals[x], c, out=buf)
+            xp.divide(vals[x], c, out=buf)
             vals[o] = buf
         return run
 
     def bwd(rec, ctx):
         gv, gs, c = ctx.gv, ctx.g(rec.out), rec.attrs["c"]
         return None, [(rec.parents[0], "owned", lambda: gv[gs] / c,
-                       lambda buf: np.divide(gv[gs], c, out=buf))]
+                       lambda buf: xp.divide(gv[gs], c, out=buf))]
     return fwd, bwd
 
 
@@ -374,7 +373,7 @@ def _():
         o, buf = ctx.vslot(rec.out), ctx.obuf(rec)
 
         def run():
-            np.divide(vals[a], vals[b], out=buf)
+            xp.divide(vals[a], vals[b], out=buf)
             vals[o] = buf
         return run
 
@@ -426,9 +425,9 @@ def _leased_matmul(ctx, parent, a_of, b_of):
     out_buf = ctx.buf(parent.data.shape, parent.data.dtype)
 
     def value():
-        np.matmul(a_of(), b_of(), out=out_buf)
+        xp.matmul(a_of(), b_of(), out=out_buf)
         return out_buf
-    return value, lambda buf: np.matmul(a_of(), b_of(), out=buf)
+    return value, lambda buf: xp.matmul(a_of(), b_of(), out=buf)
 
 
 @_op("matmul")
@@ -439,7 +438,7 @@ def _():
         o, buf = ctx.vslot(rec.out), ctx.obuf(rec)
 
         def run():
-            np.matmul(vals[a], vals[b], out=buf)
+            xp.matmul(vals[a], vals[b], out=buf)
             vals[o] = buf
         return run
 
@@ -468,12 +467,12 @@ def _():
 
         if bi is None:
             def run():
-                np.matmul(vals[x], vals[w], out=buf)
+                xp.matmul(vals[x], vals[w], out=buf)
                 vals[o] = buf
         else:
             def run():
-                np.matmul(vals[x], vals[w], out=buf)
-                np.add(buf, vals[bi], out=buf)  # == eager's in-place `+=`
+                xp.matmul(vals[x], vals[w], out=buf)
+                xp.add(buf, vals[bi], out=buf)  # == eager's in-place `+=`
                 vals[o] = buf
         return run
 
@@ -493,10 +492,10 @@ def _():
             db_buf = ctx.buf(pb.data.shape, pb.data.dtype)
 
             def db_value():
-                np.sum(gv[gs], axis=0, out=db_buf)
+                xp.sum(gv[gs], axis=0, out=db_buf)
                 return db_buf
             specs.append((pb, "owned", db_value,
-                          lambda buf: np.sum(gv[gs], axis=0, out=buf)))
+                          lambda buf: xp.sum(gv[gs], axis=0, out=buf)))
         return None, specs
     return fwd, bwd
 
@@ -516,18 +515,28 @@ def _():
         p = rec.parents[0]
         axis, keepdims = rec.attrs["axis"], rec.attrs["keepdims"]
         shape, dtype = p.shape, p.data.dtype
+        # the broadcast-up gradient goes into a pooled step buffer either
+        # way (fill == np.full's fill; copyto broadcasts == broadcast_to +
+        # copy), so steady-state replay allocates nothing here
+        buf = ctx.buf(shape, dtype)
         if axis is None:
-            return None, [(p, "owned",
-                           (lambda: np.full(shape, float(gv[gs]),
-                                            dtype=dtype)),
-                           lambda buf: buf.fill(float(gv[gs])))]
+            def value():
+                buf.fill(float(gv[gs]))
+                return buf
+            return None, [(p, "owned", value,
+                           lambda target: target.fill(float(gv[gs])))]
 
-        def value():
+        def expanded():
             g = gv[gs]
             if not keepdims:
-                g = np.expand_dims(g, axis)
-            return np.broadcast_to(g, shape).copy()
-        return None, [(p, "owned", value, None)]
+                g = xp.expand_dims(g, axis)
+            return g
+
+        def value():
+            xp.copyto(buf, expanded())
+            return buf
+        return None, [(p, "owned", value,
+                       lambda target: xp.copyto(target, expanded()))]
     return fwd, bwd
 
 
@@ -580,7 +589,7 @@ def _():
         shape, dtype = p.shape, p.data.dtype
 
         def value():
-            g = np.zeros(shape, dtype=dtype)
+            g = xp.zeros(shape, dtype=dtype)
             g[:, start:stop] = gv[gs]
             return g
 
@@ -600,7 +609,7 @@ def _():
         def run():
             mask = (vals[x] > 0).astype(buf.dtype)
             cell["mask"] = mask
-            np.multiply(vals[x], mask, out=buf)
+            xp.multiply(vals[x], mask, out=buf)
             vals[o] = buf
         return run
 
@@ -608,7 +617,7 @@ def _():
         gv, gs, cell = ctx.gv, ctx.g(rec.out), ctx.cell(rec)
         return None, [(rec.parents[0], "owned",
                        lambda: gv[gs] * cell["mask"],
-                       lambda buf: np.multiply(gv[gs], cell["mask"],
+                       lambda buf: xp.multiply(gv[gs], cell["mask"],
                                                out=buf))]
     return fwd, bwd
 
@@ -620,9 +629,9 @@ def _():
         slope, buf, cell = rec.attrs["slope"], ctx.obuf(rec), ctx.cell(rec)
 
         def run():
-            mask = np.where(vals[x] > 0, 1.0, slope).astype(buf.dtype)
+            mask = xp.where(vals[x] > 0, 1.0, slope).astype(buf.dtype)
             cell["mask"] = mask
-            np.multiply(vals[x], mask, out=buf)
+            xp.multiply(vals[x], mask, out=buf)
             vals[o] = buf
         return run
 
@@ -630,7 +639,7 @@ def _():
         gv, gs, cell = ctx.gv, ctx.g(rec.out), ctx.cell(rec)
         return None, [(rec.parents[0], "owned",
                        lambda: gv[gs] * cell["mask"],
-                       lambda buf: np.multiply(gv[gs], cell["mask"],
+                       lambda buf: xp.multiply(gv[gs], cell["mask"],
                                                out=buf))]
     return fwd, bwd
 
@@ -641,7 +650,7 @@ def _():
         vals, x, o = ctx.vals, ctx.vslot(rec.parents[0]), ctx.vslot(rec.out)
 
         def run():
-            vals[o] = 1.0 / (1.0 + np.exp(-np.clip(vals[x], -60.0, 60.0)))
+            vals[o] = 1.0 / (1.0 + xp.exp(-xp.clip(vals[x], -60.0, 60.0)))
         return run
 
     def bwd(rec, ctx):
@@ -659,7 +668,7 @@ def _():
         buf = ctx.obuf(rec)
 
         def run():
-            np.tanh(vals[x], out=buf)
+            xp.tanh(vals[x], out=buf)
             vals[o] = buf
         return run
 
@@ -677,7 +686,7 @@ def _():
         vals, x, o = ctx.vals, ctx.vslot(rec.parents[0]), ctx.vslot(rec.out)
 
         def run():
-            vals[o] = np.exp(np.clip(vals[x], -60.0, 60.0))
+            vals[o] = xp.exp(xp.clip(vals[x], -60.0, 60.0))
         return run
 
     def bwd(rec, ctx):
@@ -685,7 +694,7 @@ def _():
         o = ctx.vslot(rec.out)
         return None, [(rec.parents[0], "owned",
                        lambda: gv[gs] * vals[o],
-                       lambda buf: np.multiply(gv[gs], vals[o], out=buf))]
+                       lambda buf: xp.multiply(gv[gs], vals[o], out=buf))]
     return fwd, bwd
 
 
@@ -695,14 +704,14 @@ def _():
         vals, x, o = ctx.vals, ctx.vslot(rec.parents[0]), ctx.vslot(rec.out)
 
         def run():
-            vals[o] = np.log(np.maximum(vals[x], 1e-12))
+            vals[o] = xp.log(xp.maximum(vals[x], 1e-12))
         return run
 
     def bwd(rec, ctx):
         gv, vals, gs = ctx.gv, ctx.vals, ctx.g(rec.out)
         x = ctx.vslot(rec.parents[0])
         return None, [(rec.parents[0], "owned",
-                       lambda: gv[gs] / np.maximum(vals[x], 1e-12), None)]
+                       lambda: gv[gs] / xp.maximum(vals[x], 1e-12), None)]
     return fwd, bwd
 
 
@@ -715,7 +724,7 @@ def _():
 
         def run():
             m = vals[x].max(axis=axis, keepdims=keepdims)
-            np.subtract(vals[x], m, out=buf)
+            xp.subtract(vals[x], m, out=buf)
             vals[o] = buf
         return run
 
@@ -734,7 +743,7 @@ def _():
         def run():
             mask = (rng.random(shape) >= rate).astype(buf.dtype) / (1.0 - rate)
             cell["mask"] = mask
-            np.multiply(vals[x], mask, out=buf)
+            xp.multiply(vals[x], mask, out=buf)
             vals[o] = buf
         return run
 
@@ -742,7 +751,7 @@ def _():
         gv, gs, cell = ctx.gv, ctx.g(rec.out), ctx.cell(rec)
         return None, [(rec.parents[0], "owned",
                        lambda: gv[gs] * cell["mask"],
-                       lambda buf: np.multiply(gv[gs], cell["mask"],
+                       lambda buf: xp.multiply(gv[gs], cell["mask"],
                                                out=buf))]
     return fwd, bwd
 
@@ -774,10 +783,10 @@ def _():
                 lay = layout if layout is not None \
                     else SegmentLayout(index, num_rows)
                 if lay.starts.size:
-                    buf[lay.segments] = np.add.reduceat(
+                    buf[lay.segments] = xp.add_reduceat(
                         gv[gs][lay.order], lay.starts, axis=0)
                 return
-            np.add.at(buf, index, gv[gs])
+            xp.add_at(buf, index, gv[gs])
         return None, [(rec.parents[0], "owned", value, set_into)]
     return fwd, bwd
 
@@ -808,7 +817,7 @@ def _():
         o, axis = ctx.vslot(rec.out), rec.attrs["axis"]
 
         def run():
-            vals[o] = np.concatenate([vals[s] for s in slots], axis=axis)
+            vals[o] = xp.concatenate([vals[s] for s in slots], axis=axis)
         return run
 
     def bwd(rec, ctx):
@@ -836,7 +845,7 @@ def _():
         o = ctx.vslot(rec.out)
 
         def run():
-            vals[o] = np.stack([vals[s] for s in slots], axis=0)
+            vals[o] = xp.stack([vals[s] for s in slots], axis=0)
         return run
 
     def bwd(rec, ctx):
@@ -908,7 +917,7 @@ class TapePlan:
         return True
 
 
-def compile_plan(tape: Tape, loss: Tensor, arena: Dict[int, np.ndarray],
+def compile_plan(tape: Tape, loss: Tensor, arena: Dict[int, xp.ndarray],
                  arena_refs: Dict[int, Tensor],
                  wrt: Sequence[Tensor] = (),
                  fingerprint=None, pool: Optional[Dict] = None) -> TapePlan:
@@ -980,16 +989,16 @@ def compile_plan(tape: Tape, loss: Tensor, arena: Dict[int, np.ndarray],
     ctx.gv = [None] * len(ctx.vals)
 
     # ---- leaves: arena buffers ----------------------------------------
-    leaf_assigns: List[Tuple[Tensor, np.ndarray]] = []
+    leaf_assigns: List[Tuple[Tensor, xp.ndarray]] = []
     leaf_guards: List[Tuple[Tensor, int]] = []
-    leaf_slots: Dict[int, np.ndarray] = {}
+    leaf_slots: Dict[int, xp.ndarray] = {}
     for node, rec in zip(topo, recs):
         if rec is not None:
             continue
         buf = arena.get(id(node))
         if buf is None or buf.shape != node.data.shape \
                 or buf.dtype != node.data.dtype:
-            buf = np.empty_like(node.data)
+            buf = xp.empty_like(node.data)
             arena[id(node)] = buf
             arena_refs[id(node)] = node
         slot = ctx.vslot(node)
@@ -1008,7 +1017,7 @@ def compile_plan(tape: Tape, loss: Tensor, arena: Dict[int, np.ndarray],
     # ---- backward schedule --------------------------------------------
     gv = ctx.gv
     loss_slot = ctx.vslot(loss)
-    seed = np.ones_like(loss.data)
+    seed = xp.ones_like(loss.data)
     bwd: List[Callable[[], None]] = []
     bwd.append(lambda: gv.__setitem__(loss_slot, seed))
     written = {loss_slot}
@@ -1035,7 +1044,7 @@ def compile_plan(tape: Tape, loss: Tensor, arena: Dict[int, np.ndarray],
                                    set_into(buf))
                     else:
                         bwd.append(lambda buf=buf, value_fn=value_fn:
-                                   np.copyto(buf, value_fn()))
+                                   xp.copyto(buf, value_fn()))
                 else:
                     bwd.append(lambda buf=buf, value_fn=value_fn:
                                buf.__iadd__(value_fn()))
@@ -1087,7 +1096,7 @@ class TapeRunner:
         self.max_plans = int(max_plans)
         self.plans: Dict[object, TapePlan] = {}
         self.unsupported: set = set()
-        self.arena: Dict[int, np.ndarray] = {}
+        self.arena: Dict[int, xp.ndarray] = {}
         self._arena_refs: Dict[int, Tensor] = {}
         #: step-scratch buffers shared by every plan of this runner
         self.pool: Dict = {}

@@ -5,27 +5,26 @@ from __future__ import annotations
 import random
 from typing import Callable, Iterator, Optional, Sequence, Tuple
 
-import numpy as np
-
 from repro.nn.autograd import Tensor
+from repro.nn.backend import xp
 
 
-def set_seed(seed: int) -> np.random.Generator:
+def set_seed(seed: int) -> xp.Generator:
     """Seed Python and numpy RNGs; return a fresh generator for local use."""
     random.seed(seed)
-    np.random.seed(seed % (2 ** 32))
-    return np.random.default_rng(seed)
+    xp.global_seed(seed % (2 ** 32))
+    return xp.default_rng(seed)
 
 
 def iterate_minibatches(num_samples: int, batch_size: int,
-                        rng: Optional[np.random.Generator] = None,
-                        shuffle: bool = True) -> Iterator[np.ndarray]:
+                        rng: Optional[xp.Generator] = None,
+                        shuffle: bool = True) -> Iterator[xp.ndarray]:
     """Yield index arrays covering ``range(num_samples)`` in batches."""
     if batch_size < 1:
         raise ValueError("batch_size must be >= 1")
-    indices = np.arange(num_samples)
+    indices = xp.arange(num_samples)
     if shuffle:
-        rng = rng or np.random.default_rng(0)
+        rng = rng or xp.default_rng(0)
         rng.shuffle(indices)
     for start in range(0, num_samples, batch_size):
         yield indices[start:start + batch_size]

@@ -25,12 +25,11 @@ import threading
 import time
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-import numpy as np
-
 from repro.core.tuner import DeviceMapper, MGATuner
 from repro.frontend.openmp import OMPConfig, default_omp_config
 from repro.frontend.spec import KernelSpec
 from repro.graphs import batch_graphs
+from repro.nn.backend import xp
 from repro.profiling import PAPIProfiler
 from repro.serve.drift import map_feature_vector, tune_feature_vector
 
@@ -172,7 +171,7 @@ class InferenceEngine:
                 spec, scale=scale, config=default_omp_config(tuner.arch.cores),
                 events=tuner.counter_names)
             graph, vector = tuner.extractor.extract(spec)
-            extra = np.array([record.counters[name]
+            extra = xp.array([record.counters[name]
                               for name in tuner.counter_names])
             cached = (graph, vector, extra, dict(record.counters))
             self.cache.put(key, cached)
@@ -234,8 +233,8 @@ class InferenceEngine:
             self.drift_monitor.observe(
                 map_feature_vector(vector, transfer_bytes, wgsize),
                 graph=graph)
-        extra = np.array([np.log1p(float(transfer_bytes)),
-                          np.log1p(float(wgsize))])
+        extra = xp.array([xp.log1p(float(transfer_bytes)),
+                          xp.log1p(float(wgsize))])
 
         def finalize(index: int):
             if self.results is not None:
@@ -327,8 +326,8 @@ class InferenceEngine:
     def _run_batch(self, batch: List[_Request]) -> None:
         try:
             graphs = [r.graph for r in batch]
-            vectors = np.stack([r.vector for r in batch])
-            extra = np.stack([r.extra for r in batch])
+            vectors = xp.stack([r.vector for r in batch])
+            extra = xp.stack([r.extra for r in batch])
             model = self.predictor.model
             batched = (self._batched_graph(graphs)
                        if model.modalities.use_graph else None)
